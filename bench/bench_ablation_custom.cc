@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation: the §6 custom-instruction extension. Adds the cmul
+ * block (custom-0 opcode, single-cycle 32x32 low multiply) to the
+ * pre-verified library, recompiles multiply-heavy workloads against
+ * it, and weighs the silicon cost against the cycle/energy win —
+ * the trade a RISSP designer would actually evaluate.
+ */
+
+#include "bench/bench_util.hh"
+
+#include "core/rissp.hh"
+#include "sim/refsim.hh"
+#include "verify/block_verify.hh"
+
+using namespace rissp;
+
+int
+main()
+{
+    bench::banner("Ablation: custom cmul instruction block (§6)");
+
+    // The custom block enters the library through the same Figure 4
+    // flow as every base instruction.
+    BlockCert cert = certifyBlock(Op::Cmul, 0xC0C0, 300);
+    std::printf("cmul block certification: functional=%d "
+                "mutation=%u/%u formal=%d\n", cert.functional,
+                cert.mutantsKilled, cert.mutantsTotal, cert.formal);
+    if (!cert.preVerified())
+        return 1;
+
+    SynthesisModel model;
+    const FlexIcTech &tech = FlexIcTech::defaults();
+    std::printf("\n%-14s | %10s %10s %8s | %10s %10s %8s | %7s\n",
+                "workload", "base cyc", "base GE", "base nJ",
+                "cmul cyc", "cmul GE", "cmul nJ", "E ratio");
+    bench::rule(100);
+
+    for (const char *name : {"matmult-int", "edn", "st", "nbody",
+                             "aha-mont64"}) {
+        const Workload &wl = workloadByName(name);
+
+        minic::CompileResult base =
+            minic::compile(wl.source, minic::OptLevel::O2);
+        minic::MachineOptions machine;
+        machine.customMul = true;
+        minic::CompileResult custom =
+            minic::compile(wl.source, minic::OptLevel::O2, machine);
+
+        InstrSubset base_sub = InstrSubset::fromProgram(base.program);
+        InstrSubset cust_sub =
+            InstrSubset::fromProgram(custom.program);
+
+        Rissp base_chip(base_sub, "base");
+        base_chip.reset(base.program);
+        RunResult base_run = base_chip.run(400'000'000);
+        Rissp cust_chip(cust_sub, "cmul");
+        cust_chip.reset(custom.program);
+        RunResult cust_run = cust_chip.run(400'000'000);
+        if (base_run.reason != StopReason::Halted ||
+            cust_run.reason != StopReason::Halted ||
+            base_run.exitCode != cust_run.exitCode) {
+            std::printf("%-14s FUNCTIONAL MISMATCH\n", name);
+            return 1;
+        }
+
+        SynthReport bs = model.synthesize(base_sub, "base");
+        SynthReport cs = model.synthesize(cust_sub, "cmul");
+        // Energy per task = EPI * retired instructions.
+        const double base_nj =
+            bs.epiNanojoules(1.0, tech) *
+            static_cast<double>(base_run.instret);
+        const double cust_nj =
+            cs.epiNanojoules(1.0, tech) *
+            static_cast<double>(cust_run.instret);
+        std::printf("%-14s | %10llu %10.0f %8.0f | %10llu %10.0f "
+                    "%8.0f | %6.2fx\n", name,
+                    static_cast<unsigned long long>(
+                        base_run.instret), bs.avgAreaGe, base_nj,
+                    static_cast<unsigned long long>(
+                        cust_run.instret), cs.avgAreaGe, cust_nj,
+                    base_nj / cust_nj);
+    }
+    std::printf("\nreading: cmul adds a ~2.7 kGE multiplier (and "
+                "lowers fmax via its deep array) but removes the "
+                "__mulsi3 call from the dynamic stream; for "
+                "multiply-bound kernels the energy-per-task win is "
+                "what the paper's custom-instruction path is for\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 10: full physical implementation of the three extreme-edge
+ * RISSPs and the two baselines at 300 kHz / 3 V: die dimensions,
+ * die area, FF share and total power.
+ */
+
+#include "bench/bench_util.hh"
+
+#include "physimpl/physical.hh"
+#include "serv/serv_model.hh"
+
+using namespace rissp;
+
+int
+main()
+{
+    bench::banner("Figure 10: physical implementation at 300 kHz");
+    SynthesisModel model;
+    PhysicalModel phys;
+
+    std::vector<PhysReport> reports;
+    reports.push_back(phys.implement(
+        model.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E"),
+        RfStyle::LatchArray));
+    for (const std::string &name : extremeEdgeNames()) {
+        const Workload &wl = workloadByName(name);
+        reports.push_back(phys.implement(
+            model.synthesize(bench::subsetAtO2(wl),
+                             "RISSP-" + name),
+            RfStyle::LatchArray));
+    }
+    reports.push_back(
+        phys.implement(ServModel().synthReport(),
+                       RfStyle::RamMacro));
+
+    std::printf("%-18s %7s %9s %9s %9s %6s %8s\n", "design",
+                "instrs", "X um", "Y um", "area mm2", "FF %",
+                "P mW");
+    bench::rule(72);
+    for (const PhysReport &r : reports) {
+        std::printf("%-18s %7zu %9.0f %9.0f %9.2f %6.1f %8.3f\n",
+                    r.name.c_str(), r.numInstrs, r.dieXUm, r.dieYUm,
+                    r.dieAreaMm2, r.ffAreaFraction * 100.0,
+                    r.powerMw);
+    }
+
+    const PhysReport &full = reports[0];
+    const PhysReport &serv = reports.back();
+    std::printf("\nRelative areas (paper: af_detect -8%%, armpit "
+                "-35%%, xgboost -42%% vs RV32E; xgboost ~11%% "
+                "below Serv):\n");
+    for (size_t i = 1; i + 1 < reports.size(); ++i) {
+        std::printf("  %-16s %+6.1f%% vs RISSP-RV32E, %+6.1f%% vs "
+                    "Serv\n", reports[i].name.c_str(),
+                    (reports[i].dieAreaMm2 / full.dieAreaMm2 - 1.0) *
+                        100.0,
+                    (reports[i].dieAreaMm2 / serv.dieAreaMm2 - 1.0) *
+                        100.0);
+    }
+    std::printf("  %-16s %+6.1f%% vs RISSP-RV32E\n",
+                serv.name.c_str(),
+                (serv.dieAreaMm2 / full.dieAreaMm2 - 1.0) * 100.0);
+    return 0;
+}

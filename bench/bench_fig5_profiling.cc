@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 5 + §4.1: instruction profiling and characterization.
+ *
+ * For every workload and every optimization flag (-O0, -O1, -O2,
+ * -O3, -Oz): code size (KBytes of static instructions) and number of
+ * distinct RV32E instructions. Also reproduces the section's summary
+ * statistics: average static instruction counts per flag, the
+ * 24-86% subset-usage observation, and the per-extreme-edge-app
+ * -O0 -> -O2 code shrink.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace rissp;
+using minic::OptLevel;
+
+int
+main()
+{
+    bench::banner("Figure 5: codesize and distinct instructions per "
+                  "optimization flag");
+
+    const auto levels = minic::allOptLevels();
+    std::printf("%-16s |", "application");
+    for (OptLevel lv : levels)
+        std::printf("   %-4s      |", minic::optLevelName(lv).c_str());
+    std::printf("\n%-16s |", "");
+    for (size_t i = 0; i < levels.size(); ++i)
+        std::printf(" KB    distinct|");
+    std::printf("\n");
+    bench::rule(16 + 15 * static_cast<int>(levels.size()));
+
+    std::vector<double> static_sum(levels.size(), 0.0);
+    double frac_min = 1.0;
+    double frac_max = 0.0;
+    double distinct_sum = 0.0;
+    size_t distinct_n = 0;
+    std::map<std::string, std::map<int, size_t>> static_counts;
+
+    for (const Workload &wl : allWorkloads()) {
+        std::printf("%-16s |", wl.name.c_str());
+        for (size_t li = 0; li < levels.size(); ++li) {
+            minic::CompileResult cr =
+                minic::compile(wl.source, levels[li]);
+            const InstrSubset subset =
+                InstrSubset::fromProgram(cr.program);
+            const size_t instrs = cr.staticInstructions();
+            static_counts[wl.name][static_cast<int>(li)] = instrs;
+            static_sum[li] += static_cast<double>(instrs);
+            distinct_sum += static_cast<double>(subset.size());
+            ++distinct_n;
+            frac_min = std::min(frac_min,
+                                subset.fractionOfFullIsa());
+            frac_max = std::max(frac_max,
+                                subset.fractionOfFullIsa());
+            std::printf(" %5.2f %6zu  |",
+                        static_cast<double>(instrs) * 4.0 / 1024.0,
+                        subset.size());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nSummary (paper section 4.1):\n");
+    std::printf("  avg static instructions per flag:");
+    for (size_t li = 0; li < levels.size(); ++li)
+        std::printf(" %s=%.0f",
+                    minic::optLevelName(levels[li]).c_str(),
+                    static_sum[li] / allWorkloads().size());
+    std::printf("\n  (paper: O0=2027 O1=1149 O2=1207 O3=1586 "
+                "Oz=1018)\n");
+    std::printf("  distinct instructions: avg %.1f across all "
+                "apps/flags (paper: ~19)\n",
+                distinct_sum / static_cast<double>(distinct_n));
+    std::printf("  subset usage: %.0f%% .. %.0f%% of the full ISA "
+                "(paper: 24%% .. 86%%)\n",
+                frac_min * 100.0, frac_max * 100.0);
+
+    std::printf("\nExtreme-edge codesize reduction -O0 -> -O2 "
+                "(paper: 75%%/74%%/69%%):\n");
+    for (const std::string &name : extremeEdgeNames()) {
+        const double o0 = static_cast<double>(static_counts[name][0]);
+        const double o2 = static_cast<double>(static_counts[name][2]);
+        std::printf("  %-10s %4.0f -> %4.0f instructions "
+                    "(%.0f%% smaller)\n", name.c_str(), o0, o2,
+                    100.0 * (1.0 - o2 / o0));
+    }
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 6: maximum clock frequency (kHz) for every RISSP, the
+ * RISSP-RV32E baseline and Serv, from the 100 kHz - 3 MHz / 25 kHz
+ * synthesis sweep.
+ */
+
+#include "bench/bench_util.hh"
+
+#include "serv/serv_model.hh"
+
+using namespace rissp;
+
+int
+main()
+{
+    bench::banner("Figure 6: maximum frequency (kHz) per design");
+    SynthesisModel model;
+    const SynthReport full =
+        model.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E");
+    const SynthReport serv = ServModel().synthReport();
+
+    std::printf("%-18s %8s %10s\n", "design", "instrs",
+                "fmax kHz");
+    bench::rule(40);
+    for (const Workload &wl : allWorkloads()) {
+        const SynthReport r = model.synthesize(
+            bench::subsetAtO2(wl), "RISSP-" + wl.name);
+        std::printf("%-18s %8zu %10.0f\n", r.name.c_str(),
+                    r.subsetSize, r.fmaxKhz);
+    }
+    bench::rule(40);
+    std::printf("%-18s %8zu %10.0f   (baseline)\n",
+                full.name.c_str(), full.subsetSize, full.fmaxKhz);
+    std::printf("%-18s %8s %10.0f   (baseline)\n",
+                serv.name.c_str(), "full", serv.fmaxKhz);
+    std::printf("\npaper: RISSPs 1500-1850 kHz, RISSP-RV32E up to "
+                "1700 kHz, Serv up to 2050 kHz\n");
+    return 0;
+}

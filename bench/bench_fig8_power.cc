@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 8: average power (static + dynamic, mW) across the
+ * positive-slack sweep points, per design, vs the two baselines.
+ */
+
+#include "bench/bench_util.hh"
+
+#include "serv/serv_model.hh"
+
+using namespace rissp;
+
+int
+main()
+{
+    bench::banner("Figure 8: average power (mW, static + dynamic)");
+    SynthesisModel model;
+    const SynthReport full =
+        model.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E");
+    const SynthReport serv = ServModel().synthReport();
+
+    std::printf("%-18s %8s %10s %14s\n", "design", "instrs",
+                "avg mW", "vs RV32E");
+    bench::rule(54);
+    double min_red = 1.0;
+    double max_red = 0.0;
+    for (const Workload &wl : allWorkloads()) {
+        const SynthReport r = model.synthesize(
+            bench::subsetAtO2(wl), "RISSP-" + wl.name);
+        const double red = 1.0 - r.avgPowerMw / full.avgPowerMw;
+        min_red = std::min(min_red, red);
+        max_red = std::max(max_red, red);
+        std::printf("%-18s %8zu %10.3f %12.1f%%\n", r.name.c_str(),
+                    r.subsetSize, r.avgPowerMw, red * 100.0);
+    }
+    bench::rule(54);
+    std::printf("%-18s %8zu %10.3f %13s\n", full.name.c_str(),
+                full.subsetSize, full.avgPowerMw, "--");
+    std::printf("%-18s %8s %10.3f %13s\n", serv.name.c_str(),
+                "full", serv.avgPowerMw, "--");
+    std::printf("\npower reduction range: %.0f%% .. %.0f%% "
+                "(paper: 3%% .. 30%%)\n", min_red * 100.0,
+                max_red * 100.0);
+    std::printf("Serv consumes %.0f%% more power than RISSP-RV32E "
+                "(paper: ~40%%)\n",
+                (serv.avgPowerMw / full.avgPowerMw - 1.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 9: energy per instruction (nJ) at each design's maximum
+ * frequency. EPI = P(fmax) / fmax * CPI; RISSPs are single cycle
+ * (CPI = 1), Serv is bit-serial (CPI ~ 32, measured per workload by
+ * its cycle model).
+ */
+
+#include "bench/bench_util.hh"
+
+#include "serv/serv_model.hh"
+
+using namespace rissp;
+
+int
+main()
+{
+    bench::banner("Figure 9: energy per instruction (nJ) at fmax");
+    const FlexIcTech &tech = FlexIcTech::defaults();
+    SynthesisModel model;
+    ServModel serv_model;
+    const SynthReport full =
+        model.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E");
+    const SynthReport serv = serv_model.synthReport();
+    const double epi_full = full.epiNanojoules(1.0, tech);
+
+    std::printf("%-18s %10s %12s %12s %10s\n", "design",
+                "EPI nJ", "Serv CPI", "Serv EPI nJ", "ratio");
+    bench::rule(68);
+    double ratio_sum = 0.0;
+    for (const Workload &wl : allWorkloads()) {
+        minic::CompileResult cr =
+            minic::compile(wl.source, minic::OptLevel::O2);
+        const SynthReport r = model.synthesize(
+            InstrSubset::fromProgram(cr.program),
+            "RISSP-" + wl.name);
+        const double epi = r.epiNanojoules(1.0, tech);
+        // Serv's CPI on this very workload, from the cycle model.
+        const ServRunStats st = serv_model.run(cr.program);
+        const double serv_epi =
+            serv.epiNanojoules(st.cpi(), tech);
+        ratio_sum += serv_epi / epi;
+        std::printf("%-18s %10.2f %12.1f %12.1f %9.1fx\n",
+                    r.name.c_str(), epi, st.cpi(), serv_epi,
+                    serv_epi / epi);
+    }
+    bench::rule(68);
+    std::printf("%-18s %10.2f\n", full.name.c_str(), epi_full);
+    std::printf("%-18s %10.1f (at nominal CPI %.0f)\n",
+                serv.name.c_str(),
+                serv.epiNanojoules(ServModel::kNominalCpi, tech),
+                ServModel::kNominalCpi);
+    std::printf("\nServ/RISSP EPI ratio: avg %.0fx across RISSPs "
+                "(paper: ~40x); vs RISSP-RV32E %.0fx (paper: "
+                "~35x)\n",
+                ratio_sum / allWorkloads().size(),
+                serv.epiNanojoules(ServModel::kNominalCpi, tech) /
+                    epi_full);
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the toolchain itself:
+ * decoder, reference ISS, RISSP cycle simulator, assembler, MiniC
+ * compiler and the synthesis model. These are repo-health numbers
+ * (simulation throughput), not paper figures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.hh"
+#include "compiler/driver.hh"
+#include "core/rissp.hh"
+#include "core/subset.hh"
+#include "sim/refsim.hh"
+#include "synth/synthesis.hh"
+#include "util/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace rissp;
+
+void
+BM_Decode(benchmark::State &state)
+{
+    Rng rng(42);
+    std::vector<uint32_t> words;
+    for (int i = 0; i < 4096; ++i)
+        words.push_back(rng.next32());
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(decode(words[i++ & 4095]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Decode);
+
+const char *kLoopSrc =
+    "int main() { int s = 0;"
+    "  for (int i = 0; i < 1000; i++) s += i * 3 + (s >> 2);"
+    "  return s & 0xFF; }";
+
+void
+BM_RefSimRun(benchmark::State &state)
+{
+    minic::CompileResult cr =
+        minic::compile(kLoopSrc, minic::OptLevel::O2);
+    RefSim sim;
+    uint64_t instret = 0;
+    for (auto _ : state) {
+        sim.reset(cr.program);
+        RunResult r = sim.run(10'000'000);
+        instret += r.instret;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instret));
+}
+BENCHMARK(BM_RefSimRun);
+
+void
+BM_RisspSimRun(benchmark::State &state)
+{
+    minic::CompileResult cr =
+        minic::compile(kLoopSrc, minic::OptLevel::O2);
+    InstrSubset subset = InstrSubset::fromProgram(cr.program);
+    Rissp rissp(subset, "bench");
+    uint64_t instret = 0;
+    for (auto _ : state) {
+        rissp.reset(cr.program);
+        RunResult r = rissp.run(10'000'000);
+        instret += r.instret;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instret));
+}
+BENCHMARK(BM_RisspSimRun);
+
+void
+BM_CompileCrc32(benchmark::State &state)
+{
+    const std::string src = workloadByName("crc32").source;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            minic::compile(src, minic::OptLevel::O2));
+    }
+}
+BENCHMARK(BM_CompileCrc32);
+
+void
+BM_AssembleRuntime(benchmark::State &state)
+{
+    minic::CompileResult cr = minic::compile(
+        workloadByName("crc32").source, minic::OptLevel::O2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            minic::linkProgram(cr.appAsm, cr.helpers));
+    }
+}
+BENCHMARK(BM_AssembleRuntime);
+
+void
+BM_SynthesizeFullIsa(benchmark::State &state)
+{
+    SynthesisModel model;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.synthesize(
+            InstrSubset::fullRv32e(), "RISSP-RV32E"));
+    }
+}
+BENCHMARK(BM_SynthesizeFullIsa);
+
+} // namespace
+
+BENCHMARK_MAIN();

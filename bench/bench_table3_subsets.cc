@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Table 3: the list of distinct instructions per application when
+ * compiled with -O2.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace rissp;
+
+int
+main()
+{
+    bench::banner("Table 3: distinct instructions per application "
+                  "(-O2)");
+    for (const Workload &wl : allWorkloads()) {
+        const InstrSubset subset = bench::subsetAtO2(wl);
+        std::printf("%-16s (%2zu) %s\n", wl.name.c_str(),
+                    subset.size(), subset.describe().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration binaries.
+ */
+
+#ifndef RISSP_BENCH_BENCH_UTIL_HH
+#define RISSP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "compiler/driver.hh"
+#include "core/subset.hh"
+#include "synth/synthesis.hh"
+#include "workloads/workloads.hh"
+
+namespace rissp::bench
+{
+
+/** Compile one workload at -O2 and extract its subset. */
+inline InstrSubset
+subsetAtO2(const Workload &wl)
+{
+    minic::CompileResult cr =
+        minic::compile(wl.source, minic::OptLevel::O2);
+    return InstrSubset::fromProgram(cr.program);
+}
+
+/** Print a separator line sized to the table. */
+inline void
+rule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+}
+
+/** Header banner naming the figure being regenerated. */
+inline void
+banner(const std::string &title)
+{
+    rule(72);
+    std::printf("%s\n", title.c_str());
+    rule(72);
+}
+
+} // namespace rissp::bench
+
+#endif // RISSP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,152 @@
+#include "assembler/runtime.hh"
+
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+std::string
+crt0Source()
+{
+    return R"(
+    .text
+_start:
+    lui sp, 0x80          # sp = 0x80000, top of RAM
+    jal ra, main
+    ecall                 # halt; exit code = main's return in a0
+)";
+}
+
+std::string
+mulsi3Source()
+{
+    return R"(
+    .text
+__mulsi3:                 # a0 = a0 * a1 (low 32 bits)
+    addi t0, zero, 0
+__mulsi3_loop:
+    beq a1, zero, __mulsi3_done
+    andi t1, a1, 1
+    beq t1, zero, __mulsi3_skip
+    add t0, t0, a0
+__mulsi3_skip:
+    slli a0, a0, 1
+    srli a1, a1, 1
+    jal zero, __mulsi3_loop
+__mulsi3_done:
+    addi a0, t0, 0
+    jalr zero, 0(ra)
+)";
+}
+
+namespace
+{
+
+/** The restoring-division loop shared by all four divide helpers.
+ *  In: a0 dividend, a1 divisor. Out: t0 quotient, t1 remainder.
+ *  Clobbers a2, t2. Falls through to the label in @p tail. */
+std::string
+divLoop(const std::string &prefix)
+{
+    return
+        "    addi t0, zero, 0\n"
+        "    addi t1, zero, 0\n"
+        "    addi t2, zero, 32\n" +
+        prefix + "_loop:\n"
+        "    slli t1, t1, 1\n"
+        "    srli a2, a0, 31\n"
+        "    or t1, t1, a2\n"
+        "    slli a0, a0, 1\n"
+        "    slli t0, t0, 1\n"
+        "    bltu t1, a1, " + prefix + "_skip\n"
+        "    sub t1, t1, a1\n"
+        "    ori t0, t0, 1\n" +
+        prefix + "_skip:\n"
+        "    addi t2, t2, -1\n"
+        "    bne t2, zero, " + prefix + "_loop\n";
+}
+
+} // namespace
+
+std::string
+udivsi3Source()
+{
+    return "    .text\n__udivsi3:\n" + divLoop("__udivsi3") +
+        "    addi a0, t0, 0\n"
+        "    addi a1, t1, 0\n"
+        "    jalr zero, 0(ra)\n";
+}
+
+std::string
+umodsi3Source()
+{
+    return "    .text\n__umodsi3:\n" + divLoop("__umodsi3") +
+        "    addi a0, t1, 0\n"
+        "    jalr zero, 0(ra)\n";
+}
+
+std::string
+divsi3Source()
+{
+    return "    .text\n__divsi3:\n"
+        "    addi a4, zero, 0\n"
+        "    bge a0, zero, __divsi3_p1\n"
+        "    sub a0, zero, a0\n"
+        "    xori a4, a4, 1\n"
+        "__divsi3_p1:\n"
+        "    bge a1, zero, __divsi3_p2\n"
+        "    sub a1, zero, a1\n"
+        "    xori a4, a4, 1\n"
+        "__divsi3_p2:\n" +
+        divLoop("__divsi3") +
+        "    beq a4, zero, __divsi3_done\n"
+        "    sub t0, zero, t0\n"
+        "__divsi3_done:\n"
+        "    addi a0, t0, 0\n"
+        "    jalr zero, 0(ra)\n";
+}
+
+std::string
+modsi3Source()
+{
+    return "    .text\n__modsi3:\n"
+        "    addi a4, zero, 0\n"
+        "    bge a0, zero, __modsi3_p1\n"
+        "    sub a0, zero, a0\n"
+        "    xori a4, a4, 1\n"
+        "__modsi3_p1:\n"
+        "    bge a1, zero, __modsi3_p2\n"
+        "    sub a1, zero, a1\n"
+        "__modsi3_p2:\n" +
+        divLoop("__modsi3") +
+        "    beq a4, zero, __modsi3_done\n"
+        "    sub t1, zero, t1\n"
+        "__modsi3_done:\n"
+        "    addi a0, t1, 0\n"
+        "    jalr zero, 0(ra)\n";
+}
+
+std::string
+runtimeModule(const std::string &symbol)
+{
+    if (symbol == "__mulsi3")
+        return mulsi3Source();
+    if (symbol == "__udivsi3")
+        return udivsi3Source();
+    if (symbol == "__umodsi3")
+        return umodsi3Source();
+    if (symbol == "__divsi3")
+        return divsi3Source();
+    if (symbol == "__modsi3")
+        return modsi3Source();
+    panic("unknown runtime helper '%s'", symbol.c_str());
+}
+
+std::vector<std::string>
+runtimeHelperNames()
+{
+    return {"__mulsi3", "__udivsi3", "__umodsi3", "__divsi3",
+            "__modsi3"};
+}
+
+} // namespace rissp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Baremetal RV32E runtime modules.
+ *
+ * The paper compiles applications baremetal "without support of stdlib,
+ * libc, libgcc and startfiles"; multiplies and divides on RV32E (no M
+ * extension) therefore lower to helper routines. These are those
+ * helpers plus the startup stub, written directly in assembly. The
+ * compiler driver links only the modules a program actually calls, so
+ * helper instructions join the application's instruction subset exactly
+ * as libgcc intrinsics would.
+ */
+
+#ifndef RISSP_ASSEMBLER_RUNTIME_HH
+#define RISSP_ASSEMBLER_RUNTIME_HH
+
+#include <string>
+#include <vector>
+
+namespace rissp
+{
+
+/** Stack top installed by crt0 (grows down). */
+constexpr uint32_t kStackTop = 0x80000;
+
+/** Startup stub: set sp, call main, halt with main's return in a0. */
+std::string crt0Source();
+
+/** Shift-add 32x32 multiply: a0 = a0 * a1. */
+std::string mulsi3Source();
+
+/** Unsigned divide: a0 = a0 / a1; remainder in a1. */
+std::string udivsi3Source();
+
+/** Unsigned remainder: a0 = a0 % a1. */
+std::string umodsi3Source();
+
+/** Signed divide (round toward zero): a0 = a0 / a1. */
+std::string divsi3Source();
+
+/** Signed remainder (sign of dividend): a0 = a0 % a1. */
+std::string modsi3Source();
+
+/** Look up a runtime module by helper symbol name. */
+std::string runtimeModule(const std::string &symbol);
+
+/** All helper symbol names, in link order. */
+std::vector<std::string> runtimeHelperNames();
+
+} // namespace rissp
+
+#endif // RISSP_ASSEMBLER_RUNTIME_HH

@@ -1,0 +1,320 @@
+#include "blocks/block.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+InstructionBlock::InstructionBlock(Op op,
+                                   std::vector<ResourceKind> resources)
+    : blockOp(op), blockResources(std::move(resources))
+{
+}
+
+double
+InstructionBlock::ownGates() const
+{
+    return blockcost::kDecodeGates + blockcost::kSwitchGatesPerBlock +
+        blockcost::immGates(
+            static_cast<uint8_t>(opInfo(blockOp).type));
+}
+
+namespace
+{
+
+unsigned
+depthOf(ResourceKind kind)
+{
+    return resourceCost(kind).depth;
+}
+
+} // namespace
+
+unsigned
+InstructionBlock::pathDepth() const
+{
+    // The critical path through a block chains resources in dataflow
+    // order; independent chains (e.g. the branch-target adder vs. the
+    // comparison) run in parallel and merge in the next_pc mux.
+    using RK = ResourceKind;
+    unsigned data = 0;
+    switch (blockOp) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::Addi:
+        data = depthOf(RK::AluAdder);
+        break;
+      case Op::Sll:
+      case Op::Slli:
+        data = depthOf(RK::ShiftRight) + depthOf(RK::ShiftLeft);
+        break;
+      case Op::Srl:
+      case Op::Srli:
+        data = depthOf(RK::ShiftRight);
+        break;
+      case Op::Sra:
+      case Op::Srai:
+        data = depthOf(RK::ShiftRight) + depthOf(RK::ShiftArith);
+        break;
+      case Op::Slt:
+      case Op::Slti:
+      case Op::Sltu:
+      case Op::Sltiu:
+        data = depthOf(RK::AluAdder) + depthOf(RK::CompareLt);
+        break;
+      case Op::Xor:
+      case Op::Xori:
+        data = depthOf(RK::LogicXor);
+        break;
+      case Op::Or:
+      case Op::Ori:
+        data = depthOf(RK::LogicOr);
+        break;
+      case Op::And:
+      case Op::Andi:
+        data = depthOf(RK::LogicAnd);
+        break;
+      case Op::Lw:
+      case Op::Lbu:
+      case Op::Lhu:
+        data = depthOf(RK::AluAdder) + depthOf(RK::LoadAlign);
+        break;
+      case Op::Lb:
+      case Op::Lh:
+        data = depthOf(RK::AluAdder) + depthOf(RK::LoadAlign) +
+            depthOf(RK::LoadSignExt);
+        break;
+      case Op::Sb:
+      case Op::Sh:
+      case Op::Sw:
+        data = depthOf(RK::AluAdder) + depthOf(RK::StoreAlign);
+        break;
+      case Op::Beq:
+      case Op::Bne:
+        // compare and target adder in parallel, + next_pc mux
+        data = std::max(depthOf(RK::CompareEq),
+                        depthOf(RK::PcAdder)) + 1;
+        break;
+      case Op::Blt:
+      case Op::Bge:
+      case Op::Bltu:
+      case Op::Bgeu:
+        data = std::max(depthOf(RK::AluAdder) + depthOf(RK::CompareLt),
+                        depthOf(RK::PcAdder)) + 1;
+        break;
+      case Op::Lui:
+        data = depthOf(RK::ImmPass);
+        break;
+      case Op::Auipc:
+        data = depthOf(RK::PcAdder);
+        break;
+      case Op::Jal:
+        data = std::max(depthOf(RK::PcAdder),
+                        depthOf(RK::LinkUnit)) + 1;
+        break;
+      case Op::Jalr:
+        data = depthOf(RK::AluAdder) + depthOf(RK::LinkUnit) + 1;
+        break;
+      case Op::Cmul:
+        data = depthOf(RK::Multiplier);
+        break;
+      case Op::Ecall:
+      case Op::Ebreak:
+        data = depthOf(RK::HaltUnit);
+        break;
+      case Op::Invalid:
+        panic("pathDepth of invalid block");
+    }
+    return blockcost::kDecodeDepth + data;
+}
+
+namespace
+{
+
+/** Effective immediate, honouring the ImmOffByOne mutation. */
+int32_t
+effImm(const Instr &in, const Mutation *mut)
+{
+    int32_t imm = in.imm;
+    if (mut && mut->kind == Mutation::Kind::ImmOffByOne)
+        imm += 1;
+    return imm;
+}
+
+uint32_t
+addWire(uint32_t a, uint32_t b, const Mutation *mut)
+{
+    bool cout = false;
+    return structAdd(a, b, false, cout, mut);
+}
+
+} // namespace
+
+BlockOutputs
+InstructionBlock::execute(const BlockInputs &in,
+                          const Mutation *mut) const
+{
+    const Instr &insn = in.insn;
+    if (insn.op != blockOp)
+        panic("block %s executed with %s",
+              std::string(opName(blockOp)).c_str(),
+              std::string(opName(insn.op)).c_str());
+
+    BlockOutputs out;
+    const uint32_t imm = static_cast<uint32_t>(effImm(insn, mut));
+    const uint32_t rs1 = in.rs1Data;
+    const uint32_t rs2 = in.rs2Data;
+    // Fetch provides pc+4 on a dedicated incrementer; blocks override
+    // next_pc only on control transfers.
+    const uint32_t pc_plus4 = in.pc + 4;
+    out.nextPc = pc_plus4;
+
+    auto write_rd = [&](uint32_t value) {
+        out.rdWrite = true;
+        out.rdAddr = insn.rd;
+        out.rdData = insn.rd == 0 ? 0 : value;
+    };
+    auto branch_to = [&](bool taken) {
+        if (mut && mut->kind == Mutation::Kind::BranchPolarity)
+            taken = !taken;
+        if (taken)
+            out.nextPc = addWire(in.pc, imm, mut);
+    };
+    auto link_value = [&]() {
+        return (mut && mut->kind == Mutation::Kind::LinkDrop)
+            ? in.pc : pc_plus4;
+    };
+    bool cout = false;
+
+    switch (blockOp) {
+      case Op::Add: write_rd(addWire(rs1, rs2, mut)); break;
+      case Op::Sub: write_rd(structSub(rs1, rs2, cout, mut)); break;
+      case Op::Sll:
+        write_rd(structShiftLeft(rs1, rs2 & 31, mut));
+        break;
+      case Op::Slt:
+        write_rd(structLt(rs1, rs2, true, mut) ? 1 : 0);
+        break;
+      case Op::Sltu:
+        write_rd(structLt(rs1, rs2, false, mut) ? 1 : 0);
+        break;
+      case Op::Xor: write_rd(rs1 ^ rs2); break;
+      case Op::Srl:
+        write_rd(structShiftRight(rs1, rs2 & 31, false, mut));
+        break;
+      case Op::Sra:
+        write_rd(structShiftRight(rs1, rs2 & 31, true, mut));
+        break;
+      case Op::Or: write_rd(rs1 | rs2); break;
+      case Op::And: write_rd(rs1 & rs2); break;
+      case Op::Cmul: write_rd(structMul(rs1, rs2, mut)); break;
+
+      case Op::Addi: write_rd(addWire(rs1, imm, mut)); break;
+      case Op::Slti:
+        write_rd(structLt(rs1, imm, true, mut) ? 1 : 0);
+        break;
+      case Op::Sltiu:
+        write_rd(structLt(rs1, imm, false, mut) ? 1 : 0);
+        break;
+      case Op::Xori: write_rd(rs1 ^ imm); break;
+      case Op::Ori: write_rd(rs1 | imm); break;
+      case Op::Andi: write_rd(rs1 & imm); break;
+      case Op::Slli:
+        write_rd(structShiftLeft(rs1, imm & 31, mut));
+        break;
+      case Op::Srli:
+        write_rd(structShiftRight(rs1, imm & 31, false, mut));
+        break;
+      case Op::Srai:
+        write_rd(structShiftRight(rs1, imm & 31, true, mut));
+        break;
+
+      case Op::Lb:
+      case Op::Lbu:
+      case Op::Lh:
+      case Op::Lhu:
+      case Op::Lw:
+        out.memRead = true;
+        out.memAddr = addWire(rs1, imm, mut);
+        out.memBytes = (blockOp == Op::Lw) ? 4
+            : (blockOp == Op::Lh || blockOp == Op::Lhu) ? 2 : 1;
+        out.memSignExtend =
+            blockOp == Op::Lb || blockOp == Op::Lh;
+        // rd is written once the core returns the load data through
+        // extendLoadData(); flag the write port now.
+        out.rdWrite = true;
+        out.rdAddr = insn.rd;
+        break;
+
+      case Op::Sb:
+      case Op::Sh:
+      case Op::Sw: {
+        out.memWrite = true;
+        out.memAddr = addWire(rs1, imm, mut);
+        out.memBytes = (blockOp == Op::Sw) ? 4
+            : (blockOp == Op::Sh) ? 2 : 1;
+        uint32_t wdata = rs2;
+        if (mut && mut->kind == Mutation::Kind::StoreLaneStuck &&
+            out.memBytes != 4) {
+            // Lane steering stuck: data always drives lane 0 of the
+            // word, so the stored value is unchanged but the address
+            // collapses to the word base.
+            out.memAddr &= ~3u;
+        }
+        out.memWdata = wdata;
+        break;
+      }
+
+      case Op::Beq: branch_to(structEq(rs1, rs2, mut)); break;
+      case Op::Bne: branch_to(!structEq(rs1, rs2, mut)); break;
+      case Op::Blt: branch_to(structLt(rs1, rs2, true, mut)); break;
+      case Op::Bge: branch_to(!structLt(rs1, rs2, true, mut)); break;
+      case Op::Bltu:
+        branch_to(structLt(rs1, rs2, false, mut));
+        break;
+      case Op::Bgeu:
+        branch_to(!structLt(rs1, rs2, false, mut));
+        break;
+
+      case Op::Lui: write_rd(imm); break;
+      case Op::Auipc: write_rd(addWire(in.pc, imm, mut)); break;
+
+      case Op::Jal:
+        write_rd(link_value());
+        out.nextPc = addWire(in.pc, imm, mut);
+        break;
+      case Op::Jalr:
+        write_rd(link_value());
+        out.nextPc = addWire(rs1, imm, mut) & ~1u;
+        break;
+
+      case Op::Ecall:
+      case Op::Ebreak:
+        out.halt = true;
+        break;
+
+      case Op::Invalid:
+        panic("executing invalid block");
+    }
+    return out;
+}
+
+uint32_t
+InstructionBlock::extendLoadData(uint32_t raw, const Mutation *mut) const
+{
+    switch (blockOp) {
+      case Op::Lb: return structLoadExtend(raw, 1, true, mut);
+      case Op::Lbu: return structLoadExtend(raw, 1, false, mut);
+      case Op::Lh: return structLoadExtend(raw, 2, true, mut);
+      case Op::Lhu: return structLoadExtend(raw, 2, false, mut);
+      case Op::Lw: return structLoadExtend(raw, 4, false, mut);
+      default:
+        panic("extendLoadData on non-load block %s",
+              std::string(opName(blockOp)).c_str());
+    }
+}
+
+} // namespace rissp

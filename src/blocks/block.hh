@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Instruction hardware blocks and the Table 2 block interfaces.
+ *
+ * Each RV32E instruction is a discrete, fully-functional block with the
+ * standard interfaces of the paper's Table 2: pc/insn in, next_pc out,
+ * register-file read/write ports, and a DMEM port for loads/stores. A
+ * block's execute() is implemented with the structural primitives of
+ * structural.hh and is the hardware-facing twin of the reference ISS
+ * semantics; the verify module checks the two against each other before
+ * a block is admitted to the pre-verified library.
+ */
+
+#ifndef RISSP_BLOCKS_BLOCK_HH
+#define RISSP_BLOCKS_BLOCK_HH
+
+#include <vector>
+
+#include "blocks/primitives.hh"
+#include "blocks/structural.hh"
+#include "isa/instr.hh"
+
+namespace rissp
+{
+
+/** Wires into a block (Table 2 left-hand ports). */
+struct BlockInputs
+{
+    uint32_t pc = 0;        ///< current program counter
+    Instr insn;             ///< decoded instruction word
+    uint32_t rs1Data = 0;   ///< register file read port 1
+    uint32_t rs2Data = 0;   ///< register file read port 2
+};
+
+/** Wires out of a block (Table 2 right-hand ports). */
+struct BlockOutputs
+{
+    uint32_t nextPc = 0;     ///< pc for the next cycle
+    bool rdWrite = false;    ///< register write strobe
+    uint8_t rdAddr = 0;      ///< register write address
+    uint32_t rdData = 0;     ///< register write data
+
+    bool memRead = false;    ///< DMEM read strobe
+    bool memWrite = false;   ///< DMEM write strobe
+    uint32_t memAddr = 0;    ///< DMEM effective address
+    uint32_t memWdata = 0;   ///< DMEM write data
+    uint8_t memBytes = 0;    ///< access width (1/2/4)
+    bool memSignExtend = false; ///< loads: sign-extend the data
+
+    bool halt = false;       ///< ecall/ebreak
+};
+
+/**
+ * One pre-verified instruction hardware block: structural semantics
+ * plus the resource footprint the synthesis model shares.
+ */
+class InstructionBlock
+{
+  public:
+    InstructionBlock(Op op, std::vector<ResourceKind> resources);
+
+    Op op() const { return blockOp; }
+
+    /** Shareable datapath resources this block instantiates. */
+    const std::vector<ResourceKind> &resources() const
+    {
+        return blockResources;
+    }
+
+    /** Decode + immediate + switch-leaf gates unique to this block. */
+    double ownGates() const;
+
+    /** Combinational depth through this block (levels), excluding the
+     *  ModularEX switch and fetch contributions. */
+    unsigned pathDepth() const;
+
+    /**
+     * Evaluate the block for one cycle.
+     *
+     * Loads come back in two phases, as in the hardware: execute()
+     * raises memRead with the address; the core performs the access
+     * and pushes the raw data through extendLoadData().
+     *
+     * @param in   cycle inputs; in.insn.op must equal op()
+     * @param mut  optional injected fault (mutation testing)
+     */
+    BlockOutputs execute(const BlockInputs &in,
+                         const Mutation *mut = nullptr) const;
+
+    /** Load-path lane select + extension for this block's width. */
+    uint32_t extendLoadData(uint32_t raw,
+                            const Mutation *mut = nullptr) const;
+
+  private:
+    Op blockOp;
+    std::vector<ResourceKind> blockResources;
+};
+
+} // namespace rissp
+
+#endif // RISSP_BLOCKS_BLOCK_HH

@@ -1,0 +1,144 @@
+#include "blocks/library.hh"
+
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+namespace
+{
+
+using RK = ResourceKind;
+
+std::vector<ResourceKind>
+resourcesFor(Op op)
+{
+    switch (op) {
+      case Op::Add:
+      case Op::Addi:
+      case Op::Sub:
+        return {RK::AluAdder};
+      case Op::Sll:
+      case Op::Slli:
+        return {RK::ShiftRight, RK::ShiftLeft};
+      case Op::Srl:
+      case Op::Srli:
+        return {RK::ShiftRight};
+      case Op::Sra:
+      case Op::Srai:
+        return {RK::ShiftRight, RK::ShiftArith};
+      case Op::Slt:
+      case Op::Slti:
+      case Op::Sltu:
+      case Op::Sltiu:
+        return {RK::AluAdder, RK::CompareLt};
+      case Op::Xor:
+      case Op::Xori:
+        return {RK::LogicXor};
+      case Op::Or:
+      case Op::Ori:
+        return {RK::LogicOr};
+      case Op::And:
+      case Op::Andi:
+        return {RK::LogicAnd};
+      case Op::Lw:
+        return {RK::AluAdder, RK::LoadAlign};
+      case Op::Lbu:
+      case Op::Lhu:
+        return {RK::AluAdder, RK::LoadAlign};
+      case Op::Lb:
+      case Op::Lh:
+        return {RK::AluAdder, RK::LoadAlign, RK::LoadSignExt};
+      case Op::Sb:
+      case Op::Sh:
+      case Op::Sw:
+        return {RK::AluAdder, RK::StoreAlign};
+      case Op::Beq:
+      case Op::Bne:
+        return {RK::CompareEq, RK::PcAdder};
+      case Op::Blt:
+      case Op::Bge:
+      case Op::Bltu:
+      case Op::Bgeu:
+        return {RK::AluAdder, RK::CompareLt, RK::PcAdder};
+      case Op::Lui:
+        return {RK::ImmPass};
+      case Op::Auipc:
+        return {RK::PcAdder};
+      case Op::Cmul:
+        return {RK::Multiplier};
+      case Op::Jal:
+        return {RK::PcAdder, RK::LinkUnit};
+      case Op::Jalr:
+        return {RK::AluAdder, RK::LinkUnit};
+      case Op::Ecall:
+      case Op::Ebreak:
+        return {RK::HaltUnit};
+      case Op::Invalid:
+        break;
+    }
+    panic("resourcesFor: invalid op");
+}
+
+} // namespace
+
+HwLibrary::HwLibrary()
+{
+    blocks.reserve(kNumOps);
+    for (size_t i = 0; i < kNumOps; ++i) {
+        const Op op = static_cast<Op>(i);
+        blocks.emplace_back(op, resourcesFor(op));
+    }
+}
+
+HwLibrary &
+HwLibrary::instance()
+{
+    static HwLibrary library;
+    return library;
+}
+
+const InstructionBlock &
+HwLibrary::block(Op op) const
+{
+    if (op >= Op::Invalid)
+        panic("HwLibrary::block: invalid op");
+    return blocks[static_cast<size_t>(op)];
+}
+
+std::vector<Op>
+HwLibrary::ops() const
+{
+    std::vector<Op> out;
+    out.reserve(kNumOps);
+    for (size_t i = 0; i < kNumOps; ++i)
+        out.push_back(static_cast<Op>(i));
+    return out;
+}
+
+const BlockCert &
+HwLibrary::cert(Op op) const
+{
+    if (op >= Op::Invalid)
+        panic("HwLibrary::cert: invalid op");
+    return certs[static_cast<size_t>(op)];
+}
+
+void
+HwLibrary::certify(Op op, const BlockCert &cert)
+{
+    if (op >= Op::Invalid)
+        panic("HwLibrary::certify: invalid op");
+    certs[static_cast<size_t>(op)] = cert;
+}
+
+bool
+HwLibrary::fullyVerified() const
+{
+    for (const BlockCert &c : certs)
+        if (!c.preVerified())
+            return false;
+    return true;
+}
+
+} // namespace rissp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The pre-verified full ISA hardware library (Step 0 of Figure 2).
+ *
+ * One instruction hardware block per RV32E instruction, with its
+ * resource footprint. The verify module runs the Figure 4 flow
+ * (architecture-test vectors, testbench self-check via mutations,
+ * property assertions) and certifies blocks; construction of a
+ * ModularEX from certified blocks then needs no further block-level
+ * verification, which is the paper's central verification claim.
+ */
+
+#ifndef RISSP_BLOCKS_LIBRARY_HH
+#define RISSP_BLOCKS_LIBRARY_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "blocks/block.hh"
+
+namespace rissp
+{
+
+/** Verification certificate attached to a library block. */
+struct BlockCert
+{
+    bool functional = false;   ///< arch-test vectors passed
+    bool mutationCovered = false; ///< testbench kills all mutants
+    bool formal = false;       ///< property assertions hold
+    unsigned vectorsRun = 0;   ///< test vectors executed
+    unsigned mutantsKilled = 0;///< mutants detected
+    unsigned mutantsTotal = 0; ///< mutants generated
+
+    bool preVerified() const
+    {
+        return functional && mutationCovered && formal;
+    }
+};
+
+/** The full ISA hardware library. */
+class HwLibrary
+{
+  public:
+    HwLibrary();
+
+    /** Process-wide library instance (immutable block set). */
+    static HwLibrary &instance();
+
+    /** Block for @p op; panics on Op::Invalid. */
+    const InstructionBlock &block(Op op) const;
+
+    /** Every operation in the library, in Op order. */
+    std::vector<Op> ops() const;
+
+    /** Verification certificate for @p op. */
+    const BlockCert &cert(Op op) const;
+
+    /** Record a verification result (called by the verify module). */
+    void certify(Op op, const BlockCert &cert);
+
+    /** True when every block in the library is pre-verified. */
+    bool fullyVerified() const;
+
+  private:
+    std::vector<InstructionBlock> blocks;
+    std::array<BlockCert, kNumOps> certs{};
+};
+
+} // namespace rissp
+
+#endif // RISSP_BLOCKS_LIBRARY_HH

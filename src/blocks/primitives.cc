@@ -1,0 +1,92 @@
+#include "blocks/primitives.hh"
+
+#include <array>
+
+#include "isa/op.hh"
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+namespace
+{
+
+struct Entry
+{
+    std::string_view name;
+    ResourceCost cost;
+};
+
+/**
+ * Calibration notes (all NAND2-equivalents, depths in gate levels):
+ *  - AluAdder: 32-bit carry-select adder with operand-2 invert for
+ *    subtract; ~9.7 GE/bit.
+ *  - ShiftRight: 5 stages x 32 x mux2 (~1.8 GE each).
+ *  - ShiftLeft: operand reversal in/out of the right core.
+ *  - CompareEq: 32 XNOR + AND reduce tree.
+ *  - LoadAlign/StoreAlign: byte lane muxing for the Table 2 I/S-type
+ *    DMEM interfaces.
+ */
+const std::array<Entry, kNumResourceKinds> kTable = {{
+    {"alu_adder", {310.0, 14}},
+    {"pc_adder", {300.0, 14}},
+    {"shift_right", {290.0, 10}},
+    {"shift_arith", {45.0, 2}},
+    {"shift_left", {210.0, 4}},
+    {"compare_eq", {100.0, 8}},
+    {"compare_lt", {18.0, 3}},
+    {"logic_and", {45.0, 2}},
+    {"logic_or", {45.0, 2}},
+    {"logic_xor", {55.0, 2}},
+    {"load_align", {170.0, 5}},
+    {"load_signext", {40.0, 2}},
+    {"store_align", {95.0, 4}},
+    {"link_unit", {25.0, 1}},
+    {"imm_pass", {12.0, 1}},
+    {"halt_unit", {8.0, 1}},
+    // Carry-save array multiplier, low 32 bits only; by far the most
+    // expensive primitive, which is why cmul is a deliberate opt-in.
+    {"multiplier", {2750.0, 24}},
+}};
+
+} // namespace
+
+const ResourceCost &
+resourceCost(ResourceKind kind)
+{
+    if (kind >= ResourceKind::NumKinds)
+        panic("resourceCost: bad kind %u",
+              static_cast<unsigned>(kind));
+    return kTable[static_cast<size_t>(kind)].cost;
+}
+
+std::string_view
+resourceName(ResourceKind kind)
+{
+    if (kind >= ResourceKind::NumKinds)
+        panic("resourceName: bad kind %u",
+              static_cast<unsigned>(kind));
+    return kTable[static_cast<size_t>(kind)].name;
+}
+
+namespace blockcost
+{
+
+double
+immGates(uint8_t instr_type)
+{
+    switch (static_cast<InstrType>(instr_type)) {
+      case InstrType::R: return 0.0;
+      case InstrType::I: return 12.0;
+      case InstrType::S: return 14.0;
+      case InstrType::B: return 16.0;
+      case InstrType::U: return 4.0;
+      case InstrType::J: return 18.0;
+      case InstrType::Sys: return 0.0;
+    }
+    return 0.0;
+}
+
+} // namespace blockcost
+
+} // namespace rissp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Hardware primitive catalogue for the instruction block library.
+ *
+ * Every instruction hardware block is composed from these datapath
+ * primitives. The synthesis model (src/synth) reproduces the paper's
+ * "redundancy removal by synthesis tools" step by sharing primitives of
+ * the same kind across all blocks in a ModularEX: a primitive kind used
+ * by any number of blocks is instantiated once (§3.3: "the synthesis
+ * tool will optimize the gate netlists by maximizing the resource
+ * sharing if multiple instruction hardware blocks have common
+ * operations among them").
+ *
+ * Costs are NAND2-equivalent gate counts and logic depths (in gate
+ * levels) calibrated against the paper's Pragmatic 0.6 µm IGZO process
+ * results (Figures 6-8): a full RV32E ModularEX lands near 3.2 kGE and
+ * ~1.7 MHz. Absolute values are a model, not an EDA run; relative
+ * behaviour across subsets is the reproduction target.
+ */
+
+#ifndef RISSP_BLOCKS_PRIMITIVES_HH
+#define RISSP_BLOCKS_PRIMITIVES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace rissp
+{
+
+/** Shareable datapath resource kinds. */
+enum class ResourceKind : uint8_t
+{
+    AluAdder,     ///< rs1 +/- operand2 adder (also address generation)
+    PcAdder,      ///< pc + immediate target adder
+    ShiftRight,   ///< logical-right barrel network (5 mux stages)
+    ShiftArith,   ///< sign-fill extension over ShiftRight
+    ShiftLeft,    ///< operand-reversal stages giving left shifts
+    CompareEq,    ///< 32-bit equality tree
+    CompareLt,    ///< signed/unsigned less-than flag atop AluAdder
+    LogicAnd,     ///< 32-bit AND array
+    LogicOr,      ///< 32-bit OR array
+    LogicXor,     ///< 32-bit XOR array
+    LoadAlign,    ///< load byte/half lane select
+    LoadSignExt,  ///< sign/zero extension of sub-word loads
+    StoreAlign,   ///< store byte-lane steering
+    LinkUnit,     ///< pc+4 routing into rd for jal/jalr
+    ImmPass,      ///< U-type immediate passthrough (lui)
+    HaltUnit,     ///< ecall/ebreak halt strobe
+    Multiplier,   ///< 32x32 low-product array (custom cmul block)
+    NumKinds,
+};
+
+constexpr size_t kNumResourceKinds =
+    static_cast<size_t>(ResourceKind::NumKinds);
+
+/** Area/depth cost of one primitive instance. */
+struct ResourceCost
+{
+    double gates;     ///< NAND2-equivalent count
+    unsigned depth;   ///< logic depth contribution in gate levels
+};
+
+/** Cost table entry for @p kind. */
+const ResourceCost &resourceCost(ResourceKind kind);
+
+/** Human-readable name for reports. */
+std::string_view resourceName(ResourceKind kind);
+
+/**
+ * Per-block fixed overheads that are NOT shared by synthesis: the
+ * block's partial decoder (opcode/funct match), its immediate
+ * extraction wiring and its leaf of the ModularEX output switch.
+ */
+namespace blockcost
+{
+/** Opcode/funct3/funct7 match logic per block. */
+constexpr double kDecodeGates = 14.0;
+/** ModularEX switch: per-block share of the one-hot AND-OR output
+ *  network, after synthesis collapses common terms. */
+constexpr double kSwitchGatesPerBlock = 26.0;
+/** Decode + switch logic depth contributions (levels). */
+constexpr unsigned kDecodeDepth = 3;
+/** Immediate-mux wiring per format (gates). */
+double immGates(uint8_t instrType);
+} // namespace blockcost
+
+} // namespace rissp
+
+#endif // RISSP_BLOCKS_PRIMITIVES_HH

@@ -1,0 +1,179 @@
+#include "blocks/structural.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+std::string
+Mutation::describe() const
+{
+    switch (kind) {
+      case Kind::None: return "none";
+      case Kind::StuckSumBit:
+        return strFormat("adder sum bit %u stuck at 0", index);
+      case Kind::CarryChainBreak:
+        return strFormat("carry into bit %u broken", index);
+      case Kind::DropShiftStage:
+        return strFormat("barrel stage %u bypassed", index);
+      case Kind::ShiftNoArith: return "arith shift loses sign fill";
+      case Kind::InvertLt: return "less-than flag inverted";
+      case Kind::EqIgnoreByte:
+        return strFormat("equality ignores byte %u", index);
+      case Kind::WrongSignExt: return "load sign-extension dropped";
+      case Kind::StoreLaneStuck: return "store lane stuck at 0";
+      case Kind::BranchPolarity: return "branch polarity inverted";
+      case Kind::LinkDrop: return "link value is pc, not pc+4";
+      case Kind::ImmOffByOne: return "immediate off by one";
+    }
+    return "?";
+}
+
+uint32_t
+structAdd(uint32_t a, uint32_t b, bool cin, bool &cout,
+          const Mutation *mut)
+{
+    uint32_t sum = 0;
+    uint32_t carry = cin ? 1u : 0u;
+    for (unsigned i = 0; i < 32; ++i) {
+        if (mut && mut->kind == Mutation::Kind::CarryChainBreak &&
+            mut->index == i)
+            carry = 0;
+        const uint32_t ai = bit(a, i);
+        const uint32_t bi = bit(b, i);
+        uint32_t s = ai ^ bi ^ carry;
+        if (mut && mut->kind == Mutation::Kind::StuckSumBit &&
+            mut->index == i)
+            s = 0;
+        sum |= s << i;
+        carry = (ai & bi) | (ai & carry) | (bi & carry);
+    }
+    cout = carry != 0;
+    return sum;
+}
+
+uint32_t
+structSub(uint32_t a, uint32_t b, bool &cout, const Mutation *mut)
+{
+    return structAdd(a, ~b, true, cout, mut);
+}
+
+uint32_t
+structShiftRight(uint32_t value, unsigned amount, bool arith,
+                 const Mutation *mut)
+{
+    amount &= 31;
+    const uint32_t sign = arith ? bit(value, 31) : 0;
+    const bool drop_arith =
+        mut && mut->kind == Mutation::Kind::ShiftNoArith;
+    uint32_t v = value;
+    for (unsigned stage = 0; stage < 5; ++stage) {
+        if (!(amount & (1u << stage)))
+            continue;
+        if (mut && mut->kind == Mutation::Kind::DropShiftStage &&
+            mut->index == stage)
+            continue;
+        const unsigned dist = 1u << stage;
+        uint32_t fill = (sign && !drop_arith)
+            ? (~0u << (32 - dist)) : 0u;
+        v = (v >> dist) | fill;
+    }
+    return v;
+}
+
+namespace
+{
+
+uint32_t
+bitReverse(uint32_t v)
+{
+    uint32_t r = 0;
+    for (unsigned i = 0; i < 32; ++i)
+        r |= bit(v, i) << (31 - i);
+    return r;
+}
+
+} // namespace
+
+uint32_t
+structShiftLeft(uint32_t value, unsigned amount, const Mutation *mut)
+{
+    // Hardware left shift through the shared right core: reverse the
+    // operand, shift right logically, reverse back.
+    return bitReverse(structShiftRight(bitReverse(value), amount,
+                                       false, mut));
+}
+
+uint32_t
+structMul(uint32_t a, uint32_t b, const Mutation *mut)
+{
+    // Row-by-row partial-product accumulation, each row through the
+    // structural carry-chain adder.
+    uint32_t acc = 0;
+    bool cout = false;
+    for (unsigned i = 0; i < 32; ++i) {
+        if (bit(b, i))
+            acc = structAdd(acc, a << i, false, cout, mut);
+    }
+    return acc;
+}
+
+bool
+structEq(uint32_t a, uint32_t b, const Mutation *mut)
+{
+    uint32_t diff = a ^ b;
+    if (mut && mut->kind == Mutation::Kind::EqIgnoreByte &&
+        mut->index < 4)
+        diff &= ~(0xFFu << (8 * mut->index));
+    return diff == 0;
+}
+
+bool
+structLt(uint32_t a, uint32_t b, bool is_signed, const Mutation *mut)
+{
+    bool borrow_out = false;
+    const uint32_t diff = structSub(a, b, borrow_out, nullptr);
+    // Unsigned: borrow (carry-out == 0) means a < b.
+    // Signed: overflow-corrected sign of the difference.
+    bool lt;
+    if (is_signed) {
+        const bool sa = bit(a, 31);
+        const bool sb = bit(b, 31);
+        const bool sd = bit(diff, 31);
+        lt = (sa && !sb) || ((sa == sb) && sd);
+    } else {
+        lt = !borrow_out;
+    }
+    if (mut && mut->kind == Mutation::Kind::InvertLt)
+        lt = !lt;
+    return lt;
+}
+
+uint32_t
+structLoadExtend(uint32_t raw, unsigned bytes, bool sign_ext,
+                 const Mutation *mut)
+{
+    if (mut && mut->kind == Mutation::Kind::WrongSignExt)
+        sign_ext = false;
+    switch (bytes) {
+      case 1: {
+        uint32_t v = raw & 0xFF;
+        if (sign_ext && bit(v, 7))
+            v |= 0xFFFFFF00u;
+        return v;
+      }
+      case 2: {
+        uint32_t v = raw & 0xFFFF;
+        if (sign_ext && bit(v, 15))
+            v |= 0xFFFF0000u;
+        return v;
+      }
+      case 4:
+        return raw;
+      default:
+        panic("structLoadExtend: bad width %u", bytes);
+    }
+}
+
+} // namespace rissp

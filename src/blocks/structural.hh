@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Structural (gate-style) datapath primitives and the mutation model.
+ *
+ * These functions are the C++ analogue of the SystemVerilog instruction
+ * hardware blocks: adders are carry chains, shifters are barrel stages,
+ * comparisons come out of the subtractor. They are deliberately written
+ * at bit level and independently of the reference ISS so that
+ * equivalence checking between the two is meaningful (the paper's
+ * formal-verification step), and so that mutations (the MCY step) have
+ * a netlist-like surface to perturb.
+ */
+
+#ifndef RISSP_BLOCKS_STRUCTURAL_HH
+#define RISSP_BLOCKS_STRUCTURAL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rissp
+{
+
+/** A netlist-level fault injected for mutation coverage (MCY analog). */
+struct Mutation
+{
+    enum class Kind : uint8_t
+    {
+        None,            ///< no fault
+        StuckSumBit,     ///< adder sum bit `index` stuck at 0
+        CarryChainBreak, ///< carry into adder bit `index` forced 0
+        DropShiftStage,  ///< barrel shifter stage `index` bypassed
+        ShiftNoArith,    ///< arithmetic shift loses sign fill
+        InvertLt,        ///< less-than flag inverted
+        EqIgnoreByte,    ///< equality tree ignores byte `index`
+        WrongSignExt,    ///< load sign-extension dropped
+        StoreLaneStuck,  ///< store byte lane select stuck at lane 0
+        BranchPolarity,  ///< branch taken condition inverted
+        LinkDrop,        ///< jal/jalr link writes pc instead of pc+4
+        ImmOffByOne,     ///< immediate wiring off by one
+    };
+
+    Kind kind = Kind::None;
+    unsigned index = 0;   ///< bit/stage/byte parameter
+
+    bool active() const { return kind != Kind::None; }
+    std::string describe() const;
+};
+
+/** Carry-chain adder: returns a + b + cin, exposing the carry-out.
+ *  Mutations: StuckSumBit, CarryChainBreak. */
+uint32_t structAdd(uint32_t a, uint32_t b, bool cin, bool &cout,
+                   const Mutation *mut = nullptr);
+
+/** Subtract via a + ~b + 1 on the same carry chain. */
+uint32_t structSub(uint32_t a, uint32_t b, bool &cout,
+                   const Mutation *mut = nullptr);
+
+/** Barrel right shift (logical or arithmetic).
+ *  Mutations: DropShiftStage, ShiftNoArith. */
+uint32_t structShiftRight(uint32_t value, unsigned amount, bool arith,
+                          const Mutation *mut = nullptr);
+
+/** Barrel left shift via bit-reversal around the right core. */
+uint32_t structShiftLeft(uint32_t value, unsigned amount,
+                         const Mutation *mut = nullptr);
+
+/** Equality via XNOR reduce. Mutation: EqIgnoreByte. */
+bool structEq(uint32_t a, uint32_t b, const Mutation *mut = nullptr);
+
+/** Shift-add array multiplier (low 32 bits), built on the structural
+ *  adder so adder mutations propagate into products. */
+uint32_t structMul(uint32_t a, uint32_t b,
+                   const Mutation *mut = nullptr);
+
+/** Less-than flags derived from the subtractor's carry/sign.
+ *  Mutation: InvertLt. */
+bool structLt(uint32_t a, uint32_t b, bool is_signed,
+              const Mutation *mut = nullptr);
+
+/** Sub-word load lane select + extension.
+ *  @param raw     little-endian bytes starting at the effective address
+ *  @param bytes   1, 2 or 4
+ *  @param sign_ext sign-extend when true
+ *  Mutation: WrongSignExt. */
+uint32_t structLoadExtend(uint32_t raw, unsigned bytes, bool sign_ext,
+                          const Mutation *mut = nullptr);
+
+} // namespace rissp
+
+#endif // RISSP_BLOCKS_STRUCTURAL_HH

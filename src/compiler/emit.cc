@@ -1,0 +1,496 @@
+#include "compiler/emit.hh"
+
+#include "compiler/lower.hh"
+#include "isa/reg.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rissp::minic
+{
+
+namespace
+{
+
+const char *
+branchMnemonic(Cond cc)
+{
+    switch (cc) {
+      case Cond::Eq: return "beq";
+      case Cond::Ne: return "bne";
+      case Cond::LtS: return "blt";
+      case Cond::GeS: return "bge";
+      case Cond::LtU: return "bltu";
+      case Cond::GeU: return "bgeu";
+    }
+    panic("unreachable");
+}
+
+const char *
+loadMnemonic(uint8_t width, bool sign_ext)
+{
+    switch (width) {
+      case 1: return sign_ext ? "lb" : "lbu";
+      case 2: return sign_ext ? "lh" : "lhu";
+      case 4: return "lw";
+    }
+    panic("bad load width %u", width);
+}
+
+const char *
+storeMnemonic(uint8_t width)
+{
+    switch (width) {
+      case 1: return "sb";
+      case 2: return "sh";
+      case 4: return "sw";
+    }
+    panic("bad store width %u", width);
+}
+
+class FnEmitter
+{
+  public:
+    FnEmitter(IrFunction &f, bool spill_all)
+        : fn(f), alloc(allocateRegisters(f, spill_all))
+    {
+        needRa = fn.hasCalls();
+        layoutFrame();
+    }
+
+    std::string
+    run()
+    {
+        prologue();
+        const size_t n = fn.code.size();
+        for (size_t i = 0; i < n; ++i)
+            emitInstr(fn.code[i], i + 1 == n);
+        epilogue();
+        return std::move(text);
+    }
+
+  private:
+    void
+    o(const std::string &line)
+    {
+        text += "    " + line + "\n";
+    }
+
+    void
+    label(const std::string &name)
+    {
+        text += name + ":\n";
+    }
+
+    void
+    layoutFrame()
+    {
+        slotOffsets.resize(fn.slots.size());
+        uint32_t off = 0;
+        for (size_t i = 0; i < fn.slots.size(); ++i) {
+            slotOffsets[i] = off;
+            off += fn.slots[i].size;
+        }
+        savedBytes = 0;
+        if (needRa)
+            savedBytes += 4;
+        if (alloc.usesS0)
+            savedBytes += 4;
+        if (alloc.usesS1)
+            savedBytes += 4;
+        frameBytes = (off + savedBytes + 7u) & ~7u;
+        if (frameBytes > 2032)
+            fatal("frame of '%s' too large (%u bytes)",
+                  fn.name.c_str(), frameBytes);
+    }
+
+    uint32_t slotOff(int slot) const
+    {
+        return slotOffsets[static_cast<size_t>(slot)];
+    }
+
+    const VregLoc &
+    loc(int v) const
+    {
+        if (v < 0)
+            panic("loc() of pseudo vreg %d", v);
+        return alloc.locs[static_cast<size_t>(v)];
+    }
+
+    /** Register holding vreg @p v, loading spills into @p scratch. */
+    std::string
+    use(int v, unsigned scratch)
+    {
+        if (v == kZeroVreg)
+            return "zero";
+        const VregLoc &l = loc(v);
+        if (l.kind == VregLoc::Kind::Reg)
+            return std::string(regName(l.reg));
+        if (l.kind == VregLoc::Kind::Spill) {
+            std::string r(regName(scratch));
+            o(strFormat("lw %s, %u(sp)", r.c_str(),
+                        slotOff(l.slot)));
+            return r;
+        }
+        panic("use of unallocated vreg v%d in %s", v,
+              fn.name.c_str());
+    }
+
+    /** Register to compute the result of @p v into. */
+    std::string
+    defReg(int v)
+    {
+        const VregLoc &l = loc(v);
+        if (l.kind == VregLoc::Kind::Reg)
+            return std::string(regName(l.reg));
+        return std::string(regName(reg::a4));
+    }
+
+    /** Store the computed result if @p v is spilled. */
+    void
+    finishDef(int v, const std::string &reg_used)
+    {
+        const VregLoc &l = loc(v);
+        if (l.kind == VregLoc::Kind::Spill)
+            o(strFormat("sw %s, %u(sp)", reg_used.c_str(),
+                        slotOff(l.slot)));
+    }
+
+    void
+    prologue()
+    {
+        label(fn.name);
+        if (frameBytes > 0)
+            o(strFormat("addi sp, sp, -%u", frameBytes));
+        uint32_t save_off = frameBytes - 4;
+        if (needRa) {
+            o(strFormat("sw ra, %u(sp)", save_off));
+            save_off -= 4;
+        }
+        if (alloc.usesS0) {
+            o(strFormat("sw s0, %u(sp)", save_off));
+            s0Off = save_off;
+            save_off -= 4;
+        }
+        if (alloc.usesS1) {
+            o(strFormat("sw s1, %u(sp)", save_off));
+            s1Off = save_off;
+        }
+        // Home the incoming arguments.
+        for (size_t i = 0; i < fn.paramVregs.size(); ++i) {
+            const std::string areg(regName(reg::a0 +
+                                           static_cast<unsigned>(i)));
+            if (fn.paramVregs[i] >= 0) {
+                const VregLoc &l = loc(fn.paramVregs[i]);
+                if (l.kind == VregLoc::Kind::Reg) {
+                    o(strFormat("mv %s, %s",
+                                std::string(regName(l.reg)).c_str(),
+                                areg.c_str()));
+                } else if (l.kind == VregLoc::Kind::Spill) {
+                    o(strFormat("sw %s, %u(sp)", areg.c_str(),
+                                slotOff(l.slot)));
+                }
+                // Unused parameters need no move at all.
+            } else {
+                o(strFormat("sw %s, %u(sp)", areg.c_str(),
+                            slotOff(fn.paramSlots[i])));
+            }
+        }
+    }
+
+    void
+    epilogue()
+    {
+        label(retLabel());
+        if (needRa)
+            o(strFormat("lw ra, %u(sp)", frameBytes - 4));
+        if (alloc.usesS0)
+            o(strFormat("lw s0, %u(sp)", s0Off));
+        if (alloc.usesS1)
+            o(strFormat("lw s1, %u(sp)", s1Off));
+        if (frameBytes > 0)
+            o(strFormat("addi sp, sp, %u", frameBytes));
+        o("ret");
+    }
+
+    std::string
+    retLabel() const
+    {
+        return strFormat(".Lret_%s", fn.name.c_str());
+    }
+
+    void
+    emitInstr(const IrInstr &in, bool is_last)
+    {
+        switch (in.op) {
+          case IrOp::Label:
+            label(in.sym);
+            return;
+          case IrOp::Const: {
+            std::string d = defReg(in.dst);
+            o(strFormat("li %s, %lld", d.c_str(),
+                        static_cast<long long>(
+                            static_cast<int32_t>(in.imm))));
+            finishDef(in.dst, d);
+            return;
+          }
+          case IrOp::Copy: {
+            std::string s = use(in.a, reg::a4);
+            std::string d = defReg(in.dst);
+            if (d != s)
+                o(strFormat("mv %s, %s", d.c_str(), s.c_str()));
+            finishDef(in.dst, d);
+            return;
+          }
+          case IrOp::Add:
+          case IrOp::Sub:
+          case IrOp::Mul:
+          case IrOp::And:
+          case IrOp::Or:
+          case IrOp::Xor:
+          case IrOp::Shl:
+          case IrOp::ShrL:
+          case IrOp::ShrA: {
+            static const std::unordered_map<int, const char *> m = {
+                {static_cast<int>(IrOp::Add), "add"},
+                {static_cast<int>(IrOp::Sub), "sub"},
+                {static_cast<int>(IrOp::Mul), "cmul"},
+                {static_cast<int>(IrOp::And), "and"},
+                {static_cast<int>(IrOp::Or), "or"},
+                {static_cast<int>(IrOp::Xor), "xor"},
+                {static_cast<int>(IrOp::Shl), "sll"},
+                {static_cast<int>(IrOp::ShrL), "srl"},
+                {static_cast<int>(IrOp::ShrA), "sra"},
+            };
+            std::string a = use(in.a, reg::a4);
+            std::string b = use(in.b, reg::a5);
+            std::string d = defReg(in.dst);
+            o(strFormat("%s %s, %s, %s",
+                        m.at(static_cast<int>(in.op)), d.c_str(),
+                        a.c_str(), b.c_str()));
+            finishDef(in.dst, d);
+            return;
+          }
+          case IrOp::AddI:
+          case IrOp::AndI:
+          case IrOp::OrI:
+          case IrOp::XorI:
+          case IrOp::ShlI:
+          case IrOp::ShrLI:
+          case IrOp::ShrAI: {
+            static const std::unordered_map<int, const char *> m = {
+                {static_cast<int>(IrOp::AddI), "addi"},
+                {static_cast<int>(IrOp::AndI), "andi"},
+                {static_cast<int>(IrOp::OrI), "ori"},
+                {static_cast<int>(IrOp::XorI), "xori"},
+                {static_cast<int>(IrOp::ShlI), "slli"},
+                {static_cast<int>(IrOp::ShrLI), "srli"},
+                {static_cast<int>(IrOp::ShrAI), "srai"},
+            };
+            std::string a = use(in.a, reg::a4);
+            std::string d = defReg(in.dst);
+            o(strFormat("%s %s, %s, %lld",
+                        m.at(static_cast<int>(in.op)), d.c_str(),
+                        a.c_str(),
+                        static_cast<long long>(in.imm)));
+            finishDef(in.dst, d);
+            return;
+          }
+          case IrOp::SetCc: {
+            std::string a = use(in.a, reg::a4);
+            std::string b = use(in.b, reg::a5);
+            std::string d = defReg(in.dst);
+            o(strFormat("%s %s, %s, %s",
+                        in.cc == Cond::LtS ? "slt" : "sltu",
+                        d.c_str(), a.c_str(), b.c_str()));
+            finishDef(in.dst, d);
+            return;
+          }
+          case IrOp::SetCcI: {
+            std::string a = use(in.a, reg::a4);
+            std::string d = defReg(in.dst);
+            o(strFormat("%s %s, %s, %lld",
+                        in.cc == Cond::LtS ? "slti" : "sltiu",
+                        d.c_str(), a.c_str(),
+                        static_cast<long long>(in.imm)));
+            finishDef(in.dst, d);
+            return;
+          }
+          case IrOp::AddrLocal: {
+            std::string d = defReg(in.dst);
+            o(strFormat("addi %s, sp, %u", d.c_str(),
+                        slotOff(static_cast<int>(in.imm))));
+            finishDef(in.dst, d);
+            return;
+          }
+          case IrOp::AddrGlobal: {
+            std::string d = defReg(in.dst);
+            o(strFormat("la %s, %s", d.c_str(), in.sym.c_str()));
+            finishDef(in.dst, d);
+            return;
+          }
+          case IrOp::Load: {
+            std::string a = use(in.a, reg::a4);
+            std::string d = defReg(in.dst);
+            o(strFormat("%s %s, %lld(%s)",
+                        loadMnemonic(in.width, in.signExt),
+                        d.c_str(),
+                        static_cast<long long>(in.imm),
+                        a.c_str()));
+            finishDef(in.dst, d);
+            return;
+          }
+          case IrOp::Store: {
+            std::string value = use(in.a, reg::a4);
+            std::string addr = use(in.b, reg::a5);
+            o(strFormat("%s %s, %lld(%s)", storeMnemonic(in.width),
+                        value.c_str(),
+                        static_cast<long long>(in.imm),
+                        addr.c_str()));
+            return;
+          }
+          case IrOp::Branch: {
+            std::string a = use(in.a, reg::a4);
+            std::string b = use(in.b, reg::a5);
+            o(strFormat("%s %s, %s, %s", branchMnemonic(in.cc),
+                        a.c_str(), b.c_str(), in.sym.c_str()));
+            return;
+          }
+          case IrOp::Jump:
+            o(strFormat("j %s", in.sym.c_str()));
+            return;
+          case IrOp::Call: {
+            for (size_t i = 0; i < in.args.size(); ++i) {
+                const std::string areg(
+                    regName(reg::a0 + static_cast<unsigned>(i)));
+                const int v = in.args[i];
+                if (v == kZeroVreg) {
+                    o(strFormat("mv %s, zero", areg.c_str()));
+                    continue;
+                }
+                const VregLoc &l = loc(v);
+                if (l.kind == VregLoc::Kind::Reg)
+                    o(strFormat("mv %s, %s", areg.c_str(),
+                                std::string(
+                                    regName(l.reg)).c_str()));
+                else
+                    o(strFormat("lw %s, %u(sp)", areg.c_str(),
+                                slotOff(l.slot)));
+            }
+            o(strFormat("call %s", in.sym.c_str()));
+            if (in.dst >= 0) {
+                const VregLoc &l = loc(in.dst);
+                if (l.kind == VregLoc::Kind::Reg) {
+                    o(strFormat("mv %s, a0",
+                                std::string(
+                                    regName(l.reg)).c_str()));
+                } else if (l.kind == VregLoc::Kind::Spill) {
+                    o(strFormat("sw a0, %u(sp)",
+                                slotOff(l.slot)));
+                }
+            }
+            return;
+          }
+          case IrOp::Ret: {
+            if (in.a >= 0 || in.a == kZeroVreg) {
+                if (in.a == kZeroVreg) {
+                    o("mv a0, zero");
+                } else {
+                    const VregLoc &l = loc(in.a);
+                    if (l.kind == VregLoc::Kind::Reg) {
+                        if (l.reg != reg::a0)
+                            o(strFormat(
+                                "mv a0, %s",
+                                std::string(
+                                    regName(l.reg)).c_str()));
+                    } else {
+                        o(strFormat("lw a0, %u(sp)",
+                                    slotOff(l.slot)));
+                    }
+                }
+            }
+            if (!is_last)
+                o(strFormat("j %s", retLabel().c_str()));
+            return;
+          }
+          default:
+            panic("emit: unlowered IR op %d in %s",
+                  static_cast<int>(in.op), fn.name.c_str());
+        }
+    }
+
+    IrFunction &fn;
+    Allocation alloc;
+    bool needRa = false;
+    uint32_t frameBytes = 0;
+    uint32_t savedBytes = 0;
+    uint32_t s0Off = 0;
+    uint32_t s1Off = 0;
+    std::vector<uint32_t> slotOffsets;
+    std::string text;
+};
+
+std::string
+escapeAsm(const std::string &bytes)
+{
+    std::string out;
+    for (char c : bytes) {
+        switch (c) {
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\0': out += "\\0"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+emitFunction(IrFunction &fn, bool spill_all)
+{
+    return FnEmitter(fn, spill_all).run();
+}
+
+std::string
+emitGlobals(const TranslationUnit &unit)
+{
+    std::string out;
+    if (unit.globals.empty() && unit.strings.empty())
+        return out;
+    out += "    .data\n";
+    for (const Global &g : unit.globals) {
+        out += "    .align 2\n";
+        out += g.name + ":\n";
+        if (g.init.empty()) {
+            out += strFormat("    .space %u\n",
+                             g.type.sizeInBytes());
+            continue;
+        }
+        const unsigned esize = g.type.scalarSize();
+        const char *dir = esize == 4 ? ".word"
+            : esize == 2 ? ".half" : ".byte";
+        for (int64_t v : g.init)
+            out += strFormat("    %s %lld\n", dir,
+                             static_cast<long long>(v));
+    }
+    for (const StringLiteral &s : unit.strings) {
+        out += s.label + ":\n";
+        out += "    .asciz \"" + escapeAsm(s.bytes) + "\"\n";
+    }
+    return out;
+}
+
+std::string
+emitUnit(IrUnit &ir, bool spill_all)
+{
+    std::string out = "    .text\n";
+    for (IrFunction &fn : ir.funcs)
+        out += emitFunction(fn, spill_all);
+    out += emitGlobals(*ir.ast);
+    return out;
+}
+
+} // namespace rissp::minic

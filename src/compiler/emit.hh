@@ -1,0 +1,28 @@
+/**
+ * @file
+ * IR to RV32E assembly emission.
+ */
+
+#ifndef RISSP_COMPILER_EMIT_HH
+#define RISSP_COMPILER_EMIT_HH
+
+#include <string>
+
+#include "compiler/ir.hh"
+#include "compiler/regalloc.hh"
+
+namespace rissp::minic
+{
+
+/** Emit one function (prologue, body, epilogue) as assembly text. */
+std::string emitFunction(IrFunction &fn, bool spill_all);
+
+/** Emit .data definitions for globals and string literals. */
+std::string emitGlobals(const TranslationUnit &unit);
+
+/** Emit a whole unit: all functions plus the data section. */
+std::string emitUnit(IrUnit &ir, bool spill_all);
+
+} // namespace rissp::minic
+
+#endif // RISSP_COMPILER_EMIT_HH

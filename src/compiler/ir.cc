@@ -1,0 +1,186 @@
+#include "compiler/ir.hh"
+
+#include "util/logging.hh"
+
+namespace rissp::minic
+{
+
+bool
+IrFunction::hasCalls() const
+{
+    for (const IrInstr &in : code)
+        if (in.op == IrOp::Call)
+            return true;
+    return false;
+}
+
+size_t
+IrFunction::bodySize() const
+{
+    size_t n = 0;
+    for (const IrInstr &in : code)
+        if (in.op != IrOp::Label)
+            ++n;
+    return n;
+}
+
+IrFunction *
+IrUnit::findFunc(const std::string &name)
+{
+    for (IrFunction &fn : funcs)
+        if (fn.name == name)
+            return &fn;
+    return nullptr;
+}
+
+bool
+isPure(IrOp op)
+{
+    switch (op) {
+      case IrOp::Const:
+      case IrOp::Copy:
+      case IrOp::Add:
+      case IrOp::Sub:
+      case IrOp::Mul: // only emitted when the cmul block exists
+      case IrOp::And:
+      case IrOp::Or:
+      case IrOp::Xor:
+      case IrOp::Shl:
+      case IrOp::ShrL:
+      case IrOp::ShrA:
+      case IrOp::AddI:
+      case IrOp::AndI:
+      case IrOp::OrI:
+      case IrOp::XorI:
+      case IrOp::ShlI:
+      case IrOp::ShrLI:
+      case IrOp::ShrAI:
+      case IrOp::SetCc:
+      case IrOp::SetCcI:
+      case IrOp::AddrLocal:
+      case IrOp::AddrGlobal:
+        return true;
+      // Division is pure in value terms but can fault on zero in real
+      // hardware; keep it (and loads) anchored.
+      default:
+        return false;
+    }
+}
+
+namespace
+{
+
+const char *
+opName(IrOp op)
+{
+    switch (op) {
+      case IrOp::Const: return "const";
+      case IrOp::Copy: return "copy";
+      case IrOp::Add: return "add";
+      case IrOp::Sub: return "sub";
+      case IrOp::Mul: return "mul";
+      case IrOp::DivS: return "divs";
+      case IrOp::DivU: return "divu";
+      case IrOp::RemS: return "rems";
+      case IrOp::RemU: return "remu";
+      case IrOp::And: return "and";
+      case IrOp::Or: return "or";
+      case IrOp::Xor: return "xor";
+      case IrOp::Shl: return "shl";
+      case IrOp::ShrL: return "shrl";
+      case IrOp::ShrA: return "shra";
+      case IrOp::AddI: return "addi";
+      case IrOp::AndI: return "andi";
+      case IrOp::OrI: return "ori";
+      case IrOp::XorI: return "xori";
+      case IrOp::ShlI: return "shli";
+      case IrOp::ShrLI: return "shrli";
+      case IrOp::ShrAI: return "shrai";
+      case IrOp::SetCc: return "setcc";
+      case IrOp::SetCcI: return "setcci";
+      case IrOp::AddrLocal: return "addrlocal";
+      case IrOp::AddrGlobal: return "addrglobal";
+      case IrOp::Load: return "load";
+      case IrOp::Store: return "store";
+      case IrOp::Call: return "call";
+      case IrOp::Ret: return "ret";
+      case IrOp::Jump: return "jump";
+      case IrOp::Branch: return "branch";
+      case IrOp::Label: return "label";
+    }
+    return "?";
+}
+
+const char *
+ccName(Cond cc)
+{
+    switch (cc) {
+      case Cond::Eq: return "eq";
+      case Cond::Ne: return "ne";
+      case Cond::LtS: return "lts";
+      case Cond::GeS: return "ges";
+      case Cond::LtU: return "ltu";
+      case Cond::GeU: return "geu";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+dumpIr(const IrFunction &fn)
+{
+    std::string out = strFormat("func %s (vregs=%d)\n",
+                                fn.name.c_str(), fn.nextVreg);
+    for (const IrInstr &in : fn.code) {
+        if (in.op == IrOp::Label) {
+            out += strFormat("%s:\n", in.sym.c_str());
+            continue;
+        }
+        out += "    ";
+        out += opName(in.op);
+        if (in.op == IrOp::Branch || in.op == IrOp::SetCc ||
+            in.op == IrOp::SetCcI)
+            out += strFormat(".%s", ccName(in.cc));
+        if (in.dst >= 0)
+            out += strFormat(" v%d <-", in.dst);
+        if (in.a >= 0)
+            out += strFormat(" v%d", in.a);
+        if (in.b >= 0)
+            out += strFormat(" v%d", in.b);
+        switch (in.op) {
+          case IrOp::Const:
+          case IrOp::AddI:
+          case IrOp::AndI:
+          case IrOp::OrI:
+          case IrOp::XorI:
+          case IrOp::ShlI:
+          case IrOp::ShrLI:
+          case IrOp::ShrAI:
+          case IrOp::SetCcI:
+          case IrOp::AddrLocal:
+            out += strFormat(" %lld", static_cast<long long>(in.imm));
+            break;
+          case IrOp::Load:
+          case IrOp::Store:
+            out += strFormat(" [+%lld] w%u%s",
+                             static_cast<long long>(in.imm), in.width,
+                             in.signExt ? " sx" : "");
+            break;
+          default:
+            break;
+        }
+        if (!in.sym.empty())
+            out += " " + in.sym;
+        if (in.op == IrOp::Call) {
+            out += "(";
+            for (size_t i = 0; i < in.args.size(); ++i)
+                out += strFormat("%sv%d", i ? ", " : "", in.args[i]);
+            out += ")";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace rissp::minic

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * MiniC linear IR: three-address code on virtual registers.
+ *
+ * Non-SSA, but lowering produces mostly single-definition temporaries,
+ * which is what the conservative optimization passes key on. Control
+ * flow is labels + conditional branches with fall-through false edges,
+ * which maps 1:1 onto RISC-V's fused compare-and-branch instructions.
+ */
+
+#ifndef RISSP_COMPILER_IR_HH
+#define RISSP_COMPILER_IR_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/ast.hh"
+
+namespace rissp::minic
+{
+
+/** Branch/set condition codes (the six RISC-V branch conditions). */
+enum class Cond : uint8_t { Eq, Ne, LtS, GeS, LtU, GeU };
+
+/** IR opcodes. *I forms carry a 12-bit immediate in `imm`. */
+enum class IrOp : uint8_t
+{
+    Const,      ///< dst = imm (any 32-bit value)
+    Copy,       ///< dst = a
+    Add, Sub, Mul, DivS, DivU, RemS, RemU,
+    And, Or, Xor, Shl, ShrL, ShrA,
+    AddI, AndI, OrI, XorI, ShlI, ShrLI, ShrAI,
+    SetCc,      ///< dst = cc(a, b)
+    SetCcI,     ///< dst = cc(a, imm)   (slti/sltiu forms only)
+    AddrLocal,  ///< dst = &stack_slot[imm = slot id]
+    AddrGlobal, ///< dst = &sym
+    Load,       ///< dst = width-byte load [a + imm], signExt
+    Store,      ///< width-byte store [b + imm] = a
+    Call,       ///< dst? = sym(args...)
+    Ret,        ///< return a (a = -1 for void)
+    Jump,       ///< goto sym
+    Branch,     ///< if cc(a, b) goto sym; else fall through
+    Label,      ///< sym:
+};
+
+/** One IR instruction. */
+struct IrInstr
+{
+    IrOp op;
+    int dst = -1;         ///< defined vreg (-1 when none)
+    int a = -1;           ///< first operand vreg
+    int b = -1;           ///< second operand vreg
+    int64_t imm = 0;      ///< Const value / immediate / offset / slot
+    uint8_t width = 4;    ///< Load/Store access width
+    bool signExt = false; ///< Load sign extension
+    Cond cc = Cond::Eq;   ///< Branch/SetCc condition
+    std::string sym;      ///< label / global / callee name
+    std::vector<int> args;///< Call argument vregs
+};
+
+/** A stack-allocated object (local array, address-taken or spilled). */
+struct StackSlot
+{
+    int id = 0;
+    unsigned size = 4;
+};
+
+/** One lowered function. */
+struct IrFunction
+{
+    std::string name;
+    bool isVoid = false;
+    std::vector<int> paramVregs;   ///< -1 entries: param lives in slot
+    std::vector<int> paramSlots;   ///< slot id when vreg entry is -1
+    int nextVreg = 0;
+    std::vector<IrInstr> code;
+    std::vector<StackSlot> slots;
+
+    int
+    newVreg()
+    {
+        return nextVreg++;
+    }
+
+    int
+    newSlot(unsigned size)
+    {
+        StackSlot s;
+        s.id = static_cast<int>(slots.size());
+        s.size = (size + 3u) & ~3u;
+        slots.push_back(s);
+        return s.id;
+    }
+
+    bool hasCalls() const;
+
+    /** Number of executable (non-label) instructions. */
+    size_t bodySize() const;
+};
+
+/** The lowered unit: functions + pass-through data from the AST. */
+struct IrUnit
+{
+    std::vector<IrFunction> funcs;
+    const TranslationUnit *ast = nullptr;
+
+    IrFunction *findFunc(const std::string &name);
+};
+
+/** True when the op defines `dst` and has no side effects. */
+bool isPure(IrOp op);
+
+/** Printable dump for debugging and golden tests. */
+std::string dumpIr(const IrFunction &fn);
+
+} // namespace rissp::minic
+
+#endif // RISSP_COMPILER_IR_HH

@@ -1,0 +1,373 @@
+#include "compiler/lexer.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace rissp::minic
+{
+
+CompileError::CompileError(int line, const std::string &msg)
+    : std::runtime_error(strFormat("line %d: %s", line, msg.c_str())),
+      errLine(line)
+{
+}
+
+std::string
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::End: return "end of input";
+      case Tok::Ident: return "identifier";
+      case Tok::Number: return "number";
+      case Tok::StringLit: return "string literal";
+      case Tok::CharLit: return "character literal";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwUnsigned: return "'unsigned'";
+      case Tok::KwChar: return "'char'";
+      case Tok::KwShort: return "'short'";
+      case Tok::KwVoid: return "'void'";
+      case Tok::KwConst: return "'const'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwDo: return "'do'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::KwSizeof: return "'sizeof'";
+      case Tok::KwStatic: return "'static'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Question: return "'?'";
+      case Tok::Colon: return "':'";
+      case Tok::Assign: return "'='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Bang: return "'!'";
+      case Tok::Lt: return "'<'";
+      case Tok::Gt: return "'>'";
+      case Tok::Le: return "'<='";
+      case Tok::Ge: return "'>='";
+      case Tok::EqEq: return "'=='";
+      case Tok::NotEq: return "'!='";
+      case Tok::AndAnd: return "'&&'";
+      case Tok::OrOr: return "'||'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::PlusAssign: return "'+='";
+      case Tok::MinusAssign: return "'-='";
+      case Tok::StarAssign: return "'*='";
+      case Tok::SlashAssign: return "'/='";
+      case Tok::PercentAssign: return "'%='";
+      case Tok::AmpAssign: return "'&='";
+      case Tok::PipeAssign: return "'|='";
+      case Tok::CaretAssign: return "'^='";
+      case Tok::ShlAssign: return "'<<='";
+      case Tok::ShrAssign: return "'>>='";
+      case Tok::PlusPlus: return "'++'";
+      case Tok::MinusMinus: return "'--'";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const std::unordered_map<std::string, Tok> kKeywords = {
+    {"int", Tok::KwInt}, {"unsigned", Tok::KwUnsigned},
+    {"char", Tok::KwChar}, {"short", Tok::KwShort},
+    {"void", Tok::KwVoid}, {"const", Tok::KwConst},
+    {"if", Tok::KwIf}, {"else", Tok::KwElse},
+    {"while", Tok::KwWhile}, {"for", Tok::KwFor},
+    {"do", Tok::KwDo}, {"return", Tok::KwReturn},
+    {"break", Tok::KwBreak}, {"continue", Tok::KwContinue},
+    {"sizeof", Tok::KwSizeof}, {"static", Tok::KwStatic},
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : source(src) {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> out;
+        while (true) {
+            skipWhitespaceAndComments();
+            if (pos >= source.size())
+                break;
+            out.push_back(next());
+        }
+        Token end;
+        end.kind = Tok::End;
+        end.line = line;
+        out.push_back(end);
+        return out;
+    }
+
+  private:
+    char peek(size_t ahead = 0) const
+    {
+        return pos + ahead < source.size() ? source[pos + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = source[pos++];
+        if (c == '\n')
+            ++line;
+        return c;
+    }
+
+    bool
+    match(char c)
+    {
+        if (peek() == c) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    skipWhitespaceAndComments()
+    {
+        while (pos < source.size()) {
+            char c = peek();
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (pos < source.size() && peek() != '\n')
+                    advance();
+            } else if (c == '/' && peek(1) == '*') {
+                int start = line;
+                advance();
+                advance();
+                while (pos < source.size() &&
+                       !(peek() == '*' && peek(1) == '/'))
+                    advance();
+                if (pos >= source.size())
+                    throw CompileError(start, "unterminated comment");
+                advance();
+                advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    Token
+    next()
+    {
+        Token t;
+        t.line = line;
+        char c = peek();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return lexIdent();
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            return lexNumber();
+        if (c == '"')
+            return lexString();
+        if (c == '\'')
+            return lexChar();
+        advance();
+        switch (c) {
+          case '(': t.kind = Tok::LParen; return t;
+          case ')': t.kind = Tok::RParen; return t;
+          case '{': t.kind = Tok::LBrace; return t;
+          case '}': t.kind = Tok::RBrace; return t;
+          case '[': t.kind = Tok::LBracket; return t;
+          case ']': t.kind = Tok::RBracket; return t;
+          case ',': t.kind = Tok::Comma; return t;
+          case ';': t.kind = Tok::Semi; return t;
+          case '?': t.kind = Tok::Question; return t;
+          case ':': t.kind = Tok::Colon; return t;
+          case '~': t.kind = Tok::Tilde; return t;
+          case '+':
+            t.kind = match('+') ? Tok::PlusPlus
+                : match('=') ? Tok::PlusAssign : Tok::Plus;
+            return t;
+          case '-':
+            t.kind = match('-') ? Tok::MinusMinus
+                : match('=') ? Tok::MinusAssign : Tok::Minus;
+            return t;
+          case '*':
+            t.kind = match('=') ? Tok::StarAssign : Tok::Star;
+            return t;
+          case '/':
+            t.kind = match('=') ? Tok::SlashAssign : Tok::Slash;
+            return t;
+          case '%':
+            t.kind = match('=') ? Tok::PercentAssign : Tok::Percent;
+            return t;
+          case '&':
+            t.kind = match('&') ? Tok::AndAnd
+                : match('=') ? Tok::AmpAssign : Tok::Amp;
+            return t;
+          case '|':
+            t.kind = match('|') ? Tok::OrOr
+                : match('=') ? Tok::PipeAssign : Tok::Pipe;
+            return t;
+          case '^':
+            t.kind = match('=') ? Tok::CaretAssign : Tok::Caret;
+            return t;
+          case '!':
+            t.kind = match('=') ? Tok::NotEq : Tok::Bang;
+            return t;
+          case '=':
+            t.kind = match('=') ? Tok::EqEq : Tok::Assign;
+            return t;
+          case '<':
+            if (match('<'))
+                t.kind = match('=') ? Tok::ShlAssign : Tok::Shl;
+            else
+                t.kind = match('=') ? Tok::Le : Tok::Lt;
+            return t;
+          case '>':
+            if (match('>'))
+                t.kind = match('=') ? Tok::ShrAssign : Tok::Shr;
+            else
+                t.kind = match('=') ? Tok::Ge : Tok::Gt;
+            return t;
+          default:
+            throw CompileError(t.line, strFormat(
+                "unexpected character '%c'", c));
+        }
+    }
+
+    Token
+    lexIdent()
+    {
+        Token t;
+        t.line = line;
+        std::string s;
+        while (std::isalnum(static_cast<unsigned char>(peek())) ||
+               peek() == '_')
+            s += advance();
+        auto kw = kKeywords.find(s);
+        if (kw != kKeywords.end()) {
+            t.kind = kw->second;
+        } else {
+            t.kind = Tok::Ident;
+            t.text = std::move(s);
+        }
+        return t;
+    }
+
+    Token
+    lexNumber()
+    {
+        Token t;
+        t.line = line;
+        t.kind = Tok::Number;
+        int64_t v = 0;
+        if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+            advance();
+            advance();
+            bool any = false;
+            while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+                char c = advance();
+                int d = std::isdigit(static_cast<unsigned char>(c))
+                    ? c - '0'
+                    : std::tolower(static_cast<unsigned char>(c)) -
+                        'a' + 10;
+                v = v * 16 + d;
+                any = true;
+            }
+            if (!any)
+                throw CompileError(t.line, "bad hex literal");
+        } else {
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                v = v * 10 + (advance() - '0');
+        }
+        // Accept (and ignore) integer suffixes.
+        while (peek() == 'u' || peek() == 'U' || peek() == 'l' ||
+               peek() == 'L')
+            advance();
+        t.value = v;
+        return t;
+    }
+
+    char
+    lexEscape()
+    {
+        char c = advance();
+        if (c != '\\')
+            return c;
+        char e = advance();
+        switch (e) {
+          case 'n': return '\n';
+          case 't': return '\t';
+          case 'r': return '\r';
+          case '0': return '\0';
+          case '\\': return '\\';
+          case '\'': return '\'';
+          case '"': return '"';
+          default:
+            throw CompileError(line, strFormat(
+                "unknown escape '\\%c'", e));
+        }
+    }
+
+    Token
+    lexString()
+    {
+        Token t;
+        t.line = line;
+        t.kind = Tok::StringLit;
+        advance(); // opening quote
+        while (peek() != '"') {
+            if (pos >= source.size())
+                throw CompileError(t.line, "unterminated string");
+            t.text += lexEscape();
+        }
+        advance(); // closing quote
+        return t;
+    }
+
+    Token
+    lexChar()
+    {
+        Token t;
+        t.line = line;
+        t.kind = Tok::CharLit;
+        advance(); // opening quote
+        t.value = static_cast<unsigned char>(lexEscape());
+        if (peek() != '\'')
+            throw CompileError(t.line, "unterminated char literal");
+        advance();
+        return t;
+    }
+
+    const std::string &source;
+    size_t pos = 0;
+    int line = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    return Lexer(source).run();
+}
+
+} // namespace rissp::minic

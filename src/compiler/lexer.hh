@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Hand-written lexer for MiniC.
+ */
+
+#ifndef RISSP_COMPILER_LEXER_HH
+#define RISSP_COMPILER_LEXER_HH
+
+#include <stdexcept>
+#include <vector>
+
+#include "compiler/token.hh"
+
+namespace rissp::minic
+{
+
+/** Compile-time diagnostic with a source line. */
+class CompileError : public std::runtime_error
+{
+  public:
+    CompileError(int line, const std::string &msg);
+
+    int line() const { return errLine; }
+
+  private:
+    int errLine;
+};
+
+/** Tokenize MiniC source; throws CompileError on bad input. */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace rissp::minic
+
+#endif // RISSP_COMPILER_LEXER_HH

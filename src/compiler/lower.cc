@@ -1,0 +1,1277 @@
+#include "compiler/lower.hh"
+
+#include <optional>
+
+#include "compiler/lexer.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rissp::minic
+{
+
+namespace
+{
+
+bool
+isPow2(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+unsigned
+log2Of(uint32_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+class Lowerer
+{
+  public:
+    Lowerer(const TranslationUnit &u, const LowerOptions &o)
+        : unit(u), opts(o)
+    {
+    }
+
+    LowerResult
+    run()
+    {
+        LowerResult result;
+        result.ir.ast = &unit;
+        for (const Function &fn : unit.functions)
+            result.ir.funcs.push_back(lowerFunction(fn));
+        result.usedHelpers = usedHelpers;
+        return result;
+    }
+
+  private:
+    // ---- per-function state ----
+
+    const TranslationUnit &unit;
+    const LowerOptions &opts;
+    std::set<std::string> usedHelpers;
+
+    IrFunction fn;
+    const Function *astFn = nullptr;
+    int labelCounter = 0;
+    // symbol id -> location
+    struct Loc
+    {
+        enum class Kind : uint8_t { Vreg, Slot, Global } kind;
+        int index = 0;        ///< vreg or slot id
+        std::string sym;      ///< global name
+    };
+    std::unordered_map<int, Loc> locs;
+    std::vector<std::string> breakLabels;
+    std::vector<std::string> continueLabels;
+
+    std::string
+    newLabel(const char *hint)
+    {
+        return strFormat(".L%s_%s%d", astFn->name.c_str(), hint,
+                         labelCounter++);
+    }
+
+    IrInstr &
+    emit(IrOp op)
+    {
+        fn.code.emplace_back();
+        fn.code.back().op = op;
+        return fn.code.back();
+    }
+
+    int
+    emitConst(int64_t value)
+    {
+        if (value == 0)
+            return kZeroVreg;
+        IrInstr &in = emit(IrOp::Const);
+        in.dst = fn.newVreg();
+        in.imm = static_cast<int32_t>(value);
+        return in.dst;
+    }
+
+    int
+    emitBin(IrOp op, int a, int b)
+    {
+        IrInstr &in = emit(op);
+        in.dst = fn.newVreg();
+        in.a = a;
+        in.b = b;
+        return in.dst;
+    }
+
+    int
+    emitBinI(IrOp op, int a, int64_t imm)
+    {
+        IrInstr &in = emit(op);
+        in.dst = fn.newVreg();
+        in.a = a;
+        in.imm = imm;
+        return in.dst;
+    }
+
+    void
+    emitCopyTo(int dst, int src)
+    {
+        IrInstr &in = emit(IrOp::Copy);
+        in.dst = dst;
+        in.a = src;
+    }
+
+    void
+    emitLabel(const std::string &name)
+    {
+        IrInstr &in = emit(IrOp::Label);
+        in.sym = name;
+    }
+
+    void
+    emitJump(const std::string &name)
+    {
+        IrInstr &in = emit(IrOp::Jump);
+        in.sym = name;
+    }
+
+    void
+    emitBranch(Cond cc, int a, int b, const std::string &target)
+    {
+        IrInstr &in = emit(IrOp::Branch);
+        in.cc = cc;
+        in.a = a;
+        in.b = b;
+        in.sym = target;
+    }
+
+    int
+    emitCall(const std::string &callee, std::vector<int> args,
+             bool has_result)
+    {
+        IrInstr &in = emit(IrOp::Call);
+        in.sym = callee;
+        in.args = std::move(args);
+        if (has_result)
+            in.dst = fn.newVreg();
+        return in.dst;
+    }
+
+    int
+    emitHelperCall(const char *helper, int a, int b)
+    {
+        usedHelpers.insert(helper);
+        return emitCall(helper, {a, b}, true);
+    }
+
+    // ---- constant analysis ----
+
+    std::optional<int32_t>
+    tryConst(const Expr &e) const
+    {
+        if (!opts.foldConstants && e.kind != ExprKind::IntLit)
+            return std::nullopt;
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            return static_cast<int32_t>(e.ival);
+          case ExprKind::Cast:
+            return tryConst(*e.kids[0]);
+          case ExprKind::Unary: {
+            auto k = tryConst(*e.kids[0]);
+            if (!k)
+                return std::nullopt;
+            switch (e.op) {
+              case Tok::Minus: return -*k;
+              case Tok::Tilde: return ~*k;
+              case Tok::Bang: return !*k;
+              default: return std::nullopt;
+            }
+          }
+          case ExprKind::Binary: {
+            auto x = tryConst(*e.kids[0]);
+            auto y = tryConst(*e.kids[1]);
+            if (!x || !y)
+                return std::nullopt;
+            const bool uns = e.kids[0]->ty.isUnsignedTy() ||
+                e.kids[1]->ty.isUnsignedTy();
+            const uint32_t ux = static_cast<uint32_t>(*x);
+            const uint32_t uy = static_cast<uint32_t>(*y);
+            switch (e.op) {
+              case Tok::Plus: return *x + *y;
+              case Tok::Minus: return *x - *y;
+              case Tok::Star:
+                return static_cast<int32_t>(ux * uy);
+              case Tok::Slash:
+                if (*y == 0)
+                    return std::nullopt;
+                return uns ? static_cast<int32_t>(ux / uy) : *x / *y;
+              case Tok::Percent:
+                if (*y == 0)
+                    return std::nullopt;
+                return uns ? static_cast<int32_t>(ux % uy) : *x % *y;
+              case Tok::Shl:
+                return static_cast<int32_t>(ux << (uy & 31));
+              case Tok::Shr:
+                return e.kids[0]->ty.isUnsignedTy()
+                    ? static_cast<int32_t>(ux >> (uy & 31))
+                    : (*x >> (uy & 31));
+              case Tok::Amp: return *x & *y;
+              case Tok::Pipe: return *x | *y;
+              case Tok::Caret: return *x ^ *y;
+              case Tok::Lt:
+                return uns ? (ux < uy) : (*x < *y);
+              case Tok::Gt:
+                return uns ? (ux > uy) : (*x > *y);
+              case Tok::Le:
+                return uns ? (ux <= uy) : (*x <= *y);
+              case Tok::Ge:
+                return uns ? (ux >= uy) : (*x >= *y);
+              case Tok::EqEq: return *x == *y;
+              case Tok::NotEq: return *x != *y;
+              case Tok::AndAnd: return *x && *y;
+              case Tok::OrOr: return *x || *y;
+              default: return std::nullopt;
+            }
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+
+    // ---- locations ----
+
+    const Loc &
+    locOf(const Symbol *sym)
+    {
+        auto it = locs.find(sym->id);
+        if (it != locs.end())
+            return it->second;
+        panic("no location for symbol '%s'", sym->name.c_str());
+    }
+
+    void
+    bindLocal(Symbol *sym)
+    {
+        Loc loc;
+        const bool memory = opts.spillAll || sym->addressTaken ||
+            sym->type.isArray();
+        if (memory) {
+            loc.kind = Loc::Kind::Slot;
+            loc.index = fn.newSlot(sym->type.sizeInBytes());
+        } else {
+            loc.kind = Loc::Kind::Vreg;
+            loc.index = fn.newVreg();
+        }
+        locs[sym->id] = loc;
+    }
+
+    // ---- function lowering ----
+
+    IrFunction
+    lowerFunction(const Function &f)
+    {
+        fn = IrFunction{};
+        fn.name = f.name;
+        fn.isVoid = f.retType.isVoid();
+        astFn = &f;
+        labelCounter = 0;
+        locs.clear();
+        breakLabels.clear();
+        continueLabels.clear();
+
+        for (const DeclVar &p : f.params) {
+            bindLocal(p.sym);
+            const Loc &loc = locs[p.sym->id];
+            if (loc.kind == Loc::Kind::Vreg) {
+                fn.paramVregs.push_back(loc.index);
+                fn.paramSlots.push_back(-1);
+            } else {
+                fn.paramVregs.push_back(-1);
+                fn.paramSlots.push_back(loc.index);
+            }
+        }
+
+        lowerStmt(*f.body);
+        // Implicit return for void functions / fallen-off ends.
+        IrInstr &ret = emit(IrOp::Ret);
+        ret.a = fn.isVoid ? -1 : emitConstForRet();
+        return std::move(fn);
+    }
+
+    int
+    emitConstForRet()
+    {
+        // Falling off a non-void function returns 0 (defined here so
+        // the machine state stays deterministic).
+        return kZeroVreg;
+    }
+
+    // ---- statements ----
+
+    void
+    lowerStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::Empty:
+            return;
+          case StmtKind::Block:
+            for (const StmtPtr &sub : s.stmts)
+                lowerStmt(*sub);
+            return;
+          case StmtKind::Expr:
+            genExpr(*s.expr);
+            return;
+          case StmtKind::Decl:
+            lowerDecl(s);
+            return;
+          case StmtKind::If:
+            lowerIf(s);
+            return;
+          case StmtKind::While:
+            lowerWhile(s);
+            return;
+          case StmtKind::DoWhile:
+            lowerDoWhile(s);
+            return;
+          case StmtKind::For:
+            lowerFor(s);
+            return;
+          case StmtKind::Return: {
+            // Evaluate first: emit() may reallocate the code vector.
+            const int value = s.expr ? genExpr(*s.expr) : -1;
+            IrInstr &in = emit(IrOp::Ret);
+            in.a = value;
+            return;
+          }
+          case StmtKind::Break:
+            if (breakLabels.empty())
+                throw CompileError(s.line, "break outside loop");
+            emitJump(breakLabels.back());
+            return;
+          case StmtKind::Continue:
+            if (continueLabels.empty())
+                throw CompileError(s.line, "continue outside loop");
+            emitJump(continueLabels.back());
+            return;
+        }
+    }
+
+    void
+    lowerDecl(const Stmt &s)
+    {
+        for (const DeclVar &dv : s.decls) {
+            bindLocal(dv.sym);
+            const Loc &loc = locs[dv.sym->id];
+            if (dv.hasArrayInit) {
+                // Element-wise stores of the initializer (stack
+                // memory is not zeroed, so every element is written).
+                const unsigned esize = dv.type.scalarSize();
+                int base = emitBinI(IrOp::AddrLocal, -1, loc.index);
+                for (size_t i = 0; i < dv.arrayInit.size(); ++i) {
+                    int v = emitConst(dv.arrayInit[i]);
+                    IrInstr &st = emit(IrOp::Store);
+                    st.a = v;
+                    st.b = base;
+                    st.imm = static_cast<int64_t>(i * esize);
+                    st.width = static_cast<uint8_t>(esize);
+                }
+            } else if (dv.init) {
+                int v = genExpr(*dv.init);
+                // Register-resident char/short locals hold their
+                // value sign-extended, as a store+load would produce.
+                if (loc.kind == Loc::Kind::Vreg)
+                    v = truncateForType(v, dv.type);
+                storeToLoc(loc, dv.type, v);
+            }
+        }
+    }
+
+    void
+    storeToLoc(const Loc &loc, const Type &type, int value)
+    {
+        if (loc.kind == Loc::Kind::Vreg) {
+            emitCopyTo(loc.index, value);
+            return;
+        }
+        int base = emitBinI(IrOp::AddrLocal, -1, loc.index);
+        IrInstr &st = emit(IrOp::Store);
+        st.a = value;
+        st.b = base;
+        st.imm = 0;
+        st.width = static_cast<uint8_t>(type.scalarSize());
+    }
+
+    void
+    lowerIf(const Stmt &s)
+    {
+        const std::string else_l = newLabel("else");
+        const std::string end_l = newLabel("endif");
+        genCondBranch(*s.expr, s.elseBody ? else_l : end_l, false);
+        lowerStmt(*s.body);
+        if (s.elseBody) {
+            emitJump(end_l);
+            emitLabel(else_l);
+            lowerStmt(*s.elseBody);
+        }
+        emitLabel(end_l);
+    }
+
+    void
+    lowerWhile(const Stmt &s)
+    {
+        const std::string head = newLabel("while");
+        const std::string end_l = newLabel("endwhile");
+        emitLabel(head);
+        genCondBranch(*s.expr, end_l, false);
+        breakLabels.push_back(end_l);
+        continueLabels.push_back(head);
+        lowerStmt(*s.body);
+        breakLabels.pop_back();
+        continueLabels.pop_back();
+        emitJump(head);
+        emitLabel(end_l);
+    }
+
+    void
+    lowerDoWhile(const Stmt &s)
+    {
+        const std::string head = newLabel("do");
+        const std::string cond_l = newLabel("docond");
+        const std::string end_l = newLabel("enddo");
+        emitLabel(head);
+        breakLabels.push_back(end_l);
+        continueLabels.push_back(cond_l);
+        lowerStmt(*s.body);
+        breakLabels.pop_back();
+        continueLabels.pop_back();
+        emitLabel(cond_l);
+        genCondBranch(*s.expr, head, true);
+        emitLabel(end_l);
+    }
+
+    void
+    lowerFor(const Stmt &s)
+    {
+        const std::string head = newLabel("for");
+        const std::string step_l = newLabel("forstep");
+        const std::string end_l = newLabel("endfor");
+        if (s.init)
+            lowerStmt(*s.init);
+        emitLabel(head);
+        if (s.expr)
+            genCondBranch(*s.expr, end_l, false);
+        breakLabels.push_back(end_l);
+        continueLabels.push_back(step_l);
+        lowerStmt(*s.body);
+        breakLabels.pop_back();
+        continueLabels.pop_back();
+        emitLabel(step_l);
+        if (s.stepExpr)
+            genExpr(*s.stepExpr);
+        emitJump(head);
+        emitLabel(end_l);
+    }
+
+    /** Branch to @p target when the condition matches @p on_true. */
+    void
+    genCondBranch(const Expr &e, const std::string &target,
+                  bool on_true)
+    {
+        if (auto c = tryConst(e)) {
+            if ((*c != 0) == on_true)
+                emitJump(target);
+            return;
+        }
+        if (e.kind == ExprKind::Unary && e.op == Tok::Bang) {
+            genCondBranch(*e.kids[0], target, !on_true);
+            return;
+        }
+        if (e.kind == ExprKind::Binary &&
+            (e.op == Tok::AndAnd || e.op == Tok::OrOr)) {
+            const bool is_and = e.op == Tok::AndAnd;
+            if (is_and == on_true) {
+                // Both legs must reach target: short-circuit via skip.
+                const std::string skip = newLabel("sc");
+                genCondBranch(*e.kids[0], skip, !on_true);
+                genCondBranch(*e.kids[1], target, on_true);
+                emitLabel(skip);
+            } else {
+                genCondBranch(*e.kids[0], target, on_true);
+                genCondBranch(*e.kids[1], target, on_true);
+            }
+            return;
+        }
+        if (e.kind == ExprKind::Binary && isComparison(e.op)) {
+            Cond cc;
+            int a, b;
+            lowerComparison(e, cc, a, b);
+            emitBranch(on_true ? cc : negate(cc), a, b, target);
+            return;
+        }
+        int v = genExpr(e);
+        emitBranch(on_true ? Cond::Ne : Cond::Eq, v, kZeroVreg,
+                   target);
+    }
+
+    static bool
+    isComparison(Tok t)
+    {
+        switch (t) {
+          case Tok::Lt:
+          case Tok::Gt:
+          case Tok::Le:
+          case Tok::Ge:
+          case Tok::EqEq:
+          case Tok::NotEq:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    static Cond
+    negate(Cond cc)
+    {
+        switch (cc) {
+          case Cond::Eq: return Cond::Ne;
+          case Cond::Ne: return Cond::Eq;
+          case Cond::LtS: return Cond::GeS;
+          case Cond::GeS: return Cond::LtS;
+          case Cond::LtU: return Cond::GeU;
+          case Cond::GeU: return Cond::LtU;
+        }
+        panic("unreachable");
+    }
+
+    /** Lower "a <op> b" into cc(a, b) with operand swap for >/<=. */
+    void
+    lowerComparison(const Expr &e, Cond &cc, int &a, int &b)
+    {
+        const bool uns = e.kids[0]->ty.isUnsignedTy() ||
+            e.kids[1]->ty.isUnsignedTy() ||
+            e.kids[0]->ty.isArray() || e.kids[1]->ty.isArray();
+        int lhs = genExpr(*e.kids[0]);
+        int rhs = genExpr(*e.kids[1]);
+        switch (e.op) {
+          case Tok::EqEq: cc = Cond::Eq; a = lhs; b = rhs; break;
+          case Tok::NotEq: cc = Cond::Ne; a = lhs; b = rhs; break;
+          case Tok::Lt:
+            cc = uns ? Cond::LtU : Cond::LtS;
+            a = lhs; b = rhs;
+            break;
+          case Tok::Ge:
+            cc = uns ? Cond::GeU : Cond::GeS;
+            a = lhs; b = rhs;
+            break;
+          case Tok::Gt:
+            cc = uns ? Cond::LtU : Cond::LtS;
+            a = rhs; b = lhs;
+            break;
+          case Tok::Le:
+            cc = uns ? Cond::GeU : Cond::GeS;
+            a = rhs; b = lhs;
+            break;
+          default:
+            panic("lowerComparison: not a comparison");
+        }
+    }
+
+    // ---- expressions ----
+
+    /** Lower an expression to a vreg holding its value. */
+    int
+    genExpr(const Expr &e)
+    {
+        if (auto c = tryConst(e))
+            return emitConst(*c);
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            return emitConst(e.ival);
+          case ExprKind::StrLit: {
+            IrInstr &in = emit(IrOp::AddrGlobal);
+            in.dst = fn.newVreg();
+            in.sym = e.name;
+            return in.dst;
+          }
+          case ExprKind::Var:
+            return genVar(e);
+          case ExprKind::Unary:
+            return genUnary(e);
+          case ExprKind::Binary:
+            return genBinary(e);
+          case ExprKind::Assign:
+            return genAssign(e);
+          case ExprKind::Cond:
+            return genCondExpr(e);
+          case ExprKind::Call:
+            return genCall(e);
+          case ExprKind::Index:
+            return loadFrom(genAddr(e), e.ty);
+          case ExprKind::Cast:
+            return genCast(e);
+        }
+        panic("unreachable expression kind");
+    }
+
+    int
+    genVar(const Expr &e)
+    {
+        const Symbol *sym = e.sym;
+        if (sym->kind == SymKind::Global) {
+            IrInstr &in = emit(IrOp::AddrGlobal);
+            in.dst = fn.newVreg();
+            in.sym = sym->name;
+            if (e.ty.isArray())
+                return in.dst; // decays to its address
+            return loadFrom(in.dst, e.ty);
+        }
+        const Loc &loc = locOf(sym);
+        if (loc.kind == Loc::Kind::Vreg)
+            return loc.index;
+        int base = emitBinI(IrOp::AddrLocal, -1, loc.index);
+        if (e.ty.isArray())
+            return base;
+        return loadFrom(base, e.ty);
+    }
+
+    /** Load a scalar of type @p ty from address vreg @p addr. */
+    int
+    loadFrom(int addr, const Type &ty)
+    {
+        if (ty.isArray())
+            return addr; // arrays load as their address
+        IrInstr &in = emit(IrOp::Load);
+        in.dst = fn.newVreg();
+        in.a = addr;
+        in.imm = 0;
+        in.width = static_cast<uint8_t>(ty.scalarSize());
+        in.signExt = !ty.isUnsignedTy() && in.width < 4;
+        return in.dst;
+    }
+
+    /** Address of an lvalue expression. */
+    int
+    genAddr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::Var: {
+            const Symbol *sym = e.sym;
+            if (sym->kind == SymKind::Global) {
+                IrInstr &in = emit(IrOp::AddrGlobal);
+                in.dst = fn.newVreg();
+                in.sym = sym->name;
+                return in.dst;
+            }
+            const Loc &loc = locOf(sym);
+            if (loc.kind != Loc::Kind::Slot)
+                panic("address of register variable '%s'",
+                      sym->name.c_str());
+            return emitBinI(IrOp::AddrLocal, -1, loc.index);
+          }
+          case ExprKind::Index: {
+            const Expr &base_e = *e.kids[0];
+            int base;
+            if (base_e.ty.isArray())
+                base = base_e.kind == ExprKind::Var ||
+                       base_e.kind == ExprKind::Index
+                    ? genAddrOrValue(base_e) : genExpr(base_e);
+            else
+                base = genExpr(base_e);
+            const unsigned stride = base_e.ty.strideBytes();
+            // Constant index folds straight into the offset.
+            if (auto c = tryConst(*e.kids[1])) {
+                const int64_t off =
+                    static_cast<int64_t>(*c) * stride;
+                if (fitsSigned(off, 12) && off != 0)
+                    return emitBinI(IrOp::AddI, base, off);
+                if (off == 0)
+                    return base;
+            }
+            int idx = genExpr(*e.kids[1]);
+            int scaled = mulByConst(idx, static_cast<int32_t>(stride));
+            return emitBin(IrOp::Add, base, scaled);
+          }
+          case ExprKind::Unary:
+            if (e.op == Tok::Star)
+                return genExpr(*e.kids[0]);
+            break;
+          case ExprKind::StrLit: {
+            IrInstr &in = emit(IrOp::AddrGlobal);
+            in.dst = fn.newVreg();
+            in.sym = e.name;
+            return in.dst;
+          }
+          default:
+            break;
+        }
+        throw CompileError(e.line, "expression is not addressable");
+    }
+
+    /** For array-typed sub-expressions: their address. */
+    int
+    genAddrOrValue(const Expr &e)
+    {
+        if (e.ty.isArray())
+            return genAddr(e);
+        return genExpr(e);
+    }
+
+    int
+    genUnary(const Expr &e)
+    {
+        const Expr &k = *e.kids[0];
+        switch (e.op) {
+          case Tok::Minus:
+            return emitBin(IrOp::Sub, kZeroVreg, genExpr(k));
+          case Tok::Tilde:
+            return emitBinI(IrOp::XorI, genExpr(k), -1);
+          case Tok::Bang: {
+            // !x == (x unsigned< 1)
+            const int v = genExpr(k);
+            IrInstr &in = emit(IrOp::SetCcI);
+            in.dst = fn.newVreg();
+            in.a = v;
+            in.imm = 1;
+            in.cc = Cond::LtU;
+            return in.dst;
+          }
+          case Tok::Star:
+            return loadFrom(genExpr(k), e.ty);
+          case Tok::Amp:
+            return genAddr(k);
+          case Tok::PlusPlus:
+          case Tok::MinusMinus:
+            return genIncDec(e);
+          default:
+            panic("genUnary: unexpected operator");
+        }
+    }
+
+    int
+    genIncDec(const Expr &e)
+    {
+        const Expr &lv = *e.kids[0];
+        const int64_t delta_base =
+            e.op == Tok::PlusPlus ? 1 : -1;
+        const int64_t delta = lv.ty.isPointer()
+            ? delta_base * lv.ty.strideBytes() : delta_base;
+        if (lv.kind == ExprKind::Var &&
+            lv.sym->kind != SymKind::Global &&
+            locOf(lv.sym).kind == Loc::Kind::Vreg) {
+            const int var = locOf(lv.sym).index;
+            int old = -1;
+            if (e.postfix) {
+                old = fn.newVreg();
+                emitCopyTo(old, var);
+            }
+            int updated = emitBinI(IrOp::AddI, var, delta);
+            emitCopyTo(var, updated);
+            return e.postfix ? old : var;
+        }
+        int addr = genAddr(lv);
+        int old = loadFrom(addr, lv.ty);
+        int updated = emitBinI(IrOp::AddI, old, delta);
+        storeThrough(addr, lv.ty, updated);
+        return e.postfix ? old : updated;
+    }
+
+    void
+    storeThrough(int addr, const Type &ty, int value)
+    {
+        IrInstr &st = emit(IrOp::Store);
+        st.a = value;
+        st.b = addr;
+        st.imm = 0;
+        st.width = static_cast<uint8_t>(ty.scalarSize());
+    }
+
+    int
+    genBinary(const Expr &e)
+    {
+        if (e.op == Tok::AndAnd || e.op == Tok::OrOr)
+            return genLogical(e);
+        if (isComparison(e.op)) {
+            Cond cc;
+            int a, b;
+            lowerComparison(e, cc, a, b);
+            return materializeCc(cc, a, b);
+        }
+        return genArith(e.op, *e.kids[0], *e.kids[1], e.ty);
+    }
+
+    int
+    materializeCc(Cond cc, int a, int b)
+    {
+        // slt/sltu produce LtS/LtU directly; the others go through
+        // xor/sltiu/xori sequences (the canonical RISC-V idioms).
+        switch (cc) {
+          case Cond::LtS:
+          case Cond::LtU: {
+            IrInstr &in = emit(IrOp::SetCc);
+            in.dst = fn.newVreg();
+            in.a = a;
+            in.b = b;
+            in.cc = cc;
+            return in.dst;
+          }
+          case Cond::GeS:
+          case Cond::GeU: {
+            int lt = materializeCc(
+                cc == Cond::GeS ? Cond::LtS : Cond::LtU, a, b);
+            return emitBinI(IrOp::XorI, lt, 1);
+          }
+          case Cond::Eq: {
+            int x = emitBin(IrOp::Xor, a, b);
+            IrInstr &in = emit(IrOp::SetCcI);
+            in.dst = fn.newVreg();
+            in.a = x;
+            in.imm = 1;
+            in.cc = Cond::LtU;
+            return in.dst;
+          }
+          case Cond::Ne: {
+            int x = emitBin(IrOp::Xor, a, b);
+            IrInstr &in = emit(IrOp::SetCc);
+            in.dst = fn.newVreg();
+            in.a = kZeroVreg;
+            in.b = x;
+            in.cc = Cond::LtU; // 0 <u x
+            return in.dst;
+          }
+        }
+        panic("unreachable");
+    }
+
+    int
+    genLogical(const Expr &e)
+    {
+        const std::string false_l = newLabel("lfalse");
+        const std::string end_l = newLabel("lend");
+        int result = fn.newVreg();
+        genCondBranch(e, false_l, false);
+        emitCopyTo(result, emitConst(1));
+        emitJump(end_l);
+        emitLabel(false_l);
+        emitCopyTo(result, emitConst(0));
+        emitLabel(end_l);
+        return result;
+    }
+
+    int
+    genArith(Tok op, const Expr &lhs_e, const Expr &rhs_e,
+             const Type &result_ty)
+    {
+        // Pointer arithmetic scales the integer side by the stride.
+        const Type lt = lhs_e.ty;
+        const Type rt = rhs_e.ty;
+        const bool l_ptr = lt.isPointer() || lt.isArray();
+        const bool r_ptr = rt.isPointer() || rt.isArray();
+        if ((op == Tok::Plus || op == Tok::Minus) && (l_ptr || r_ptr)) {
+            if (l_ptr && r_ptr) {
+                // ptr - ptr: byte difference / stride.
+                int a = genAddrOrValue(lhs_e);
+                int b = genAddrOrValue(rhs_e);
+                int diff = emitBin(IrOp::Sub, a, b);
+                const unsigned stride = lt.strideBytes();
+                if (stride == 1)
+                    return diff;
+                if (isPow2(stride))
+                    return emitBinI(IrOp::ShrAI, diff,
+                                    log2Of(stride));
+                return emitHelperCall(
+                    "__divsi3", diff,
+                    emitConst(static_cast<int32_t>(stride)));
+            }
+            const Expr &ptr_e = l_ptr ? lhs_e : rhs_e;
+            const Expr &int_e = l_ptr ? rhs_e : lhs_e;
+            int base = genAddrOrValue(ptr_e);
+            const unsigned stride = ptr_e.ty.strideBytes();
+            if (auto c = tryConst(int_e)) {
+                int64_t off = static_cast<int64_t>(*c) * stride;
+                if (op == Tok::Minus)
+                    off = -off;
+                if (off == 0)
+                    return base;
+                if (fitsSigned(off, 12))
+                    return emitBinI(IrOp::AddI, base, off);
+                int off_v = emitConst(off);
+                return emitBin(IrOp::Add, base, off_v);
+            }
+            int idx = genExpr(int_e);
+            int scaled = mulByConst(idx, static_cast<int32_t>(stride));
+            return emitBin(op == Tok::Plus ? IrOp::Add : IrOp::Sub,
+                           base, scaled);
+        }
+
+        const bool uns = result_ty.isUnsignedTy() ||
+            lt.isUnsignedTy() || rt.isUnsignedTy();
+
+        // Immediate forms when the right side is constant.
+        auto rc = tryConst(rhs_e);
+        auto lc = tryConst(lhs_e);
+        switch (op) {
+          case Tok::Plus:
+            if (rc && fitsSigned(*rc, 12))
+                return emitBinI(IrOp::AddI, genExpr(lhs_e), *rc);
+            if (lc && fitsSigned(*lc, 12))
+                return emitBinI(IrOp::AddI, genExpr(rhs_e), *lc);
+            return emitBin(IrOp::Add, genExpr(lhs_e),
+                           genExpr(rhs_e));
+          case Tok::Minus:
+            if (rc && fitsSigned(-static_cast<int64_t>(*rc), 12))
+                return emitBinI(IrOp::AddI, genExpr(lhs_e),
+                                -static_cast<int64_t>(*rc));
+            return emitBin(IrOp::Sub, genExpr(lhs_e),
+                           genExpr(rhs_e));
+          case Tok::Amp:
+            if (rc && fitsSigned(*rc, 12))
+                return emitBinI(IrOp::AndI, genExpr(lhs_e), *rc);
+            if (lc && fitsSigned(*lc, 12))
+                return emitBinI(IrOp::AndI, genExpr(rhs_e), *lc);
+            return emitBin(IrOp::And, genExpr(lhs_e),
+                           genExpr(rhs_e));
+          case Tok::Pipe:
+            if (rc && fitsSigned(*rc, 12))
+                return emitBinI(IrOp::OrI, genExpr(lhs_e), *rc);
+            if (lc && fitsSigned(*lc, 12))
+                return emitBinI(IrOp::OrI, genExpr(rhs_e), *lc);
+            return emitBin(IrOp::Or, genExpr(lhs_e),
+                           genExpr(rhs_e));
+          case Tok::Caret:
+            if (rc && fitsSigned(*rc, 12))
+                return emitBinI(IrOp::XorI, genExpr(lhs_e), *rc);
+            if (lc && fitsSigned(*lc, 12))
+                return emitBinI(IrOp::XorI, genExpr(rhs_e), *lc);
+            return emitBin(IrOp::Xor, genExpr(lhs_e),
+                           genExpr(rhs_e));
+          case Tok::Shl:
+            if (rc)
+                return emitBinI(IrOp::ShlI, genExpr(lhs_e),
+                                *rc & 31);
+            return emitBin(IrOp::Shl, genExpr(lhs_e),
+                           genExpr(rhs_e));
+          case Tok::Shr: {
+            const bool u = lhs_e.ty.isUnsignedTy();
+            if (rc)
+                return emitBinI(u ? IrOp::ShrLI : IrOp::ShrAI,
+                                genExpr(lhs_e), *rc & 31);
+            return emitBin(u ? IrOp::ShrL : IrOp::ShrA,
+                           genExpr(lhs_e), genExpr(rhs_e));
+          }
+          case Tok::Star:
+            if (rc && opts.inlineMulConst &&
+                (!opts.useCustomMul ||
+                 isPow2(static_cast<uint32_t>(*rc))))
+                return mulByConst(genExpr(lhs_e), *rc);
+            if (lc && opts.inlineMulConst &&
+                (!opts.useCustomMul ||
+                 isPow2(static_cast<uint32_t>(*lc))))
+                return mulByConst(genExpr(rhs_e), *lc);
+            if (opts.useCustomMul)
+                return emitBin(IrOp::Mul, genExpr(lhs_e),
+                               genExpr(rhs_e));
+            return emitHelperCall("__mulsi3", genExpr(lhs_e),
+                                  genExpr(rhs_e));
+          case Tok::Slash:
+            return genDiv(lhs_e, rhs_e, uns, /*remainder=*/false);
+          case Tok::Percent:
+            return genDiv(lhs_e, rhs_e, uns, /*remainder=*/true);
+          default:
+            panic("genArith: unexpected operator");
+        }
+    }
+
+    int
+    genDiv(const Expr &lhs_e, const Expr &rhs_e, bool uns,
+           bool remainder)
+    {
+        auto rc = tryConst(rhs_e);
+        if (rc && *rc > 0 && isPow2(static_cast<uint32_t>(*rc))) {
+            const unsigned k = log2Of(static_cast<uint32_t>(*rc));
+            if (uns) {
+                int a = genExpr(lhs_e);
+                if (remainder) {
+                    const uint32_t mask = (1u << k) - 1;
+                    if (mask <= 2047)
+                        return emitBinI(IrOp::AndI, a, mask);
+                    int m = emitConst(static_cast<int32_t>(mask));
+                    return emitBin(IrOp::And, a, m);
+                }
+                return k == 0 ? a : emitBinI(IrOp::ShrLI, a, k);
+            }
+            if (!remainder && opts.inlineDivPow2 && k > 0) {
+                // Branchless signed divide by 2^k, round toward 0:
+                //   bias = (a >> 31) >>u (32-k); (a + bias) >> k
+                int a = genExpr(lhs_e);
+                int sign = emitBinI(IrOp::ShrAI, a, 31);
+                int bias = emitBinI(IrOp::ShrLI, sign, 32 - k);
+                int biased = emitBin(IrOp::Add, a, bias);
+                return emitBinI(IrOp::ShrAI, biased, k);
+            }
+        }
+        const char *helper = remainder
+            ? (uns ? "__umodsi3" : "__modsi3")
+            : (uns ? "__udivsi3" : "__divsi3");
+        return emitHelperCall(helper, genExpr(lhs_e),
+                              genExpr(rhs_e));
+    }
+
+    /** x * c through shifts and adds; falls back to __mulsi3 (or a
+     *  single cmul when the custom block is available). */
+    int
+    mulByConst(int x, int32_t c)
+    {
+        if (opts.useCustomMul &&
+            !isPow2(static_cast<uint32_t>(c)) && c != 0 && c != 1 &&
+            c != -1)
+            return emitBin(IrOp::Mul, x, emitConst(c));
+        if (c == 0)
+            return kZeroVreg;
+        if (c == 1)
+            return x;
+        if (c == -1)
+            return emitBin(IrOp::Sub, kZeroVreg, x);
+        const bool neg = c < 0;
+        uint32_t m = neg ? static_cast<uint32_t>(-c)
+            : static_cast<uint32_t>(c);
+        int produced = -1;
+        if (isPow2(m)) {
+            produced = emitBinI(IrOp::ShlI, x, log2Of(m));
+        } else if (__builtin_popcount(m) <=
+                   (opts.inlineMulConst ? opts.mulMaxOps : 0)) {
+            // Sum of shifted copies, highest bit first.
+            for (int bit_i = 31; bit_i >= 0; --bit_i) {
+                if (!(m & (1u << bit_i)))
+                    continue;
+                int term = bit_i == 0
+                    ? x : emitBinI(IrOp::ShlI, x, bit_i);
+                produced = produced < 0
+                    ? term : emitBin(IrOp::Add, produced, term);
+            }
+        } else if (isPow2(m + 1) && opts.inlineMulConst) {
+            // (x << k) - x
+            int shifted = emitBinI(IrOp::ShlI, x, log2Of(m + 1));
+            produced = emitBin(IrOp::Sub, shifted, x);
+        } else {
+            produced = emitHelperCall("__mulsi3", x,
+                                      emitConst(c));
+            return produced; // sign handled by 2's complement mul
+        }
+        if (neg)
+            produced = emitBin(IrOp::Sub, kZeroVreg, produced);
+        return produced;
+    }
+
+    int
+    genAssign(const Expr &e)
+    {
+        const Expr &lhs = *e.kids[0];
+        const Expr &rhs = *e.kids[1];
+        const Tok base_op = compoundBaseOp(e.op);
+
+        // Register-resident scalar variable.
+        if (lhs.kind == ExprKind::Var &&
+            lhs.sym->kind != SymKind::Global &&
+            locOf(lhs.sym).kind == Loc::Kind::Vreg) {
+            const int var = locOf(lhs.sym).index;
+            int value;
+            if (base_op == Tok::End) {
+                value = genExpr(rhs);
+            } else {
+                value = genArithFromParts(base_op, lhs, var, rhs);
+            }
+            value = truncateForType(value, lhs.ty);
+            emitCopyTo(var, value);
+            return var;
+        }
+
+        // Memory-resident lvalue: compute the address once.
+        int addr = genAddr(lhs);
+        int value;
+        if (base_op == Tok::End) {
+            value = genExpr(rhs);
+        } else {
+            int old = loadFrom(addr, lhs.ty);
+            value = genArithFromParts(base_op, lhs, old, rhs);
+        }
+        storeThrough(addr, lhs.ty, value);
+        return value;
+    }
+
+    /** Arithmetic where the lhs value is already in a vreg. */
+    int
+    genArithFromParts(Tok op, const Expr &lhs_e, int lhs_v,
+                      const Expr &rhs_e)
+    {
+        // Wrap the lhs vreg so genArith's operand analysis still sees
+        // the types; constants on the rhs keep their immediate forms.
+        const bool uns = lhs_e.ty.isUnsignedTy() ||
+            rhs_e.ty.isUnsignedTy();
+        auto rc = tryConst(rhs_e);
+        const bool l_ptr = lhs_e.ty.isPointer();
+        const unsigned stride =
+            l_ptr ? lhs_e.ty.strideBytes() : 1;
+        switch (op) {
+          case Tok::Plus: {
+            if (rc) {
+                int64_t off =
+                    static_cast<int64_t>(*rc) * stride;
+                if (fitsSigned(off, 12))
+                    return emitBinI(IrOp::AddI, lhs_v, off);
+            }
+            int r = genExpr(rhs_e);
+            if (l_ptr && stride != 1)
+                r = mulByConst(r, static_cast<int32_t>(stride));
+            return emitBin(IrOp::Add, lhs_v, r);
+          }
+          case Tok::Minus: {
+            if (rc) {
+                int64_t off =
+                    -static_cast<int64_t>(*rc) * stride;
+                if (fitsSigned(off, 12))
+                    return emitBinI(IrOp::AddI, lhs_v, off);
+            }
+            int r = genExpr(rhs_e);
+            if (l_ptr && stride != 1)
+                r = mulByConst(r, static_cast<int32_t>(stride));
+            return emitBin(IrOp::Sub, lhs_v, r);
+          }
+          case Tok::Amp:
+            if (rc && fitsSigned(*rc, 12))
+                return emitBinI(IrOp::AndI, lhs_v, *rc);
+            return emitBin(IrOp::And, lhs_v, genExpr(rhs_e));
+          case Tok::Pipe:
+            if (rc && fitsSigned(*rc, 12))
+                return emitBinI(IrOp::OrI, lhs_v, *rc);
+            return emitBin(IrOp::Or, lhs_v, genExpr(rhs_e));
+          case Tok::Caret:
+            if (rc && fitsSigned(*rc, 12))
+                return emitBinI(IrOp::XorI, lhs_v, *rc);
+            return emitBin(IrOp::Xor, lhs_v, genExpr(rhs_e));
+          case Tok::Shl:
+            if (rc)
+                return emitBinI(IrOp::ShlI, lhs_v, *rc & 31);
+            return emitBin(IrOp::Shl, lhs_v, genExpr(rhs_e));
+          case Tok::Shr: {
+            const bool u = lhs_e.ty.isUnsignedTy();
+            if (rc)
+                return emitBinI(u ? IrOp::ShrLI : IrOp::ShrAI,
+                                lhs_v, *rc & 31);
+            return emitBin(u ? IrOp::ShrL : IrOp::ShrA, lhs_v,
+                           genExpr(rhs_e));
+          }
+          case Tok::Star:
+            if (rc && opts.inlineMulConst &&
+                (!opts.useCustomMul ||
+                 isPow2(static_cast<uint32_t>(*rc))))
+                return mulByConst(lhs_v, *rc);
+            if (opts.useCustomMul)
+                return emitBin(IrOp::Mul, lhs_v, genExpr(rhs_e));
+            return emitHelperCall("__mulsi3", lhs_v,
+                                  genExpr(rhs_e));
+          case Tok::Slash: {
+            const char *h = uns ? "__udivsi3" : "__divsi3";
+            if (rc && *rc > 0 &&
+                isPow2(static_cast<uint32_t>(*rc)) && uns)
+                return emitBinI(IrOp::ShrLI, lhs_v,
+                                log2Of(static_cast<uint32_t>(*rc)));
+            return emitHelperCall(h, lhs_v, genExpr(rhs_e));
+          }
+          case Tok::Percent: {
+            const char *h = uns ? "__umodsi3" : "__modsi3";
+            if (rc && *rc > 0 &&
+                isPow2(static_cast<uint32_t>(*rc)) && uns) {
+                const uint32_t mask =
+                    static_cast<uint32_t>(*rc) - 1;
+                if (mask <= 2047)
+                    return emitBinI(IrOp::AndI, lhs_v, mask);
+            }
+            return emitHelperCall(h, lhs_v, genExpr(rhs_e));
+          }
+          default:
+            panic("genArithFromParts: unexpected operator");
+        }
+    }
+
+    static Tok
+    compoundBaseOp(Tok t)
+    {
+        switch (t) {
+          case Tok::Assign: return Tok::End;
+          case Tok::PlusAssign: return Tok::Plus;
+          case Tok::MinusAssign: return Tok::Minus;
+          case Tok::StarAssign: return Tok::Star;
+          case Tok::SlashAssign: return Tok::Slash;
+          case Tok::PercentAssign: return Tok::Percent;
+          case Tok::AmpAssign: return Tok::Amp;
+          case Tok::PipeAssign: return Tok::Pipe;
+          case Tok::CaretAssign: return Tok::Caret;
+          case Tok::ShlAssign: return Tok::Shl;
+          case Tok::ShrAssign: return Tok::Shr;
+          default: panic("not an assignment operator");
+        }
+    }
+
+    /** Narrow a value to char/short width when it is kept in a
+     *  register (C assignment semantics). */
+    int
+    truncateForType(int value, const Type &ty)
+    {
+        if (ty.isPointer() || ty.scalarSize() == 4)
+            return value;
+        const unsigned bits_n = ty.scalarSize() * 8;
+        if (ty.isUnsignedTy()) {
+            if (bits_n == 8)
+                return emitBinI(IrOp::AndI, value, 0xFF);
+            int t = emitBinI(IrOp::ShlI, value, 32 - bits_n);
+            return emitBinI(IrOp::ShrLI, t, 32 - bits_n);
+        }
+        int t = emitBinI(IrOp::ShlI, value, 32 - bits_n);
+        return emitBinI(IrOp::ShrAI, t, 32 - bits_n);
+    }
+
+    int
+    genCondExpr(const Expr &e)
+    {
+        const std::string false_l = newLabel("cfalse");
+        const std::string end_l = newLabel("cend");
+        int result = fn.newVreg();
+        genCondBranch(*e.kids[0], false_l, false);
+        emitCopyTo(result, genExpr(*e.kids[1]));
+        emitJump(end_l);
+        emitLabel(false_l);
+        emitCopyTo(result, genExpr(*e.kids[2]));
+        emitLabel(end_l);
+        return result;
+    }
+
+    int
+    genCall(const Expr &e)
+    {
+        std::vector<int> args;
+        args.reserve(e.kids.size());
+        for (const ExprPtr &arg : e.kids)
+            args.push_back(genAddrOrValue(*arg));
+        const bool has_result = !e.ty.isVoid();
+        return emitCall(e.name, std::move(args), has_result);
+    }
+
+    int
+    genCast(const Expr &e)
+    {
+        int v = genExpr(*e.kids[0]);
+        return truncateForType(v, e.castTy);
+    }
+};
+
+} // namespace
+
+LowerResult
+lowerUnit(const TranslationUnit &unit, const LowerOptions &options)
+{
+    return Lowerer(unit, options).run();
+}
+
+} // namespace rissp::minic

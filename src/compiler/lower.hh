@@ -1,0 +1,51 @@
+/**
+ * @file
+ * AST to IR lowering, including the optimization-level-dependent
+ * lowering decisions (RV32E has no M extension, so multiplies and
+ * divides either decompose into shift/add sequences or become calls
+ * into the assembly runtime helpers — exactly the choice that shapes
+ * each application's instruction subset in Table 3).
+ */
+
+#ifndef RISSP_COMPILER_LOWER_HH
+#define RISSP_COMPILER_LOWER_HH
+
+#include <set>
+
+#include "compiler/ir.hh"
+
+namespace rissp::minic
+{
+
+/** Architectural-zero pseudo vreg (maps to register x0). */
+constexpr int kZeroVreg = -2;
+
+/** Lowering knobs derived from the -O level. */
+struct LowerOptions
+{
+    bool spillAll = false;      ///< O0: every variable lives in memory
+    bool foldConstants = true;  ///< O1+: fold constant subtrees
+    bool inlineMulConst = true; ///< O1+: shift/add constant multiplies
+    int mulMaxOps = 3;          ///< max adds in a decomposition
+    bool inlineDivPow2 = true;  ///< O2+: branchless signed div by 2^k
+    /** Target a RISSP whose library includes the custom cmul block:
+     *  multiplies become single instructions instead of __mulsi3
+     *  calls or shift/add chains (power-of-two strength reduction is
+     *  still applied). */
+    bool useCustomMul = false;
+};
+
+/** Result of lowering a translation unit. */
+struct LowerResult
+{
+    IrUnit ir;
+    std::set<std::string> usedHelpers; ///< __mulsi3 etc.
+};
+
+/** Lower @p unit; throws CompileError on unsupported constructs. */
+LowerResult lowerUnit(const TranslationUnit &unit,
+                      const LowerOptions &options);
+
+} // namespace rissp::minic
+
+#endif // RISSP_COMPILER_LOWER_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC with integrated symbol
+ * resolution and typing.
+ */
+
+#ifndef RISSP_COMPILER_PARSER_HH
+#define RISSP_COMPILER_PARSER_HH
+
+#include "compiler/ast.hh"
+#include "compiler/lexer.hh"
+
+namespace rissp::minic
+{
+
+/** Parse a MiniC source into a typed translation unit.
+ *  Throws CompileError on malformed or unsupported input. */
+TranslationUnit parse(const std::string &source);
+
+} // namespace rissp::minic
+
+#endif // RISSP_COMPILER_PARSER_HH

@@ -1,0 +1,561 @@
+#include "compiler/passes.hh"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "compiler/lower.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace rissp::minic
+{
+
+namespace
+{
+
+/** Per-vreg definition counts (index shifted by 2 for kZeroVreg). */
+std::vector<int>
+defCounts(const IrFunction &fn)
+{
+    std::vector<int> counts(static_cast<size_t>(fn.nextVreg), 0);
+    for (const IrInstr &in : fn.code)
+        if (in.dst >= 0)
+            ++counts[static_cast<size_t>(in.dst)];
+    for (int v : fn.paramVregs)
+        if (v >= 0)
+            ++counts[static_cast<size_t>(v)];
+    return counts;
+}
+
+bool
+singleDef(const std::vector<int> &counts, int v)
+{
+    if (v == kZeroVreg)
+        return true;
+    return v >= 0 && counts[static_cast<size_t>(v)] == 1;
+}
+
+/** Known constant value of a vreg, if provable. */
+class ConstMap
+{
+  public:
+    explicit ConstMap(const IrFunction &fn) : counts(defCounts(fn))
+    {
+        for (const IrInstr &in : fn.code)
+            if (in.op == IrOp::Const && singleDef(counts, in.dst))
+                values[in.dst] = static_cast<int32_t>(in.imm);
+    }
+
+    std::optional<int32_t>
+    get(int v) const
+    {
+        if (v == kZeroVreg)
+            return 0;
+        auto it = values.find(v);
+        return it == values.end()
+            ? std::nullopt : std::optional<int32_t>(it->second);
+    }
+
+    bool isSingleDef(int v) const { return singleDef(counts, v); }
+
+  private:
+    std::vector<int> counts;
+    std::unordered_map<int, int32_t> values;
+};
+
+std::optional<int32_t>
+foldBin(IrOp op, int32_t a, int32_t b)
+{
+    const uint32_t ua = static_cast<uint32_t>(a);
+    const uint32_t ub = static_cast<uint32_t>(b);
+    switch (op) {
+      case IrOp::Add: return a + b;
+      case IrOp::Sub: return a - b;
+      case IrOp::Mul: return static_cast<int32_t>(ua * ub);
+      case IrOp::And: return a & b;
+      case IrOp::Or: return a | b;
+      case IrOp::Xor: return a ^ b;
+      case IrOp::Shl: return static_cast<int32_t>(ua << (ub & 31));
+      case IrOp::ShrL: return static_cast<int32_t>(ua >> (ub & 31));
+      case IrOp::ShrA: return a >> (ub & 31);
+      default: return std::nullopt;
+    }
+}
+
+std::optional<int32_t>
+foldBinI(IrOp op, int32_t a, int32_t imm)
+{
+    const uint32_t ua = static_cast<uint32_t>(a);
+    switch (op) {
+      case IrOp::AddI: return a + imm;
+      case IrOp::AndI: return a & imm;
+      case IrOp::OrI: return a | imm;
+      case IrOp::XorI: return a ^ imm;
+      case IrOp::ShlI: return static_cast<int32_t>(ua << (imm & 31));
+      case IrOp::ShrLI: return static_cast<int32_t>(ua >> (imm & 31));
+      case IrOp::ShrAI: return a >> (imm & 31);
+      default: return std::nullopt;
+    }
+}
+
+bool
+evalCond(Cond cc, int32_t a, int32_t b)
+{
+    const uint32_t ua = static_cast<uint32_t>(a);
+    const uint32_t ub = static_cast<uint32_t>(b);
+    switch (cc) {
+      case Cond::Eq: return a == b;
+      case Cond::Ne: return a != b;
+      case Cond::LtS: return a < b;
+      case Cond::GeS: return a >= b;
+      case Cond::LtU: return ua < ub;
+      case Cond::GeU: return ua >= ub;
+    }
+    return false;
+}
+
+/** Map a Bin op to its immediate form, if one exists. */
+IrOp
+immFormOf(IrOp op)
+{
+    switch (op) {
+      case IrOp::Add: return IrOp::AddI;
+      case IrOp::And: return IrOp::AndI;
+      case IrOp::Or: return IrOp::OrI;
+      case IrOp::Xor: return IrOp::XorI;
+      case IrOp::Shl: return IrOp::ShlI;
+      case IrOp::ShrL: return IrOp::ShrLI;
+      case IrOp::ShrA: return IrOp::ShrAI;
+      default: return op;
+    }
+}
+
+} // namespace
+
+size_t
+constFoldPass(IrFunction &fn)
+{
+    ConstMap consts(fn);
+    size_t changed = 0;
+    std::vector<IrInstr> out;
+    out.reserve(fn.code.size());
+
+    auto to_const = [&](IrInstr in, int32_t v) {
+        IrInstr c;
+        c.op = IrOp::Const;
+        c.dst = in.dst;
+        c.imm = v;
+        out.push_back(c);
+        ++changed;
+    };
+
+    for (IrInstr in : fn.code) {
+        auto ca = consts.get(in.a);
+        auto cb = consts.get(in.b);
+        switch (in.op) {
+          case IrOp::Copy:
+            if (ca && consts.isSingleDef(in.dst)) {
+                to_const(in, *ca);
+                continue;
+            }
+            break;
+          case IrOp::Add:
+          case IrOp::Sub:
+          case IrOp::Mul:
+          case IrOp::And:
+          case IrOp::Or:
+          case IrOp::Xor:
+          case IrOp::Shl:
+          case IrOp::ShrL:
+          case IrOp::ShrA: {
+            if (ca && cb) {
+                if (auto v = foldBin(in.op, *ca, *cb)) {
+                    to_const(in, *v);
+                    continue;
+                }
+            }
+            // One constant operand: use the immediate form.
+            if (cb && fitsSigned(*cb, 12) && in.op != IrOp::Sub &&
+                immFormOf(in.op) != in.op) {
+                in.imm = *cb;
+                in.op = immFormOf(in.op);
+                in.b = -1;
+                ++changed;
+            } else if (in.op == IrOp::Sub && cb &&
+                       fitsSigned(-static_cast<int64_t>(*cb), 12)) {
+                in.op = IrOp::AddI;
+                in.imm = -static_cast<int64_t>(*cb);
+                in.b = -1;
+                ++changed;
+            } else if (ca && fitsSigned(*ca, 12) &&
+                       (in.op == IrOp::Add || in.op == IrOp::And ||
+                        in.op == IrOp::Or || in.op == IrOp::Xor)) {
+                // Commutative: swap the constant to the right.
+                in.imm = *ca;
+                in.a = in.b;
+                in.op = immFormOf(in.op);
+                in.b = -1;
+                ++changed;
+            }
+            break;
+          }
+          case IrOp::AddI:
+          case IrOp::AndI:
+          case IrOp::OrI:
+          case IrOp::XorI:
+          case IrOp::ShlI:
+          case IrOp::ShrLI:
+          case IrOp::ShrAI:
+            if (ca) {
+                if (auto v = foldBinI(in.op, *ca,
+                                      static_cast<int32_t>(in.imm))) {
+                    to_const(in, *v);
+                    continue;
+                }
+            }
+            // Identity: x op 0 (or shift by 0) is a copy.
+            if (in.imm == 0 &&
+                (in.op == IrOp::AddI || in.op == IrOp::OrI ||
+                 in.op == IrOp::XorI || in.op == IrOp::ShlI ||
+                 in.op == IrOp::ShrLI || in.op == IrOp::ShrAI)) {
+                in.op = IrOp::Copy;
+                ++changed;
+            }
+            break;
+          case IrOp::SetCc:
+            if (ca && cb) {
+                to_const(in, evalCond(in.cc, *ca, *cb) ? 1 : 0);
+                continue;
+            }
+            break;
+          case IrOp::SetCcI:
+            if (ca) {
+                to_const(in, evalCond(in.cc, *ca,
+                                      static_cast<int32_t>(in.imm))
+                         ? 1 : 0);
+                continue;
+            }
+            break;
+          case IrOp::Branch:
+            if (ca && cb) {
+                if (evalCond(in.cc, *ca, *cb)) {
+                    IrInstr j;
+                    j.op = IrOp::Jump;
+                    j.sym = in.sym;
+                    out.push_back(j);
+                }
+                ++changed;
+                continue;
+            }
+            break;
+          default:
+            break;
+        }
+        out.push_back(std::move(in));
+    }
+    fn.code = std::move(out);
+    return changed;
+}
+
+size_t
+copyPropPass(IrFunction &fn)
+{
+    std::vector<int> counts = defCounts(fn);
+    // x -> y for single-def x = Copy(single-def y)
+    std::unordered_map<int, int> fwd;
+    for (const IrInstr &in : fn.code) {
+        if (in.op == IrOp::Copy && singleDef(counts, in.dst) &&
+            singleDef(counts, in.a))
+            fwd[in.dst] = in.a;
+    }
+    if (fwd.empty())
+        return 0;
+    auto resolve = [&](int v) {
+        int hops = 0;
+        while (hops++ < 16) {
+            auto it = fwd.find(v);
+            if (it == fwd.end())
+                return v;
+            v = it->second;
+        }
+        return v;
+    };
+    size_t changed = 0;
+    for (IrInstr &in : fn.code) {
+        if (in.a >= 0) {
+            int r = resolve(in.a);
+            if (r != in.a) {
+                in.a = r;
+                ++changed;
+            }
+        }
+        if (in.b >= 0) {
+            int r = resolve(in.b);
+            if (r != in.b) {
+                in.b = r;
+                ++changed;
+            }
+        }
+        for (int &arg : in.args) {
+            int r = resolve(arg);
+            if (r != arg) {
+                arg = r;
+                ++changed;
+            }
+        }
+    }
+    return changed;
+}
+
+size_t
+csePass(IrFunction &fn)
+{
+    std::vector<int> counts = defCounts(fn);
+    size_t changed = 0;
+    // key -> dst of the earlier identical computation
+    std::unordered_map<std::string, int> table;
+    for (IrInstr &in : fn.code) {
+        switch (in.op) {
+          case IrOp::Label:
+          case IrOp::Branch:
+          case IrOp::Jump:
+          case IrOp::Ret:
+            table.clear(); // basic block boundary
+            continue;
+          default:
+            break;
+        }
+        if (!isPure(in.op) || in.dst < 0 ||
+            !singleDef(counts, in.dst))
+            continue;
+        if (in.a >= 0 && !singleDef(counts, in.a))
+            continue;
+        if (in.b >= 0 && !singleDef(counts, in.b))
+            continue;
+        const std::string key = strFormat(
+            "%d:%d:%d:%lld:%d:%s", static_cast<int>(in.op), in.a,
+            in.b, static_cast<long long>(in.imm),
+            static_cast<int>(in.cc), in.sym.c_str());
+        auto it = table.find(key);
+        if (it == table.end()) {
+            table.emplace(key, in.dst);
+            continue;
+        }
+        // Replace with a copy of the earlier result.
+        in.op = IrOp::Copy;
+        in.a = it->second;
+        in.b = -1;
+        in.imm = 0;
+        in.sym.clear();
+        ++changed;
+    }
+    return changed;
+}
+
+size_t
+dcePass(IrFunction &fn)
+{
+    size_t removed_total = 0;
+    while (true) {
+        std::vector<int> uses(static_cast<size_t>(fn.nextVreg), 0);
+        for (const IrInstr &in : fn.code) {
+            if (in.a >= 0)
+                ++uses[static_cast<size_t>(in.a)];
+            if (in.b >= 0)
+                ++uses[static_cast<size_t>(in.b)];
+            for (int arg : in.args)
+                if (arg >= 0)
+                    ++uses[static_cast<size_t>(arg)];
+        }
+        std::vector<IrInstr> out;
+        out.reserve(fn.code.size());
+        size_t removed = 0;
+        for (IrInstr &in : fn.code) {
+            const bool dead = (isPure(in.op) || in.op == IrOp::Copy) &&
+                in.dst >= 0 &&
+                uses[static_cast<size_t>(in.dst)] == 0;
+            if (dead) {
+                ++removed;
+            } else {
+                out.push_back(std::move(in));
+            }
+        }
+        fn.code = std::move(out);
+        removed_total += removed;
+        if (removed == 0)
+            break;
+    }
+    return removed_total;
+}
+
+size_t
+cleanupPass(IrFunction &fn)
+{
+    size_t changed = 0;
+    // Drop unreachable instructions after an unconditional transfer.
+    std::vector<IrInstr> out;
+    out.reserve(fn.code.size());
+    bool unreachable = false;
+    for (IrInstr &in : fn.code) {
+        if (in.op == IrOp::Label)
+            unreachable = false;
+        if (unreachable) {
+            ++changed;
+            continue;
+        }
+        if (in.op == IrOp::Jump || in.op == IrOp::Ret)
+            unreachable = true;
+        out.push_back(std::move(in));
+    }
+    // Drop jumps/branches to the immediately following label.
+    std::vector<IrInstr> out2;
+    out2.reserve(out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+        if ((out[i].op == IrOp::Jump || out[i].op == IrOp::Branch)) {
+            size_t j = i + 1;
+            bool falls_to_target = false;
+            while (j < out.size() && out[j].op == IrOp::Label) {
+                if (out[j].sym == out[i].sym) {
+                    falls_to_target = true;
+                    break;
+                }
+                ++j;
+            }
+            if (falls_to_target) {
+                ++changed;
+                continue;
+            }
+        }
+        out2.push_back(std::move(out[i]));
+    }
+    fn.code = std::move(out2);
+    return changed;
+}
+
+size_t
+inlinePass(IrUnit &unit, int threshold)
+{
+    if (threshold <= 0)
+        return 0;
+    size_t inlined = 0;
+    for (IrFunction &caller : unit.funcs) {
+        std::vector<IrInstr> out;
+        out.reserve(caller.code.size());
+        for (IrInstr &in : caller.code) {
+            if (in.op != IrOp::Call || startsWith(in.sym, "__")) {
+                out.push_back(std::move(in));
+                continue;
+            }
+            IrFunction *callee = unit.findFunc(in.sym);
+            const bool eligible = callee &&
+                callee->name != caller.name &&
+                !callee->hasCalls() &&
+                callee->bodySize() <=
+                    static_cast<size_t>(threshold) &&
+                callee->paramVregs.size() == in.args.size();
+            if (!eligible || !callee) {
+                out.push_back(std::move(in));
+                continue;
+            }
+            // Splice the callee with renamed vregs/slots/labels.
+            const int vreg_base = caller.nextVreg;
+            caller.nextVreg += callee->nextVreg;
+            const int slot_base =
+                static_cast<int>(caller.slots.size());
+            for (const StackSlot &s : callee->slots)
+                caller.newSlot(s.size);
+            const std::string end_label = strFormat(
+                ".Linl_%s_%s_%zu", caller.name.c_str(),
+                callee->name.c_str(), inlined);
+            auto remap = [&](int v) {
+                return v < 0 ? v : v + vreg_base;
+            };
+            // Bind arguments to the callee's parameter homes.
+            for (size_t p = 0; p < in.args.size(); ++p) {
+                if (callee->paramVregs[p] >= 0) {
+                    IrInstr cp;
+                    cp.op = IrOp::Copy;
+                    cp.dst = remap(callee->paramVregs[p]);
+                    cp.a = in.args[p];
+                    out.push_back(cp);
+                } else {
+                    IrInstr ad;
+                    ad.op = IrOp::AddrLocal;
+                    ad.dst = caller.nextVreg++;
+                    ad.imm = callee->paramSlots[p] + slot_base;
+                    out.push_back(ad);
+                    IrInstr st;
+                    st.op = IrOp::Store;
+                    st.a = in.args[p];
+                    st.b = ad.dst;
+                    st.width = 4;
+                    out.push_back(st);
+                }
+            }
+            for (const IrInstr &ci : callee->code) {
+                IrInstr ni = ci;
+                ni.dst = remap(ni.dst);
+                ni.a = remap(ni.a);
+                ni.b = remap(ni.b);
+                for (int &arg : ni.args)
+                    arg = remap(arg);
+                if (ni.op == IrOp::AddrLocal)
+                    ni.imm += slot_base;
+                if (ni.op == IrOp::Label || ni.op == IrOp::Jump ||
+                    ni.op == IrOp::Branch)
+                    ni.sym = strFormat(".Linl%zu_%s", inlined,
+                                       ni.sym.c_str());
+                if (ni.op == IrOp::Ret) {
+                    if (in.dst >= 0) {
+                        IrInstr cp;
+                        cp.op = IrOp::Copy;
+                        cp.dst = in.dst;
+                        cp.a = ni.a >= 0 ? ni.a : kZeroVreg;
+                        out.push_back(cp);
+                    }
+                    IrInstr j;
+                    j.op = IrOp::Jump;
+                    j.sym = end_label;
+                    out.push_back(j);
+                    continue;
+                }
+                out.push_back(std::move(ni));
+            }
+            IrInstr end;
+            end.op = IrOp::Label;
+            end.sym = end_label;
+            out.push_back(end);
+            ++inlined;
+        }
+        caller.code = std::move(out);
+    }
+    return inlined;
+}
+
+void
+optimize(IrUnit &unit, const PassOptions &options)
+{
+    if (!options.optimize)
+        return;
+    inlinePass(unit, options.inlineThreshold);
+    for (IrFunction &fn : unit.funcs) {
+        for (int round = 0; round < 4; ++round) {
+            size_t changed = 0;
+            changed += constFoldPass(fn);
+            changed += copyPropPass(fn);
+            changed += dcePass(fn);
+            if (changed == 0)
+                break;
+        }
+        if (options.cse) {
+            csePass(fn);
+            copyPropPass(fn);
+            dcePass(fn);
+        }
+        cleanupPass(fn);
+    }
+}
+
+} // namespace rissp::minic

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * IR optimization passes and the per--O-level pass pipelines.
+ *
+ * The passes are deliberately conservative for a non-SSA IR: value
+ * facts are only attached to single-definition vregs, which lowering
+ * produces for every expression temporary (named variables are the
+ * multi-definition exceptions and simply don't participate).
+ */
+
+#ifndef RISSP_COMPILER_PASSES_HH
+#define RISSP_COMPILER_PASSES_HH
+
+#include "compiler/ir.hh"
+
+namespace rissp::minic
+{
+
+/** Pipeline configuration derived from the -O level. */
+struct PassOptions
+{
+    bool optimize = true;     ///< master switch (off at -O0)
+    int inlineThreshold = 0;  ///< max callee body size; 0 = no inlining
+    bool cse = true;          ///< per-block common subexpressions
+};
+
+/** Inline calls to small leaf functions. Returns calls inlined. */
+size_t inlinePass(IrUnit &unit, int threshold);
+
+/** Fold constants, strength-reduce, simplify branches. */
+size_t constFoldPass(IrFunction &fn);
+
+/** Propagate copies of single-def values. */
+size_t copyPropPass(IrFunction &fn);
+
+/** Per-basic-block common subexpression elimination. */
+size_t csePass(IrFunction &fn);
+
+/** Remove pure instructions whose results are never used. */
+size_t dcePass(IrFunction &fn);
+
+/** Remove unreachable instructions and jumps to the next line. */
+size_t cleanupPass(IrFunction &fn);
+
+/** Run the full pipeline over a unit. */
+void optimize(IrUnit &unit, const PassOptions &options);
+
+} // namespace rissp::minic
+
+#endif // RISSP_COMPILER_PASSES_HH

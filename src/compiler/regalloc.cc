@@ -1,0 +1,197 @@
+#include "compiler/regalloc.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "isa/reg.hh"
+#include "util/logging.hh"
+
+namespace rissp::minic
+{
+
+namespace
+{
+
+struct Interval
+{
+    int vreg = -1;
+    int start = 0;
+    int end = 0;
+    bool crossesCall = false;
+};
+
+} // namespace
+
+Allocation
+allocateRegisters(IrFunction &fn, bool spill_all)
+{
+    Allocation alloc;
+    alloc.locs.resize(static_cast<size_t>(fn.nextVreg));
+
+    if (spill_all) {
+        for (int v = 0; v < fn.nextVreg; ++v) {
+            alloc.locs[static_cast<size_t>(v)].kind =
+                VregLoc::Kind::Spill;
+            alloc.locs[static_cast<size_t>(v)].slot = fn.newSlot(4);
+            ++alloc.spillCount;
+        }
+        return alloc;
+    }
+
+    const int n = static_cast<int>(fn.code.size());
+
+    // Live intervals over the linearized code.
+    std::vector<int> first(static_cast<size_t>(fn.nextVreg), -1);
+    std::vector<int> last(static_cast<size_t>(fn.nextVreg), -1);
+    auto touch = [&](int v, int pos) {
+        if (v < 0)
+            return;
+        if (first[static_cast<size_t>(v)] < 0)
+            first[static_cast<size_t>(v)] = pos;
+        last[static_cast<size_t>(v)] =
+            std::max(last[static_cast<size_t>(v)], pos);
+    };
+    // Position 0 is the prologue (parameter definitions); instruction
+    // i sits at position i + 1 so that an interval born in the
+    // prologue correctly crosses a call in the very first instruction.
+    for (int v : fn.paramVregs)
+        if (v >= 0)
+            touch(v, 0);
+    for (int i = 0; i < n; ++i) {
+        const IrInstr &in = fn.code[static_cast<size_t>(i)];
+        touch(in.dst, i + 1);
+        touch(in.a, i + 1);
+        touch(in.b, i + 1);
+        for (int arg : in.args)
+            touch(arg, i + 1);
+    }
+
+    // Loop extension: a backward branch at position i to a label at
+    // position j keeps every interval overlapping [j, i] alive
+    // through i. Iterate to a fixed point (nested loops).
+    std::map<std::string, int> label_pos;
+    for (int i = 0; i < n; ++i)
+        if (fn.code[static_cast<size_t>(i)].op == IrOp::Label)
+            label_pos[fn.code[static_cast<size_t>(i)].sym] = i + 1;
+    bool grew = true;
+    int guard = 0;
+    while (grew && guard++ < 8) {
+        grew = false;
+        for (int i = 0; i < n; ++i) {
+            const IrInstr &in = fn.code[static_cast<size_t>(i)];
+            if (in.op != IrOp::Jump && in.op != IrOp::Branch)
+                continue;
+            auto it = label_pos.find(in.sym);
+            if (it == label_pos.end())
+                panic("branch to unknown label '%s'",
+                      in.sym.c_str());
+            const int branch_pos = i + 1;
+            const int j = it->second;
+            if (j >= branch_pos)
+                continue; // forward edge
+            for (int v = 0; v < fn.nextVreg; ++v) {
+                auto idx = static_cast<size_t>(v);
+                if (first[idx] < 0)
+                    continue;
+                if (first[idx] <= branch_pos && last[idx] >= j &&
+                    last[idx] < branch_pos) {
+                    last[idx] = branch_pos;
+                    grew = true;
+                }
+            }
+        }
+    }
+
+    // Call positions (strictly-inside test marks call crossings).
+    std::vector<int> call_pos;
+    for (int i = 0; i < n; ++i)
+        if (fn.code[static_cast<size_t>(i)].op == IrOp::Call)
+            call_pos.push_back(i + 1);
+
+    std::vector<Interval> intervals;
+    for (int v = 0; v < fn.nextVreg; ++v) {
+        auto idx = static_cast<size_t>(v);
+        if (first[idx] < 0)
+            continue;
+        Interval iv;
+        iv.vreg = v;
+        iv.start = first[idx];
+        iv.end = last[idx];
+        for (int c : call_pos) {
+            if (iv.start < c && iv.end > c) {
+                iv.crossesCall = true;
+                break;
+            }
+        }
+        intervals.push_back(iv);
+    }
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start;
+              });
+
+    // Linear scan with two pools.
+    const unsigned caller_pool[] = {reg::t0, reg::t1, reg::t2};
+    const unsigned callee_pool[] = {reg::s0, reg::s1};
+    struct Active
+    {
+        int end;
+        unsigned reg;
+        bool callee;
+    };
+    std::vector<Active> active;
+    std::vector<bool> in_use(16, false);
+
+    for (const Interval &iv : intervals) {
+        // Expire finished intervals.
+        for (size_t i = 0; i < active.size();) {
+            if (active[i].end < iv.start) {
+                in_use[active[i].reg] = false;
+                active.erase(active.begin() +
+                             static_cast<long>(i));
+            } else {
+                ++i;
+            }
+        }
+        unsigned chosen = 0;
+        bool found = false;
+        bool callee = false;
+        if (!iv.crossesCall) {
+            for (unsigned r : caller_pool) {
+                if (!in_use[r]) {
+                    chosen = r;
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if (!found) {
+            for (unsigned r : callee_pool) {
+                if (!in_use[r]) {
+                    chosen = r;
+                    found = true;
+                    callee = true;
+                    break;
+                }
+            }
+        }
+        auto &loc = alloc.locs[static_cast<size_t>(iv.vreg)];
+        if (found) {
+            in_use[chosen] = true;
+            active.push_back({iv.end, chosen, callee});
+            loc.kind = VregLoc::Kind::Reg;
+            loc.reg = chosen;
+            if (chosen == reg::s0)
+                alloc.usesS0 = true;
+            if (chosen == reg::s1)
+                alloc.usesS1 = true;
+        } else {
+            loc.kind = VregLoc::Kind::Spill;
+            loc.slot = fn.newSlot(4);
+            ++alloc.spillCount;
+        }
+    }
+    return alloc;
+}
+
+} // namespace rissp::minic

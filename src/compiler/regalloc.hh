@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Linear-scan register allocation over the RV32E register budget.
+ *
+ * RV32E leaves little room: this allocator hands out t0-t2 (caller
+ * saved) and s0-s1 (callee saved, used for values live across calls),
+ * keeps a0-a5 for argument staging and a4/a5 doubling as spill
+ * scratch, and spills the rest to the frame. At -O0 everything spills,
+ * which reproduces the bloated memory-to-memory code gcc -O0 emits —
+ * the top-left corner of Figure 5.
+ */
+
+#ifndef RISSP_COMPILER_REGALLOC_HH
+#define RISSP_COMPILER_REGALLOC_HH
+
+#include <vector>
+
+#include "compiler/ir.hh"
+
+namespace rissp::minic
+{
+
+/** Where a vreg lives at emission time. */
+struct VregLoc
+{
+    enum class Kind : uint8_t { Unused, Reg, Spill } kind =
+        Kind::Unused;
+    unsigned reg = 0;    ///< architectural register index
+    int slot = -1;       ///< frame slot id when spilled
+};
+
+/** Allocation result for one function. */
+struct Allocation
+{
+    std::vector<VregLoc> locs;        ///< indexed by vreg
+    bool usesS0 = false;              ///< callee-saved s0 taken
+    bool usesS1 = false;              ///< callee-saved s1 taken
+    size_t spillCount = 0;
+};
+
+/**
+ * Allocate registers for @p fn. May append spill slots to fn.slots.
+ * @param spill_all -O0 mode: every vreg gets a frame slot
+ */
+Allocation allocateRegisters(IrFunction &fn, bool spill_all);
+
+} // namespace rissp::minic
+
+#endif // RISSP_COMPILER_REGALLOC_HH

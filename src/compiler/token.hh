@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Token definitions for MiniC, the C-subset compiler that stands in
+ * for riscv32-unknown-elf-gcc in the paper's Step 1 characterization
+ * flow (see DESIGN.md for the substitution rationale).
+ */
+
+#ifndef RISSP_COMPILER_TOKEN_HH
+#define RISSP_COMPILER_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rissp::minic
+{
+
+/** Token kinds. Multi-character operators get their own kind. */
+enum class Tok : uint8_t
+{
+    End, Ident, Number, StringLit, CharLit,
+    // keywords
+    KwInt, KwUnsigned, KwChar, KwShort, KwVoid, KwConst,
+    KwIf, KwElse, KwWhile, KwFor, KwDo, KwReturn, KwBreak,
+    KwContinue, KwSizeof, KwStatic,
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Question, Colon,
+    // operators
+    Assign, Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Lt, Gt, Le, Ge, EqEq, NotEq,
+    AndAnd, OrOr, Shl, Shr,
+    PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+    AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+    PlusPlus, MinusMinus,
+};
+
+/** One lexed token with source position. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;     ///< identifier / string body
+    int64_t value = 0;    ///< numeric / char literal value
+    int line = 0;         ///< 1-based source line
+
+    bool is(Tok t) const { return kind == t; }
+};
+
+/** Printable name for diagnostics. */
+std::string tokName(Tok kind);
+
+} // namespace rissp::minic
+
+#endif // RISSP_COMPILER_TOKEN_HH

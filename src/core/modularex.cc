@@ -1,0 +1,41 @@
+#include "core/modularex.hh"
+
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+ModularEx::ModularEx(const InstrSubset &subset, const HwLibrary &library)
+    : exSubset(subset), lib(library)
+{
+    for (size_t i = 0; i < kNumOps; ++i) {
+        const Op op = static_cast<Op>(i);
+        if (subset.contains(op)) {
+            enabled[i] = true;
+            ++numBlocks;
+        }
+    }
+}
+
+ExResult
+ModularEx::execute(const BlockInputs &in, const Mutation *mut) const
+{
+    ExResult result;
+    const Op op = in.insn.op;
+    if (op == Op::Invalid || !enabled[static_cast<size_t>(op)])
+        return result; // no block claims it: trap
+    ++counts[static_cast<size_t>(op)];
+    result.supported = true;
+    result.out = lib.block(op).execute(in, mut);
+    return result;
+}
+
+uint32_t
+ModularEx::extendLoadData(Op op, uint32_t raw, const Mutation *mut) const
+{
+    if (op == Op::Invalid || !enabled[static_cast<size_t>(op)])
+        panic("extendLoadData for un-stitched block");
+    return lib.block(op).extendLoadData(raw, mut);
+}
+
+} // namespace rissp

@@ -1,0 +1,151 @@
+#include "core/rissp.hh"
+
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+Rissp::Rissp(const InstrSubset &subset, std::string name,
+             const HwLibrary &library)
+    : risspName(std::move(name)), ex(subset, library)
+{
+    regs.fill(0);
+}
+
+void
+Rissp::reset(const Program &program)
+{
+    pcReg = program.entry;
+    regs.fill(0);
+    mem.clear();
+    program.load(mem);
+    stopped = StopReason::Running;
+    retired = 0;
+    outWords.clear();
+    outText.clear();
+}
+
+uint32_t
+Rissp::reg(unsigned idx) const
+{
+    if (idx >= kNumRegsE)
+        panic("Rissp::reg(%u): out of range", idx);
+    return regs[idx];
+}
+
+RetireEvent
+Rissp::step(const Mutation *mut)
+{
+    RetireEvent ev;
+    ev.order = retired;
+    ev.pc = pcReg;
+
+    // Fetch: IMEM interface reads the word at pc.
+    const uint32_t raw = mem.loadWord(pcReg);
+    ev.raw = raw;
+    const Instr in = decode(raw);
+    ev.op = in.op;
+
+    // Register file read ports feed ModularEX.
+    BlockInputs bin;
+    bin.pc = pcReg;
+    bin.insn = in;
+    if (in.valid()) {
+        if (readsRs1(in.op)) {
+            bin.rs1Data = regs[in.rs1];
+            ev.rs1 = in.rs1;
+            ev.rs1Data = bin.rs1Data;
+        }
+        if (readsRs2(in.op)) {
+            bin.rs2Data = regs[in.rs2];
+            ev.rs2 = in.rs2;
+            ev.rs2Data = bin.rs2Data;
+        }
+    }
+
+    const ExResult res = ex.execute(bin, mut);
+    if (!res.supported) {
+        // No stitched block claimed the instruction: hardware trap.
+        ev.trap = true;
+        stopped = StopReason::Trapped;
+        return ev;
+    }
+    BlockOutputs out = res.out;
+
+    if (out.halt) {
+        ev.halt = true;
+        stopped = StopReason::Halted;
+        ev.nextPc = pcReg;
+        ++retired;
+        return ev;
+    }
+
+    // DMEM interface.
+    if (out.memRead) {
+        ev.memRead = true;
+        ev.memAddr = out.memAddr;
+        ev.memBytes = out.memBytes;
+        uint32_t raw_data = 0;
+        for (unsigned b = 0; b < out.memBytes; ++b)
+            raw_data |= static_cast<uint32_t>(
+                mem.loadByte(out.memAddr + b)) << (8 * b);
+        out.rdData = ex.extendLoadData(in.op, raw_data, mut);
+        if (out.rdAddr == 0)
+            out.rdData = 0;
+        ev.memData = out.rdData;
+    } else if (out.memWrite) {
+        ev.memWrite = true;
+        ev.memAddr = out.memAddr;
+        ev.memBytes = out.memBytes;
+        ev.memData = out.memWdata;
+        if (out.memAddr == mmio::kPutWord && out.memBytes == 4) {
+            outWords.push_back(out.memWdata);
+        } else if (out.memAddr == mmio::kPutChar) {
+            outText.push_back(static_cast<char>(out.memWdata & 0xFF));
+        } else {
+            for (unsigned b = 0; b < out.memBytes; ++b)
+                mem.storeByte(out.memAddr + b, static_cast<uint8_t>(
+                    out.memWdata >> (8 * b)));
+        }
+    }
+
+    // Register file write port.
+    if (out.rdWrite && out.rdAddr != 0) {
+        regs[out.rdAddr] = out.rdData;
+        ev.rd = out.rdAddr;
+        ev.rdData = out.rdData;
+    }
+
+    pcReg = out.nextPc;
+    ev.nextPc = pcReg;
+    ++retired;
+    return ev;
+}
+
+RunResult
+Rissp::run(uint64_t maxSteps)
+{
+    RunResult result;
+    for (uint64_t i = 0; i < maxSteps; ++i) {
+        RetireEvent ev = step();
+        if (ev.halt) {
+            result.reason = StopReason::Halted;
+            result.exitCode = regs[reg::a0];
+            result.instret = retired;
+            result.stopPc = ev.pc;
+            return result;
+        }
+        if (ev.trap) {
+            result.reason = StopReason::Trapped;
+            result.instret = retired;
+            result.stopPc = ev.pc;
+            return result;
+        }
+    }
+    result.reason = StopReason::StepLimit;
+    result.instret = retired;
+    result.stopPc = pcReg;
+    return result;
+}
+
+} // namespace rissp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The generated RISSP: a single-cycle RV32E-subset processor
+ * (Step 3 of Figure 2, Figure 3 microarchitecture).
+ *
+ * Fetch (PC + incrementer), the 16-entry register file and the memory
+ * interfaces are the fixed units; ModularEX executes. One instruction
+ * retires per cycle (CPI = 1, §4.2.4). Executing an instruction whose
+ * block was not stitched in is a hardware trap — that is what makes a
+ * subset processor a *subset* processor.
+ *
+ * The simulator emits RVFI-style RetireEvents so riscv-formal-style
+ * monitors and signature co-simulation against the reference ISS can
+ * check it (§3.4.2).
+ */
+
+#ifndef RISSP_CORE_RISSP_HH
+#define RISSP_CORE_RISSP_HH
+
+#include <memory>
+#include <string>
+
+#include "core/modularex.hh"
+#include "sim/refsim.hh"
+
+namespace rissp
+{
+
+/** A generated instruction-subset processor plus its simulator. */
+class Rissp
+{
+  public:
+    /**
+     * Build a RISSP for @p subset.
+     * @param subset  instruction subset from Step 1
+     * @param name    report label, e.g. "RISSP-armpit"
+     * @param library the pre-verified block library (Step 0)
+     */
+    Rissp(const InstrSubset &subset, std::string name,
+          const HwLibrary &library = HwLibrary::instance());
+
+    const std::string &name() const { return risspName; }
+    const InstrSubset &subset() const { return ex.subset(); }
+    const ModularEx &modularEx() const { return ex; }
+
+    /** Reset the machine and load a program image. */
+    void reset(const Program &program);
+
+    /** Execute one cycle (one instruction). */
+    RetireEvent step(const Mutation *mut = nullptr);
+
+    /** Run until halt/trap or @p maxSteps cycles. */
+    RunResult run(uint64_t maxSteps = 100'000'000);
+
+    uint32_t pc() const { return pcReg; }
+    uint32_t reg(unsigned idx) const;
+    Memory &memory() { return mem; }
+    const Memory &memory() const { return mem; }
+    uint64_t cycles() const { return retired; } // CPI == 1
+    StopReason stopReason() const { return stopped; }
+
+    const std::vector<uint32_t> &outputWords() const { return outWords; }
+    const std::string &outputText() const { return outText; }
+
+  private:
+    std::string risspName;
+    ModularEx ex;
+    uint32_t pcReg = 0;
+    std::array<uint32_t, kNumRegsE> regs{};
+    Memory mem;
+    StopReason stopped = StopReason::Running;
+    uint64_t retired = 0;
+    std::vector<uint32_t> outWords;
+    std::string outText;
+};
+
+} // namespace rissp
+
+#endif // RISSP_CORE_RISSP_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Domain-specific instruction subset extraction (Step 1 of Figure 2).
+ *
+ * An application (or a set of applications from a domain) is compiled
+ * for the full RV32E ISA; the subset extractor then walks the binary
+ * and records the distinct instructions used. Following the paper's
+ * Table 3 convention, ECALL/EBREAK are not listed in the subset — halt
+ * support is part of every RISSP's fixed logic — and the "full ISA"
+ * denominator is the 37 computational/memory/control instructions.
+ */
+
+#ifndef RISSP_CORE_SUBSET_HH
+#define RISSP_CORE_SUBSET_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/op.hh"
+#include "sim/program.hh"
+
+namespace rissp
+{
+
+/** Number of listable RV32E base instructions (excludes
+ *  ecall/ebreak and custom-extension ops like cmul). */
+constexpr size_t kFullIsaSize = kNumOps - 3;
+
+/** A distinct-instruction subset of the RV32E ISA. */
+class InstrSubset
+{
+  public:
+    InstrSubset() = default;
+    explicit InstrSubset(std::set<Op> ops);
+
+    /** Scan a program's text section (static analysis, like the
+     *  paper's objdump-based characterization). */
+    static InstrSubset fromProgram(const Program &program);
+
+    /** Union of subsets — a domain of applications. */
+    static InstrSubset unionOf(const std::vector<InstrSubset> &parts);
+
+    /** The full RV32E ISA (the RISSP-RV32E baseline). */
+    static InstrSubset fullRv32e();
+
+    /** Parse mnemonics, e.g. {"addi","lw","sw"}. Unknown names are
+     *  fatal(): a subset spec is user input. */
+    static InstrSubset fromNames(const std::vector<std::string> &names);
+
+    bool contains(Op op) const;
+    size_t size() const { return opsSet.size(); }
+    bool empty() const { return opsSet.empty(); }
+    const std::set<Op> &ops() const { return opsSet; }
+
+    /** Alphabetically sorted mnemonics, Table 3 style. */
+    std::vector<std::string> names() const;
+
+    /** "[add, addi, ...]" for report printing. */
+    std::string describe() const;
+
+    /** Share of the full ISA, e.g. 0.42 for armpit (§4.1). */
+    double fractionOfFullIsa() const;
+
+    bool operator==(const InstrSubset &other) const = default;
+
+  private:
+    std::set<Op> opsSet;
+};
+
+/** Static instruction count of a program's text section (the
+ *  Figure 5 codesize metric is this * 4 bytes). */
+size_t staticInstructionCount(const Program &program);
+
+} // namespace rissp
+
+#endif // RISSP_CORE_SUBSET_HH

@@ -1,0 +1,343 @@
+#include "isa/instr.hh"
+
+#include "isa/reg.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+namespace
+{
+
+/** Immediate assembly per format (RISC-V spec v2.1 figures). */
+int32_t
+immI(uint32_t raw)
+{
+    return sext(bits(raw, 31, 20), 12);
+}
+
+int32_t
+immS(uint32_t raw)
+{
+    return sext((bits(raw, 31, 25) << 5) | bits(raw, 11, 7), 12);
+}
+
+int32_t
+immB(uint32_t raw)
+{
+    uint32_t v = (bit(raw, 31) << 12) | (bit(raw, 7) << 11) |
+        (bits(raw, 30, 25) << 5) | (bits(raw, 11, 8) << 1);
+    return sext(v, 13);
+}
+
+int32_t
+immU(uint32_t raw)
+{
+    return static_cast<int32_t>(raw & 0xFFFFF000u);
+}
+
+int32_t
+immJ(uint32_t raw)
+{
+    uint32_t v = (bit(raw, 31) << 20) | (bits(raw, 19, 12) << 12) |
+        (bit(raw, 20) << 11) | (bits(raw, 30, 21) << 1);
+    return sext(v, 21);
+}
+
+void
+checkReg(unsigned r)
+{
+    if (r >= kNumRegsE)
+        panic("register x%u out of range for RV32E", r);
+}
+
+} // namespace
+
+Instr
+decode(uint32_t raw, bool rve)
+{
+    Instr in;
+    in.raw = raw;
+    const uint32_t opc = bits(raw, 6, 0);
+    const uint32_t f3 = bits(raw, 14, 12);
+    const uint32_t f7 = bits(raw, 31, 25);
+    const uint32_t rd = bits(raw, 11, 7);
+    const uint32_t rs1 = bits(raw, 19, 15);
+    const uint32_t rs2 = bits(raw, 24, 20);
+
+    Op op = Op::Invalid;
+    switch (opc) {
+      case 0x33: // OP
+        switch (f3) {
+          case 0x0: op = (f7 == 0x20) ? Op::Sub : Op::Add; break;
+          case 0x1: op = Op::Sll; break;
+          case 0x2: op = Op::Slt; break;
+          case 0x3: op = Op::Sltu; break;
+          case 0x4: op = Op::Xor; break;
+          case 0x5: op = (f7 == 0x20) ? Op::Sra : Op::Srl; break;
+          case 0x6: op = Op::Or; break;
+          case 0x7: op = Op::And; break;
+        }
+        if (op != Op::Invalid && f7 != opInfo(op).funct7)
+            op = Op::Invalid;
+        break;
+      case 0x13: // OP-IMM
+        switch (f3) {
+          case 0x0: op = Op::Addi; break;
+          case 0x1: op = (f7 == 0x00) ? Op::Slli : Op::Invalid; break;
+          case 0x2: op = Op::Slti; break;
+          case 0x3: op = Op::Sltiu; break;
+          case 0x4: op = Op::Xori; break;
+          case 0x5:
+            op = (f7 == 0x20) ? Op::Srai
+                : (f7 == 0x00) ? Op::Srli : Op::Invalid;
+            break;
+          case 0x6: op = Op::Ori; break;
+          case 0x7: op = Op::Andi; break;
+        }
+        break;
+      case 0x03: // LOAD
+        switch (f3) {
+          case 0x0: op = Op::Lb; break;
+          case 0x1: op = Op::Lh; break;
+          case 0x2: op = Op::Lw; break;
+          case 0x4: op = Op::Lbu; break;
+          case 0x5: op = Op::Lhu; break;
+        }
+        break;
+      case 0x23: // STORE
+        switch (f3) {
+          case 0x0: op = Op::Sb; break;
+          case 0x1: op = Op::Sh; break;
+          case 0x2: op = Op::Sw; break;
+        }
+        break;
+      case 0x63: // BRANCH
+        switch (f3) {
+          case 0x0: op = Op::Beq; break;
+          case 0x1: op = Op::Bne; break;
+          case 0x4: op = Op::Blt; break;
+          case 0x5: op = Op::Bge; break;
+          case 0x6: op = Op::Bltu; break;
+          case 0x7: op = Op::Bgeu; break;
+        }
+        break;
+      case 0x0B: // custom-0
+        if (f3 == 0x0 && f7 == 0x00)
+            op = Op::Cmul;
+        break;
+      case 0x37: op = Op::Lui; break;
+      case 0x17: op = Op::Auipc; break;
+      case 0x6F: op = Op::Jal; break;
+      case 0x67: op = (f3 == 0) ? Op::Jalr : Op::Invalid; break;
+      case 0x73: // SYSTEM
+        if (raw == 0x00000073u)
+            op = Op::Ecall;
+        else if (raw == 0x00100073u)
+            op = Op::Ebreak;
+        break;
+      default:
+        break;
+    }
+
+    if (op == Op::Invalid)
+        return in;
+
+    in.op = op;
+    switch (opInfo(op).type) {
+      case InstrType::R:
+        in.rd = rd; in.rs1 = rs1; in.rs2 = rs2;
+        break;
+      case InstrType::I:
+        in.rd = rd; in.rs1 = rs1; in.imm = immI(raw);
+        // Shift-immediate instructions use only shamt[4:0].
+        if (op == Op::Slli || op == Op::Srli || op == Op::Srai)
+            in.imm &= 0x1F;
+        break;
+      case InstrType::S:
+        in.rs1 = rs1; in.rs2 = rs2; in.imm = immS(raw);
+        break;
+      case InstrType::B:
+        in.rs1 = rs1; in.rs2 = rs2; in.imm = immB(raw);
+        break;
+      case InstrType::U:
+        in.rd = rd; in.imm = immU(raw);
+        break;
+      case InstrType::J:
+        in.rd = rd; in.imm = immJ(raw);
+        break;
+      case InstrType::Sys:
+        break;
+    }
+
+    if (rve) {
+        const bool bad =
+            (writesRd(op) && in.rd >= kNumRegsE) ||
+            (readsRs1(op) && in.rs1 >= kNumRegsE) ||
+            (readsRs2(op) && in.rs2 >= kNumRegsE);
+        if (bad) {
+            in.op = Op::Invalid;
+            return in;
+        }
+    }
+    return in;
+}
+
+uint32_t
+encodeR(Op op, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    const OpInfo &info = opInfo(op);
+    if (info.type != InstrType::R)
+        panic("encodeR(%s): not an R-type op",
+              std::string(info.name).c_str());
+    checkReg(rd); checkReg(rs1); checkReg(rs2);
+    return (uint32_t{info.funct7} << 25) | (rs2 << 20) | (rs1 << 15) |
+        (uint32_t{info.funct3} << 12) | (rd << 7) | info.opcode;
+}
+
+uint32_t
+encodeI(Op op, unsigned rd, unsigned rs1, int32_t imm)
+{
+    const OpInfo &info = opInfo(op);
+    if (info.type != InstrType::I)
+        panic("encodeI(%s): not an I-type op",
+              std::string(info.name).c_str());
+    checkReg(rd); checkReg(rs1);
+    uint32_t imm12;
+    if (op == Op::Slli || op == Op::Srli || op == Op::Srai) {
+        if (imm < 0 || imm > 31)
+            panic("shift amount %d out of range", imm);
+        imm12 = static_cast<uint32_t>(imm) |
+            (uint32_t{info.funct7} << 5);
+    } else {
+        if (!fitsSigned(imm, 12))
+            panic("I-immediate %d out of range", imm);
+        imm12 = static_cast<uint32_t>(imm) & 0xFFF;
+    }
+    return (imm12 << 20) | (rs1 << 15) | (uint32_t{info.funct3} << 12) |
+        (rd << 7) | info.opcode;
+}
+
+uint32_t
+encodeS(Op op, unsigned rs1, unsigned rs2, int32_t imm)
+{
+    const OpInfo &info = opInfo(op);
+    if (info.type != InstrType::S)
+        panic("encodeS(%s): not an S-type op",
+              std::string(info.name).c_str());
+    checkReg(rs1); checkReg(rs2);
+    if (!fitsSigned(imm, 12))
+        panic("S-immediate %d out of range", imm);
+    const uint32_t u = static_cast<uint32_t>(imm) & 0xFFF;
+    return (bits(u, 11, 5) << 25) | (rs2 << 20) | (rs1 << 15) |
+        (uint32_t{info.funct3} << 12) | (bits(u, 4, 0) << 7) |
+        info.opcode;
+}
+
+uint32_t
+encodeB(Op op, unsigned rs1, unsigned rs2, int32_t offset)
+{
+    const OpInfo &info = opInfo(op);
+    if (info.type != InstrType::B)
+        panic("encodeB(%s): not a B-type op",
+              std::string(info.name).c_str());
+    checkReg(rs1); checkReg(rs2);
+    if (!fitsSigned(offset, 13) || (offset & 1))
+        panic("branch offset %d invalid", offset);
+    const uint32_t u = static_cast<uint32_t>(offset);
+    return (bit(u, 12) << 31) | (bits(u, 10, 5) << 25) | (rs2 << 20) |
+        (rs1 << 15) | (uint32_t{info.funct3} << 12) |
+        (bits(u, 4, 1) << 8) | (bit(u, 11) << 7) | info.opcode;
+}
+
+uint32_t
+encodeU(Op op, unsigned rd, int32_t imm20)
+{
+    const OpInfo &info = opInfo(op);
+    if (info.type != InstrType::U)
+        panic("encodeU(%s): not a U-type op",
+              std::string(info.name).c_str());
+    checkReg(rd);
+    if (imm20 < -(1 << 19) || imm20 >= (1 << 20))
+        panic("U-immediate %d out of range", imm20);
+    return ((static_cast<uint32_t>(imm20) & 0xFFFFF) << 12) |
+        (rd << 7) | info.opcode;
+}
+
+uint32_t
+encodeJ(Op op, unsigned rd, int32_t offset)
+{
+    const OpInfo &info = opInfo(op);
+    if (info.type != InstrType::J)
+        panic("encodeJ(%s): not a J-type op",
+              std::string(info.name).c_str());
+    checkReg(rd);
+    if (!fitsSigned(offset, 21) || (offset & 1))
+        panic("jal offset %d invalid", offset);
+    const uint32_t u = static_cast<uint32_t>(offset);
+    return (bit(u, 20) << 31) | (bits(u, 10, 1) << 21) |
+        (bit(u, 11) << 20) | (bits(u, 19, 12) << 12) | (rd << 7) |
+        info.opcode;
+}
+
+uint32_t
+encodeSys(Op op)
+{
+    if (op == Op::Ecall)
+        return 0x00000073u;
+    if (op == Op::Ebreak)
+        return 0x00100073u;
+    panic("encodeSys: %s is not a SYSTEM op",
+          std::string(opName(op)).c_str());
+}
+
+std::string
+disassemble(const Instr &in)
+{
+    if (!in.valid())
+        return strFormat(".word 0x%08x", in.raw);
+    const std::string name(opName(in.op));
+    switch (in.type()) {
+      case InstrType::R:
+        return strFormat("%s %s, %s, %s", name.c_str(),
+                         std::string(regName(in.rd)).c_str(),
+                         std::string(regName(in.rs1)).c_str(),
+                         std::string(regName(in.rs2)).c_str());
+      case InstrType::I:
+        if (isLoad(in.op) || in.op == Op::Jalr)
+            return strFormat("%s %s, %d(%s)", name.c_str(),
+                             std::string(regName(in.rd)).c_str(),
+                             in.imm,
+                             std::string(regName(in.rs1)).c_str());
+        return strFormat("%s %s, %s, %d", name.c_str(),
+                         std::string(regName(in.rd)).c_str(),
+                         std::string(regName(in.rs1)).c_str(), in.imm);
+      case InstrType::S:
+        return strFormat("%s %s, %d(%s)", name.c_str(),
+                         std::string(regName(in.rs2)).c_str(), in.imm,
+                         std::string(regName(in.rs1)).c_str());
+      case InstrType::B:
+        return strFormat("%s %s, %s, %d", name.c_str(),
+                         std::string(regName(in.rs1)).c_str(),
+                         std::string(regName(in.rs2)).c_str(), in.imm);
+      case InstrType::U:
+        return strFormat("%s %s, 0x%x", name.c_str(),
+                         std::string(regName(in.rd)).c_str(),
+                         static_cast<uint32_t>(in.imm) >> 12);
+      case InstrType::J:
+        return strFormat("%s %s, %d", name.c_str(),
+                         std::string(regName(in.rd)).c_str(), in.imm);
+      case InstrType::Sys:
+        return name;
+    }
+    panic("unreachable");
+}
+
+std::string
+disassemble(uint32_t raw)
+{
+    return disassemble(decode(raw));
+}
+
+} // namespace rissp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Decoded instruction representation plus encode/decode functions.
+ */
+
+#ifndef RISSP_ISA_INSTR_HH
+#define RISSP_ISA_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/op.hh"
+
+namespace rissp
+{
+
+/**
+ * A decoded RV32E instruction. The immediate is already sign-extended
+ * per the instruction format (shift amounts live in the low 5 bits of
+ * imm for slli/srli/srai).
+ */
+struct Instr
+{
+    uint32_t raw = 0;        ///< encoded word
+    Op op = Op::Invalid;     ///< operation, Invalid if undecodable
+    uint8_t rd = 0;          ///< destination register index
+    uint8_t rs1 = 0;         ///< first source register index
+    uint8_t rs2 = 0;         ///< second source register index
+    int32_t imm = 0;         ///< sign-extended immediate
+
+    bool valid() const { return op != Op::Invalid; }
+    InstrType type() const { return opInfo(op).type; }
+};
+
+/**
+ * Decode a raw 32-bit word.
+ *
+ * @param raw the instruction word
+ * @param rve when true, reject registers >= 16 (RV32E constraint)
+ * @return decoded instruction; op == Op::Invalid on failure
+ */
+Instr decode(uint32_t raw, bool rve = true);
+
+/** Encode an R-type instruction. */
+uint32_t encodeR(Op op, unsigned rd, unsigned rs1, unsigned rs2);
+
+/** Encode an I-type instruction (ALU-immediate, load, or jalr). */
+uint32_t encodeI(Op op, unsigned rd, unsigned rs1, int32_t imm);
+
+/** Encode an S-type store. */
+uint32_t encodeS(Op op, unsigned rs1, unsigned rs2, int32_t imm);
+
+/** Encode a B-type branch; @p offset is a byte offset from this pc. */
+uint32_t encodeB(Op op, unsigned rs1, unsigned rs2, int32_t offset);
+
+/** Encode a U-type instruction; @p imm20 is the 20-bit upper value. */
+uint32_t encodeU(Op op, unsigned rd, int32_t imm20);
+
+/** Encode jal; @p offset is a byte offset from this pc. */
+uint32_t encodeJ(Op op, unsigned rd, int32_t offset);
+
+/** Encode ecall/ebreak. */
+uint32_t encodeSys(Op op);
+
+/** Render @p instr as assembly text, e.g. "addi a0, sp, -4". */
+std::string disassemble(const Instr &instr);
+
+/** Convenience: decode then disassemble a raw word. */
+std::string disassemble(uint32_t raw);
+
+} // namespace rissp
+
+#endif // RISSP_ISA_INSTR_HH

@@ -1,0 +1,186 @@
+#include "isa/op.hh"
+
+#include <array>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+namespace
+{
+
+constexpr uint8_t kOpcOpReg = 0x33;
+constexpr uint8_t kOpcOpImm = 0x13;
+constexpr uint8_t kOpcLoad = 0x03;
+constexpr uint8_t kOpcStore = 0x23;
+constexpr uint8_t kOpcBranch = 0x63;
+constexpr uint8_t kOpcLui = 0x37;
+constexpr uint8_t kOpcAuipc = 0x17;
+constexpr uint8_t kOpcJal = 0x6F;
+constexpr uint8_t kOpcJalr = 0x67;
+constexpr uint8_t kOpcSystem = 0x73;
+constexpr uint8_t kOpcCustom0 = 0x0B;
+
+const std::array<OpInfo, kNumOps> kOpTable = {{
+    {"add", InstrType::R, kOpcOpReg, 0x0, 0x00},
+    {"sub", InstrType::R, kOpcOpReg, 0x0, 0x20},
+    {"sll", InstrType::R, kOpcOpReg, 0x1, 0x00},
+    {"slt", InstrType::R, kOpcOpReg, 0x2, 0x00},
+    {"sltu", InstrType::R, kOpcOpReg, 0x3, 0x00},
+    {"xor", InstrType::R, kOpcOpReg, 0x4, 0x00},
+    {"srl", InstrType::R, kOpcOpReg, 0x5, 0x00},
+    {"sra", InstrType::R, kOpcOpReg, 0x5, 0x20},
+    {"or", InstrType::R, kOpcOpReg, 0x6, 0x00},
+    {"and", InstrType::R, kOpcOpReg, 0x7, 0x00},
+
+    {"addi", InstrType::I, kOpcOpImm, 0x0, 0x00},
+    {"slti", InstrType::I, kOpcOpImm, 0x2, 0x00},
+    {"sltiu", InstrType::I, kOpcOpImm, 0x3, 0x00},
+    {"xori", InstrType::I, kOpcOpImm, 0x4, 0x00},
+    {"ori", InstrType::I, kOpcOpImm, 0x6, 0x00},
+    {"andi", InstrType::I, kOpcOpImm, 0x7, 0x00},
+    {"slli", InstrType::I, kOpcOpImm, 0x1, 0x00},
+    {"srli", InstrType::I, kOpcOpImm, 0x5, 0x00},
+    {"srai", InstrType::I, kOpcOpImm, 0x5, 0x20},
+
+    {"lb", InstrType::I, kOpcLoad, 0x0, 0x00},
+    {"lh", InstrType::I, kOpcLoad, 0x1, 0x00},
+    {"lw", InstrType::I, kOpcLoad, 0x2, 0x00},
+    {"lbu", InstrType::I, kOpcLoad, 0x4, 0x00},
+    {"lhu", InstrType::I, kOpcLoad, 0x5, 0x00},
+
+    {"jalr", InstrType::I, kOpcJalr, 0x0, 0x00},
+
+    {"sb", InstrType::S, kOpcStore, 0x0, 0x00},
+    {"sh", InstrType::S, kOpcStore, 0x1, 0x00},
+    {"sw", InstrType::S, kOpcStore, 0x2, 0x00},
+
+    {"beq", InstrType::B, kOpcBranch, 0x0, 0x00},
+    {"bne", InstrType::B, kOpcBranch, 0x1, 0x00},
+    {"blt", InstrType::B, kOpcBranch, 0x4, 0x00},
+    {"bge", InstrType::B, kOpcBranch, 0x5, 0x00},
+    {"bltu", InstrType::B, kOpcBranch, 0x6, 0x00},
+    {"bgeu", InstrType::B, kOpcBranch, 0x7, 0x00},
+
+    {"lui", InstrType::U, kOpcLui, 0x0, 0x00},
+    {"auipc", InstrType::U, kOpcAuipc, 0x0, 0x00},
+
+    {"jal", InstrType::J, kOpcJal, 0x0, 0x00},
+
+    {"cmul", InstrType::R, kOpcCustom0, 0x0, 0x00},
+
+    {"ecall", InstrType::Sys, kOpcSystem, 0x0, 0x00},
+    {"ebreak", InstrType::Sys, kOpcSystem, 0x0, 0x00},
+}};
+
+const std::unordered_map<std::string_view, Op> &
+nameMap()
+{
+    static const std::unordered_map<std::string_view, Op> map = [] {
+        std::unordered_map<std::string_view, Op> m;
+        for (size_t i = 0; i < kNumOps; ++i)
+            m.emplace(kOpTable[i].name, static_cast<Op>(i));
+        return m;
+    }();
+    return map;
+}
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    if (op >= Op::Invalid)
+        panic("opInfo() on invalid operation");
+    return kOpTable[static_cast<size_t>(op)];
+}
+
+std::string_view
+opName(Op op)
+{
+    return op == Op::Invalid ? "<invalid>" : opInfo(op).name;
+}
+
+std::optional<Op>
+opFromName(std::string_view name)
+{
+    auto it = nameMap().find(name);
+    if (it == nameMap().end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+isCustom(Op op)
+{
+    return op == Op::Cmul;
+}
+
+bool
+isLoad(Op op)
+{
+    return op >= Op::Lb && op <= Op::Lhu;
+}
+
+bool
+isStore(Op op)
+{
+    return op >= Op::Sb && op <= Op::Sw;
+}
+
+bool
+isBranch(Op op)
+{
+    return op >= Op::Beq && op <= Op::Bgeu;
+}
+
+bool
+isJump(Op op)
+{
+    return op == Op::Jal || op == Op::Jalr;
+}
+
+bool
+writesRd(Op op)
+{
+    switch (opInfo(op).type) {
+      case InstrType::R:
+      case InstrType::I:
+      case InstrType::U:
+      case InstrType::J:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readsRs1(Op op)
+{
+    switch (opInfo(op).type) {
+      case InstrType::R:
+      case InstrType::I:
+      case InstrType::S:
+      case InstrType::B:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readsRs2(Op op)
+{
+    switch (opInfo(op).type) {
+      case InstrType::R:
+      case InstrType::S:
+      case InstrType::B:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace rissp

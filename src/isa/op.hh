@@ -1,0 +1,102 @@
+/**
+ * @file
+ * RV32I/E operation enumeration and static metadata.
+ *
+ * The paper's library covers the RV32E base ISA (~40 instructions): the
+ * 37 user-level computational, memory and control-transfer instructions
+ * of RV32I plus ECALL/EBREAK, restricted to 16 registers. FENCE and CSR
+ * instructions are not required by extreme-edge baremetal binaries and
+ * are not part of the paper's instruction hardware block library.
+ */
+
+#ifndef RISSP_ISA_OP_HH
+#define RISSP_ISA_OP_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rissp
+{
+
+/** Every operation in the RV32E subset library. */
+enum class Op : uint8_t
+{
+    // R-type
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    // I-type ALU
+    Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+    // I-type loads
+    Lb, Lh, Lw, Lbu, Lhu,
+    // I-type jump
+    Jalr,
+    // S-type
+    Sb, Sh, Sw,
+    // B-type
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    // U-type
+    Lui, Auipc,
+    // J-type
+    Jal,
+    // custom-0 extension (§6: the library is "fully extendable to
+    // support other groups of RISC-V instructions or even custom
+    // instructions"); cmul is a single-cycle low multiply.
+    Cmul,
+    // SYSTEM
+    Ecall, Ebreak,
+    // sentinel
+    Invalid,
+};
+
+/** Number of valid operations (excludes Invalid). */
+constexpr size_t kNumOps = static_cast<size_t>(Op::Invalid);
+
+/** True for custom-extension operations (not part of base RV32E). */
+bool isCustom(Op op);
+
+/** RISC-V base instruction formats (Table 2 in the paper). */
+enum class InstrType : uint8_t { R, I, S, B, U, J, Sys };
+
+/** Static description of one operation's encoding. */
+struct OpInfo
+{
+    std::string_view name;  ///< canonical lower-case mnemonic
+    InstrType type;         ///< base format
+    uint8_t opcode;         ///< bits [6:0]
+    uint8_t funct3;         ///< bits [14:12] (0 when unused)
+    uint8_t funct7;         ///< bits [31:25] (0 when unused)
+};
+
+/** Metadata for @p op. Passing Op::Invalid is a program error. */
+const OpInfo &opInfo(Op op);
+
+/** Canonical mnemonic for @p op. */
+std::string_view opName(Op op);
+
+/** Reverse lookup: mnemonic to operation. */
+std::optional<Op> opFromName(std::string_view name);
+
+/** True for lb/lh/lw/lbu/lhu. */
+bool isLoad(Op op);
+
+/** True for sb/sh/sw. */
+bool isStore(Op op);
+
+/** True for beq..bgeu. */
+bool isBranch(Op op);
+
+/** True for jal/jalr. */
+bool isJump(Op op);
+
+/** True when the operation writes a destination register. */
+bool writesRd(Op op);
+
+/** True when the operation reads rs1. */
+bool readsRs1(Op op);
+
+/** True when the operation reads rs2. */
+bool readsRs2(Op op);
+
+} // namespace rissp
+
+#endif // RISSP_ISA_OP_HH

@@ -1,0 +1,57 @@
+#include "isa/reg.hh"
+
+#include <array>
+#include <cctype>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+namespace
+{
+
+const std::array<std::string_view, kNumRegsE> kAbiNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+};
+
+} // namespace
+
+std::string_view
+regName(unsigned idx)
+{
+    if (idx >= kNumRegsE)
+        panic("regName(%u): out of range for RV32E", idx);
+    return kAbiNames[idx];
+}
+
+std::optional<unsigned>
+regFromName(std::string_view name)
+{
+    static const std::unordered_map<std::string_view, unsigned> map = [] {
+        std::unordered_map<std::string_view, unsigned> m;
+        for (unsigned i = 0; i < kNumRegsE; ++i)
+            m.emplace(kAbiNames[i], i);
+        m.emplace("fp", 8u); // frame-pointer alias for s0
+        return m;
+    }();
+    auto it = map.find(name);
+    if (it != map.end())
+        return it->second;
+    // Numeric form xN.
+    if (name.size() >= 2 && name[0] == 'x') {
+        unsigned v = 0;
+        for (size_t i = 1; i < name.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(name[i])))
+                return std::nullopt;
+            v = v * 10 + static_cast<unsigned>(name[i] - '0');
+        }
+        if (v < kNumRegsE)
+            return v;
+    }
+    return std::nullopt;
+}
+
+} // namespace rissp

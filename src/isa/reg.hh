@@ -1,0 +1,48 @@
+/**
+ * @file
+ * RV32E register file names and limits.
+ */
+
+#ifndef RISSP_ISA_REG_HH
+#define RISSP_ISA_REG_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rissp
+{
+
+/** RV32E exposes 16 general-purpose registers (x0..x15). */
+constexpr unsigned kNumRegsE = 16;
+
+/** ABI register indices used by the compiler and runtime. */
+namespace reg
+{
+constexpr unsigned zero = 0;
+constexpr unsigned ra = 1;
+constexpr unsigned sp = 2;
+constexpr unsigned gp = 3;
+constexpr unsigned tp = 4;
+constexpr unsigned t0 = 5;
+constexpr unsigned t1 = 6;
+constexpr unsigned t2 = 7;
+constexpr unsigned s0 = 8;
+constexpr unsigned s1 = 9;
+constexpr unsigned a0 = 10;
+constexpr unsigned a1 = 11;
+constexpr unsigned a2 = 12;
+constexpr unsigned a3 = 13;
+constexpr unsigned a4 = 14;
+constexpr unsigned a5 = 15;
+} // namespace reg
+
+/** ABI name ("a0") for register index @p idx. */
+std::string_view regName(unsigned idx);
+
+/** Parse "x7", "a0", "sp", "fp"... into a register index. */
+std::optional<unsigned> regFromName(std::string_view name);
+
+} // namespace rissp
+
+#endif // RISSP_ISA_REG_HH

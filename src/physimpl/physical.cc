@@ -1,0 +1,74 @@
+#include "physimpl/physical.hh"
+
+#include <cmath>
+
+namespace rissp
+{
+
+namespace
+{
+
+/** 16 x 32-bit register file bit count. */
+constexpr double kRfBits = 512.0;
+/** Address decode + word-line drivers for the latch array. */
+constexpr double kRfDecodeGe = 120.0;
+/** RAM-macro density relative to a NAND2 per bit. */
+constexpr double kRamBitGe = 1.2;
+/** Latch-array activity contribution to power (reads dominate). */
+constexpr double kRfActivity = 0.06;
+
+} // namespace
+
+PhysicalModel::PhysicalModel(const FlexIcTech &t) : tech(t)
+{
+}
+
+PhysReport
+PhysicalModel::implement(const SynthReport &synth,
+                         RfStyle rf_style) const
+{
+    PhysReport rpt;
+    rpt.name = synth.name;
+    rpt.numInstrs = synth.subsetSize;
+    rpt.ffCount = synth.ffCount;
+
+    // Routing and buffering grow the combinational netlist.
+    rpt.combGe = synth.combGates * tech.routingOverhead;
+
+    // Clock-tree synthesis: buffer area proportional to the flop
+    // population. On IGZO at 3 V the buffers are large, which is
+    // exactly why Figure 10 inverts the synthesis-area ordering for
+    // the bit-serial, flop-heavy Serv.
+    rpt.ctsGe = synth.ffCount * tech.ctsGePerFf;
+
+    rpt.rfGe = rf_style == RfStyle::LatchArray
+        ? kRfBits * tech.rfLatchAreaGe + kRfDecodeGe
+        : kRfBits * kRamBitGe;
+
+    const double ff_area = synth.ffCount * tech.ffAreaGe;
+    rpt.totalGe = rpt.combGe + ff_area + rpt.ctsGe + rpt.rfGe;
+    // The Figure 10 annotation counts the sequential share of the
+    // standard-cell logic (clock tree and RF macro excluded).
+    rpt.ffAreaFraction = ff_area / (rpt.combGe + ff_area);
+
+    const double um2 = rpt.totalGe * tech.nand2AreaUm2 /
+        tech.placementUtilization;
+    rpt.dieAreaMm2 = um2 / 1.0e6;
+    // Slightly rectangular floorplan, as in the Figure 10 layouts.
+    rpt.dieXUm = std::sqrt(um2) * 1.07;
+    rpt.dieYUm = um2 / rpt.dieXUm;
+
+    // Sign-off power at tech.implKhz: logic at the design's
+    // activities, clock buffers toggling every cycle, the RF at read
+    // activity, plus leakage over the whole die.
+    const double mhz = tech.implKhz / 1000.0;
+    const double units = rpt.combGe * synth.combActivity +
+        synth.ffCount * tech.ffPowerMultiplier * synth.ffActivity +
+        rpt.ctsGe * tech.ctsActivity + rpt.rfGe * kRfActivity;
+    const double dyn_uw = units * tech.dynUwPerGeMhz * mhz;
+    const double static_uw = rpt.totalGe * tech.staticUwPerGe;
+    rpt.powerMw = (dyn_uw + static_uw) / 1000.0;
+    return rpt;
+}
+
+} // namespace rissp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Physical-implementation model (§4.3, Figure 10).
+ *
+ * Takes a synthesis report through the remaining FlexIC backend
+ * steps the paper describes — floorplanning, clock-tree insertion,
+ * place & route — as an analytical model: routing inflates
+ * combinational area, every flip-flop costs clock-tree buffers (the
+ * effect that makes FF-heavy Serv *larger* than two of the three
+ * extreme-edge RISSPs after P&R despite synthesizing smaller), the
+ * register file is placed as a macro, and power is signed off at
+ * 300 kHz / 3 V typical corner.
+ */
+
+#ifndef RISSP_PHYSIMPL_PHYSICAL_HH
+#define RISSP_PHYSIMPL_PHYSICAL_HH
+
+#include "synth/synthesis.hh"
+
+namespace rissp
+{
+
+/** How the register file is realized on die. */
+enum class RfStyle : uint8_t
+{
+    LatchArray,  ///< RISSP: dedicated 16x32 latch-cell array
+    RamMacro,    ///< Serv: RF mapped to on-chip RAM (denser)
+};
+
+/** Figure 10 data for one implemented design. */
+struct PhysReport
+{
+    std::string name;
+    size_t numInstrs = 0;     ///< annotated on the RISSP layouts
+
+    double combGe = 0;        ///< post-route combinational area
+    double ffCount = 0;       ///< flip-flop instances
+    double ctsGe = 0;         ///< clock-tree buffer area
+    double rfGe = 0;          ///< register file macro area
+    double totalGe = 0;       ///< placed NAND2-equivalents
+
+    double dieAreaMm2 = 0;    ///< die area
+    double dieXUm = 0;        ///< die X dimension
+    double dieYUm = 0;        ///< die Y dimension
+    double ffAreaFraction = 0;///< FF share of placed area
+    double powerMw = 0;       ///< total power at the sign-off point
+};
+
+/** The backend flow. */
+class PhysicalModel
+{
+  public:
+    explicit PhysicalModel(
+        const FlexIcTech &tech = FlexIcTech::defaults());
+
+    /** Implement a synthesized design at tech.implKhz. */
+    PhysReport implement(const SynthReport &synth,
+                         RfStyle rf_style) const;
+
+  private:
+    const FlexIcTech &tech;
+};
+
+} // namespace rissp
+
+#endif // RISSP_PHYSIMPL_PHYSICAL_HH

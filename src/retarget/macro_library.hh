@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Expansion bodies for the code-retargeting flow (§5, Figure 11).
+ *
+ * The paper prompts an LLM for each unsupported instruction and
+ * verifies the returned macro, retrying on failure (< 10 attempts).
+ * This module is the generative stand-in: for every retargetable
+ * instruction it can produce several candidate macro bodies — the
+ * correct derivation plus plausible-but-wrong variants (off-by-one
+ * two's complement, dropped sign fill, inverted branch sense, ...)
+ * that exercise the reject-and-retry loop exactly as a hallucinating
+ * model would.
+ *
+ * Macro calling conventions (the tool rewrites call sites into these
+ * canonical forms):
+ *   R-type:        __rt_<op> rd, rs1, rs2
+ *   I-type ALU:    __rt_<op> rd, rs1, imm
+ *   loads:         __rt_<op> rd, base, off
+ *   stores:        __rt_<op> src, base, off
+ *   branches:      __rt_<op> rs1, rs2, target
+ *   lui:           __rt_lui  rd, hi10, lo10   (tool-computed halves)
+ *
+ * Register discipline: bodies may clobber only rd; ra (and t0 in
+ * store bodies) are used as scratch but saved/restored on the stack.
+ * Operand registers are read before anything is written. The
+ * verifier checks every alias combination the rewritten program can
+ * contain, so a body that violates the discipline is rejected.
+ */
+
+#ifndef RISSP_RETARGET_MACRO_LIBRARY_HH
+#define RISSP_RETARGET_MACRO_LIBRARY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/op.hh"
+
+namespace rissp
+{
+
+/** True when a macro expansion exists for @p op. */
+bool canRetarget(Op op);
+
+/** The correct macro body for @p op (without .macro/.endm frame). */
+std::string correctMacroBody(Op op);
+
+/** Plausible-but-wrong variants of @p op's body (may be empty). */
+std::vector<std::string> buggyMacroBodies(Op op);
+
+/** Macro parameter list for @p op, e.g. "rd, rs1, rs2". */
+std::string macroParams(Op op);
+
+/** Macro name for @p op, e.g. "__rt_sub". */
+std::string macroName(Op op);
+
+/** Wrap a body into a complete .macro definition. */
+std::string wrapMacro(Op op, const std::string &body);
+
+} // namespace rissp
+
+#endif // RISSP_RETARGET_MACRO_LIBRARY_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Model of Serv, "the world's smallest 32-bit RISC-V processor"
+ * (olofk/serv), the paper's second baseline.
+ *
+ * Serv is a bit-serial RV32I core; the paper configures it for RV32E
+ * (16 registers) with the register file mapped to on-chip memory. Two
+ * things matter for the comparisons and are modelled here:
+ *
+ *  1. timing/energy: one instruction takes ~32 bit-serial steps plus
+ *     per-class overheads, so CPI ~ 32+ (§4.2.4) — run a program and
+ *     this model counts cycles per retired instruction class;
+ *  2. hardware cost: a tiny 1-bit datapath but a large state budget —
+ *     ~60% of placed area is flip-flops (Figure 10), which makes Serv
+ *     faster (short paths), small at synthesis, yet power-hungry (FF =
+ *     10x NAND2 power) and clock-tree-heavy at P&R.
+ */
+
+#ifndef RISSP_SERV_SERV_MODEL_HH
+#define RISSP_SERV_SERV_MODEL_HH
+
+#include "sim/refsim.hh"
+#include "synth/synthesis.hh"
+
+namespace rissp
+{
+
+/** Cycle/instruction statistics for a Serv run. */
+struct ServRunStats
+{
+    uint64_t cycles = 0;      ///< bit-serial cycles consumed
+    uint64_t instret = 0;     ///< instructions retired
+    RunResult result;         ///< functional outcome
+
+    double cpi() const
+    {
+        return instret ? static_cast<double>(cycles) /
+            static_cast<double>(instret) : 0.0;
+    }
+};
+
+/** The Serv baseline. */
+class ServModel
+{
+  public:
+    explicit ServModel(const FlexIcTech &tech = FlexIcTech::defaults());
+
+    /** Cycle cost of one retired instruction (bit-serial schedule). */
+    static uint64_t cyclesFor(const RetireEvent &ev);
+
+    /** Execute a program, counting serial cycles (functional behaviour
+     *  delegates to the golden ISS; Serv is ISA-compatible). */
+    ServRunStats run(const Program &program,
+                     uint64_t maxSteps = 100'000'000) const;
+
+    /** Synthesis-comparable cost report (Figures 6-8). */
+    SynthReport synthReport() const;
+
+    /** Average CPI the paper quotes for EPI calculations. */
+    static constexpr double kNominalCpi = 32.0;
+
+  private:
+    const FlexIcTech &tech;
+};
+
+} // namespace rissp
+
+#endif // RISSP_SERV_SERV_MODEL_HH

@@ -1,0 +1,81 @@
+#include "sim/memory.hh"
+
+namespace rissp
+{
+
+const Memory::Page *
+Memory::findPage(uint32_t addr) const
+{
+    auto it = pages.find(addr / kPageBytes);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+Memory::Page &
+Memory::touchPage(uint32_t addr)
+{
+    auto &slot = pages[addr / kPageBytes];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+uint8_t
+Memory::loadByte(uint32_t addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr % kPageBytes] : 0;
+}
+
+uint16_t
+Memory::loadHalf(uint32_t addr) const
+{
+    return static_cast<uint16_t>(loadByte(addr)) |
+        (static_cast<uint16_t>(loadByte(addr + 1)) << 8);
+}
+
+uint32_t
+Memory::loadWord(uint32_t addr) const
+{
+    return static_cast<uint32_t>(loadHalf(addr)) |
+        (static_cast<uint32_t>(loadHalf(addr + 2)) << 16);
+}
+
+void
+Memory::storeByte(uint32_t addr, uint8_t value)
+{
+    touchPage(addr)[addr % kPageBytes] = value;
+}
+
+void
+Memory::storeHalf(uint32_t addr, uint16_t value)
+{
+    storeByte(addr, static_cast<uint8_t>(value));
+    storeByte(addr + 1, static_cast<uint8_t>(value >> 8));
+}
+
+void
+Memory::storeWord(uint32_t addr, uint32_t value)
+{
+    storeHalf(addr, static_cast<uint16_t>(value));
+    storeHalf(addr + 2, static_cast<uint16_t>(value >> 16));
+}
+
+void
+Memory::storeBlock(uint32_t addr, const uint8_t *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i)
+        storeByte(addr + static_cast<uint32_t>(i), data[i]);
+}
+
+std::vector<uint8_t>
+Memory::loadBlock(uint32_t addr, size_t len) const
+{
+    std::vector<uint8_t> out(len);
+    for (size_t i = 0; i < len; ++i)
+        out[i] = loadByte(addr + static_cast<uint32_t>(i));
+    return out;
+}
+
+} // namespace rissp

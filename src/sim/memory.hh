@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Byte-addressable sparse memory shared by the simulators.
+ *
+ * Little-endian, allocated in 4 KiB pages on first touch. Unwritten
+ * locations read as zero, matching an idealized zero-initialized SRAM.
+ */
+
+#ifndef RISSP_SIM_MEMORY_HH
+#define RISSP_SIM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace rissp
+{
+
+/** Sparse little-endian memory. */
+class Memory
+{
+  public:
+    static constexpr uint32_t kPageBytes = 4096;
+
+    uint8_t loadByte(uint32_t addr) const;
+    uint16_t loadHalf(uint32_t addr) const;
+    uint32_t loadWord(uint32_t addr) const;
+
+    void storeByte(uint32_t addr, uint8_t value);
+    void storeHalf(uint32_t addr, uint16_t value);
+    void storeWord(uint32_t addr, uint32_t value);
+
+    /** Copy a block of bytes into memory. */
+    void storeBlock(uint32_t addr, const uint8_t *data, size_t len);
+
+    /** Copy a block of bytes out of memory. */
+    std::vector<uint8_t> loadBlock(uint32_t addr, size_t len) const;
+
+    /** Drop all pages. */
+    void clear() { pages.clear(); }
+
+    /** Number of touched pages (for tests). */
+    size_t touchedPages() const { return pages.size(); }
+
+  private:
+    using Page = std::array<uint8_t, kPageBytes>;
+
+    const Page *findPage(uint32_t addr) const;
+    Page &touchPage(uint32_t addr);
+
+    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages;
+};
+
+} // namespace rissp
+
+#endif // RISSP_SIM_MEMORY_HH

@@ -1,0 +1,51 @@
+#include "sim/program.hh"
+
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+void
+Program::load(Memory &mem) const
+{
+    for (const Segment &seg : segments)
+        mem.storeBlock(seg.base, seg.bytes.data(), seg.bytes.size());
+}
+
+size_t
+Program::imageBytes() const
+{
+    size_t total = 0;
+    for (const Segment &seg : segments)
+        total += seg.bytes.size();
+    return total;
+}
+
+std::vector<uint32_t>
+Program::textWords() const
+{
+    Memory mem;
+    load(mem);
+    std::vector<uint32_t> words;
+    words.reserve(textSize / 4);
+    for (uint32_t a = textBase; a + 3 < textBase + textSize; a += 4)
+        words.push_back(mem.loadWord(a));
+    return words;
+}
+
+uint32_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols.count(name) != 0;
+}
+
+} // namespace rissp

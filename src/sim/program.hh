@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Flat program image produced by the assembler and consumed by the
+ * simulators and the subset extractor. Plays the role of the ELF the
+ * paper's gcc flow produces, without the container format.
+ */
+
+#ifndef RISSP_SIM_PROGRAM_HH
+#define RISSP_SIM_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/memory.hh"
+
+namespace rissp
+{
+
+/** One loadable segment of a program image. */
+struct Segment
+{
+    uint32_t base = 0;            ///< load address
+    std::vector<uint8_t> bytes;   ///< contents
+};
+
+/** An assembled/linked program. */
+struct Program
+{
+    std::vector<Segment> segments;         ///< loadable contents
+    uint32_t entry = 0;                    ///< initial pc
+    uint32_t textBase = 0;                 ///< start of code
+    uint32_t textSize = 0;                 ///< code bytes
+    std::map<std::string, uint32_t> symbols; ///< label addresses
+
+    /** Copy all segments into @p mem. */
+    void load(Memory &mem) const;
+
+    /** Total bytes across segments (paper's "codesize" metric uses
+     *  textSize; this is the whole image). */
+    size_t imageBytes() const;
+
+    /** All instruction words in the text section, in address order. */
+    std::vector<uint32_t> textWords() const;
+
+    /** Address of a symbol; fatal() if absent. */
+    uint32_t symbol(const std::string &name) const;
+
+    /** True when the symbol table defines @p name. */
+    bool hasSymbol(const std::string &name) const;
+};
+
+} // namespace rissp
+
+#endif // RISSP_SIM_PROGRAM_HH

@@ -1,0 +1,236 @@
+#include "sim/refsim.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+RefSim::RefSim()
+{
+    regs.fill(0);
+}
+
+void
+RefSim::reset(const Program &program)
+{
+    pcReg = program.entry;
+    regs.fill(0);
+    mem.clear();
+    program.load(mem);
+    stopped = StopReason::Running;
+    retired = 0;
+    outWords.clear();
+    outText.clear();
+}
+
+void
+RefSim::setReg(unsigned idx, uint32_t value)
+{
+    if (idx >= kNumRegsE)
+        panic("setReg(%u): out of range", idx);
+    if (idx != 0)
+        regs[idx] = value;
+}
+
+RetireEvent
+RefSim::step()
+{
+    RetireEvent ev;
+    ev.order = retired;
+    ev.pc = pcReg;
+
+    const uint32_t raw = mem.loadWord(pcReg);
+    ev.raw = raw;
+    const Instr in = decode(raw);
+    ev.op = in.op;
+
+    if (!in.valid()) {
+        ev.trap = true;
+        stopped = StopReason::Trapped;
+        return ev;
+    }
+
+    const uint32_t rs1 = readsRs1(in.op) ? regs[in.rs1] : 0;
+    const uint32_t rs2 = readsRs2(in.op) ? regs[in.rs2] : 0;
+    if (readsRs1(in.op)) { ev.rs1 = in.rs1; ev.rs1Data = rs1; }
+    if (readsRs2(in.op)) { ev.rs2 = in.rs2; ev.rs2Data = rs2; }
+
+    uint32_t next_pc = pcReg + 4;
+    uint32_t rd_val = 0;
+    bool write_rd = writesRd(in.op);
+    const uint32_t imm = static_cast<uint32_t>(in.imm);
+
+    switch (in.op) {
+      case Op::Add: rd_val = rs1 + rs2; break;
+      case Op::Sub: rd_val = rs1 - rs2; break;
+      case Op::Sll: rd_val = rs1 << (rs2 & 31); break;
+      case Op::Slt:
+        rd_val = asSigned(rs1) < asSigned(rs2) ? 1 : 0;
+        break;
+      case Op::Sltu: rd_val = rs1 < rs2 ? 1 : 0; break;
+      case Op::Xor: rd_val = rs1 ^ rs2; break;
+      case Op::Srl: rd_val = rs1 >> (rs2 & 31); break;
+      case Op::Sra:
+        rd_val = asUnsigned(asSigned(rs1) >> (rs2 & 31));
+        break;
+      case Op::Or: rd_val = rs1 | rs2; break;
+      case Op::And: rd_val = rs1 & rs2; break;
+      case Op::Cmul: rd_val = rs1 * rs2; break;
+
+      case Op::Addi: rd_val = rs1 + imm; break;
+      case Op::Slti:
+        rd_val = asSigned(rs1) < in.imm ? 1 : 0;
+        break;
+      case Op::Sltiu: rd_val = rs1 < imm ? 1 : 0; break;
+      case Op::Xori: rd_val = rs1 ^ imm; break;
+      case Op::Ori: rd_val = rs1 | imm; break;
+      case Op::Andi: rd_val = rs1 & imm; break;
+      case Op::Slli: rd_val = rs1 << (imm & 31); break;
+      case Op::Srli: rd_val = rs1 >> (imm & 31); break;
+      case Op::Srai:
+        rd_val = asUnsigned(asSigned(rs1) >> (imm & 31));
+        break;
+
+      case Op::Lb:
+      case Op::Lh:
+      case Op::Lw:
+      case Op::Lbu:
+      case Op::Lhu: {
+        const uint32_t addr = rs1 + imm;
+        ev.memRead = true;
+        ev.memAddr = addr;
+        switch (in.op) {
+          case Op::Lb:
+            rd_val = asUnsigned(sext(mem.loadByte(addr), 8));
+            ev.memBytes = 1;
+            break;
+          case Op::Lbu:
+            rd_val = mem.loadByte(addr);
+            ev.memBytes = 1;
+            break;
+          case Op::Lh:
+            rd_val = asUnsigned(sext(mem.loadHalf(addr), 16));
+            ev.memBytes = 2;
+            break;
+          case Op::Lhu:
+            rd_val = mem.loadHalf(addr);
+            ev.memBytes = 2;
+            break;
+          default:
+            rd_val = mem.loadWord(addr);
+            ev.memBytes = 4;
+            break;
+        }
+        ev.memData = rd_val;
+        break;
+      }
+
+      case Op::Sb:
+      case Op::Sh:
+      case Op::Sw: {
+        const uint32_t addr = rs1 + imm;
+        ev.memWrite = true;
+        ev.memAddr = addr;
+        ev.memData = rs2;
+        if (addr == mmio::kPutWord && in.op == Op::Sw) {
+            outWords.push_back(rs2);
+            ev.memBytes = 4;
+        } else if (addr == mmio::kPutChar) {
+            outText.push_back(static_cast<char>(rs2 & 0xFF));
+            ev.memBytes = in.op == Op::Sb ? 1 : in.op == Op::Sh ? 2 : 4;
+        } else {
+            switch (in.op) {
+              case Op::Sb:
+                mem.storeByte(addr, static_cast<uint8_t>(rs2));
+                ev.memBytes = 1;
+                break;
+              case Op::Sh:
+                mem.storeHalf(addr, static_cast<uint16_t>(rs2));
+                ev.memBytes = 2;
+                break;
+              default:
+                mem.storeWord(addr, rs2);
+                ev.memBytes = 4;
+                break;
+            }
+        }
+        break;
+      }
+
+      case Op::Beq: if (rs1 == rs2) next_pc = pcReg + imm; break;
+      case Op::Bne: if (rs1 != rs2) next_pc = pcReg + imm; break;
+      case Op::Blt:
+        if (asSigned(rs1) < asSigned(rs2)) next_pc = pcReg + imm;
+        break;
+      case Op::Bge:
+        if (asSigned(rs1) >= asSigned(rs2)) next_pc = pcReg + imm;
+        break;
+      case Op::Bltu: if (rs1 < rs2) next_pc = pcReg + imm; break;
+      case Op::Bgeu: if (rs1 >= rs2) next_pc = pcReg + imm; break;
+
+      case Op::Lui: rd_val = imm; break;
+      case Op::Auipc: rd_val = pcReg + imm; break;
+
+      case Op::Jal:
+        rd_val = pcReg + 4;
+        next_pc = pcReg + imm;
+        break;
+      case Op::Jalr:
+        rd_val = pcReg + 4;
+        next_pc = (rs1 + imm) & ~1u;
+        break;
+
+      case Op::Ecall:
+      case Op::Ebreak:
+        ev.halt = true;
+        stopped = StopReason::Halted;
+        break;
+
+      case Op::Invalid:
+        panic("unreachable: invalid op past decode check");
+    }
+
+    if (write_rd && in.rd != 0) {
+        regs[in.rd] = rd_val;
+        ev.rd = in.rd;
+        ev.rdData = rd_val;
+    } else if (write_rd) {
+        ev.rd = 0;
+        ev.rdData = 0;
+    }
+
+    if (!ev.halt)
+        pcReg = next_pc;
+    ev.nextPc = pcReg;
+    ++retired;
+    return ev;
+}
+
+RunResult
+RefSim::run(uint64_t maxSteps)
+{
+    RunResult result;
+    for (uint64_t i = 0; i < maxSteps; ++i) {
+        RetireEvent ev = step();
+        if (ev.halt) {
+            result.reason = StopReason::Halted;
+            result.exitCode = regs[reg::a0];
+            result.instret = retired;
+            result.stopPc = ev.pc;
+            return result;
+        }
+        if (ev.trap) {
+            result.reason = StopReason::Trapped;
+            result.instret = retired;
+            result.stopPc = ev.pc;
+            return result;
+        }
+    }
+    result.reason = StopReason::StepLimit;
+    result.instret = retired;
+    result.stopPc = pcReg;
+    return result;
+}
+
+} // namespace rissp

@@ -1,0 +1,13 @@
+#include "synth/flexic_tech.hh"
+
+namespace rissp
+{
+
+const FlexIcTech &
+FlexIcTech::defaults()
+{
+    static const FlexIcTech tech{};
+    return tech;
+}
+
+} // namespace rissp

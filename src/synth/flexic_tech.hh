@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Process model for Pragmatic's 0.6 µm IGZO-based FlexIC technology.
+ *
+ * The paper's synthesis and physical-implementation numbers come from a
+ * commercial EDA flow on the real PDK; this header is the analytical
+ * stand-in. Constants are calibrated so the full-ISA RISSP-RV32E
+ * baseline lands near the paper's reported operating point (fmax about
+ * 1.7 MHz, average area in the low-thousands of NAND2-equivalents,
+ * average power around 1 mW) and so the three FlexIC-specific facts the
+ * paper leans on hold:
+ *
+ *  1. a flip-flop burns ~10x the power of a NAND2 (§4.2.3);
+ *  2. IGZO gates at 3 V are slow (kHz-MHz, not GHz);
+ *  3. clock-tree buffering for FF-heavy designs is expensive enough to
+ *     invert synthesis-area orderings at P&R (§4.3, Figure 10).
+ */
+
+#ifndef RISSP_SYNTH_FLEXIC_TECH_HH
+#define RISSP_SYNTH_FLEXIC_TECH_HH
+
+namespace rissp
+{
+
+/** Technology constants for the FlexIC process at 3 V, typical corner. */
+struct FlexIcTech
+{
+    // ---- timing ----
+    double gateDelayNs = 15.4;      ///< NAND2 propagation delay
+    double ffClkToQPlusSetupNs = 30.0; ///< sequencing overhead per cycle
+    double fetchDepthLevels = 6.0;  ///< pc mux + IMEM interface levels
+    double switchLevelDelay = 1.2;  ///< ModularEX switch, per select level
+
+    // ---- area ----
+    double ffAreaGe = 4.5;          ///< FF area in NAND2-equivalents
+    double rfLatchAreaGe = 2.2;     ///< register-file bit cell
+    double nand2AreaUm2 = 420.0;    ///< placed NAND2 footprint
+    double placementUtilization = 0.60; ///< core-area utilization
+
+    // ---- power (nominal 3 V) ----
+    /** Dynamic power per NAND2-equivalent per MHz at activity 1. */
+    double dynUwPerGeMhz = 1.0;
+    /** FF power relative to a NAND2 gate (paper §4.2.3: 10x). */
+    double ffPowerMultiplier = 10.0;
+    /** Static (leakage) power per NAND2-equivalent. */
+    double staticUwPerGe = 0.004;
+    /** Switching activity of single-cycle RISSP combinational logic. */
+    double risspCombActivity = 0.28;
+    /** Switching activity of RISSP state flops (pc mostly). */
+    double risspFfActivity = 0.41;
+
+    // ---- synthesis behaviour ----
+    double sweepStartKhz = 100.0;   ///< §4.2.1 frequency sweep start
+    double sweepEndKhz = 3000.0;    ///< sweep end (over-constrained)
+    double sweepStepKhz = 25.0;     ///< sweep step
+    /** Area inflation as the target frequency approaches fmax (the
+     *  synthesis tool upsizing/buffering under tighter constraints). */
+    double areaEffortAlpha = 0.12;
+
+    // ---- physical implementation (Figure 10) ----
+    double routingOverhead = 1.12;  ///< post-route comb area growth
+    double ctsGePerFf = 10.0;       ///< clock-tree buffer GE per FF
+    double ctsActivity = 0.55;      ///< clock buffers toggle each cycle
+    double implKhz = 300.0;         ///< §4.3 sign-off frequency
+
+    /** Shared default technology instance. */
+    static const FlexIcTech &defaults();
+};
+
+} // namespace rissp
+
+#endif // RISSP_SYNTH_FLEXIC_TECH_HH

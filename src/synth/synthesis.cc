@@ -1,0 +1,256 @@
+#include "synth/synthesis.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+double
+SynthReport::ffAreaFraction(const FlexIcTech &tech) const
+{
+    const double ff_area = ffCount * tech.ffAreaGe;
+    return ff_area / (combGates + ff_area);
+}
+
+double
+SynthReport::powerAtKhz(double khz, const FlexIcTech &tech) const
+{
+    const double mhz = khz / 1000.0;
+    const double comb_act =
+        combActivity > 0 ? combActivity : tech.risspCombActivity;
+    const double ff_act =
+        ffActivity > 0 ? ffActivity : tech.risspFfActivity;
+    const double units = combGates * comb_act +
+        ffCount * tech.ffPowerMultiplier * ff_act;
+    const double dyn_uw = units * tech.dynUwPerGeMhz * mhz;
+    const double static_uw = baseAreaGe * tech.staticUwPerGe;
+    return (dyn_uw + static_uw) / 1000.0;
+}
+
+double
+SynthReport::epiNanojoules(double cpi, const FlexIcTech &tech) const
+{
+    // EPI = P(fmax) / fmax * CPI (§4.2.4). mW / MHz = nJ.
+    const double p_mw = powerAtKhz(fmaxKhz, tech);
+    return p_mw / (fmaxKhz / 1000.0) * cpi;
+}
+
+SynthesisModel::SynthesisModel(const FlexIcTech &tech,
+                               const HwLibrary &library)
+    : techRef(tech), lib(library)
+{
+}
+
+double
+SynthesisModel::combGatesFor(const InstrSubset &subset,
+                             bool share) const
+{
+    // Resource sharing: each resource kind used by at least one
+    // stitched block is instantiated once (synthesis "maximizing the
+    // resource sharing", §3.3). Per-block decode/imm/switch logic is
+    // private and never shared. With share == false (the ablation),
+    // every block pays for private primitive instances — the
+    // unoptimised stitched netlist before synthesis cleans it up.
+    std::array<bool, kNumResourceKinds> used{};
+    double own = 0.0;
+    double private_datapath = 0.0;
+    auto account = [&](Op op) {
+        const InstructionBlock &block = lib.block(op);
+        for (ResourceKind r : block.resources()) {
+            used[static_cast<size_t>(r)] = true;
+            private_datapath += resourceCost(r).gates;
+        }
+        own += block.ownGates();
+    };
+    for (Op op : subset.ops())
+        account(op);
+    // Halt support is fixed logic in every RISSP.
+    account(Op::Ecall);
+    account(Op::Ebreak);
+
+    double datapath = private_datapath;
+    if (share) {
+        datapath = 0.0;
+        for (size_t i = 0; i < kNumResourceKinds; ++i)
+            if (used[i])
+                datapath += resourceCost(
+                    static_cast<ResourceKind>(i)).gates;
+    }
+    return datapath + own + fixedunits::kFetchCombGe +
+        fixedunits::kRfInterfaceGe;
+}
+
+double
+SynthesisModel::maxBlockDepth(const InstrSubset &subset) const
+{
+    unsigned depth = 0;
+    for (Op op : subset.ops())
+        depth = std::max(depth, lib.block(op).pathDepth());
+    depth = std::max(depth, lib.block(Op::Ecall).pathDepth());
+    return depth;
+}
+
+SynthReport
+SynthesisModel::synthesize(const InstrSubset &subset,
+                           const std::string &name) const
+{
+    return synthesizeInternal(subset, name, /*share=*/true);
+}
+
+SynthReport
+SynthesisModel::synthesizeUnshared(const InstrSubset &subset,
+                                   const std::string &name) const
+{
+    return synthesizeInternal(subset, name, /*share=*/false);
+}
+
+SynthReport
+SynthesisModel::synthesizeInternal(const InstrSubset &subset,
+                                   const std::string &name,
+                                   bool share) const
+{
+    if (subset.empty())
+        fatal("cannot synthesize an empty instruction subset");
+
+    SynthReport rpt;
+    rpt.name = name;
+    rpt.subsetSize = subset.size();
+    rpt.combGates = combGatesFor(subset, share);
+    rpt.ffCount = fixedunits::kFfCount;
+    rpt.baseAreaGe = rpt.combGates + rpt.ffCount * techRef.ffAreaGe;
+    rpt.combActivity = techRef.risspCombActivity;
+    rpt.ffActivity = techRef.risspFfActivity;
+
+    // Timing: deepest stitched block + the ModularEX switch (select
+    // depth grows with the number of blocks) + fetch, then the flop
+    // sequencing overhead.
+    const double switch_levels =
+        ceilLog2(static_cast<uint32_t>(subset.size() + 2)) *
+        techRef.switchLevelDelay;
+    const double logic_levels = maxBlockDepth(subset) +
+        switch_levels + techRef.fetchDepthLevels;
+    rpt.criticalPathNs = logic_levels * techRef.gateDelayNs +
+        techRef.ffClkToQPlusSetupNs;
+
+    // Frequency sweep, §4.2.1: 100 kHz start, +25 kHz steps, stop at
+    // 3 MHz. fmax = highest target with positive slack.
+    double sum_area = 0.0;
+    double sum_power = 0.0;
+    size_t met_points = 0;
+    const double fmax_raw = 1.0e6 / rpt.criticalPathNs; // kHz
+    for (double f = techRef.sweepStartKhz; f <= techRef.sweepEndKhz;
+         f += techRef.sweepStepKhz) {
+        FreqPoint pt;
+        pt.targetKhz = f;
+        pt.slackNs = 1.0e6 / f - rpt.criticalPathNs;
+        // The tool upsizes and buffers as the constraint tightens.
+        const double effort = f / fmax_raw;
+        pt.areaGe = rpt.baseAreaGe *
+            (1.0 + techRef.areaEffortAlpha * effort * effort * effort);
+        SynthReport at_effort = rpt;
+        at_effort.combGates =
+            rpt.combGates * pt.areaGe / rpt.baseAreaGe;
+        at_effort.baseAreaGe = pt.areaGe;
+        pt.powerMw = at_effort.powerAtKhz(f, techRef);
+        if (pt.met()) {
+            rpt.fmaxKhz = f;
+            sum_area += pt.areaGe;
+            sum_power += pt.powerMw;
+            ++met_points;
+        }
+        rpt.sweep.push_back(pt);
+    }
+    if (met_points == 0)
+        fatal("design '%s' meets no sweep point (path %.0f ns)",
+              name.c_str(), rpt.criticalPathNs);
+    rpt.avgAreaGe = sum_area / static_cast<double>(met_points);
+    rpt.avgPowerMw = sum_power / static_cast<double>(met_points);
+    return rpt;
+}
+
+SynthReport
+SynthesisModel::synthesizePipelined(const InstrSubset &subset,
+                                    const std::string &name) const
+{
+    // Start from the single-cycle design, then split fetch from
+    // execute: the fetch levels leave the critical path, a 32-bit
+    // instruction register plus bubble/flush control joins the flop
+    // count, and the next-pc mux gains a flush leg.
+    SynthReport rpt = synthesizeInternal(subset, name, true);
+    constexpr double kPipelineFfs = 34.0;  // IR + valid/flush bits
+    constexpr double kFlushCtlGe = 45.0;
+    rpt.ffCount += kPipelineFfs;
+    rpt.combGates += kFlushCtlGe;
+    rpt.baseAreaGe = rpt.combGates + rpt.ffCount * techRef.ffAreaGe;
+
+    const double switch_levels =
+        ceilLog2(static_cast<uint32_t>(subset.size() + 2)) *
+        techRef.switchLevelDelay;
+    const double logic_levels =
+        maxBlockDepth(subset) + switch_levels + 1.0; // flush mux
+    rpt.criticalPathNs = logic_levels * techRef.gateDelayNs +
+        techRef.ffClkToQPlusSetupNs;
+
+    // Redo the sweep with the shorter path and the heavier netlist.
+    rpt.sweep.clear();
+    rpt.fmaxKhz = 0.0;
+    double sum_area = 0.0;
+    double sum_power = 0.0;
+    size_t met = 0;
+    const double fmax_raw = 1.0e6 / rpt.criticalPathNs;
+    for (double f = techRef.sweepStartKhz; f <= techRef.sweepEndKhz;
+         f += techRef.sweepStepKhz) {
+        FreqPoint pt;
+        pt.targetKhz = f;
+        pt.slackNs = 1.0e6 / f - rpt.criticalPathNs;
+        const double effort = f / fmax_raw;
+        pt.areaGe = rpt.baseAreaGe *
+            (1.0 + techRef.areaEffortAlpha * effort * effort *
+             effort);
+        SynthReport at_effort = rpt;
+        at_effort.combGates =
+            rpt.combGates * pt.areaGe / rpt.baseAreaGe;
+        at_effort.baseAreaGe = pt.areaGe;
+        pt.powerMw = at_effort.powerAtKhz(f, techRef);
+        if (pt.met()) {
+            rpt.fmaxKhz = f;
+            sum_area += pt.areaGe;
+            sum_power += pt.powerMw;
+            ++met;
+        }
+        rpt.sweep.push_back(pt);
+    }
+    rpt.avgAreaGe = sum_area / static_cast<double>(met);
+    rpt.avgPowerMw = sum_power / static_cast<double>(met);
+    return rpt;
+}
+
+std::map<std::string, double>
+SynthesisModel::resourceBreakdown(const InstrSubset &subset) const
+{
+    std::map<std::string, double> out;
+    std::array<bool, kNumResourceKinds> used{};
+    for (Op op : subset.ops())
+        for (ResourceKind r : lib.block(op).resources())
+            used[static_cast<size_t>(r)] = true;
+    double own = 0.0;
+    for (Op op : subset.ops())
+        own += lib.block(op).ownGates();
+    for (size_t i = 0; i < kNumResourceKinds; ++i) {
+        if (used[i]) {
+            const auto kind = static_cast<ResourceKind>(i);
+            out[std::string(resourceName(kind))] =
+                resourceCost(kind).gates;
+        }
+    }
+    out["block_decode_and_switch"] = own;
+    out["fixed_fetch"] = fixedunits::kFetchCombGe;
+    out["fixed_rf_interface"] = fixedunits::kRfInterfaceGe;
+    return out;
+}
+
+} // namespace rissp

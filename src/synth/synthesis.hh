@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Analytical synthesis model for RISSPs on the FlexIC process.
+ *
+ * Reproduces the §4.2 flow: the unoptimised RISSP (ModularEX stitched
+ * to the fixed units) goes through "synthesis", which here means
+ * resource sharing across instruction hardware blocks, a logic-depth
+ * timing model, and the 100 kHz - 3 MHz / 25 kHz-step frequency sweep
+ * whose positive-slack points produce the averaged area and power the
+ * paper reports (Figures 6-8). The register file is excluded, as in
+ * §4.2 ("Each RISSP is synthesized without the RF").
+ */
+
+#ifndef RISSP_SYNTH_SYNTHESIS_HH
+#define RISSP_SYNTH_SYNTHESIS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "blocks/library.hh"
+#include "core/subset.hh"
+#include "synth/flexic_tech.hh"
+
+namespace rissp
+{
+
+/** One synthesis run at a target frequency from the sweep. */
+struct FreqPoint
+{
+    double targetKhz = 0;   ///< constraint given to "the tool"
+    double slackNs = 0;     ///< positive means timing met
+    double areaGe = 0;      ///< NAND2-equivalent area at this effort
+    double powerMw = 0;     ///< static + dynamic at this frequency
+
+    bool met() const { return slackNs >= 0.0; }
+};
+
+/** Synthesis results for one design. */
+struct SynthReport
+{
+    std::string name;          ///< e.g. "RISSP-armpit"
+    size_t subsetSize = 0;     ///< distinct instructions implemented
+
+    double combGates = 0;      ///< combinational NAND2-equivalents
+    double ffCount = 0;        ///< flip-flop instances
+    double baseAreaGe = 0;     ///< comb + ff area, minimal effort
+    double criticalPathNs = 0; ///< logic + sequencing delay
+    double fmaxKhz = 0;        ///< highest positive-slack sweep point
+
+    std::vector<FreqPoint> sweep; ///< full 25 kHz-step sweep
+
+    double avgAreaGe = 0;      ///< mean area over positive-slack points
+    double avgPowerMw = 0;     ///< mean power over positive-slack points
+
+    /** Switching activities used for this design's power numbers
+     *  (bit-serial designs toggle more of their logic per cycle than
+     *  single-cycle datapaths, where only one block is enabled). */
+    double combActivity = 0;
+    double ffActivity = 0;
+
+    /** FF share of placed area (Figure 10 annotates this). */
+    double ffAreaFraction(const FlexIcTech &tech) const;
+
+    /** Power at an arbitrary operating point (mW). */
+    double powerAtKhz(double khz, const FlexIcTech &tech) const;
+
+    /** Energy per instruction at fmax (nJ), given a CPI (§4.2.4). */
+    double epiNanojoules(double cpi, const FlexIcTech &tech) const;
+};
+
+/** The synthesis engine. */
+class SynthesisModel
+{
+  public:
+    explicit SynthesisModel(
+        const FlexIcTech &tech = FlexIcTech::defaults(),
+        const HwLibrary &library = HwLibrary::instance());
+
+    /** Synthesize a RISSP for @p subset. */
+    SynthReport synthesize(const InstrSubset &subset,
+                           const std::string &name) const;
+
+    /**
+     * Ablation: synthesize the *unoptimised* RISSP, i.e. skip the
+     * resource-sharing step ("redundancy removal by synthesis
+     * tools", Figure 2 Step 3). Every block keeps private copies of
+     * its datapath primitives — what stitching alone would produce.
+     */
+    SynthReport synthesizeUnshared(const InstrSubset &subset,
+                                   const std::string &name) const;
+
+    /**
+     * §6 extension: a two-stage (fetch | execute) pipelined RISSP.
+     * The fetch path leaves the critical path (only the ModularEX
+     * side remains), an instruction register and bubble control add
+     * flops, and taken control transfers cost a one-cycle bubble, so
+     * CPI > 1. @p taken_fraction is the dynamic share of taken
+     * branches/jumps (measure it with Rissp + ModularEx counters).
+     */
+    SynthReport synthesizePipelined(const InstrSubset &subset,
+                                    const std::string &name) const;
+
+    /** CPI of the two-stage pipeline for a given taken fraction. */
+    static double
+    pipelinedCpi(double taken_fraction)
+    {
+        return 1.0 + taken_fraction; // one bubble per taken transfer
+    }
+
+    /** Shared-resource breakdown for reports/ablations:
+     *  resource kind -> NAND2-equivalents contributed. */
+    std::map<std::string, double>
+    resourceBreakdown(const InstrSubset &subset) const;
+
+    const FlexIcTech &tech() const { return techRef; }
+
+  private:
+    double combGatesFor(const InstrSubset &subset,
+                        bool share) const;
+    double maxBlockDepth(const InstrSubset &subset) const;
+    SynthReport synthesizeInternal(const InstrSubset &subset,
+                                   const std::string &name,
+                                   bool share) const;
+
+    const FlexIcTech &techRef;
+    const HwLibrary &lib;
+};
+
+/** Fixed-unit costs stitched around ModularEX (Figure 3). */
+namespace fixedunits
+{
+/** Fetch: pc incrementer + next-pc mux + IMEM interface. */
+constexpr double kFetchCombGe = 250.0;
+/** Register file read/write port glue (the RF array itself is
+ *  excluded at synthesis, per §4.2). */
+constexpr double kRfInterfaceGe = 80.0;
+/** Program counter flops + a couple of control flops. */
+constexpr double kFfCount = 34.0;
+} // namespace fixedunits
+
+} // namespace rissp
+
+#endif // RISSP_SYNTH_SYNTHESIS_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the ISA, blocks and simulators.
+ */
+
+#ifndef RISSP_UTIL_BITS_HH
+#define RISSP_UTIL_BITS_HH
+
+#include <cstdint>
+
+namespace rissp
+{
+
+/** Extract bits [hi:lo] of @p value (inclusive, hi >= lo). */
+constexpr uint32_t
+bits(uint32_t value, unsigned hi, unsigned lo)
+{
+    const uint32_t mask = (hi - lo >= 31)
+        ? 0xFFFFFFFFu
+        : ((1u << (hi - lo + 1)) - 1u);
+    return (value >> lo) & mask;
+}
+
+/** Extract a single bit of @p value. */
+constexpr uint32_t
+bit(uint32_t value, unsigned pos)
+{
+    return (value >> pos) & 1u;
+}
+
+/** Sign-extend the low @p width bits of @p value to 32 bits. */
+constexpr int32_t
+sext(uint32_t value, unsigned width)
+{
+    const unsigned shift = 32 - width;
+    return static_cast<int32_t>(value << shift) >> shift;
+}
+
+/** Reinterpret an unsigned word as signed. */
+constexpr int32_t
+asSigned(uint32_t value)
+{
+    return static_cast<int32_t>(value);
+}
+
+/** Reinterpret a signed word as unsigned. */
+constexpr uint32_t
+asUnsigned(int32_t value)
+{
+    return static_cast<uint32_t>(value);
+}
+
+/** True when @p value fits in a signed immediate of @p width bits. */
+constexpr bool
+fitsSigned(int64_t value, unsigned width)
+{
+    const int64_t lo = -(int64_t{1} << (width - 1));
+    const int64_t hi = (int64_t{1} << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** Ceil(log2(n)) for n >= 1; 0 for n <= 1. */
+constexpr unsigned
+ceilLog2(uint32_t n)
+{
+    unsigned r = 0;
+    uint32_t v = 1;
+    while (v < n) {
+        v <<= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace rissp
+
+#endif // RISSP_UTIL_BITS_HH

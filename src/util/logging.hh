@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic() flags an internal invariant violation (a bug in this library)
+ * and aborts; fatal() flags a user error (bad input, malformed assembly,
+ * unsupported source construct) and exits with code 1; warn()/inform()
+ * report conditions without stopping.
+ */
+
+#ifndef RISSP_UTIL_LOGGING_HH
+#define RISSP_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rissp
+{
+
+/** Abort with a formatted message: something that should never happen. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message: the input was at fault. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr and keep going. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format printf-style arguments into a std::string. */
+std::string vstrFormat(const char *fmt, va_list args);
+
+/** Format printf-style arguments into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace rissp
+
+#endif // RISSP_UTIL_LOGGING_HH

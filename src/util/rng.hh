@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small deterministic RNG (xorshift*) so verification runs, mutation
+ * sampling and random program generation are reproducible across
+ * machines and standard-library versions.
+ */
+
+#ifndef RISSP_UTIL_RNG_HH
+#define RISSP_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace rissp
+{
+
+/** Deterministic 64-bit xorshift* generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Uniform 32-bit value. */
+    uint32_t next32() { return static_cast<uint32_t>(next() >> 32); }
+
+    /** Uniform value in [0, bound) for bound >= 1. */
+    uint32_t
+    below(uint32_t bound)
+    {
+        return bound <= 1 ? 0 : next32() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int32_t
+    range(int32_t lo, int32_t hi)
+    {
+        return lo + static_cast<int32_t>(
+            below(static_cast<uint32_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool chance(uint32_t num, uint32_t den) { return below(den) < num; }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace rissp
+
+#endif // RISSP_UTIL_RNG_HH

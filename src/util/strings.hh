@@ -1,0 +1,40 @@
+/**
+ * @file
+ * String helpers used by the assembler, compiler and report printers.
+ */
+
+#ifndef RISSP_UTIL_STRINGS_HH
+#define RISSP_UTIL_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rissp
+{
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a delimiter character, keeping empty fields. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace, dropping empty fields. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Case-sensitive prefix test. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Case-sensitive suffix test. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 std::string_view sep);
+
+} // namespace rissp
+
+#endif // RISSP_UTIL_STRINGS_HH

@@ -1,0 +1,288 @@
+#include "verify/block_verify.hh"
+
+#include "isa/reg.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+#include "verify/spec.hh"
+
+namespace rissp
+{
+
+namespace
+{
+
+/** ISA corner-case operand values (the directed part of the
+ *  Architecture Test SIG vectors). */
+const uint32_t kCornerValues[] = {
+    0x00000000, 0x00000001, 0xFFFFFFFF, 0x7FFFFFFF, 0x80000000,
+    0x0000FFFF, 0xFFFF0000, 0x00008000, 0xAAAAAAAA, 0x55555555,
+    0x00000080, 0xFFFFFF7F, 0x7FFFFFFE, 0x80000001,
+};
+
+/** Random encodable instruction of operation @p op. */
+Instr
+randomInstr(Op op, Rng &rng)
+{
+    const unsigned rd = rng.below(kNumRegsE);
+    const unsigned rs1 = rng.below(kNumRegsE);
+    const unsigned rs2 = rng.below(kNumRegsE);
+    uint32_t word = 0;
+    switch (opInfo(op).type) {
+      case InstrType::R:
+        word = encodeR(op, rd, rs1, rs2);
+        break;
+      case InstrType::I:
+        if (op == Op::Slli || op == Op::Srli || op == Op::Srai)
+            word = encodeI(op, rd, rs1, rng.range(0, 31));
+        else
+            word = encodeI(op, rd, rs1, rng.range(-2048, 2047));
+        break;
+      case InstrType::S:
+        word = encodeS(op, rs1, rs2, rng.range(-2048, 2047));
+        break;
+      case InstrType::B:
+        word = encodeB(op, rs1, rs2, rng.range(-2048, 2047) * 2);
+        break;
+      case InstrType::U:
+        word = encodeU(op, rd,
+                       rng.range(-(1 << 19), (1 << 19) - 1));
+        break;
+      case InstrType::J:
+        word = encodeJ(op, rd,
+                       rng.range(-(1 << 19), (1 << 19) - 1) * 2);
+        break;
+      case InstrType::Sys:
+        word = encodeSys(op);
+        break;
+    }
+    return decode(word);
+}
+
+} // namespace
+
+std::vector<BlockVector>
+blockVectors(Op op, uint64_t seed, unsigned num_random)
+{
+    Rng rng(seed ^ (static_cast<uint64_t>(op) << 32));
+    std::vector<BlockVector> out;
+
+    // Directed: every pair of corner operand values.
+    for (uint32_t a : kCornerValues) {
+        for (uint32_t b : kCornerValues) {
+            BlockVector v;
+            v.in.pc = 0x1000;
+            v.in.insn = randomInstr(op, rng);
+            v.in.rs1Data = a;
+            v.in.rs2Data = b;
+            v.loadData = a ^ b;
+            out.push_back(v);
+        }
+    }
+    // Constrained-random fills.
+    for (unsigned i = 0; i < num_random; ++i) {
+        BlockVector v;
+        v.in.pc = rng.next32() & ~3u;
+        v.in.insn = randomInstr(op, rng);
+        v.in.rs1Data = rng.next32();
+        v.in.rs2Data = rng.next32();
+        v.loadData = rng.next32();
+        out.push_back(v);
+    }
+    return out;
+}
+
+TestbenchReport
+runBlockTestbench(Op op, const std::vector<BlockVector> &vecs,
+                  const Mutation *mut)
+{
+    const InstructionBlock &block = HwLibrary::instance().block(op);
+    TestbenchReport rpt;
+    rpt.op = op;
+    for (const BlockVector &v : vecs) {
+        ++rpt.vectorsRun;
+        const BlockOutputs out = block.execute(v.in, mut);
+        const SpecEffect fx = specExecute(v.in.insn, v.in.pc,
+                                          v.in.rs1Data, v.in.rs2Data);
+        std::string diff;
+        if (out.halt != fx.halt)
+            diff = "halt flag";
+        else if (!fx.halt && out.nextPc != fx.nextPc)
+            diff = strFormat("next_pc 0x%08x != 0x%08x", out.nextPc,
+                             fx.nextPc);
+        else if (out.memRead != fx.memRead ||
+                 out.memWrite != fx.memWrite)
+            diff = "memory strobes";
+        else if (fx.memRead &&
+                 (out.memAddr != fx.memAddr ||
+                  out.memBytes != fx.memBytes ||
+                  out.memSignExtend != fx.memSignExtend))
+            diff = "load request";
+        else if (fx.memWrite &&
+                 (out.memAddr != fx.memAddr ||
+                  out.memBytes != fx.memBytes ||
+                  out.memWdata != fx.storeValue))
+            diff = "store request";
+        else if (fx.writesRd != out.rdWrite)
+            diff = "rd write strobe";
+        else if (fx.writesRd && !fx.memRead) {
+            const uint32_t expect =
+                v.in.insn.rd == 0 ? 0 : fx.rdValue;
+            if (out.rdData != expect)
+                diff = strFormat("rd value 0x%08x != 0x%08x",
+                                 out.rdData, expect);
+        }
+        if (diff.empty() && fx.memRead) {
+            // Phase 2 of the load: lane select and extension.
+            const uint32_t got = block.extendLoadData(v.loadData,
+                                                      mut);
+            const uint32_t expect =
+                specExtendLoad(op, v.loadData);
+            if (got != expect)
+                diff = strFormat("load extend 0x%08x != 0x%08x",
+                                 got, expect);
+        }
+        if (!diff.empty()) {
+            if (rpt.mismatches == 0)
+                rpt.firstFailure = strFormat(
+                    "%s: %s (rs1=0x%08x rs2=0x%08x)",
+                    std::string(opName(op)).c_str(), diff.c_str(),
+                    v.in.rs1Data, v.in.rs2Data);
+            ++rpt.mismatches;
+        }
+    }
+    return rpt;
+}
+
+std::vector<PropertyResult>
+checkBlockProperties(Op op, const std::vector<BlockVector> &vecs)
+{
+    const InstructionBlock &block = HwLibrary::instance().block(op);
+    PropertyResult p_x0{"x0_never_written_nonzero", 0};
+    PropertyResult p_linear{"nonbranch_nextpc_is_pc_plus_4", 0};
+    PropertyResult p_ports{"mem_ports_exclusive_and_typed", 0};
+    PropertyResult p_halt{"halt_only_on_system_ops", 0};
+    PropertyResult p_align{"control_transfer_parity", 0};
+    PropertyResult p_strobe{"rd_strobe_matches_format", 0};
+
+    const bool transfers = isBranch(op) || isJump(op);
+    for (const BlockVector &v : vecs) {
+        const BlockOutputs out = block.execute(v.in);
+        if (out.rdWrite && out.rdAddr == 0 && out.rdData != 0)
+            ++p_x0.violations;
+        if (!transfers && !out.halt &&
+            out.nextPc != v.in.pc + 4)
+            ++p_linear.violations;
+        if ((out.memRead && out.memWrite) ||
+            (out.memRead && !isLoad(op)) ||
+            (out.memWrite && !isStore(op)))
+            ++p_ports.violations;
+        if (out.halt != (op == Op::Ecall || op == Op::Ebreak))
+            ++p_halt.violations;
+        // Branch/jal immediates are even, so an even pc must yield an
+        // even next_pc; jalr clears bit 0 by specification.
+        if (transfers && (v.in.pc & 1) == 0 && (out.nextPc & 1))
+            ++p_align.violations;
+        if (out.rdWrite != writesRd(op))
+            ++p_strobe.violations;
+    }
+    return {p_x0, p_linear, p_ports, p_halt, p_align, p_strobe};
+}
+
+std::vector<Mutation>
+mutationCatalogue()
+{
+    using K = Mutation::Kind;
+    std::vector<Mutation> all;
+    for (unsigned bit_i : {0u, 1u, 7u, 15u, 16u, 30u, 31u}) {
+        all.push_back({K::StuckSumBit, bit_i});
+        all.push_back({K::CarryChainBreak, bit_i});
+    }
+    for (unsigned stage = 0; stage < 5; ++stage)
+        all.push_back({K::DropShiftStage, stage});
+    all.push_back({K::ShiftNoArith, 0});
+    all.push_back({K::InvertLt, 0});
+    for (unsigned byte_i = 0; byte_i < 4; ++byte_i)
+        all.push_back({K::EqIgnoreByte, byte_i});
+    all.push_back({K::WrongSignExt, 0});
+    all.push_back({K::StoreLaneStuck, 0});
+    all.push_back({K::BranchPolarity, 0});
+    all.push_back({K::LinkDrop, 0});
+    all.push_back({K::ImmOffByOne, 0});
+    return all;
+}
+
+MutationReport
+runMutationCoverage(Op op, const std::vector<BlockVector> &vecs)
+{
+    const InstructionBlock &block = HwLibrary::instance().block(op);
+    MutationReport rpt;
+    rpt.op = op;
+    for (const Mutation &mut : mutationCatalogue()) {
+        ++rpt.mutantsGenerated;
+        // Equivalence filter (the "formal" MCY step): a mutant whose
+        // outputs match the unmutated block on every vector cannot
+        // matter for this op and is excluded.
+        bool differs = false;
+        for (const BlockVector &v : vecs) {
+            const BlockOutputs a = block.execute(v.in);
+            const BlockOutputs b = block.execute(v.in, &mut);
+            bool d = a.nextPc != b.nextPc ||
+                a.rdWrite != b.rdWrite || a.rdData != b.rdData ||
+                a.memRead != b.memRead ||
+                a.memWrite != b.memWrite ||
+                a.memAddr != b.memAddr ||
+                a.memWdata != b.memWdata ||
+                a.memBytes != b.memBytes || a.halt != b.halt;
+            if (!d && isLoad(op))
+                d = block.extendLoadData(v.loadData) !=
+                    block.extendLoadData(v.loadData, &mut);
+            if (d) {
+                differs = true;
+                break;
+            }
+        }
+        if (!differs) {
+            ++rpt.mutantsEquivalent;
+            continue;
+        }
+        // The testbench must fail on this mutant.
+        TestbenchReport tb = runBlockTestbench(op, vecs, &mut);
+        if (tb.passed())
+            rpt.survivors.push_back(mut.describe());
+        else
+            ++rpt.mutantsKilled;
+    }
+    return rpt;
+}
+
+BlockCert
+certifyBlock(Op op, uint64_t seed, unsigned num_random)
+{
+    const std::vector<BlockVector> vecs =
+        blockVectors(op, seed, num_random);
+    BlockCert cert;
+    TestbenchReport tb = runBlockTestbench(op, vecs);
+    cert.functional = tb.passed();
+    cert.vectorsRun = tb.vectorsRun;
+
+    MutationReport mc = runMutationCoverage(op, vecs);
+    cert.mutationCovered = mc.fullCoverage();
+    cert.mutantsKilled = mc.mutantsKilled;
+    cert.mutantsTotal = mc.mutantsGenerated;
+
+    bool properties_ok = true;
+    for (const PropertyResult &p : checkBlockProperties(op, vecs))
+        if (p.violations != 0)
+            properties_ok = false;
+    cert.formal = properties_ok;
+    return cert;
+}
+
+void
+certifyLibrary(HwLibrary &library, uint64_t seed, unsigned num_random)
+{
+    for (Op op : library.ops())
+        library.certify(op, certifyBlock(op, seed, num_random));
+}
+
+} // namespace rissp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The Figure 4 pre-verification flow for instruction hardware blocks:
+ *
+ *  (2) a per-block testbench driving directed + constrained-random
+ *      vectors against the specification semantics (the Architecture
+ *      Test SIG vectors analog);
+ *  (3) testbench self-checking via mutation coverage (the MCY
+ *      analog): netlist-level faults are injected into the structural
+ *      block and the testbench must catch every non-equivalent one;
+ *  (4) property assertions over the block interfaces (the SVA +
+ *      SymbiYosys analog), checked exhaustively over the vector set.
+ *
+ * certifyBlock() runs all three and returns the certificate that
+ * admits a block into the pre-verified library.
+ */
+
+#ifndef RISSP_VERIFY_BLOCK_VERIFY_HH
+#define RISSP_VERIFY_BLOCK_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "blocks/library.hh"
+#include "util/rng.hh"
+
+namespace rissp
+{
+
+/** One stimulus for a block testbench. */
+struct BlockVector
+{
+    BlockInputs in;
+    uint32_t loadData = 0;    ///< raw DMEM data for load blocks
+};
+
+/** Deterministic vector set for @p op: ISA corner cases plus
+ *  constrained-random fills. */
+std::vector<BlockVector> blockVectors(Op op, uint64_t seed,
+                                      unsigned num_random);
+
+/** Result of a block testbench run. */
+struct TestbenchReport
+{
+    Op op = Op::Invalid;
+    unsigned vectorsRun = 0;
+    unsigned mismatches = 0;
+    std::string firstFailure;  ///< description of the first mismatch
+
+    bool passed() const { return mismatches == 0; }
+};
+
+/** Drive the structural block against the spec on every vector;
+ *  @p mut optionally injects a fault (used by mutation coverage). */
+TestbenchReport runBlockTestbench(Op op,
+                                  const std::vector<BlockVector> &vecs,
+                                  const Mutation *mut = nullptr);
+
+/** One property-assertion outcome. */
+struct PropertyResult
+{
+    std::string name;
+    unsigned violations = 0;
+};
+
+/** Interface/architectural invariants, checked over the vector set:
+ *  x0 writes, pc+4 default next-pc, port exclusivity, halt onlyness,
+ *  target alignment. */
+std::vector<PropertyResult>
+checkBlockProperties(Op op, const std::vector<BlockVector> &vecs);
+
+/** Mutation-coverage outcome (the testbench self-check). */
+struct MutationReport
+{
+    Op op = Op::Invalid;
+    unsigned mutantsGenerated = 0;
+    unsigned mutantsEquivalent = 0;  ///< output-identical: filtered
+    unsigned mutantsKilled = 0;
+    std::vector<std::string> survivors; ///< live non-equivalent mutants
+
+    bool
+    fullCoverage() const
+    {
+        return mutantsKilled + mutantsEquivalent == mutantsGenerated;
+    }
+};
+
+/** All mutation kinds applicable to any block, parameterized. */
+std::vector<Mutation> mutationCatalogue();
+
+/** Inject every catalogue mutant into @p op's block and check the
+ *  testbench kills each non-equivalent one. */
+MutationReport runMutationCoverage(Op op,
+                                   const std::vector<BlockVector> &vecs);
+
+/** Run the complete Figure 4 flow for one block. */
+BlockCert certifyBlock(Op op, uint64_t seed = 0xB10C,
+                       unsigned num_random = 400);
+
+/** Certify every block and record the results in @p library. */
+void certifyLibrary(HwLibrary &library, uint64_t seed = 0xB10C,
+                    unsigned num_random = 400);
+
+} // namespace rissp
+
+#endif // RISSP_VERIFY_BLOCK_VERIFY_HH

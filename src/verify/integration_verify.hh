@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Integration-level verification of generated RISSPs (§3.4.2):
+ *
+ *  - architectural signature tests per instruction (the RISCOF flow:
+ *    run directed tests on the RISSP, compare the signature a golden
+ *    reference produces — our RefSim plays Spike);
+ *  - RVFI retirement-trace monitors (the riscv-formal flow): pc
+ *    chaining, register-file consistency, memory access legality;
+ *  - lock-step co-simulation on constrained-random programs.
+ */
+
+#ifndef RISSP_VERIFY_INTEGRATION_VERIFY_HH
+#define RISSP_VERIFY_INTEGRATION_VERIFY_HH
+
+#include "core/rissp.hh"
+#include "core/subset.hh"
+#include "sim/refsim.hh"
+
+namespace rissp
+{
+
+/** RVFI monitor verdict. */
+struct MonitorReport
+{
+    uint64_t eventsChecked = 0;
+    std::vector<std::string> violations;
+
+    bool passed() const { return violations.empty(); }
+};
+
+/** Check an RVFI stream for per-event and chaining invariants. */
+MonitorReport checkRvfiStream(const std::vector<RetireEvent> &events);
+
+/** Lock-step co-simulation verdict. */
+struct CosimReport
+{
+    bool passed = false;
+    uint64_t instret = 0;
+    std::string firstDivergence;
+    MonitorReport monitor;   ///< RVFI checks on the RISSP's stream
+};
+
+/**
+ * Run @p program on a RISSP built for @p subset and on the reference
+ * ISS, comparing every retirement event, the final register file and
+ * the final memory signature region (symbol "signature", when the
+ * program defines it).
+ */
+CosimReport cosimulate(const Program &program,
+                       const InstrSubset &subset,
+                       uint64_t max_steps = 10'000'000);
+
+/**
+ * Directed architectural test for one instruction: a program that
+ * exercises the op on corner operands and stores results to the
+ * signature region.
+ */
+Program archTestProgram(Op op);
+
+/** Constrained-random terminating program (forward branches only),
+ *  for trace-level fuzzing of RISSP vs reference. */
+Program randomProgram(uint64_t seed, unsigned num_instrs,
+                      const InstrSubset &subset);
+
+} // namespace rissp
+
+#endif // RISSP_VERIFY_INTEGRATION_VERIFY_HH

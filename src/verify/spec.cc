@@ -1,0 +1,136 @@
+#include "verify/spec.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+SpecEffect
+specExecute(const Instr &in, uint32_t pc, uint32_t rs1, uint32_t rs2)
+{
+    SpecEffect fx;
+    fx.nextPc = pc + 4;
+    const uint32_t imm = static_cast<uint32_t>(in.imm);
+    const int32_t simm = in.imm;
+
+    auto set_rd = [&](uint32_t v) {
+        fx.writesRd = true;
+        fx.rdValue = v;
+    };
+
+    switch (in.op) {
+      case Op::Add: set_rd(rs1 + rs2); break;
+      case Op::Sub: set_rd(rs1 - rs2); break;
+      case Op::Sll: set_rd(rs1 << (rs2 & 31)); break;
+      case Op::Slt:
+        set_rd(asSigned(rs1) < asSigned(rs2) ? 1 : 0);
+        break;
+      case Op::Sltu: set_rd(rs1 < rs2 ? 1 : 0); break;
+      case Op::Xor: set_rd(rs1 ^ rs2); break;
+      case Op::Srl: set_rd(rs1 >> (rs2 & 31)); break;
+      case Op::Sra:
+        set_rd(asUnsigned(asSigned(rs1) >> (rs2 & 31)));
+        break;
+      case Op::Or: set_rd(rs1 | rs2); break;
+      case Op::And: set_rd(rs1 & rs2); break;
+      case Op::Cmul: set_rd(rs1 * rs2); break;
+      case Op::Addi: set_rd(rs1 + imm); break;
+      case Op::Slti: set_rd(asSigned(rs1) < simm ? 1 : 0); break;
+      case Op::Sltiu: set_rd(rs1 < imm ? 1 : 0); break;
+      case Op::Xori: set_rd(rs1 ^ imm); break;
+      case Op::Ori: set_rd(rs1 | imm); break;
+      case Op::Andi: set_rd(rs1 & imm); break;
+      case Op::Slli: set_rd(rs1 << (imm & 31)); break;
+      case Op::Srli: set_rd(rs1 >> (imm & 31)); break;
+      case Op::Srai:
+        set_rd(asUnsigned(asSigned(rs1) >> (imm & 31)));
+        break;
+      case Op::Lb:
+      case Op::Lbu:
+        fx.memRead = true;
+        fx.memAddr = rs1 + imm;
+        fx.memBytes = 1;
+        fx.memSignExtend = in.op == Op::Lb;
+        fx.writesRd = true;
+        break;
+      case Op::Lh:
+      case Op::Lhu:
+        fx.memRead = true;
+        fx.memAddr = rs1 + imm;
+        fx.memBytes = 2;
+        fx.memSignExtend = in.op == Op::Lh;
+        fx.writesRd = true;
+        break;
+      case Op::Lw:
+        fx.memRead = true;
+        fx.memAddr = rs1 + imm;
+        fx.memBytes = 4;
+        fx.writesRd = true;
+        break;
+      case Op::Sb:
+      case Op::Sh:
+      case Op::Sw:
+        fx.memWrite = true;
+        fx.memAddr = rs1 + imm;
+        fx.memBytes = in.op == Op::Sb ? 1 : in.op == Op::Sh ? 2 : 4;
+        fx.storeValue = rs2;
+        break;
+      case Op::Beq:
+        if (rs1 == rs2) fx.nextPc = pc + imm;
+        break;
+      case Op::Bne:
+        if (rs1 != rs2) fx.nextPc = pc + imm;
+        break;
+      case Op::Blt:
+        if (asSigned(rs1) < asSigned(rs2)) fx.nextPc = pc + imm;
+        break;
+      case Op::Bge:
+        if (asSigned(rs1) >= asSigned(rs2)) fx.nextPc = pc + imm;
+        break;
+      case Op::Bltu:
+        if (rs1 < rs2) fx.nextPc = pc + imm;
+        break;
+      case Op::Bgeu:
+        if (rs1 >= rs2) fx.nextPc = pc + imm;
+        break;
+      case Op::Lui: set_rd(imm); break;
+      case Op::Auipc: set_rd(pc + imm); break;
+      case Op::Jal:
+        set_rd(pc + 4);
+        fx.nextPc = pc + imm;
+        break;
+      case Op::Jalr:
+        set_rd(pc + 4);
+        fx.nextPc = (rs1 + imm) & ~1u;
+        break;
+      case Op::Ecall:
+      case Op::Ebreak:
+        fx.halt = true;
+        break;
+      case Op::Invalid:
+        panic("specExecute on invalid instruction");
+    }
+    return fx;
+}
+
+uint32_t
+specExtendLoad(Op op, uint32_t raw)
+{
+    switch (op) {
+      case Op::Lb:
+        return asUnsigned(sext(raw & 0xFF, 8));
+      case Op::Lbu:
+        return raw & 0xFF;
+      case Op::Lh:
+        return asUnsigned(sext(raw & 0xFFFF, 16));
+      case Op::Lhu:
+        return raw & 0xFFFF;
+      case Op::Lw:
+        return raw;
+      default:
+        panic("specExtendLoad on non-load");
+    }
+}
+
+} // namespace rissp

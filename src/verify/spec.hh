@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Pure ISA specification semantics for single instructions.
+ *
+ * This is the "instruction semantics" golden model the Figure 4 flow
+ * verifies hardware blocks against. It is written with plain C++
+ * operators — a third implementation, independent from both the
+ * reference ISS switch and the structural gate-level blocks.
+ */
+
+#ifndef RISSP_VERIFY_SPEC_HH
+#define RISSP_VERIFY_SPEC_HH
+
+#include "isa/instr.hh"
+
+namespace rissp
+{
+
+/** Architectural effect of one instruction per the ISA manual. */
+struct SpecEffect
+{
+    uint32_t nextPc = 0;
+    bool writesRd = false;
+    uint32_t rdValue = 0;       ///< pre-x0-masking value
+    bool memRead = false;
+    bool memWrite = false;
+    uint32_t memAddr = 0;
+    uint32_t storeValue = 0;
+    unsigned memBytes = 0;
+    bool memSignExtend = false;
+    bool halt = false;
+};
+
+/** Evaluate @p in at @p pc with register operands @p rs1 / @p rs2.
+ *  Loads report address/width/extension; the loaded value is
+ *  produced by specExtendLoad(). */
+SpecEffect specExecute(const Instr &in, uint32_t pc, uint32_t rs1,
+                       uint32_t rs2);
+
+/** Specification load extension (lane select + sign/zero extend). */
+uint32_t specExtendLoad(Op op, uint32_t raw);
+
+} // namespace rissp
+
+#endif // RISSP_VERIFY_SPEC_HH

@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Embench-analog workloads, part 1 (aha-mont64 .. md5sum).
+ *
+ * Each function returns the MiniC source of one benchmark kernel.
+ * The kernels follow the algorithmic skeleton of the original
+ * Embench application (the property that matters here is the
+ * instruction-subset profile each algorithm family induces), sized so
+ * simulated runs finish in well under a second.
+ */
+
+#include "workloads/embench_sources.hh"
+
+namespace rissp::workloads
+{
+
+std::string
+srcAhaMont64()
+{
+    // Montgomery-flavoured modular arithmetic: shift-add modmul and
+    // modexp, heavy on add/sub/shift/compare like the original's
+    // 64-bit Montgomery multiplication.
+    return R"MC(
+unsigned mulmod(unsigned a, unsigned b, unsigned m)
+{
+    unsigned acc = 0;
+    a %= m;
+    while (b) {
+        if (b & 1) {
+            acc += a;
+            if (acc >= m || acc < a) acc -= m;
+        }
+        unsigned a2 = a + a;
+        if (a2 >= m || a2 < a) a2 -= m;
+        a = a2;
+        b >>= 1;
+    }
+    return acc;
+}
+
+unsigned modexp(unsigned base, unsigned e, unsigned m)
+{
+    unsigned r = 1;
+    base %= m;
+    while (e) {
+        if (e & 1) r = mulmod(r, base, m);
+        base = mulmod(base, base, m);
+        e >>= 1;
+    }
+    return r;
+}
+
+int main(void)
+{
+    unsigned m = 2147483647u;       /* 2^31 - 1 */
+    unsigned check = 0;
+    for (unsigned i = 1; i <= 12; i++) {
+        unsigned x = modexp(7u, i * 13u + 1u, m);
+        check ^= x;
+        check = (check << 1) | (check >> 31);
+    }
+    *(int *)0xFFFF0000 = (int)check;
+    return (int)(check & 0xFF);
+}
+)MC";
+}
+
+std::string
+srcCrc32()
+{
+    return R"MC(
+unsigned char buf[256];
+
+unsigned crc32(unsigned char *p, int n)
+{
+    unsigned crc = 0xFFFFFFFFu;
+    for (int i = 0; i < n; i++) {
+        crc ^= p[i];
+        for (int k = 0; k < 8; k++) {
+            if (crc & 1u)
+                crc = (crc >> 1) ^ 0xEDB88320u;
+            else
+                crc >>= 1;
+        }
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+int main(void)
+{
+    for (int i = 0; i < 256; i++)
+        buf[i] = (unsigned char)(i * 7 + 3);
+    unsigned c = crc32(buf, 256);
+    *(int *)0xFFFF0000 = (int)c;
+    return (int)(c & 0xFF);
+}
+)MC";
+}
+
+std::string
+srcCubic()
+{
+    // Cubic root solving; the original uses doubles, this is Q16
+    // fixed point with a bisection/Newton hybrid.
+    return R"MC(
+int icbrt(int x)
+{
+    /* integer cube root by bit-by-bit construction */
+    int y = 0;
+    for (int s = 30; s >= 0; s -= 3) {
+        y += y;
+        int b = 3 * y * (y + 1) + 1;
+        if ((x >> s) >= b) {
+            x -= b << s;
+            y++;
+        }
+    }
+    return y;
+}
+
+int eval_cubic(int a, int b, int c, int d, int x)
+{
+    return ((a * x + b) * x + c) * x + d;
+}
+
+int main(void)
+{
+    int check = 0;
+    for (int v = 1; v < 60; v += 7) {
+        int r = icbrt(v * v * v);
+        if (r != v) check += 1000;
+        check += icbrt(v * 1000);
+    }
+    /* sign changes of a few cubics */
+    for (int x = -8; x <= 8; x++)
+        if (eval_cubic(1, -3, -9, 2, x) > 0)
+            check += x + 16;
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcEdn()
+{
+    // Signal-processing inner loops: MAC-heavy vector multiplies and
+    // an IIR latency kernel, as in the original EDN telecom suite.
+    return R"MC(
+short a_vec[64];
+short b_vec[64];
+int y_out[64];
+
+int vec_mpy(short *y, short *x, int scale)
+{
+    int acc = 0;
+    for (int i = 0; i < 64; i++)
+        acc += (y[i] * x[i]) >> scale;
+    return acc;
+}
+
+void mac(short *y, short *x, int *out)
+{
+    int sum = 0;
+    for (int i = 0; i < 64; i++) {
+        sum += y[i] * x[i];
+        out[i] = sum;
+    }
+}
+
+int main(void)
+{
+    for (int i = 0; i < 64; i++) {
+        a_vec[i] = (short)(i * 3 - 64);
+        b_vec[i] = (short)(127 - i * 2);
+    }
+    int acc = vec_mpy(a_vec, b_vec, 4);
+    mac(a_vec, b_vec, y_out);
+    int check = acc + y_out[63] + y_out[7];
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcHuffbench()
+{
+    // Frequency counting, code-length assignment and bit packing —
+    // the core motions of the original Huffman compressor.
+    return R"MC(
+unsigned char data[192];
+int freq[16];
+int lens[16];
+unsigned packed[64];
+
+void count_freqs(void)
+{
+    for (int i = 0; i < 16; i++) freq[i] = 0;
+    for (int i = 0; i < 192; i++) {
+        freq[data[i] & 15]++;
+        freq[(data[i] >> 4) & 15]++;
+    }
+}
+
+void assign_lengths(void)
+{
+    /* rank by frequency: more frequent -> shorter code */
+    for (int s = 0; s < 16; s++) {
+        int rank = 0;
+        for (int t = 0; t < 16; t++) {
+            if (freq[t] > freq[s]) rank++;
+            if (freq[t] == freq[s] && t < s) rank++;
+        }
+        int len = 2;
+        int budget = 4;
+        while (rank >= budget) {
+            rank -= budget;
+            budget <<= 1;
+            len++;
+        }
+        lens[s] = len;
+    }
+}
+
+int pack_stream(void)
+{
+    int bitpos = 0;
+    for (int i = 0; i < 64; i++) packed[i] = 0;
+    for (int i = 0; i < 192; i++) {
+        int sym = data[i] & 15;
+        int len = lens[sym];
+        unsigned code = (unsigned)(sym + 1) & ((1u << len) - 1u);
+        int word = bitpos >> 5;
+        int off = bitpos & 31;
+        packed[word] |= code << off;
+        if (off + len > 32)
+            packed[word + 1] |= code >> (32 - off);
+        bitpos += len;
+    }
+    return bitpos;
+}
+
+int main(void)
+{
+    unsigned seed = 1u;
+    for (int i = 0; i < 192; i++) {
+        seed = seed * 1103515245u + 12345u;
+        data[i] = (unsigned char)(seed >> 24);
+    }
+    count_freqs();
+    assign_lengths();
+    int bits = pack_stream();
+    unsigned check = (unsigned)bits;
+    for (int i = 0; i < 64; i++)
+        check ^= packed[i];
+    *(int *)0xFFFF0000 = (int)check;
+    return (int)(check & 0xFF);
+}
+)MC";
+}
+
+std::string
+srcMatmultInt()
+{
+    return R"MC(
+int A[16][16];
+int B[16][16];
+int C[16][16];
+
+void matmult(void)
+{
+    for (int i = 0; i < 16; i++) {
+        for (int j = 0; j < 16; j++) {
+            int s = 0;
+            for (int k = 0; k < 16; k++)
+                s += A[i][k] * B[k][j];
+            C[i][j] = s;
+        }
+    }
+}
+
+int main(void)
+{
+    for (int i = 0; i < 16; i++) {
+        for (int j = 0; j < 16; j++) {
+            A[i][j] = i + j;
+            B[i][j] = i - j;
+        }
+    }
+    matmult();
+    int check = 0;
+    for (int i = 0; i < 16; i++)
+        check += C[i][i] + C[i][15 - i];
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcMd5sum()
+{
+    // The genuine MD5 compression function over two 64-byte blocks.
+    return R"MC(
+unsigned K[64] = {
+    0xd76aa478u, 0xe8c7b756u, 0x242070dbu, 0xc1bdceeeu,
+    0xf57c0fafu, 0x4787c62au, 0xa8304613u, 0xfd469501u,
+    0x698098d8u, 0x8b44f7afu, 0xffff5bb1u, 0x895cd7beu,
+    0x6b901122u, 0xfd987193u, 0xa679438eu, 0x49b40821u,
+    0xf61e2562u, 0xc040b340u, 0x265e5a51u, 0xe9b6c7aau,
+    0xd62f105du, 0x02441453u, 0xd8a1e681u, 0xe7d3fbc8u,
+    0x21e1cde6u, 0xc33707d6u, 0xf4d50d87u, 0x455a14edu,
+    0xa9e3e905u, 0xfcefa3f8u, 0x676f02d9u, 0x8d2a4c8au,
+    0xfffa3942u, 0x8771f681u, 0x6d9d6122u, 0xfde5380cu,
+    0xa4beea44u, 0x4bdecfa9u, 0xf6bb4b60u, 0xbebfbc70u,
+    0x289b7ec6u, 0xeaa127fau, 0xd4ef3085u, 0x04881d05u,
+    0xd9d4d039u, 0xe6db99e5u, 0x1fa27cf8u, 0xc4ac5665u,
+    0xf4292244u, 0x432aff97u, 0xab9423a7u, 0xfc93a039u,
+    0x655b59c3u, 0x8f0ccc92u, 0xffeff47du, 0x85845dd1u,
+    0x6fa87e4fu, 0xfe2ce6e0u, 0xa3014314u, 0x4e0811a1u,
+    0xf7537e82u, 0xbd3af235u, 0x2ad7d2bbu, 0xeb86d391u
+};
+int R[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21
+};
+unsigned M[16];
+unsigned H[4] = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+
+unsigned rotl(unsigned x, int s)
+{
+    return (x << s) | (x >> (32 - s));
+}
+
+void md5_block(void)
+{
+    unsigned a = H[0];
+    unsigned b = H[1];
+    unsigned c = H[2];
+    unsigned d = H[3];
+    for (int i = 0; i < 64; i++) {
+        unsigned f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) & 15;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) & 15;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) & 15;
+        }
+        unsigned tmp = d;
+        d = c;
+        c = b;
+        b = b + rotl(a + f + K[i] + M[g], R[i]);
+        a = tmp;
+    }
+    H[0] += a;
+    H[1] += b;
+    H[2] += c;
+    H[3] += d;
+}
+
+int main(void)
+{
+    for (int blk = 0; blk < 2; blk++) {
+        for (int i = 0; i < 16; i++)
+            M[i] = (unsigned)(blk * 16 + i) * 0x01010101u;
+        md5_block();
+    }
+    unsigned check = H[0] ^ H[1] ^ H[2] ^ H[3];
+    *(int *)0xFFFF0000 = (int)check;
+    return (int)(check & 0xFF);
+}
+)MC";
+}
+
+std::string
+srcMinver()
+{
+    // 3x3 fixed-point (Q10) matrix inversion with pivot selection,
+    // following the original minver's Gauss-Jordan structure.
+    return R"MC(
+int mat[3][3];
+int inv[3][3];
+
+int divq(int num, int den)
+{
+    /* Q10 fixed-point divide */
+    return (num << 10) / den;
+}
+
+int mulq(int x, int y)
+{
+    return (x * y) >> 10;
+}
+
+int minver(void)
+{
+    /* start from the identity in Q10 */
+    for (int i = 0; i < 3; i++)
+        for (int j = 0; j < 3; j++)
+            inv[i][j] = (i == j) ? 1024 : 0;
+    for (int col = 0; col < 3; col++) {
+        /* pivot: largest magnitude in this column */
+        int prow = col;
+        for (int r = col + 1; r < 3; r++) {
+            int v = mat[r][col];
+            int w = mat[prow][col];
+            if ((v < 0 ? -v : v) > (w < 0 ? -w : w))
+                prow = r;
+        }
+        if (mat[prow][col] == 0)
+            return -1;
+        if (prow != col) {
+            for (int j = 0; j < 3; j++) {
+                int t = mat[prow][j];
+                mat[prow][j] = mat[col][j];
+                mat[col][j] = t;
+                t = inv[prow][j];
+                inv[prow][j] = inv[col][j];
+                inv[col][j] = t;
+            }
+        }
+        int pivot = mat[col][col];
+        for (int j = 0; j < 3; j++) {
+            mat[col][j] = divq(mat[col][j], pivot);
+            inv[col][j] = divq(inv[col][j], pivot);
+        }
+        for (int r = 0; r < 3; r++) {
+            if (r == col) continue;
+            int factor = mat[r][col];
+            for (int j = 0; j < 3; j++) {
+                mat[r][j] -= mulq(factor, mat[col][j]);
+                inv[r][j] -= mulq(factor, inv[col][j]);
+            }
+        }
+    }
+    return 0;
+}
+
+int main(void)
+{
+    /* Q10 matrix: [[2,1,0],[1,3,1],[0,1,2]] scaled by 1024 */
+    mat[0][0] = 2048; mat[0][1] = 1024; mat[0][2] = 0;
+    mat[1][0] = 1024; mat[1][1] = 3072; mat[1][2] = 1024;
+    mat[2][0] = 0;    mat[2][1] = 1024; mat[2][2] = 2048;
+    int rc = minver();
+    int check = rc == 0 ? 0 : 100000;
+    for (int i = 0; i < 3; i++)
+        for (int j = 0; j < 3; j++)
+            check += inv[i][j] * (i * 3 + j + 1);
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+} // namespace rissp::workloads

@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Embench-analog workloads, part 2 (nbody .. sglib-combined).
+ */
+
+#include "workloads/embench_sources.hh"
+
+namespace rissp::workloads
+{
+
+std::string
+srcNbody()
+{
+    // Fixed-point (Q8) planar n-body step with softened gravity; the
+    // original integrates the outer solar system in doubles.
+    return R"MC(
+int px[5]; int py[5];
+int vx[5]; int vy[5];
+int mass[5];
+
+int isqrt(int x)
+{
+    int r = 0;
+    int bit = 1 << 30;
+    while (bit > x) bit >>= 2;
+    while (bit) {
+        if (x >= r + bit) {
+            x -= r + bit;
+            r = (r >> 1) + bit;
+        } else {
+            r >>= 1;
+        }
+        bit >>= 2;
+    }
+    return r;
+}
+
+void step(void)
+{
+    for (int i = 0; i < 5; i++) {
+        int ax = 0;
+        int ay = 0;
+        for (int j = 0; j < 5; j++) {
+            if (j == i) continue;
+            int dx = px[j] - px[i];
+            int dy = py[j] - py[i];
+            int d2 = ((dx * dx) >> 8) + ((dy * dy) >> 8) + 16;
+            int d = isqrt(d2 << 8);
+            if (d == 0) d = 1;
+            int f = (mass[j] << 8) / (d2);
+            ax += (f * dx) / d;
+            ay += (f * dy) / d;
+        }
+        vx[i] += ax >> 4;
+        vy[i] += ay >> 4;
+    }
+    for (int i = 0; i < 5; i++) {
+        px[i] += vx[i] >> 4;
+        py[i] += vy[i] >> 4;
+    }
+}
+
+int main(void)
+{
+    for (int i = 0; i < 5; i++) {
+        px[i] = (i * 37 - 80) << 8;
+        py[i] = (i * 23 - 40) << 8;
+        vx[i] = 0;
+        vy[i] = 0;
+        mass[i] = 64 + i * 32;
+    }
+    for (int t = 0; t < 24; t++)
+        step();
+    int check = 0;
+    for (int i = 0; i < 5; i++)
+        check += px[i] + py[i] * 3 + vx[i] * 5 + vy[i] * 7;
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcNettleAes()
+{
+    // AES-128 SubBytes/ShiftRows/MixColumns/AddRoundKey over a block,
+    // with the GF(2^8) xtime multiply, as in nettle's aes code.
+    return R"MC(
+unsigned char sbox_seed[16] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+    0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76
+};
+unsigned char sbox[256];
+unsigned char state[16];
+unsigned char rkey[16];
+
+unsigned char xtime(unsigned char x)
+{
+    int v = x << 1;
+    if (x & 0x80) v ^= 0x1b;
+    return (unsigned char)v;
+}
+
+void build_sbox(void)
+{
+    /* synthetic bijective byte table seeded from the real sbox row */
+    for (int i = 0; i < 256; i++) {
+        unsigned char v = sbox_seed[i & 15];
+        v = (unsigned char)(v ^ (i >> 4) ^ (i * 31));
+        sbox[i] = v;
+    }
+}
+
+void sub_bytes(void)
+{
+    for (int i = 0; i < 16; i++)
+        state[i] = sbox[state[i]];
+}
+
+void shift_rows(void)
+{
+    for (int r = 1; r < 4; r++) {
+        for (int k = 0; k < r; k++) {
+            unsigned char t = state[r];
+            state[r] = state[r + 4];
+            state[r + 4] = state[r + 8];
+            state[r + 8] = state[r + 12];
+            state[r + 12] = t;
+        }
+    }
+}
+
+void mix_columns(void)
+{
+    for (int c = 0; c < 4; c++) {
+        unsigned char a0 = state[c * 4];
+        unsigned char a1 = state[c * 4 + 1];
+        unsigned char a2 = state[c * 4 + 2];
+        unsigned char a3 = state[c * 4 + 3];
+        unsigned char all = (unsigned char)(a0 ^ a1 ^ a2 ^ a3);
+        state[c * 4]     ^= all ^ xtime((unsigned char)(a0 ^ a1));
+        state[c * 4 + 1] ^= all ^ xtime((unsigned char)(a1 ^ a2));
+        state[c * 4 + 2] ^= all ^ xtime((unsigned char)(a2 ^ a3));
+        state[c * 4 + 3] ^= all ^ xtime((unsigned char)(a3 ^ a0));
+    }
+}
+
+void add_round_key(int round)
+{
+    for (int i = 0; i < 16; i++)
+        rkey[i] = (unsigned char)(rkey[i] + round * 17 + i);
+    for (int i = 0; i < 16; i++)
+        state[i] ^= rkey[i];
+}
+
+int main(void)
+{
+    build_sbox();
+    for (int i = 0; i < 16; i++) {
+        state[i] = (unsigned char)(i * 11 + 5);
+        rkey[i] = (unsigned char)(0x2b ^ (i * 7));
+    }
+    add_round_key(0);
+    for (int round = 1; round <= 10; round++) {
+        sub_bytes();
+        shift_rows();
+        if (round < 10) mix_columns();
+        add_round_key(round);
+    }
+    int check = 0;
+    for (int i = 0; i < 16; i++)
+        check = (check << 1) ^ state[i];
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcNettleSha256()
+{
+    // The real SHA-256 compression function over one block.
+    return R"MC(
+unsigned Ksha[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u,
+    0x3956c25bu, 0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u,
+    0xd807aa98u, 0x12835b01u, 0x243185beu, 0x550c7dc3u,
+    0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u, 0xc19bf174u,
+    0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau,
+    0x983e5152u, 0xa831c66du, 0xb00327c8u, 0xbf597fc7u,
+    0xc6e00bf3u, 0xd5a79147u, 0x06ca6351u, 0x14292967u,
+    0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu, 0x53380d13u,
+    0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u,
+    0xd192e819u, 0xd6990624u, 0xf40e3585u, 0x106aa070u,
+    0x19a4c116u, 0x1e376c08u, 0x2748774cu, 0x34b0bcb5u,
+    0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu, 0x682e6ff3u,
+    0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u
+};
+unsigned Hsha[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u
+};
+unsigned W[64];
+
+unsigned rotr(unsigned x, int s)
+{
+    return (x >> s) | (x << (32 - s));
+}
+
+void sha_block(void)
+{
+    for (int i = 16; i < 64; i++) {
+        unsigned s0 = rotr(W[i-15], 7) ^ rotr(W[i-15], 18)
+            ^ (W[i-15] >> 3);
+        unsigned s1 = rotr(W[i-2], 17) ^ rotr(W[i-2], 19)
+            ^ (W[i-2] >> 10);
+        W[i] = W[i-16] + s0 + W[i-7] + s1;
+    }
+    unsigned a = Hsha[0]; unsigned b = Hsha[1];
+    unsigned c = Hsha[2]; unsigned d = Hsha[3];
+    unsigned e = Hsha[4]; unsigned f = Hsha[5];
+    unsigned g = Hsha[6]; unsigned h = Hsha[7];
+    for (int i = 0; i < 64; i++) {
+        unsigned S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        unsigned ch = (e & f) ^ (~e & g);
+        unsigned t1 = h + S1 + ch + Ksha[i] + W[i];
+        unsigned S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        unsigned mj = (a & b) ^ (a & c) ^ (b & c);
+        unsigned t2 = S0 + mj;
+        h = g; g = f; f = e;
+        e = d + t1;
+        d = c; c = b; b = a;
+        a = t1 + t2;
+    }
+    Hsha[0] += a; Hsha[1] += b; Hsha[2] += c; Hsha[3] += d;
+    Hsha[4] += e; Hsha[5] += f; Hsha[6] += g; Hsha[7] += h;
+}
+
+int main(void)
+{
+    for (int i = 0; i < 16; i++)
+        W[i] = (unsigned)i * 0x11223344u + 0x55u;
+    sha_block();
+    unsigned check = 0;
+    for (int i = 0; i < 8; i++)
+        check ^= Hsha[i];
+    *(int *)0xFFFF0000 = (int)check;
+    return (int)(check & 0xFF);
+}
+)MC";
+}
+
+std::string
+srcNsichneu()
+{
+    // Petri-net simulation: very many independent guarded updates,
+    // straight-line branchy code with almost no arithmetic variety.
+    return R"MC(
+int P[32];
+
+void fire(void)
+{
+    if (P[0] > 0 && P[1] > 0) { P[0]--; P[1]--; P[2]++; P[3]++; }
+    if (P[2] > 1) { P[2] -= 2; P[4]++; }
+    if (P[3] > 0 && P[4] > 0) { P[3]--; P[4]--; P[5]++; }
+    if (P[5] > 2) { P[5] -= 3; P[6] += 2; }
+    if (P[6] > 0) { P[6]--; P[7]++; P[8]++; }
+    if (P[7] > 0 && P[8] > 0) { P[7]--; P[8]--; P[9]++; }
+    if (P[9] > 1) { P[9] -= 2; P[10]++; P[0]++; }
+    if (P[10] > 0 && P[2] > 0) { P[10]--; P[2]--; P[11]++; }
+    if (P[11] > 0) { P[11]--; P[12]++; P[1]++; }
+    if (P[12] > 2) { P[12] -= 2; P[13]++; }
+    if (P[13] > 0 && P[5] > 0) { P[13]--; P[5]--; P[14]++; }
+    if (P[14] > 0) { P[14]--; P[15]++; P[4]++; }
+    if (P[15] > 1) { P[15] -= 2; P[16]++; }
+    if (P[16] > 0 && P[9] > 0) { P[16]--; P[9]--; P[17]++; }
+    if (P[17] > 0) { P[17]--; P[18]++; P[8]++; }
+    if (P[18] > 0 && P[12] > 0) { P[18]--; P[12]--; P[19]++; }
+    if (P[19] > 1) { P[19] -= 2; P[20]++; P[0]++; }
+    if (P[20] > 0) { P[20]--; P[21]++; P[3]++; }
+    if (P[21] > 0 && P[15] > 0) { P[21]--; P[15]--; P[22]++; }
+    if (P[22] > 0) { P[22]--; P[23]++; P[7]++; }
+    if (P[23] > 2) { P[23] -= 3; P[24]++; }
+    if (P[24] > 0 && P[18] > 0) { P[24]--; P[18]--; P[25]++; }
+    if (P[25] > 0) { P[25]--; P[26]++; P[11]++; }
+    if (P[26] > 1) { P[26] -= 2; P[27]++; }
+    if (P[27] > 0 && P[21] > 0) { P[27]--; P[21]--; P[28]++; }
+    if (P[28] > 0) { P[28]--; P[29]++; P[14]++; }
+    if (P[29] > 0 && P[24] > 0) { P[29]--; P[24]--; P[30]++; }
+    if (P[30] > 1) { P[30] -= 2; P[31]++; P[1]++; }
+    if (P[31] > 3) { P[31] -= 4; P[0] += 2; P[6]++; }
+}
+
+int main(void)
+{
+    for (int i = 0; i < 32; i++)
+        P[i] = (i * 5 + 3) & 7;
+    for (int t = 0; t < 200; t++)
+        fire();
+    int check = 0;
+    for (int i = 0; i < 32; i++)
+        check += P[i] * (i + 1);
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcPicojpeg()
+{
+    // JPEG decode inner kernels: zig-zag reorder, dequantization and
+    // the AAN-style integer 8x8 IDCT rows/columns.
+    return R"MC(
+int blockv[64];
+int quant[64];
+int zigzag_order[64] = {
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63
+};
+int coeffs[64];
+
+void dequant_zigzag(void)
+{
+    for (int i = 0; i < 64; i++)
+        blockv[zigzag_order[i]] = coeffs[i] * quant[i];
+}
+
+void idct_1d(int *v0, int *v1, int *v2, int *v3)
+{
+    int a = *v0 + *v2;
+    int b = *v0 - *v2;
+    int c = (*v1 * 181) >> 7;
+    int d = (*v3 * 181) >> 7;
+    *v0 = a + c;
+    *v1 = b + d;
+    *v2 = b - d;
+    *v3 = a - c;
+}
+
+void idct(void)
+{
+    for (int r = 0; r < 8; r++) {
+        idct_1d(&blockv[r * 8], &blockv[r * 8 + 2],
+                &blockv[r * 8 + 4], &blockv[r * 8 + 6]);
+        idct_1d(&blockv[r * 8 + 1], &blockv[r * 8 + 3],
+                &blockv[r * 8 + 5], &blockv[r * 8 + 7]);
+    }
+    for (int c = 0; c < 8; c++) {
+        idct_1d(&blockv[c], &blockv[16 + c], &blockv[32 + c],
+                &blockv[48 + c]);
+        idct_1d(&blockv[8 + c], &blockv[24 + c], &blockv[40 + c],
+                &blockv[56 + c]);
+    }
+}
+
+int clamp_pixel(int v)
+{
+    v = (v >> 5) + 128;
+    if (v < 0) return 0;
+    if (v > 255) return 255;
+    return v;
+}
+
+int main(void)
+{
+    unsigned seed = 7u;
+    for (int i = 0; i < 64; i++) {
+        quant[i] = 1 + ((i * 3) >> 2);
+        seed = seed * 1103515245u + 12345u;
+        coeffs[i] = (int)((seed >> 20) & 63) - 32;
+        /* sparse high-frequency coefficients, like real JPEG data */
+        if (i > 20 && (i & 3) != 0) coeffs[i] = 0;
+    }
+    int check = 0;
+    for (int mcu = 0; mcu < 6; mcu++) {
+        coeffs[0] = 40 + mcu * 10;
+        dequant_zigzag();
+        idct();
+        for (int i = 0; i < 64; i++)
+            check += clamp_pixel(blockv[i]);
+        check &= 0xFFFFFF;
+    }
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcPrimecount()
+{
+    return R"MC(
+int main(void)
+{
+    /* count primes below 3000 by trial division with wheel-2 */
+    int count = 1; /* 2 */
+    for (int n = 3; n < 3000; n += 2) {
+        int prime = 1;
+        for (int d = 3; d * d <= n; d += 2) {
+            if (n % d == 0) {
+                prime = 0;
+                break;
+            }
+        }
+        count += prime;
+    }
+    *(int *)0xFFFF0000 = count;
+    return count & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcQrduino()
+{
+    // QR code generation kernels: GF(256) arithmetic with log/antilog
+    // tables and Reed-Solomon ECC byte generation.
+    return R"MC(
+unsigned char glog[256];
+unsigned char gexp[256];
+unsigned char data_bytes[26];
+unsigned char ecc[10];
+unsigned char gen_poly[11] = {
+    1, 216, 194, 159, 111, 199, 94, 95, 113, 157, 193
+};
+
+void build_gf_tables(void)
+{
+    int x = 1;
+    for (int i = 0; i < 255; i++) {
+        gexp[i] = (unsigned char)x;
+        glog[x] = (unsigned char)i;
+        x <<= 1;
+        if (x & 0x100) x ^= 0x11d;
+    }
+    gexp[255] = gexp[0];
+}
+
+unsigned char gf_mul(unsigned char a, unsigned char b)
+{
+    if (a == 0 || b == 0) return 0;
+    int s = glog[a] + glog[b];
+    if (s >= 255) s -= 255;
+    return gexp[s];
+}
+
+void rs_encode(void)
+{
+    for (int i = 0; i < 10; i++) ecc[i] = 0;
+    for (int i = 0; i < 26; i++) {
+        unsigned char factor = data_bytes[i] ^ ecc[0];
+        for (int j = 0; j < 9; j++)
+            ecc[j] = ecc[j + 1]
+                ^ gf_mul(factor, gen_poly[j + 1]);
+        ecc[9] = gf_mul(factor, gen_poly[10]);
+    }
+}
+
+int main(void)
+{
+    build_gf_tables();
+    for (int i = 0; i < 26; i++)
+        data_bytes[i] = (unsigned char)(i * 19 + 64);
+    int check = 0;
+    for (int round = 0; round < 4; round++) {
+        data_bytes[0] = (unsigned char)(round + 1);
+        rs_encode();
+        for (int i = 0; i < 10; i++)
+            check = (check << 1) ^ ecc[i];
+        check &= 0xFFFFFF;
+    }
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcSglibCombined()
+{
+    // Container-library torture: array insertion sort, binary search,
+    // and an index-linked list reversal, as the sglib test combines.
+    return R"MC(
+int arr[48];
+int list_val[48];
+int list_next[48];
+
+void insertion_sort(int n)
+{
+    for (int i = 1; i < n; i++) {
+        int key = arr[i];
+        int j = i - 1;
+        while (j >= 0 && arr[j] > key) {
+            arr[j + 1] = arr[j];
+            j--;
+        }
+        arr[j + 1] = key;
+    }
+}
+
+int bsearch_arr(int n, int target)
+{
+    int lo = 0;
+    int hi = n - 1;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (arr[mid] == target) return mid;
+        if (arr[mid] < target) lo = mid + 1;
+        else hi = mid - 1;
+    }
+    return -1;
+}
+
+int reverse_list(int head)
+{
+    int prev = -1;
+    while (head >= 0) {
+        int nxt = list_next[head];
+        list_next[head] = prev;
+        prev = head;
+        head = nxt;
+    }
+    return prev;
+}
+
+int main(void)
+{
+    unsigned seed = 99u;
+    for (int i = 0; i < 48; i++) {
+        seed = seed * 1103515245u + 12345u;
+        arr[i] = (int)((seed >> 16) & 1023);
+        list_val[i] = arr[i];
+        list_next[i] = i + 1 < 48 ? i + 1 : -1;
+    }
+    insertion_sort(48);
+    int check = 0;
+    for (int i = 1; i < 48; i++)
+        if (arr[i - 1] > arr[i]) check += 100000;
+    check += bsearch_arr(48, arr[10]) * 3;
+    check += bsearch_arr(48, -5) + 1;
+    int head = reverse_list(0);
+    int steps = 0;
+    while (head >= 0) {
+        check += list_val[head] * (steps & 3);
+        head = list_next[head];
+        steps++;
+    }
+    check += steps;
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+} // namespace rissp::workloads

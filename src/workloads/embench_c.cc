@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Embench-analog workloads, part 3 (slre .. wikisort).
+ */
+
+#include "workloads/embench_sources.hh"
+
+namespace rissp::workloads
+{
+
+std::string
+srcSlre()
+{
+    // A tiny regex matcher supporting literals, '.', '*' and '$' —
+    // the recursive skeleton of SLRE.
+    return R"MC(
+int match_here(char *re, char *text);
+
+int match_star(int c, char *re, char *text)
+{
+    do {
+        if (match_here(re, text)) return 1;
+    } while (*text != 0 && (*text++ == c || c == '.'));
+    return 0;
+}
+
+int match_here(char *re, char *text)
+{
+    if (re[0] == 0) return 1;
+    if (re[1] == '*') return match_star(re[0], re + 2, text);
+    if (re[0] == '$' && re[1] == 0) return *text == 0;
+    if (*text != 0 && (re[0] == '.' || re[0] == *text))
+        return match_here(re + 1, text + 1);
+    return 0;
+}
+
+int match(char *re, char *text)
+{
+    if (re[0] == '^') return match_here(re + 1, text);
+    do {
+        if (match_here(re, text)) return 1;
+    } while (*text++ != 0);
+    return 0;
+}
+
+char re1[6]  = "ab*c";
+char re2[8]  = "^hel.o$";
+char re3[4]  = "x*y";
+char t1[10] = "xabbbbcz";
+char t2[6]  = "hello";
+char t3[4]  = "zzy";
+char t4[6]  = "world";
+
+int main(void)
+{
+    int check = 0;
+    if (match(re1, t1)) check += 1;
+    if (match(re2, t2)) check += 2;
+    if (match(re3, t3)) check += 4;
+    if (match(re1, t4)) check += 8;   /* no match expected */
+    if (match(re2, t4)) check += 16;  /* no match expected */
+    if (match(re3, t4)) check += 32;  /* x*y: zero x's needs y */
+    *(int *)0xFFFF0000 = check;
+    return check;
+}
+)MC";
+}
+
+std::string
+srcSt()
+{
+    // Statistics kernel (mean, variance, correlation) in Q8 fixed
+    // point; the original uses doubles.
+    return R"MC(
+int xs[64];
+int ys[64];
+
+int isqrt2(int x)
+{
+    int r = 0;
+    int bit = 1 << 30;
+    while (bit > x) bit >>= 2;
+    while (bit) {
+        if (x >= r + bit) {
+            x -= r + bit;
+            r = (r >> 1) + bit;
+        } else {
+            r >>= 1;
+        }
+        bit >>= 2;
+    }
+    return r;
+}
+
+int mean(int *v)
+{
+    int s = 0;
+    for (int i = 0; i < 64; i++) s += v[i];
+    return s / 64;
+}
+
+int variance(int *v, int m)
+{
+    int s = 0;
+    for (int i = 0; i < 64; i++) {
+        int d = v[i] - m;
+        s += (d * d) >> 6;
+    }
+    return s / 64;
+}
+
+int correlation(void)
+{
+    int mx = mean(xs);
+    int my = mean(ys);
+    int sxy = 0;
+    for (int i = 0; i < 64; i++)
+        sxy += ((xs[i] - mx) * (ys[i] - my)) >> 6;
+    int vx = variance(xs, mx);
+    int vy = variance(ys, my);
+    int den = isqrt2(vx) * isqrt2(vy);
+    if (den == 0) return 0;
+    return (sxy / 64 << 8) / den;
+}
+
+int main(void)
+{
+    unsigned seed = 5u;
+    for (int i = 0; i < 64; i++) {
+        seed = seed * 1103515245u + 12345u;
+        xs[i] = (int)((seed >> 20) & 255) << 2;
+        ys[i] = xs[i] + ((int)((seed >> 12) & 63) - 32);
+    }
+    int mx = mean(xs);
+    int vx = variance(xs, mx);
+    int r = correlation();
+    int check = mx + vx * 3 + r * 5;
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcStatemate()
+{
+    // Generated state-machine code: a car-window controller with
+    // many mode flags and guarded transitions, all branches.
+    return R"MC(
+int window_pos;
+int motor_cmd;
+int mode;       /* 0 idle, 1 up, 2 down, 3 blocked, 4 auto-up */
+int key_state;
+int block_sensor;
+int button_up;
+int button_down;
+
+void controller_step(void)
+{
+    if (key_state == 0) {
+        motor_cmd = 0;
+        mode = 0;
+        return;
+    }
+    if (block_sensor && (mode == 1 || mode == 4)) {
+        mode = 3;
+        motor_cmd = -1;
+        return;
+    }
+    if (mode == 3) {
+        if (window_pos > 0) {
+            motor_cmd = -1;
+        } else {
+            motor_cmd = 0;
+            mode = 0;
+        }
+        return;
+    }
+    if (button_up && !button_down) {
+        if (mode == 0) mode = 1;
+        else if (mode == 1) mode = 4;
+        motor_cmd = 1;
+    } else if (button_down && !button_up) {
+        mode = 2;
+        motor_cmd = -1;
+    } else {
+        if (mode == 4) {
+            motor_cmd = 1;
+            if (window_pos >= 100) { mode = 0; motor_cmd = 0; }
+        } else {
+            mode = 0;
+            motor_cmd = 0;
+        }
+    }
+}
+
+int main(void)
+{
+    window_pos = 30;
+    mode = 0;
+    key_state = 1;
+    int check = 0;
+    for (int t = 0; t < 160; t++) {
+        button_up = (t & 7) < 3;
+        button_down = (t & 15) == 9;
+        block_sensor = (t % 37) == 20;
+        key_state = t < 150;
+        controller_step();
+        window_pos += motor_cmd;
+        if (window_pos < 0) window_pos = 0;
+        if (window_pos > 100) window_pos = 100;
+        check += window_pos + mode * 3 + motor_cmd;
+    }
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcTarfind()
+{
+    // Scan a synthetic tar archive for header blocks and checksum
+    // the file names, as tarfind walks 512-byte headers.
+    return R"MC(
+unsigned char archive[2048];
+
+int is_header(int off)
+{
+    /* ustar magic at offset 257 */
+    return archive[off + 257] == 'u'
+        && archive[off + 258] == 's'
+        && archive[off + 259] == 't'
+        && archive[off + 260] == 'a'
+        && archive[off + 261] == 'r';
+}
+
+int octal_size(int off)
+{
+    int v = 0;
+    for (int i = 0; i < 11; i++) {
+        unsigned char c = archive[off + 124 + i];
+        if (c < '0' || c > '7') break;
+        v = v * 8 + (c - '0');
+    }
+    return v;
+}
+
+void put_header(int off, int id, int size)
+{
+    archive[off] = (unsigned char)('a' + id);
+    archive[off + 1] = '.';
+    archive[off + 2] = 't';
+    archive[off + 3] = 0;
+    archive[off + 257] = 'u';
+    archive[off + 258] = 's';
+    archive[off + 259] = 't';
+    archive[off + 260] = 'a';
+    archive[off + 261] = 'r';
+    for (int i = 0; i < 11; i++)
+        archive[off + 124 + i] = '0';
+    int pos = 134;
+    while (size > 0 && pos >= 124) {
+        archive[off + pos] = (unsigned char)('0' + (size & 7));
+        size >>= 3;
+        pos--;
+    }
+}
+
+int main(void)
+{
+    for (int i = 0; i < 2048; i++)
+        archive[i] = 0;
+    put_header(0, 0, 300);
+    put_header(512 + 512, 1, 40);  /* one data block after hdr 0 */
+    put_header(1536, 2, 0);
+    int files = 0;
+    int bytes = 0;
+    int names = 0;
+    int off = 0;
+    while (off + 512 <= 2048) {
+        if (is_header(off)) {
+            int size = octal_size(off);
+            files++;
+            bytes += size;
+            for (int i = 0; archive[off + i] != 0 && i < 100; i++)
+                names += archive[off + i];
+            int blocks = (size + 511) / 512;
+            off += 512 + blocks * 512;
+        } else {
+            off += 512;
+        }
+    }
+    int check = files * 100000 + bytes * 10 + names;
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcUd()
+{
+    // LU decomposition and back-substitution on integers (the
+    // original "ud" solves a small linear system the same way).
+    return R"MC(
+int a_mat[8][8];
+int b_vec[8];
+int x_vec[8];
+
+int lu_solve(void)
+{
+    /* Doolittle elimination, integer arithmetic scaled by 64 */
+    for (int k = 0; k < 7; k++) {
+        if (a_mat[k][k] == 0) return -1;
+        for (int i = k + 1; i < 8; i++) {
+            int f = (a_mat[i][k] << 6) / a_mat[k][k];
+            for (int j = k; j < 8; j++)
+                a_mat[i][j] -= (f * a_mat[k][j]) >> 6;
+            b_vec[i] -= (f * b_vec[k]) >> 6;
+        }
+    }
+    for (int i = 7; i >= 0; i--) {
+        int s = b_vec[i] << 6;
+        for (int j = i + 1; j < 8; j++)
+            s -= a_mat[i][j] * x_vec[j];
+        if (a_mat[i][i] == 0) return -1;
+        x_vec[i] = s / a_mat[i][i];
+    }
+    return 0;
+}
+
+int main(void)
+{
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++)
+            a_mat[i][j] = (i == j) ? 40 + i : (i + j) & 3;
+        b_vec[i] = (i + 1) * 12;
+    }
+    int rc = lu_solve();
+    int check = rc == 0 ? 0 : 1000000;
+    for (int i = 0; i < 8; i++)
+        check += x_vec[i] * (i + 1);
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+std::string
+srcWikisort()
+{
+    // Stable bottom-up merge sort with a fixed scratch buffer, the
+    // heart of wikisort's merge machinery.
+    return R"MC(
+int v[96];
+int scratch[96];
+
+void merge_runs(int lo, int mid, int hi)
+{
+    int i = lo;
+    int j = mid;
+    int k = lo;
+    while (i < mid && j < hi)
+        scratch[k++] = v[j] < v[i] ? v[j++] : v[i++];
+    while (i < mid) scratch[k++] = v[i++];
+    while (j < hi) scratch[k++] = v[j++];
+    for (int t = lo; t < hi; t++)
+        v[t] = scratch[t];
+}
+
+void mergesort_all(int n)
+{
+    for (int width = 1; width < n; width <<= 1) {
+        for (int lo = 0; lo + width < n; lo += width << 1) {
+            int mid = lo + width;
+            int hi = lo + (width << 1);
+            if (hi > n) hi = n;
+            merge_runs(lo, mid, hi);
+        }
+    }
+}
+
+int main(void)
+{
+    unsigned seed = 31u;
+    for (int i = 0; i < 96; i++) {
+        seed = seed * 1103515245u + 12345u;
+        v[i] = (int)((seed >> 16) & 4095) - 2048;
+    }
+    mergesort_all(96);
+    int check = 0;
+    for (int i = 1; i < 96; i++)
+        if (v[i - 1] > v[i]) check += 100000;
+    for (int i = 0; i < 96; i += 7)
+        check += v[i] * (i + 1);
+    *(int *)0xFFFF0000 = check;
+    return check & 0xFF;
+}
+)MC";
+}
+
+} // namespace rissp::workloads

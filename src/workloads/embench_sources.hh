@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Internal registry of workload source generators (one function per
+ * benchmark). Public access goes through workloads.hh.
+ */
+
+#ifndef RISSP_WORKLOADS_EMBENCH_SOURCES_HH
+#define RISSP_WORKLOADS_EMBENCH_SOURCES_HH
+
+#include <string>
+
+namespace rissp::workloads
+{
+
+// part 1
+std::string srcAhaMont64();
+std::string srcCrc32();
+std::string srcCubic();
+std::string srcEdn();
+std::string srcHuffbench();
+std::string srcMatmultInt();
+std::string srcMd5sum();
+std::string srcMinver();
+
+// part 2
+std::string srcNbody();
+std::string srcNettleAes();
+std::string srcNettleSha256();
+std::string srcNsichneu();
+std::string srcPicojpeg();
+std::string srcPrimecount();
+std::string srcQrduino();
+std::string srcSglibCombined();
+
+// part 3
+std::string srcSlre();
+std::string srcSt();
+std::string srcStatemate();
+std::string srcTarfind();
+std::string srcUd();
+std::string srcWikisort();
+
+// extreme edge
+std::string srcArmpit();
+std::string srcXgboost();
+std::string srcAfDetect();
+
+} // namespace rissp::workloads
+
+#endif // RISSP_WORKLOADS_EMBENCH_SOURCES_HH

@@ -1,0 +1,73 @@
+#include "workloads/workloads.hh"
+
+#include "util/logging.hh"
+#include "workloads/embench_sources.hh"
+
+namespace rissp
+{
+
+namespace
+{
+
+std::vector<Workload>
+buildAll()
+{
+    using namespace workloads;
+    std::vector<Workload> all;
+    auto add = [&](const char *name, const char *cat,
+                   std::string src) {
+        all.push_back(Workload{name, cat, std::move(src)});
+    };
+    add("aha-mont64", "embench", srcAhaMont64());
+    add("crc32", "embench", srcCrc32());
+    add("cubic", "embench", srcCubic());
+    add("edn", "embench", srcEdn());
+    add("huffbench", "embench", srcHuffbench());
+    add("matmult-int", "embench", srcMatmultInt());
+    add("md5sum", "embench", srcMd5sum());
+    add("minver", "embench", srcMinver());
+    add("nbody", "embench", srcNbody());
+    add("nettle-aes", "embench", srcNettleAes());
+    add("nettle-sha256", "embench", srcNettleSha256());
+    add("nsichneu", "embench", srcNsichneu());
+    add("picojpeg", "embench", srcPicojpeg());
+    add("primecount", "embench", srcPrimecount());
+    add("qrduino", "embench", srcQrduino());
+    add("sglib-combined", "embench", srcSglibCombined());
+    add("slre", "embench", srcSlre());
+    add("st", "embench", srcSt());
+    add("statemate", "embench", srcStatemate());
+    add("tarfind", "embench", srcTarfind());
+    add("ud", "embench", srcUd());
+    add("wikisort", "embench", srcWikisort());
+    add("armpit", "extreme-edge", srcArmpit());
+    add("xgboost", "extreme-edge", srcXgboost());
+    add("af_detect", "extreme-edge", srcAfDetect());
+    return all;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> all = buildAll();
+    return all;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const Workload &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+extremeEdgeNames()
+{
+    return {"armpit", "xgboost", "af_detect"};
+}
+
+} // namespace rissp

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The evaluation workloads: MiniC versions of the 22 Embench
+ * benchmarks plus the paper's three extreme-edge applications
+ * (armpit, xgboost, af_detect). See DESIGN.md for the substitution
+ * notes — notably, float Embench kernels are fixed-point here, which
+ * matches the integer-only RV32E baremetal target the paper compiles
+ * for.
+ *
+ * Every workload is self-checking: main() computes a checksum over
+ * its results and returns it (exit code = a0 at the halting ecall),
+ * optionally streaming intermediate values to the MMIO word port so
+ * co-simulation has memory traffic to compare.
+ */
+
+#ifndef RISSP_WORKLOADS_WORKLOADS_HH
+#define RISSP_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+namespace rissp
+{
+
+/** One benchmark program. */
+struct Workload
+{
+    std::string name;       ///< paper's Table 3 name
+    std::string category;   ///< "embench" or "extreme-edge"
+    std::string source;     ///< MiniC source text
+};
+
+/** All 25 workloads in the paper's Table 3 order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Lookup by name; fatal() when unknown. */
+const Workload &workloadByName(const std::string &name);
+
+/** The three extreme-edge application names. */
+std::vector<std::string> extremeEdgeNames();
+
+} // namespace rissp
+
+#endif // RISSP_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Unit tests for the two-pass assembler: directives, pseudo expansion,
+ * macro shadowing (the retargeting substrate) and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "assembler/runtime.hh"
+#include "isa/instr.hh"
+#include "sim/refsim.hh"
+#include "util/logging.hh"
+
+namespace rissp
+{
+namespace
+{
+
+Program
+mustAssemble(const std::string &src)
+{
+    AsmResult r = tryAssemble(src);
+    EXPECT_TRUE(r.ok) << r.error;
+    return std::move(r.program);
+}
+
+TEST(Assembler, BasicInstructions)
+{
+    Program p = mustAssemble(R"(
+        .text
+        add a0, a1, a2
+        addi sp, sp, -16
+        lw a0, 8(sp)
+        sw a0, 12(sp)
+        lui sp, 0x80
+        ecall
+    )");
+    auto words = p.textWords();
+    ASSERT_EQ(words.size(), 6u);
+    EXPECT_EQ(disassemble(words[0]), "add a0, a1, a2");
+    EXPECT_EQ(disassemble(words[1]), "addi sp, sp, -16");
+    EXPECT_EQ(disassemble(words[2]), "lw a0, 8(sp)");
+    EXPECT_EQ(disassemble(words[3]), "sw a0, 12(sp)");
+    EXPECT_EQ(disassemble(words[4]), "lui sp, 0x80");
+    EXPECT_EQ(disassemble(words[5]), "ecall");
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = mustAssemble(R"(
+    loop:
+        addi a0, a0, -1
+        bne a0, zero, loop
+        beq a0, zero, done
+        nop
+    done:
+        ecall
+    )");
+    auto words = p.textWords();
+    Instr b1 = decode(words[1]);
+    EXPECT_EQ(b1.op, Op::Bne);
+    EXPECT_EQ(b1.imm, -4);
+    Instr b2 = decode(words[2]);
+    EXPECT_EQ(b2.op, Op::Beq);
+    EXPECT_EQ(b2.imm, 8);
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    Program p = mustAssemble(R"(
+        nop
+        mv a1, a0
+        not a2, a0
+        neg a3, a0
+        seqz a4, a0
+        snez a5, a0
+        j end
+        ret
+    end:
+        ecall
+    )");
+    auto words = p.textWords();
+    EXPECT_EQ(disassemble(words[0]), "addi zero, zero, 0");
+    EXPECT_EQ(disassemble(words[1]), "addi a1, a0, 0");
+    EXPECT_EQ(disassemble(words[2]), "xori a2, a0, -1");
+    EXPECT_EQ(disassemble(words[3]), "sub a3, zero, a0");
+    EXPECT_EQ(disassemble(words[4]), "sltiu a4, a0, 1");
+    EXPECT_EQ(disassemble(words[5]), "sltu a5, zero, a0");
+    EXPECT_EQ(decode(words[6]).op, Op::Jal);
+    EXPECT_EQ(decode(words[6]).rd, 0);
+    EXPECT_EQ(disassemble(words[7]), "jalr zero, 0(ra)");
+}
+
+TEST(Assembler, LiSmallAndLarge)
+{
+    Program p = mustAssemble(R"(
+        li a0, 42
+        li a1, -1
+        li a2, 0x12345678
+        li a3, 0x1000
+        ecall
+    )");
+    auto words = p.textWords();
+    // small: one addi; large: lui+addi; 0x1000: lui only
+    EXPECT_EQ(disassemble(words[0]), "addi a0, zero, 42");
+    EXPECT_EQ(disassemble(words[1]), "addi a1, zero, -1");
+    EXPECT_EQ(decode(words[2]).op, Op::Lui);
+    EXPECT_EQ(decode(words[3]).op, Op::Addi);
+    EXPECT_EQ(decode(words[4]).op, Op::Lui);
+    EXPECT_EQ(decode(words[5]).op, Op::Ecall);
+
+    // Semantics: run it and check registers.
+    RefSim sim;
+    sim.reset(p);
+    sim.run();
+    EXPECT_EQ(sim.reg(10), 42u);
+    EXPECT_EQ(sim.reg(11), 0xFFFFFFFFu);
+    EXPECT_EQ(sim.reg(12), 0x12345678u);
+    EXPECT_EQ(sim.reg(13), 0x1000u);
+}
+
+TEST(Assembler, DataDirectivesAndLa)
+{
+    Program p = mustAssemble(R"(
+        .data
+    table:
+        .word 1, 2, 3, 0xdeadbeef
+    msg:
+        .asciz "hi"
+        .align 2
+    after:
+        .word table
+        .text
+    _start:
+        la a0, table
+        lw a1, 4(a0)
+        ecall
+    )");
+    RefSim sim;
+    sim.reset(p);
+    sim.run();
+    EXPECT_EQ(sim.reg(10), p.symbol("table"));
+    EXPECT_EQ(sim.reg(11), 2u);
+    // .word table holds the table's address
+    EXPECT_EQ(sim.memory().loadWord(p.symbol("after")),
+              p.symbol("table"));
+    // string bytes
+    EXPECT_EQ(sim.memory().loadByte(p.symbol("msg")), 'h');
+    EXPECT_EQ(sim.memory().loadByte(p.symbol("msg") + 1), 'i');
+    EXPECT_EQ(sim.memory().loadByte(p.symbol("msg") + 2), 0);
+    // alignment
+    EXPECT_EQ(p.symbol("after") % 4, 0u);
+}
+
+TEST(Assembler, EquatesAndExpressions)
+{
+    Program p = mustAssemble(R"(
+        .equ SIZE, 12
+        addi a0, zero, SIZE
+        .data
+    buf:
+        .space SIZE
+    tail:
+        .word buf+4
+        .text
+        ecall
+    )");
+    EXPECT_EQ(p.symbol("tail"), p.symbol("buf") + 12);
+    RefSim sim;
+    sim.reset(p);
+    sim.run();
+    EXPECT_EQ(sim.reg(10), 12u);
+    EXPECT_EQ(sim.memory().loadWord(p.symbol("tail")),
+              p.symbol("buf") + 4);
+}
+
+TEST(Assembler, MacroExpansion)
+{
+    Program p = mustAssemble(R"(
+        .macro inc2 rd
+        addi \rd, \rd, 1
+        addi \rd, \rd, 1
+        .endm
+        li a0, 5
+        inc2 a0
+        inc2 a0
+        ecall
+    )");
+    RefSim sim;
+    sim.reset(p);
+    sim.run();
+    EXPECT_EQ(sim.reg(10), 9u);
+}
+
+/** The retargeting substrate: macros shadow machine mnemonics. */
+TEST(Assembler, MacroShadowsInstruction)
+{
+    Program p = mustAssemble(R"(
+        .macro sub rd, rs1, rs2
+        xori a5, \rs2, -1
+        addi a5, a5, 1
+        add \rd, \rs1, a5
+        .endm
+        li a0, 30
+        li a1, 12
+        sub a2, a0, a1
+        ecall
+    )");
+    // No real sub instruction in the image.
+    for (uint32_t w : p.textWords())
+        EXPECT_NE(decode(w).op, Op::Sub);
+    RefSim sim;
+    sim.reset(p);
+    sim.run();
+    EXPECT_EQ(sim.reg(12), 18u);
+}
+
+TEST(Assembler, MacroShadowAppliesToPseudo)
+{
+    // 'neg' expands to sub, which the macro then intercepts.
+    Program p = mustAssemble(R"(
+        .macro sub rd, rs1, rs2
+        xori a5, \rs2, -1
+        addi a5, a5, 1
+        add \rd, \rs1, a5
+        .endm
+        li a0, 7
+        neg a1, a0
+        ecall
+    )");
+    for (uint32_t w : p.textWords())
+        EXPECT_NE(decode(w).op, Op::Sub);
+    RefSim sim;
+    sim.reset(p);
+    sim.run();
+    EXPECT_EQ(sim.reg(11), static_cast<uint32_t>(-7));
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_FALSE(tryAssemble("bogus a0, a1"));
+    EXPECT_FALSE(tryAssemble("add a0, a1"));
+    EXPECT_FALSE(tryAssemble("addi a0, a1, 5000"));
+    EXPECT_FALSE(tryAssemble("lw a0, 8(t9)"));
+    EXPECT_FALSE(tryAssemble("j nowhere"));
+    EXPECT_FALSE(tryAssemble("x: nop\nx: nop"));
+    EXPECT_FALSE(tryAssemble(".macro m\nnop"));
+    EXPECT_FALSE(tryAssemble(".word sym_undefined"));
+    AsmResult r = tryAssemble("nop\nbogus a0\n");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("line 2"), std::string::npos) << r.error;
+}
+
+TEST(Assembler, ModulesShareSymbols)
+{
+    Program p = assembleModules({
+        "_start:\n call helper\n ecall\n",
+        "helper:\n li a0, 99\n ret\n",
+    });
+    RefSim sim;
+    sim.reset(p);
+    RunResult rr = sim.run();
+    EXPECT_EQ(rr.reason, StopReason::Halted);
+    EXPECT_EQ(rr.exitCode, 99u);
+}
+
+TEST(Runtime, Crt0SetsUpAndHalts)
+{
+    Program p = assembleModules({
+        crt0Source(),
+        "main:\n li a0, 17\n ret\n",
+    });
+    RefSim sim;
+    sim.reset(p);
+    RunResult rr = sim.run();
+    EXPECT_EQ(rr.reason, StopReason::Halted);
+    EXPECT_EQ(rr.exitCode, 17u);
+    EXPECT_EQ(sim.reg(2), kStackTop);
+}
+
+TEST(Runtime, MulHelper)
+{
+    struct Case { int32_t a, b; };
+    const Case cases[] = {
+        {0, 0}, {1, 1}, {7, 9}, {-3, 5}, {-3, -5},
+        {123456, 789}, {-1, -1}, {0x7FFFFFFF, 2},
+    };
+    for (const Case &c : cases) {
+        Program p = assembleModules({
+            crt0Source(), mulsi3Source(),
+            strFormat("main:\n addi sp, sp, -4\n sw ra, 0(sp)\n"
+                      " li a0, %d\n li a1, %d\n call __mulsi3\n"
+                      " lw ra, 0(sp)\n addi sp, sp, 4\n ret\n",
+                      c.a, c.b),
+        });
+        RefSim sim;
+        sim.reset(p);
+        RunResult rr = sim.run();
+        ASSERT_EQ(rr.reason, StopReason::Halted);
+        EXPECT_EQ(rr.exitCode,
+                  static_cast<uint32_t>(c.a) *
+                  static_cast<uint32_t>(c.b))
+            << c.a << " * " << c.b;
+    }
+}
+
+struct DivCase
+{
+    int32_t a, b;
+};
+
+class RuntimeDivTest : public ::testing::TestWithParam<DivCase>
+{
+};
+
+TEST_P(RuntimeDivTest, AllFourHelpers)
+{
+    const DivCase c = GetParam();
+    struct Helper
+    {
+        const char *name;
+        uint32_t expected;
+    };
+    const uint32_t ua = static_cast<uint32_t>(c.a);
+    const uint32_t ub = static_cast<uint32_t>(c.b);
+    const Helper helpers[] = {
+        {"__udivsi3", ub ? ua / ub : 0},
+        {"__umodsi3", ub ? ua % ub : 0},
+        {"__divsi3", static_cast<uint32_t>(c.b ? c.a / c.b : 0)},
+        {"__modsi3", static_cast<uint32_t>(c.b ? c.a % c.b : 0)},
+    };
+    for (const Helper &h : helpers) {
+        if (c.b == 0)
+            continue; // helpers are undefined on zero divisors
+        Program p = assembleModules({
+            crt0Source(), runtimeModule(h.name),
+            strFormat("main:\n addi sp, sp, -4\n sw ra, 0(sp)\n"
+                      " li a0, %d\n li a1, %d\n call %s\n"
+                      " lw ra, 0(sp)\n addi sp, sp, 4\n ret\n",
+                      c.a, c.b, h.name),
+        });
+        RefSim sim;
+        sim.reset(p);
+        RunResult rr = sim.run();
+        ASSERT_EQ(rr.reason, StopReason::Halted);
+        EXPECT_EQ(rr.exitCode, h.expected)
+            << h.name << "(" << c.a << ", " << c.b << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DivisionSweep, RuntimeDivTest,
+    ::testing::Values(
+        DivCase{1, 1}, DivCase{100, 7}, DivCase{7, 100},
+        DivCase{-100, 7}, DivCase{100, -7}, DivCase{-100, -7},
+        DivCase{0, 5}, DivCase{0x7FFFFFFF, 3},
+        DivCase{static_cast<int32_t>(0x80000000), 2},
+        DivCase{65536, 256}, DivCase{999999, 1000}));
+
+} // namespace
+} // namespace rissp

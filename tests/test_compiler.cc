@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Compile-and-execute tests for MiniC at every optimization level.
+ * Each program's exit code (a0 at the halting ecall) is checked on
+ * the reference ISS; correctness must be level-independent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hh"
+#include "compiler/lexer.hh"
+#include "core/subset.hh"
+#include "sim/refsim.hh"
+
+namespace rissp
+{
+namespace
+{
+
+using minic::OptLevel;
+
+/** Expected exit code of a MiniC program at every -O level. */
+struct RunCase
+{
+    const char *label;
+    const char *source;
+    uint32_t expect;
+};
+
+class CompileRunTest
+    : public ::testing::TestWithParam<std::tuple<int, OptLevel>>
+{
+};
+
+const RunCase kCases[] = {
+    {"return_const", "int main(void) { return 42; }", 42},
+    {"arith",
+     "int main() { int a = 7; int b = 9; return a*b + a - b + a/b; }",
+     61},
+    {"unsigned_div",
+     "int main() { unsigned a = 100; unsigned b = 7;"
+     "  return a / b + a % b; }",
+     16},
+    {"signed_div_neg",
+     "int main() { int a = -100; return a / 7 + a % 7 + 20; }", 4},
+    {"div_pow2",
+     "int main() { int a = -100; unsigned b = 100;"
+     "  return a / 4 + (int)(b / 4) + a % 8 + (int)(b % 8); }",
+     static_cast<uint32_t>(-25 + 25 - 4 + 4)},
+    {"shifts",
+     "int main() { int a = -64; unsigned b = 0x80000000;"
+     "  return (a >> 3) + (int)(b >> 28) + (1 << 6); }",
+     static_cast<uint32_t>(-8 + 8 + 64)},
+    {"comparisons",
+     "int main() { int n = 0;"
+     "  if (-1 < 1) n++; if ((unsigned)-1 > 1u) n++;"
+     "  if (3 <= 3) n++; if (4 >= 5) n--; if (2 == 2) n++;"
+     "  if (2 != 2) n--; return n; }",
+     4},
+    {"while_loop",
+     "int main() { int i = 0; int s = 0;"
+     "  while (i < 10) { s += i; i++; } return s; }",
+     45},
+    {"for_break_continue",
+     "int main() { int s = 0;"
+     "  for (int i = 0; i < 100; i++) {"
+     "    if (i % 2 == 0) continue;"
+     "    if (i > 10) break; s += i; } return s; }",
+     1 + 3 + 5 + 7 + 9},
+    {"do_while",
+     "int main() { int i = 0; int n = 0;"
+     "  do { n += 2; i++; } while (i < 5); return n; }",
+     10},
+    {"nested_loops",
+     "int main() { int s = 0;"
+     "  for (int i = 0; i < 5; i++)"
+     "    for (int j = 0; j < i; j++) s += i * j;"
+     "  return s; }",
+     /* sum i*j for j<i, i<5 */ 0 + 0 + 2 + (3 + 6) + (4 + 8 + 12)},
+    {"logical_ops",
+     "int side; int bump(void) { side++; return 1; }"
+     "int main() { side = 0;"
+     "  int a = (0 && bump()) ? 100 : 1;"
+     "  int b = (1 || bump()) ? 2 : 200;"
+     "  return a + b + side * 10; }",
+     3},
+    {"ternary",
+     "int main() { int x = 7;"
+     "  return (x > 5 ? x * 2 : x - 1) + (x < 5 ? 100 : 1); }",
+     15},
+    {"global_scalars",
+     "int g = 5; unsigned h = 0xFFFFFFFF;"
+     "int main() { g += 10; return g + (h == 0xFFFFFFFFu ? 1 : 0); }",
+     16},
+    {"global_array",
+     "int tab[5] = {10, 20, 30, 40, 50};"
+     "int main() { int s = 0;"
+     "  for (int i = 0; i < 5; i++) s += tab[i];"
+     "  return s / 10; }",
+     15},
+    {"local_array",
+     "int main() { int a[4] = {1, 2, 3, 4}; int s = 0;"
+     "  for (int i = 0; i < 4; i++) s = s * 10 + a[i];"
+     "  return s; }",
+     1234},
+    {"two_d_array",
+     "int m[3][4];"
+     "int main() {"
+     "  for (int i = 0; i < 3; i++)"
+     "    for (int j = 0; j < 4; j++) m[i][j] = i * 4 + j;"
+     "  return m[2][3] + m[1][1] * 10; }",
+     11 + 50},
+    {"pointers",
+     "int main() { int x = 3; int *p = &x; *p = 8;"
+     "  int a[3] = {1, 2, 3}; int *q = a; q++; *q += 10;"
+     "  return x + a[1]; }",
+     20},
+    {"pointer_arith",
+     "int a[8];"
+     "int main() { int *p = a; int *q = &a[6];"
+     "  return (int)(q - p); }",
+     6},
+    {"char_ops",
+     "char buf[8];"
+     "int main() { buf[0] = 'A'; buf[1] = buf[0] + 1;"
+     "  char c = 200; /* truncates to -56 */"
+     "  unsigned char u = 200;"
+     "  return (buf[1] == 'B' ? 1 : 0) + (c < 0 ? 2 : 0)"
+     "    + (u == 200 ? 4 : 0); }",
+     7},
+    {"short_ops",
+     "short s[4];"
+     "int main() { s[0] = -2; s[1] = 0x7FFF; s[2] = s[0] * 3;"
+     "  unsigned short u = 0xFFFF;"
+     "  return (s[0] == -2) + (s[1] == 32767) + (s[2] == -6)"
+     "    + (u == 65535); }",
+     4},
+    {"string_literal",
+     "int main() { const char *s = \"hi!\";"
+     "  return s[0] + (s[3] == 0 ? 1 : 0); }",
+     'h' + 1},
+    {"function_calls",
+     "int add(int a, int b) { return a + b; }"
+     "int twice(int x) { return add(x, x); }"
+     "int main() { return twice(add(3, 4)); }",
+     14},
+    {"recursion",
+     "int fib(int n) { if (n < 2) return n;"
+     "  return fib(n - 1) + fib(n - 2); }"
+     "int main() { return fib(10); }",
+     55},
+    {"six_args",
+     "int f(int a, int b, int c, int d, int e, int g)"
+     "{ return a + b * 2 + c * 3 + d * 4 + e * 5 + g * 6; }"
+     "int main() { return f(1, 1, 1, 1, 1, 1); }",
+     21},
+    {"array_param",
+     "int sum(int *v, int n) { int s = 0;"
+     "  for (int i = 0; i < n; i++) s += v[i]; return s; }"
+     "int g[4] = {4, 3, 2, 1};"
+     "int main() { return sum(g, 4); }",
+     10},
+    {"compound_assign",
+     "int main() { int x = 6; x += 4; x -= 2; x *= 3; x /= 2;"
+     "  x %= 7; x <<= 3; x |= 1; x ^= 2; x &= 31; return x; }",
+     ((((((6 + 4 - 2) * 3 / 2) % 7) << 3) | 1) ^ 2) & 31},
+    {"inc_dec",
+     "int main() { int i = 5; int a = i++; int b = ++i;"
+     "  int c = i--; int d = --i; return a * 1000 + b * 100"
+     "    + c * 10 + d; }",
+     5 * 1000 + 7 * 100 + 7 * 10 + 5},
+    {"bitwise",
+     "int main() { unsigned x = 0xF0F0;"
+     "  return (int)(((x & 0xFF) | 0x0F00) ^ 0x00F0) >> 4; }",
+     0xF0},
+    {"mul_const_shapes",
+     "int mulv(int a, int b) { return a * b; }"
+     "int main() { int x = 7;"
+     "  return x * 2 + x * 10 + x * 100 + x * 31 + x * -3"
+     "    - mulv(x, 6); }",
+     7 * 2 + 7 * 10 + 7 * 100 + 7 * 31 - 7 * 3 - 7 * 6},
+    {"sizeof_op",
+     "int a[10]; short b[6]; char c[3];"
+     "int main() { return sizeof(a) + sizeof(b) + sizeof(c)"
+     "    + sizeof(int) + sizeof(char *); }",
+     40 + 12 + 3 + 4 + 4},
+    {"casts",
+     "int main() { int big = 0x12345678;"
+     "  char lo = (char)big; short mid = (short)big;"
+     "  unsigned char ulo = (unsigned char)big;"
+     "  return (lo == 0x78) + (mid == 0x5678) + (ulo == 0x78); }",
+     3},
+    {"globals_mixed_expr",
+     "int base = 100; int scale(int x) { return x * base; }"
+     "int main() { base /= 10; return scale(5); }",
+     50},
+    {"void_function",
+     "int acc; void step(int d) { acc += d; }"
+     "int main() { acc = 0; step(3); step(4); return acc; }",
+     7},
+    {"early_return",
+     "int classify(int x) { if (x < 0) return -1;"
+     "  if (x == 0) return 0; return 1; }"
+     "int main() { return classify(-5) + classify(0) * 10"
+     "    + classify(9) * 100 + 2; }",
+     static_cast<uint32_t>(-1 + 0 + 100 + 2)},
+    {"mmio_output",
+     "void put(int v) { *(int *)0xFFFF0000 = v; }"
+     "int main() { put(11); put(22); return 0; }",
+     0},
+};
+
+TEST_P(CompileRunTest, ExitCodeMatches)
+{
+    const auto [idx, level] = GetParam();
+    const RunCase &c = kCases[idx];
+    minic::CompileResult r = minic::compile(c.source, level);
+    RefSim sim;
+    sim.reset(r.program);
+    RunResult rr = sim.run(50'000'000);
+    ASSERT_EQ(rr.reason, StopReason::Halted)
+        << c.label << " at " << minic::optLevelName(level);
+    EXPECT_EQ(rr.exitCode, c.expect)
+        << c.label << " at " << minic::optLevelName(level);
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<std::tuple<int, OptLevel>> &i)
+{
+    const auto [idx, level] = i.param;
+    std::string level_name =
+        minic::optLevelName(level).substr(1); // drop '-'
+    return std::string(kCases[idx].label) + "_" + level_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, CompileRunTest,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(std::size(kCases))),
+        ::testing::Values(OptLevel::O0, OptLevel::O1, OptLevel::O2,
+                          OptLevel::O3, OptLevel::Oz)),
+    caseName);
+
+TEST(Compiler, MmioWordsReachTheStream)
+{
+    const char *src =
+        "void put(int v) { *(int *)0xFFFF0000 = v; }"
+        "int main() { for (int i = 1; i <= 3; i++) put(i * 11);"
+        "  return 0; }";
+    minic::CompileResult r = minic::compile(src, OptLevel::O2);
+    RefSim sim;
+    sim.reset(r.program);
+    sim.run();
+    ASSERT_EQ(sim.outputWords().size(), 3u);
+    EXPECT_EQ(sim.outputWords()[0], 11u);
+    EXPECT_EQ(sim.outputWords()[1], 22u);
+    EXPECT_EQ(sim.outputWords()[2], 33u);
+}
+
+TEST(Compiler, O0IsBiggerThanO2)
+{
+    const char *src =
+        "int main() { int s = 0;"
+        "  for (int i = 0; i < 10; i++) s += i * i;"
+        "  return s; }";
+    auto o0 = minic::compile(src, OptLevel::O0);
+    auto o2 = minic::compile(src, OptLevel::O2);
+    EXPECT_GT(o0.staticInstructions(), o2.staticInstructions());
+}
+
+TEST(Compiler, OzNeverBiggerThanO3)
+{
+    const char *src =
+        "int sq(int x) { return x * x; }"
+        "int cube(int x) { return sq(x) * x; }"
+        "int main() { int s = 0;"
+        "  for (int i = 0; i < 8; i++) s += cube(i) + sq(i);"
+        "  return s; }";
+    auto oz = minic::compile(src, OptLevel::Oz);
+    auto o3 = minic::compile(src, OptLevel::O3);
+    EXPECT_LE(oz.staticInstructions(), o3.staticInstructions());
+    // Both must still agree on the answer.
+    RefSim s1, s2;
+    s1.reset(oz.program);
+    s2.reset(o3.program);
+    EXPECT_EQ(s1.run().exitCode, s2.run().exitCode);
+}
+
+TEST(Compiler, HelpersLinkedOnlyWhenUsed)
+{
+    auto no_mul = minic::compile(
+        "int main() { return 1 + 2; }", OptLevel::O2);
+    EXPECT_TRUE(no_mul.helpers.empty());
+    EXPECT_FALSE(no_mul.program.hasSymbol("__mulsi3"));
+
+    auto with_mul = minic::compile(
+        "int main(void) { int a = 3; int b = 4;"
+        "  int c = a; for (;;) { c = c * b; if (c > 20) break; }"
+        "  return c; }",
+        OptLevel::O2);
+    EXPECT_TRUE(with_mul.helpers.count("__mulsi3"));
+    EXPECT_TRUE(with_mul.program.hasSymbol("__mulsi3"));
+}
+
+TEST(Compiler, SubsetSmallerAtO2ThanFullIsa)
+{
+    const char *src =
+        "int main() { int s = 0;"
+        "  for (int i = 0; i < 16; i++) s += i;"
+        "  return s; }";
+    auto r = minic::compile(src, OptLevel::O2);
+    InstrSubset subset = InstrSubset::fromProgram(r.program);
+    EXPECT_GT(subset.size(), 4u);
+    EXPECT_LT(subset.size(), kFullIsaSize);
+}
+
+TEST(Compiler, RejectsBadPrograms)
+{
+    const char *bad[] = {
+        "int main() { return x; }",             // undeclared
+        "int main() { int x; int x; return 0; }",
+        "int main() { 3 = 4; return 0; }",
+        "int main() { return f(1); }",
+        "int f(int a); int main() { return f(); }",
+        "int main() { break; }",
+        "void main2() { return 3; }",
+        "int main() { int a[0]; return 0; }",
+        "int main( { return 0; }",
+        "int main() { return 1 +; }",
+    };
+    for (const char *src : bad)
+        EXPECT_THROW(minic::compile(src, minic::OptLevel::O2),
+                     minic::CompileError)
+            << src;
+}
+
+} // namespace
+} // namespace rissp

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the §6 custom-instruction extension path: the cmul
+ * block behaves like a library citizen end to end — encode/decode,
+ * Figure 4 certification, RISSP execution, compiler targeting, and
+ * synthesis cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hh"
+#include "assembler/assembler.hh"
+#include "util/bits.hh"
+#include "core/rissp.hh"
+#include "sim/refsim.hh"
+#include "synth/synthesis.hh"
+#include "util/rng.hh"
+#include "verify/block_verify.hh"
+#include "verify/integration_verify.hh"
+
+namespace rissp
+{
+namespace
+{
+
+TEST(CustomInstr, EncodeDecodeRoundTrip)
+{
+    uint32_t word = encodeR(Op::Cmul, 10, 11, 12);
+    Instr in = decode(word);
+    ASSERT_TRUE(in.valid());
+    EXPECT_EQ(in.op, Op::Cmul);
+    EXPECT_EQ(bits(word, 6, 0), 0x0Bu); // custom-0 opcode space
+    EXPECT_EQ(disassemble(word), "cmul a0, a1, a2");
+    EXPECT_TRUE(isCustom(Op::Cmul));
+    EXPECT_FALSE(isCustom(Op::Add));
+}
+
+TEST(CustomInstr, NotPartOfBaseIsa)
+{
+    InstrSubset full = InstrSubset::fullRv32e();
+    EXPECT_FALSE(full.contains(Op::Cmul));
+    EXPECT_EQ(full.size(), kFullIsaSize);
+}
+
+TEST(CustomInstr, StructuralMultiplyMatchesSpec)
+{
+    Rng rng(0xCAFE);
+    for (int i = 0; i < 5000; ++i) {
+        uint32_t a = rng.next32();
+        uint32_t b = rng.next32();
+        EXPECT_EQ(structMul(a, b), a * b);
+    }
+    EXPECT_EQ(structMul(0, 0xFFFFFFFF), 0u);
+    EXPECT_EQ(structMul(0xFFFFFFFF, 0xFFFFFFFF), 1u);
+    EXPECT_EQ(structMul(0x10000, 0x10000), 0u); // overflow wraps
+}
+
+TEST(CustomInstr, BlockCertifiesLikeBaseOps)
+{
+    BlockCert cert = certifyBlock(Op::Cmul, 0xC0C0, 250);
+    EXPECT_TRUE(cert.functional);
+    EXPECT_TRUE(cert.mutationCovered);
+    EXPECT_TRUE(cert.formal);
+}
+
+TEST(CustomInstr, AdderMutationsPropagateIntoProducts)
+{
+    Mutation mut{Mutation::Kind::CarryChainBreak, 3};
+    auto vecs = blockVectors(Op::Cmul, 0xC0C0, 250);
+    EXPECT_FALSE(runBlockTestbench(Op::Cmul, vecs, &mut).passed());
+}
+
+TEST(CustomInstr, RisspExecutesCmul)
+{
+    Program p = assemble(R"(
+        li a0, 1234
+        li a1, -567
+        cmul a2, a0, a1
+        ecall
+    )");
+    std::set<Op> ops = InstrSubset::fromNames(
+        {"addi", "lui", "jal"}).ops();
+    ops.insert(Op::Cmul);
+    Rissp chip(InstrSubset(ops), "cmul-chip");
+    chip.reset(p);
+    RunResult run = chip.run(100);
+    ASSERT_EQ(run.reason, StopReason::Halted);
+    EXPECT_EQ(chip.reg(12),
+              static_cast<uint32_t>(1234 * -567));
+
+    // A RISSP without the custom block traps on it.
+    Rissp plain(InstrSubset::fromNames({"addi", "lui", "jal"}),
+                "plain");
+    plain.reset(p);
+    EXPECT_EQ(plain.run(100).reason, StopReason::Trapped);
+}
+
+TEST(CustomInstr, CompilerTargetsCmul)
+{
+    const char *src =
+        "int main(void) { int s = 0;"
+        "  for (int i = 1; i <= 20; i++) s += i * s + i * 7;"
+        "  return s & 0xFF; }";
+    minic::MachineOptions machine;
+    machine.customMul = true;
+    auto with = minic::compile(src, minic::OptLevel::O2, machine);
+    auto without = minic::compile(src, minic::OptLevel::O2);
+
+    InstrSubset with_sub = InstrSubset::fromProgram(with.program);
+    EXPECT_TRUE(with_sub.contains(Op::Cmul));
+    EXPECT_TRUE(with.helpers.empty()); // no __mulsi3 needed
+    EXPECT_TRUE(without.helpers.count("__mulsi3"));
+
+    // Same answer, fewer dynamic instructions.
+    RefSim a;
+    a.reset(with.program);
+    RunResult ra = a.run(10'000'000);
+    RefSim b;
+    b.reset(without.program);
+    RunResult rb = b.run(10'000'000);
+    ASSERT_EQ(ra.reason, StopReason::Halted);
+    ASSERT_EQ(rb.reason, StopReason::Halted);
+    EXPECT_EQ(ra.exitCode, rb.exitCode);
+    EXPECT_LT(ra.instret, rb.instret);
+}
+
+TEST(CustomInstr, SynthesisPricesTheMultiplier)
+{
+    SynthesisModel model;
+    std::set<Op> base_ops = InstrSubset::fromNames(
+        {"addi", "add", "lw", "sw", "jal", "jalr", "beq"}).ops();
+    std::set<Op> with_ops = base_ops;
+    with_ops.insert(Op::Cmul);
+    SynthReport base = model.synthesize(InstrSubset(base_ops), "b");
+    SynthReport with = model.synthesize(InstrSubset(with_ops), "w");
+    // The multiplier is the most expensive primitive and the
+    // deepest path: area up, fmax down.
+    EXPECT_GT(with.combGates, base.combGates + 2000.0);
+    EXPECT_LT(with.fmaxKhz, base.fmaxKhz);
+}
+
+TEST(CustomInstr, CosimWithCmulSubset)
+{
+    std::set<Op> ops = InstrSubset::fullRv32e().ops();
+    ops.insert(Op::Cmul);
+    InstrSubset subset{ops};
+    Program prog = archTestProgram(Op::Cmul);
+    CosimReport rpt = cosimulate(prog, subset, 100'000);
+    EXPECT_TRUE(rpt.passed) << rpt.firstDivergence;
+}
+
+} // namespace
+} // namespace rissp

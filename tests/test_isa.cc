@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the RV32E encode/decode layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instr.hh"
+#include "isa/reg.hh"
+#include "util/bits.hh"
+#include "util/rng.hh"
+
+namespace rissp
+{
+namespace
+{
+
+TEST(OpInfo, NamesRoundTrip)
+{
+    for (size_t i = 0; i < kNumOps; ++i) {
+        Op op = static_cast<Op>(i);
+        auto back = opFromName(opName(op));
+        ASSERT_TRUE(back.has_value()) << opName(op);
+        EXPECT_EQ(*back, op);
+    }
+    EXPECT_FALSE(opFromName("mul").has_value());
+    EXPECT_FALSE(opFromName("").has_value());
+}
+
+TEST(OpInfo, Classification)
+{
+    EXPECT_TRUE(isLoad(Op::Lbu));
+    EXPECT_FALSE(isLoad(Op::Sw));
+    EXPECT_TRUE(isStore(Op::Sh));
+    EXPECT_TRUE(isBranch(Op::Bgeu));
+    EXPECT_FALSE(isBranch(Op::Jal));
+    EXPECT_TRUE(isJump(Op::Jalr));
+    EXPECT_TRUE(writesRd(Op::Lui));
+    EXPECT_FALSE(writesRd(Op::Sw));
+    EXPECT_FALSE(writesRd(Op::Beq));
+    EXPECT_TRUE(readsRs1(Op::Addi));
+    EXPECT_FALSE(readsRs1(Op::Lui));
+    EXPECT_TRUE(readsRs2(Op::Sw));
+    EXPECT_FALSE(readsRs2(Op::Lw));
+}
+
+TEST(Reg, Names)
+{
+    EXPECT_EQ(regName(0), "zero");
+    EXPECT_EQ(regName(2), "sp");
+    EXPECT_EQ(regName(10), "a0");
+    EXPECT_EQ(regFromName("a5"), 15u);
+    EXPECT_EQ(regFromName("x13"), 13u);
+    EXPECT_EQ(regFromName("fp"), 8u);
+    EXPECT_FALSE(regFromName("x16").has_value()); // RV32E limit
+    EXPECT_FALSE(regFromName("t3").has_value());  // x28 not in E
+    EXPECT_FALSE(regFromName("bogus").has_value());
+}
+
+TEST(Decode, KnownWords)
+{
+    // add a0, a1, a2 == 0x00C58533
+    Instr in = decode(0x00C58533);
+    EXPECT_EQ(in.op, Op::Add);
+    EXPECT_EQ(in.rd, 10);
+    EXPECT_EQ(in.rs1, 11);
+    EXPECT_EQ(in.rs2, 12);
+
+    // addi sp, sp, -16 == 0xFF010113
+    in = decode(0xFF010113);
+    EXPECT_EQ(in.op, Op::Addi);
+    EXPECT_EQ(in.rd, 2);
+    EXPECT_EQ(in.rs1, 2);
+    EXPECT_EQ(in.imm, -16);
+
+    // lw a0, 8(sp) == 0x00812503
+    in = decode(0x00812503);
+    EXPECT_EQ(in.op, Op::Lw);
+    EXPECT_EQ(in.imm, 8);
+
+    // sw a0, 12(sp) == 0x00A12623
+    in = decode(0x00A12623);
+    EXPECT_EQ(in.op, Op::Sw);
+    EXPECT_EQ(in.rs2, 10);
+    EXPECT_EQ(in.imm, 12);
+
+    // ecall / ebreak
+    EXPECT_EQ(decode(0x00000073).op, Op::Ecall);
+    EXPECT_EQ(decode(0x00100073).op, Op::Ebreak);
+}
+
+TEST(Decode, RejectsGarbage)
+{
+    EXPECT_FALSE(decode(0x00000000).valid());
+    EXPECT_FALSE(decode(0xFFFFFFFF).valid());
+    // funct7 garbage on add
+    EXPECT_FALSE(decode(0x40C58533 ^ 0x02000000).valid());
+}
+
+TEST(Decode, Rv32eRegisterLimit)
+{
+    // add x16, x0, x0 is valid RV32I but not RV32E.
+    uint32_t word = (0u << 25) | (0u << 20) | (0u << 15) | (0u << 12) |
+        (16u << 7) | 0x33u;
+    EXPECT_FALSE(decode(word, /*rve=*/true).valid());
+    EXPECT_TRUE(decode(word, /*rve=*/false).valid());
+}
+
+TEST(Encode, RoundTripDirected)
+{
+    struct Case { uint32_t word; };
+    const uint32_t words[] = {
+        encodeR(Op::Sub, 1, 2, 3),
+        encodeR(Op::Sra, 15, 14, 13),
+        encodeI(Op::Addi, 10, 10, -2048),
+        encodeI(Op::Addi, 10, 10, 2047),
+        encodeI(Op::Slli, 4, 5, 31),
+        encodeI(Op::Srai, 4, 5, 1),
+        encodeI(Op::Lw, 6, 2, 124),
+        encodeI(Op::Jalr, 1, 5, -4),
+        encodeS(Op::Sb, 2, 7, -1),
+        encodeS(Op::Sw, 2, 7, 2044),
+        encodeB(Op::Beq, 3, 4, -4096),
+        encodeB(Op::Bgeu, 3, 4, 4094),
+        encodeU(Op::Lui, 8, 0x7FFFF),
+        encodeU(Op::Auipc, 8, -1),
+        encodeJ(Op::Jal, 1, -1048576),
+        encodeJ(Op::Jal, 0, 1048574),
+        encodeSys(Op::Ecall),
+        encodeSys(Op::Ebreak),
+    };
+    for (uint32_t w : words) {
+        Instr in = decode(w);
+        ASSERT_TRUE(in.valid()) << std::hex << w;
+        EXPECT_EQ(in.raw, w);
+    }
+}
+
+/** Property: encode(decode-fields) == original for random instrs. */
+TEST(Encode, RoundTripRandomized)
+{
+    Rng rng(1234);
+    for (int iter = 0; iter < 20000; ++iter) {
+        Op op = static_cast<Op>(rng.below(kNumOps));
+        unsigned rd = rng.below(kNumRegsE);
+        unsigned rs1 = rng.below(kNumRegsE);
+        unsigned rs2 = rng.below(kNumRegsE);
+        uint32_t word = 0;
+        int32_t imm = 0;
+        switch (opInfo(op).type) {
+          case InstrType::R:
+            word = encodeR(op, rd, rs1, rs2);
+            break;
+          case InstrType::I:
+            if (op == Op::Slli || op == Op::Srli || op == Op::Srai)
+                imm = rng.range(0, 31);
+            else
+                imm = rng.range(-2048, 2047);
+            word = encodeI(op, rd, rs1, imm);
+            break;
+          case InstrType::S:
+            imm = rng.range(-2048, 2047);
+            word = encodeS(op, rs1, rs2, imm);
+            break;
+          case InstrType::B:
+            imm = rng.range(-2048, 2047) * 2;
+            word = encodeB(op, rs1, rs2, imm);
+            break;
+          case InstrType::U:
+            imm = rng.range(-(1 << 19), (1 << 19) - 1);
+            word = encodeU(op, rd, imm);
+            break;
+          case InstrType::J:
+            imm = rng.range(-(1 << 19), (1 << 19) - 1) * 2;
+            word = encodeJ(op, rd, imm);
+            break;
+          case InstrType::Sys:
+            word = encodeSys(op);
+            break;
+        }
+        Instr in = decode(word);
+        ASSERT_TRUE(in.valid());
+        EXPECT_EQ(in.op, op);
+        switch (opInfo(op).type) {
+          case InstrType::R:
+            EXPECT_EQ(in.rd, rd);
+            EXPECT_EQ(in.rs1, rs1);
+            EXPECT_EQ(in.rs2, rs2);
+            break;
+          case InstrType::I:
+            EXPECT_EQ(in.rd, rd);
+            EXPECT_EQ(in.rs1, rs1);
+            EXPECT_EQ(in.imm, imm);
+            break;
+          case InstrType::S:
+          case InstrType::B:
+            EXPECT_EQ(in.rs1, rs1);
+            EXPECT_EQ(in.rs2, rs2);
+            EXPECT_EQ(in.imm, imm);
+            break;
+          case InstrType::U:
+            EXPECT_EQ(in.rd, rd);
+            EXPECT_EQ(in.imm, imm << 12);
+            break;
+          case InstrType::J:
+            EXPECT_EQ(in.rd, rd);
+            EXPECT_EQ(in.imm, imm);
+            break;
+          case InstrType::Sys:
+            break;
+        }
+    }
+}
+
+TEST(Disasm, Formats)
+{
+    EXPECT_EQ(disassemble(encodeR(Op::Add, 10, 11, 12)),
+              "add a0, a1, a2");
+    EXPECT_EQ(disassemble(encodeI(Op::Addi, 2, 2, -16)),
+              "addi sp, sp, -16");
+    EXPECT_EQ(disassemble(encodeI(Op::Lw, 10, 2, 8)),
+              "lw a0, 8(sp)");
+    EXPECT_EQ(disassemble(encodeS(Op::Sw, 2, 10, 12)),
+              "sw a0, 12(sp)");
+    EXPECT_EQ(disassemble(encodeB(Op::Bne, 10, 0, -8)),
+              "bne a0, zero, -8");
+    EXPECT_EQ(disassemble(encodeU(Op::Lui, 2, 0x80)),
+              "lui sp, 0x80");
+    EXPECT_EQ(disassemble(encodeJ(Op::Jal, 1, 16)), "jal ra, 16");
+    EXPECT_EQ(disassemble(encodeSys(Op::Ecall)), "ecall");
+    EXPECT_EQ(disassemble(0u), ".word 0x00000000");
+}
+
+TEST(Bits, Helpers)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 31, 28), 0xDu);
+    EXPECT_EQ(bits(0xDEADBEEF, 3, 0), 0xFu);
+    EXPECT_EQ(bits(0xDEADBEEF, 31, 0), 0xDEADBEEFu);
+    EXPECT_EQ(bit(0x80000000, 31), 1u);
+    EXPECT_EQ(sext(0xFFF, 12), -1);
+    EXPECT_EQ(sext(0x7FF, 12), 2047);
+    EXPECT_EQ(sext(0x800, 12), -2048);
+    EXPECT_TRUE(fitsSigned(-2048, 12));
+    EXPECT_FALSE(fitsSigned(2048, 12));
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(37), 6u);
+}
+
+} // namespace
+} // namespace rissp

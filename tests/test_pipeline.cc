@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the §6 pipelined-RISSP synthesis extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hh"
+#include "core/subset.hh"
+#include "synth/synthesis.hh"
+#include "workloads/workloads.hh"
+
+namespace rissp
+{
+namespace
+{
+
+TEST(Pipeline, HigherFmaxMoreFlops)
+{
+    SynthesisModel model;
+    InstrSubset full = InstrSubset::fullRv32e();
+    SynthReport single = model.synthesize(full, "1c");
+    SynthReport piped = model.synthesizePipelined(full, "2s");
+    EXPECT_GT(piped.fmaxKhz, single.fmaxKhz);
+    EXPECT_GT(piped.ffCount, single.ffCount);
+    EXPECT_GT(piped.baseAreaGe, single.baseAreaGe);
+    EXPECT_LT(piped.criticalPathNs, single.criticalPathNs);
+}
+
+TEST(Pipeline, CpiModel)
+{
+    EXPECT_DOUBLE_EQ(SynthesisModel::pipelinedCpi(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(SynthesisModel::pipelinedCpi(0.2), 1.2);
+}
+
+TEST(Pipeline, ThroughputGainIsBounded)
+{
+    // The paper keeps the single-cycle microarchitecture because
+    // extreme edge doesn't need more speed; the model agrees: with a
+    // typical 15% taken fraction, the two-stage net speedup stays
+    // under 25%.
+    SynthesisModel model;
+    auto cr = minic::compile(workloadByName("crc32").source,
+                             minic::OptLevel::O2);
+    InstrSubset subset = InstrSubset::fromProgram(cr.program);
+    SynthReport single = model.synthesize(subset, "1c");
+    SynthReport piped = model.synthesizePipelined(subset, "2s");
+    const double cpi = SynthesisModel::pipelinedCpi(0.15);
+    const double speedup =
+        (piped.fmaxKhz / cpi) / single.fmaxKhz;
+    EXPECT_GT(speedup, 0.9);
+    EXPECT_LT(speedup, 1.25);
+}
+
+TEST(Pipeline, SweepStillWellFormed)
+{
+    SynthesisModel model;
+    SynthReport piped = model.synthesizePipelined(
+        InstrSubset::fullRv32e(), "2s");
+    EXPECT_EQ(piped.sweep.size(), 117u);
+    EXPECT_GT(piped.avgAreaGe, 0.0);
+    EXPECT_GT(piped.avgPowerMw, 0.0);
+    for (const FreqPoint &pt : piped.sweep)
+        EXPECT_EQ(pt.met(), pt.targetKhz <= piped.fmaxKhz);
+}
+
+} // namespace
+} // namespace rissp

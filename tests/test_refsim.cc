@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit tests for the reference ISS: per-instruction semantics against
+ * hand-computed results, control flow, memory, MMIO and stop reasons.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "sim/refsim.hh"
+#include "util/logging.hh"
+
+namespace rissp
+{
+namespace
+{
+
+/** Run a snippet and return the simulator for inspection. */
+RefSim
+runSnippet(const std::string &body, StopReason expect)
+{
+    Program p = assemble(body);
+    RefSim sim;
+    sim.reset(p);
+    RunResult r = sim.run(1'000'000);
+    EXPECT_EQ(r.reason, expect);
+    return sim;
+}
+
+TEST(RefSim, ArithmeticBasics)
+{
+    RefSim sim = runSnippet(R"(
+        li a0, 100
+        li a1, -30
+        add a2, a0, a1      # 70
+        sub a3, a0, a1      # 130
+        xor a4, a0, a1
+        and a5, a0, a1
+        or t0, a0, a1
+        ecall
+    )", StopReason::Halted);
+    EXPECT_EQ(sim.reg(12), 70u);
+    EXPECT_EQ(sim.reg(13), 130u);
+    EXPECT_EQ(sim.reg(14), 100u ^ static_cast<uint32_t>(-30));
+    EXPECT_EQ(sim.reg(15), 100u & static_cast<uint32_t>(-30));
+    EXPECT_EQ(sim.reg(5), 100u | static_cast<uint32_t>(-30));
+}
+
+TEST(RefSim, ShiftsAndCompares)
+{
+    RefSim sim = runSnippet(R"(
+        li a0, -8
+        srai a1, a0, 1       # -4
+        srli a2, a0, 1       # big positive
+        slli a3, a0, 2       # -32
+        li a4, 3
+        sll a5, a4, a4       # 24
+        slt t0, a0, a4       # -8 < 3 signed -> 1
+        sltu t1, a0, a4      # unsigned -> 0
+        slti t2, a0, -7      # -8 < -7 -> 1
+        sltiu s0, a4, 4      # 3 < 4 -> 1
+        ecall
+    )", StopReason::Halted);
+    EXPECT_EQ(sim.reg(11), static_cast<uint32_t>(-4));
+    EXPECT_EQ(sim.reg(12), static_cast<uint32_t>(-8) >> 1);
+    EXPECT_EQ(sim.reg(13), static_cast<uint32_t>(-32));
+    EXPECT_EQ(sim.reg(15), 24u);
+    EXPECT_EQ(sim.reg(5), 1u);
+    EXPECT_EQ(sim.reg(6), 0u);
+    EXPECT_EQ(sim.reg(7), 1u);
+    EXPECT_EQ(sim.reg(8), 1u);
+}
+
+TEST(RefSim, ShiftAmountIsMasked)
+{
+    RefSim sim = runSnippet(R"(
+        li a0, 1
+        li a1, 33            # shift by 33 -> uses 33 & 31 = 1
+        sll a2, a0, a1
+        ecall
+    )", StopReason::Halted);
+    EXPECT_EQ(sim.reg(12), 2u);
+}
+
+TEST(RefSim, LoadStoreWidths)
+{
+    RefSim sim = runSnippet(R"(
+        .data
+    buf:
+        .space 16
+        .text
+        la a0, buf
+        li a1, 0x89ABCDEF
+        sw a1, 0(a0)
+        lb a2, 0(a0)         # 0xEF sign-extended
+        lbu a3, 0(a0)        # 0xEF
+        lh a4, 0(a0)         # 0xCDEF sign-extended
+        lhu a5, 0(a0)        # 0xCDEF
+        lw t0, 0(a0)
+        sb a1, 4(a0)
+        lw t1, 4(a0)         # only low byte stored
+        sh a1, 8(a0)
+        lw t2, 8(a0)         # only low half stored
+        ecall
+    )", StopReason::Halted);
+    EXPECT_EQ(sim.reg(12), 0xFFFFFFEFu);
+    EXPECT_EQ(sim.reg(13), 0xEFu);
+    EXPECT_EQ(sim.reg(14), 0xFFFFCDEFu);
+    EXPECT_EQ(sim.reg(15), 0xCDEFu);
+    EXPECT_EQ(sim.reg(5), 0x89ABCDEFu);
+    EXPECT_EQ(sim.reg(6), 0xEFu);
+    EXPECT_EQ(sim.reg(7), 0xCDEFu);
+}
+
+TEST(RefSim, X0IsHardwiredZero)
+{
+    RefSim sim = runSnippet(R"(
+        li a0, 5
+        add zero, a0, a0
+        addi zero, zero, 100
+        add a1, zero, zero
+        ecall
+    )", StopReason::Halted);
+    EXPECT_EQ(sim.reg(0), 0u);
+    EXPECT_EQ(sim.reg(11), 0u);
+}
+
+TEST(RefSim, BranchMatrix)
+{
+    // Each taken branch skips an addi that would poison the result.
+    RefSim sim = runSnippet(R"(
+        li a0, 0             # failure accumulator
+        li a1, -1
+        li a2, 1
+        beq a1, a1, L1
+        addi a0, a0, 1
+    L1: bne a1, a2, L2
+        addi a0, a0, 1
+    L2: blt a1, a2, L3       # -1 < 1 signed
+        addi a0, a0, 1
+    L3: bge a2, a1, L4
+        addi a0, a0, 1
+    L4: bltu a2, a1, L5      # 1 < 0xFFFFFFFF unsigned
+        addi a0, a0, 1
+    L5: bgeu a1, a2, L6
+        addi a0, a0, 1
+    L6: ecall
+    )", StopReason::Halted);
+    EXPECT_EQ(sim.reg(10), 0u);
+}
+
+TEST(RefSim, JalJalrLinkValues)
+{
+    RefSim sim = runSnippet(R"(
+    _start:
+        jal ra, func         # pc=0, link=4
+        ecall
+    func:
+        addi a1, ra, 0
+        jalr zero, 0(ra)
+    )", StopReason::Halted);
+    EXPECT_EQ(sim.reg(11), 4u);
+}
+
+TEST(RefSim, JalrClearsBit0)
+{
+    RefSim sim = runSnippet(R"(
+        la a0, target
+        addi a0, a0, 1       # misaligned on purpose
+        jalr ra, 0(a0)       # must land on target anyway
+        ecall
+    target:
+        li a1, 55
+        ecall
+    )", StopReason::Halted);
+    EXPECT_EQ(sim.reg(11), 55u);
+}
+
+TEST(RefSim, AuipcIsPcRelative)
+{
+    RefSim sim = runSnippet(R"(
+        nop
+        auipc a0, 0          # pc of this instruction = 4
+        ecall
+    )", StopReason::Halted);
+    EXPECT_EQ(sim.reg(10), 4u);
+}
+
+TEST(RefSim, TrapOnInvalidInstruction)
+{
+    Program p = assemble(".word 0xffffffff");
+    RefSim sim;
+    sim.reset(p);
+    RunResult r = sim.run();
+    EXPECT_EQ(r.reason, StopReason::Trapped);
+    EXPECT_EQ(r.stopPc, 0u);
+}
+
+TEST(RefSim, StepLimit)
+{
+    Program p = assemble("loop: jal zero, loop");
+    RefSim sim;
+    sim.reset(p);
+    RunResult r = sim.run(1000);
+    EXPECT_EQ(r.reason, StopReason::StepLimit);
+    EXPECT_EQ(r.instret, 1000u);
+}
+
+TEST(RefSim, MmioOutput)
+{
+    RefSim sim = runSnippet(R"(
+        li a1, 0xFFFF0000    # kPutWord
+        li a2, 0xFFFF0004    # kPutChar
+        li a0, 42
+        sw a0, 0(a1)
+        li a0, 1234
+        sw a0, 0(a1)
+        li a0, 'H'
+        sb a0, 0(a2)
+        li a0, 'i'
+        sb a0, 0(a2)
+        ecall
+    )", StopReason::Halted);
+    ASSERT_EQ(sim.outputWords().size(), 2u);
+    EXPECT_EQ(sim.outputWords()[0], 42u);
+    EXPECT_EQ(sim.outputWords()[1], 1234u);
+    EXPECT_EQ(sim.outputText(), "Hi");
+}
+
+TEST(RefSim, RetireTraceFields)
+{
+    Program p = assemble(R"(
+        li a0, 3
+        li a1, 4
+        add a2, a0, a1
+        sw a2, 0x100(zero)
+        lw a3, 0x100(zero)
+        ecall
+    )");
+    RefSim sim;
+    sim.reset(p);
+    RetireEvent e0 = sim.step(); // addi a0, zero, 3
+    EXPECT_EQ(e0.order, 0u);
+    EXPECT_EQ(e0.pc, 0u);
+    EXPECT_EQ(e0.nextPc, 4u);
+    EXPECT_EQ(e0.rd, 10);
+    EXPECT_EQ(e0.rdData, 3u);
+    sim.step();
+    RetireEvent e2 = sim.step(); // add
+    EXPECT_EQ(e2.rs1Data, 3u);
+    EXPECT_EQ(e2.rs2Data, 4u);
+    EXPECT_EQ(e2.rdData, 7u);
+    RetireEvent e3 = sim.step(); // sw
+    EXPECT_TRUE(e3.memWrite);
+    EXPECT_EQ(e3.memAddr, 0x100u);
+    EXPECT_EQ(e3.memData, 7u);
+    EXPECT_EQ(e3.memBytes, 4);
+    RetireEvent e4 = sim.step(); // lw
+    EXPECT_TRUE(e4.memRead);
+    EXPECT_EQ(e4.memData, 7u);
+    RetireEvent e5 = sim.step(); // ecall
+    EXPECT_TRUE(e5.halt);
+}
+
+TEST(Memory, SparsePagesAndEndianness)
+{
+    Memory mem;
+    EXPECT_EQ(mem.loadWord(0x12345678), 0u);
+    EXPECT_EQ(mem.touchedPages(), 0u);
+    mem.storeWord(0x1000, 0xA1B2C3D4);
+    EXPECT_EQ(mem.loadByte(0x1000), 0xD4);
+    EXPECT_EQ(mem.loadByte(0x1003), 0xA1);
+    EXPECT_EQ(mem.loadHalf(0x1002), 0xA1B2);
+    EXPECT_EQ(mem.touchedPages(), 1u);
+    // Cross-page word access.
+    mem.storeWord(0x1FFE, 0x11223344);
+    EXPECT_EQ(mem.loadWord(0x1FFE), 0x11223344u);
+    EXPECT_EQ(mem.touchedPages(), 2u);
+}
+
+} // namespace
+} // namespace rissp

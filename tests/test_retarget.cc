@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the §5 retargeting flow: per-op macro synthesis with the
+ * verify-reject loop, whole-program reconstruction, and end-to-end
+ * equivalence of the retargeted binaries on the minimal subset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hh"
+#include "core/rissp.hh"
+#include "retarget/retargeter.hh"
+#include "sim/refsim.hh"
+#include "workloads/workloads.hh"
+
+namespace rissp
+{
+namespace
+{
+
+InstrSubset
+minimal()
+{
+    return Retargeter::minimalSubset();
+}
+
+TEST(MacroLibrary, CoversEveryNonKernelOp)
+{
+    const InstrSubset target = minimal();
+    for (size_t i = 0; i < kNumOps; ++i) {
+        const Op op = static_cast<Op>(i);
+        if (op == Op::Ecall || op == Op::Ebreak ||
+            op == Op::Auipc || op == Op::Jal || op == Op::Jalr ||
+            isCustom(op))
+            continue;
+        if (!target.contains(op))
+            EXPECT_TRUE(canRetarget(op))
+                << "no expansion for " << opName(op);
+    }
+}
+
+class MacroSynthTest : public ::testing::TestWithParam<int>
+{
+};
+
+std::string
+synthName(const ::testing::TestParamInfo<int> &info)
+{
+    return std::string(opName(static_cast<Op>(info.param)));
+}
+
+TEST_P(MacroSynthTest, SynthesizesVerifiedMacro)
+{
+    const Op op = static_cast<Op>(GetParam());
+    if (!canRetarget(op))
+        GTEST_SKIP() << "kernel/native op";
+    Retargeter rt(minimal(), /*seed=*/0x5EED);
+    MacroExpansion m = rt.synthesizeMacro(op);
+    EXPECT_TRUE(m.verified) << opName(op);
+    EXPECT_GE(m.attempts, 1u);
+    EXPECT_LE(m.attempts, 10u) << "paper bound: < 10 attempts";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, MacroSynthTest,
+    ::testing::Range(0, static_cast<int>(kNumOps)), synthName);
+
+TEST(Retargeter, BuggyCandidatesAreRejected)
+{
+    Retargeter rt(minimal());
+    // Seeds that put hallucinated candidates first still converge,
+    // and the attempt counter records the rejections.
+    bool saw_retry = false;
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        Retargeter rt2(minimal(), seed);
+        MacroExpansion m = rt2.synthesizeMacro(Op::Sub);
+        EXPECT_TRUE(m.verified);
+        if (m.attempts > 1)
+            saw_retry = true;
+    }
+    EXPECT_TRUE(saw_retry)
+        << "generator never produced a rejected candidate";
+}
+
+TEST(Retargeter, RejectsTargetWithoutKernelOps)
+{
+    EXPECT_EXIT(
+        {
+            Retargeter rt(InstrSubset::fromNames({"addi", "lw"}));
+        },
+        ::testing::ExitedWithCode(1), "kernel instruction");
+}
+
+TEST(Retargeter, SimpleProgramEquivalence)
+{
+    // A program exercising many non-kernel ops.
+    const char *src = R"(
+        int table[8] = {5, -3, 12, 0, 7, -8, 100, 42};
+        unsigned char bytes[8];
+        short halves[4];
+        int main(void) {
+            int acc = 0;
+            for (int i = 0; i < 8; i++) {
+                int v = table[i];
+                if (v >= 0) acc += v; else acc -= v * 2;
+                acc ^= (unsigned)v >> 3;
+                bytes[i] = (unsigned char)(acc & 0xFF);
+                if (i < 4) halves[i] = (short)(acc * 3);
+            }
+            for (int i = 0; i < 8; i++) acc += bytes[i];
+            for (int i = 0; i < 4; i++) acc += halves[i];
+            return acc & 0xFF;
+        }
+    )";
+    minic::CompileResult cr = minic::compile(src,
+                                             minic::OptLevel::O2);
+    RefSim ref;
+    ref.reset(cr.program);
+    RunResult ref_run = ref.run(10'000'000);
+    ASSERT_EQ(ref_run.reason, StopReason::Halted);
+
+    Retargeter rt(minimal());
+    RetargetResult res = rt.retarget(cr.program);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_FALSE(res.rewrittenOps.empty());
+    EXPECT_GT(res.retargetedTextBytes, res.initialTextBytes);
+
+    // The retargeted binary must produce the same result...
+    RefSim sim2;
+    sim2.reset(res.program);
+    RunResult run2 = sim2.run(50'000'000);
+    ASSERT_EQ(run2.reason, StopReason::Halted);
+    EXPECT_EQ(run2.exitCode, ref_run.exitCode);
+
+    // ...and run on a RISSP that implements only the minimal subset.
+    Rissp rissp(minimal(), "RISSP-minimal");
+    rissp.reset(res.program);
+    RunResult run3 = rissp.run(50'000'000);
+    ASSERT_EQ(run3.reason, StopReason::Halted);
+    EXPECT_EQ(run3.exitCode, ref_run.exitCode);
+
+    // Distinct instructions now fit in the 12-op subset.
+    EXPECT_LE(res.finalSubset.size(), minimal().size());
+}
+
+class EdgeRetargetTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EdgeRetargetTest, ExtremeEdgeAppsRetargetAndMatch)
+{
+    const Workload &wl = workloadByName(GetParam());
+    minic::CompileResult cr =
+        minic::compile(wl.source, minic::OptLevel::O2);
+    RefSim ref;
+    ref.reset(cr.program);
+    RunResult ref_run = ref.run(80'000'000);
+    ASSERT_EQ(ref_run.reason, StopReason::Halted);
+
+    Retargeter rt(minimal());
+    RetargetResult res = rt.retarget(cr.program);
+    ASSERT_TRUE(res.ok) << res.error;
+
+    Rissp rissp(minimal(), "RISSP-minimal");
+    rissp.reset(res.program);
+    RunResult run2 = rissp.run(400'000'000);
+    ASSERT_EQ(run2.reason, StopReason::Halted) << wl.name;
+    EXPECT_EQ(run2.exitCode, ref_run.exitCode) << wl.name;
+    EXPECT_EQ(rissp.outputWords(), ref.outputWords()) << wl.name;
+
+    // Figure 12 shape: code grows, distinct instructions shrink to
+    // at most the subset size.
+    EXPECT_GT(res.codeGrowth(), 0.0) << wl.name;
+    EXPECT_LE(res.finalSubset.size(), 12u) << wl.name;
+    EXPECT_GE(res.initialSubset.size(), res.finalSubset.size())
+        << wl.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, EdgeRetargetTest,
+                         ::testing::Values("armpit", "xgboost",
+                                           "af_detect"));
+
+} // namespace
+} // namespace rissp

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the synthesis, Serv and physical-implementation models.
+ * Absolute numbers are model outputs; what these tests pin down are
+ * the paper's qualitative results (§4.2-4.3): who is smaller, who is
+ * faster, who burns more power, and where P&R inverts the ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hh"
+#include "core/subset.hh"
+#include "physimpl/physical.hh"
+#include "serv/serv_model.hh"
+#include "synth/synthesis.hh"
+#include "workloads/workloads.hh"
+
+namespace rissp
+{
+namespace
+{
+
+const FlexIcTech &kTech = FlexIcTech::defaults();
+
+SynthReport
+synthOf(const std::string &workload_name)
+{
+    static SynthesisModel model;
+    auto cr = minic::compile(workloadByName(workload_name).source,
+                             minic::OptLevel::O2);
+    return model.synthesize(InstrSubset::fromProgram(cr.program),
+                            "RISSP-" + workload_name);
+}
+
+SynthReport
+fullIsa()
+{
+    static SynthesisModel model;
+    return model.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E");
+}
+
+TEST(Synthesis, SweepStructureMatchesPaper)
+{
+    SynthReport r = fullIsa();
+    // 100 kHz .. 3 MHz in 25 kHz steps (§4.2.1).
+    EXPECT_EQ(r.sweep.size(), 117u);
+    EXPECT_DOUBLE_EQ(r.sweep.front().targetKhz, 100.0);
+    EXPECT_DOUBLE_EQ(r.sweep.back().targetKhz, 3000.0);
+    // Slack is monotonically decreasing with target frequency.
+    for (size_t i = 1; i < r.sweep.size(); ++i)
+        EXPECT_LT(r.sweep[i].slackNs, r.sweep[i - 1].slackNs);
+    // fmax is the last met point; beyond it nothing is met.
+    bool past_fmax = false;
+    for (const FreqPoint &pt : r.sweep) {
+        if (pt.targetKhz > r.fmaxKhz) {
+            past_fmax = true;
+            EXPECT_FALSE(pt.met());
+        } else {
+            EXPECT_TRUE(pt.met());
+        }
+    }
+    EXPECT_TRUE(past_fmax) << "design met 3 MHz: model broken";
+    // Area grows as the constraint tightens.
+    EXPECT_GT(r.sweep.back().areaGe, r.sweep.front().areaGe);
+}
+
+TEST(Synthesis, SubsetMonotonicity)
+{
+    // A subset's area can never exceed the full ISA's, and adding
+    // instructions never shrinks the design.
+    SynthesisModel model;
+    SynthReport full = fullIsa();
+    InstrSubset small = InstrSubset::fromNames(
+        {"addi", "add", "lw", "sw", "jal", "jalr", "beq"});
+    InstrSubset bigger = InstrSubset::fromNames(
+        {"addi", "add", "lw", "sw", "jal", "jalr", "beq", "sll",
+         "sra", "sub", "and", "or"});
+    SynthReport s = model.synthesize(small, "small");
+    SynthReport b = model.synthesize(bigger, "bigger");
+    EXPECT_LT(s.combGates, b.combGates);
+    EXPECT_LT(b.combGates, full.combGates);
+    EXPECT_GE(s.fmaxKhz, full.fmaxKhz);
+}
+
+TEST(Synthesis, ResourceSharingIsUnionNotSum)
+{
+    // add+sub+addi+lw share one AluAdder: the 4-op design must cost
+    // far less than 4x the single-op design's datapath.
+    SynthesisModel model;
+    SynthReport one = model.synthesize(
+        InstrSubset::fromNames({"add"}), "one");
+    SynthReport four = model.synthesize(
+        InstrSubset::fromNames({"add", "sub", "addi", "lw"}),
+        "four");
+    // Marginal cost of the extra three ops is their decode/switch
+    // overhead plus the load aligner, far below another 3 adders.
+    EXPECT_LT(four.combGates - one.combGates, 500.0);
+
+    auto breakdown = model.resourceBreakdown(
+        InstrSubset::fromNames({"add", "sub", "addi"}));
+    EXPECT_EQ(breakdown.count("alu_adder"), 1u);
+    EXPECT_EQ(breakdown.count("shift_right"), 0u);
+}
+
+TEST(Synthesis, Figure6Shapes)
+{
+    SynthReport full = fullIsa();
+    SynthReport serv = ServModel().synthReport();
+    // RISSPs clock at or above the full core; Serv clocks highest.
+    for (const char *name : {"armpit", "xgboost", "af_detect",
+                             "crc32", "picojpeg"}) {
+        SynthReport r = synthOf(name);
+        EXPECT_GE(r.fmaxKhz, full.fmaxKhz) << name;
+        EXPECT_LT(r.fmaxKhz, serv.fmaxKhz) << name;
+        // kHz-range operation, on the paper's axis.
+        EXPECT_GE(r.fmaxKhz, 1400.0) << name;
+        EXPECT_LE(r.fmaxKhz, 2000.0) << name;
+    }
+    EXPECT_NEAR(serv.fmaxKhz, 2050.0, 25.0);
+    EXPECT_NEAR(full.fmaxKhz, 1700.0, 100.0);
+}
+
+TEST(Synthesis, Figure7Shapes)
+{
+    SynthReport full = fullIsa();
+    SynthReport serv = ServModel().synthReport();
+    // Serv synthesizes smaller than every RISSP (paper: the
+    // smallest RISSP is ~23% larger than Serv).
+    for (const Workload &wl : allWorkloads()) {
+        auto cr = minic::compile(wl.source, minic::OptLevel::O2);
+        SynthesisModel model;
+        SynthReport r = model.synthesize(
+            InstrSubset::fromProgram(cr.program),
+            "RISSP-" + wl.name);
+        EXPECT_GT(r.avgAreaGe, serv.avgAreaGe) << wl.name;
+        EXPECT_LT(r.avgAreaGe, full.avgAreaGe) << wl.name;
+        // Paper range: 8-43% reduction vs RISSP-RV32E.
+        const double reduction = 1.0 - r.avgAreaGe / full.avgAreaGe;
+        EXPECT_GT(reduction, 0.05) << wl.name;
+        EXPECT_LT(reduction, 0.55) << wl.name;
+    }
+}
+
+TEST(Synthesis, Figure8Shapes)
+{
+    SynthReport full = fullIsa();
+    SynthReport serv = ServModel().synthReport();
+    // Serv burns ~40% more power than RISSP-RV32E despite being
+    // smaller (FF power dominates).
+    const double serv_ratio = serv.avgPowerMw / full.avgPowerMw;
+    EXPECT_GT(serv_ratio, 1.2);
+    EXPECT_LT(serv_ratio, 1.7);
+    for (const char *name : {"armpit", "xgboost", "af_detect"}) {
+        SynthReport r = synthOf(name);
+        const double reduction =
+            1.0 - r.avgPowerMw / full.avgPowerMw;
+        EXPECT_GT(reduction, 0.03) << name; // paper: 3-30%
+        EXPECT_LT(reduction, 0.45) << name;
+        EXPECT_LT(r.avgPowerMw, serv.avgPowerMw) << name;
+    }
+}
+
+TEST(Synthesis, Figure9EpiShapes)
+{
+    SynthReport full = fullIsa();
+    SynthReport serv = ServModel().synthReport();
+    const double epi_full = full.epiNanojoules(1.0, kTech);
+    const double epi_serv =
+        serv.epiNanojoules(ServModel::kNominalCpi, kTech);
+    // Paper: RISSP-RV32E ~35x, RISSPs ~40x more efficient than Serv.
+    EXPECT_GT(epi_serv / epi_full, 25.0);
+    EXPECT_LT(epi_serv / epi_full, 55.0);
+    for (const char *name : {"armpit", "xgboost", "af_detect"}) {
+        SynthReport r = synthOf(name);
+        const double epi_r = r.epiNanojoules(1.0, kTech);
+        EXPECT_LT(epi_r, epi_full) << name;
+        EXPECT_GT(epi_serv / epi_r, 30.0) << name;
+    }
+}
+
+TEST(Serv, CycleModelMatchesBitSerialCpi)
+{
+    auto cr = minic::compile(workloadByName("crc32").source,
+                             minic::OptLevel::O2);
+    ServModel serv;
+    ServRunStats stats = serv.run(cr.program);
+    EXPECT_EQ(stats.result.reason, StopReason::Halted);
+    // Paper: CPI of 32 on average for the bit-serial core.
+    EXPECT_GT(stats.cpi(), 30.0);
+    EXPECT_LT(stats.cpi(), 42.0);
+    // Same functional result as the ISA demands.
+    EXPECT_EQ(stats.result.exitCode & 0xFFu,
+              stats.result.exitCode);
+}
+
+TEST(Serv, ShiftsCostExtraCycles)
+{
+    Program heavy_shift = minic::compile(
+        "int main() { unsigned x = 0x12345678; int s = 0;"
+        "  for (int i = 1; i < 30; i++) s += (int)(x >> i);"
+        "  return s & 0xFF; }",
+        minic::OptLevel::O1).program;
+    Program no_shift = minic::compile(
+        "int main() { unsigned x = 0x12345678; int s = 0;"
+        "  for (int i = 1; i < 30; i++) s += (int)x + i;"
+        "  return s & 0xFF; }",
+        minic::OptLevel::O1).program;
+    ServModel serv;
+    ServRunStats a = serv.run(heavy_shift);
+    ServRunStats b = serv.run(no_shift);
+    EXPECT_GT(a.cpi(), b.cpi());
+}
+
+TEST(Physical, Figure10Shapes)
+{
+    SynthesisModel model;
+    PhysicalModel phys;
+    PhysReport full = phys.implement(fullIsa(), RfStyle::LatchArray);
+    PhysReport serv =
+        phys.implement(ServModel().synthReport(), RfStyle::RamMacro);
+
+    auto implOf = [&](const char *name) {
+        return phys.implement(synthOf(name), RfStyle::LatchArray);
+    };
+    PhysReport af = implOf("af_detect");
+    PhysReport armpit = implOf("armpit");
+    PhysReport xgboost = implOf("xgboost");
+
+    // Orderings the paper reports:
+    //  - every extreme-edge RISSP is smaller than RISSP-RV32E;
+    EXPECT_LT(af.dieAreaMm2, full.dieAreaMm2);
+    EXPECT_LT(armpit.dieAreaMm2, full.dieAreaMm2);
+    EXPECT_LT(xgboost.dieAreaMm2, full.dieAreaMm2);
+    //  - Serv is smaller than RISSP-RV32E even after P&R;
+    EXPECT_LT(serv.dieAreaMm2, full.dieAreaMm2);
+    //  - but clock-tree cost makes xgboost beat Serv (the paper's
+    //    headline P&R inversion) and armpit land near it;
+    EXPECT_LT(xgboost.dieAreaMm2, serv.dieAreaMm2);
+    EXPECT_NEAR(armpit.dieAreaMm2 / serv.dieAreaMm2, 1.0, 0.15);
+    //  - af_detect is the largest of the three RISSPs.
+    EXPECT_GT(af.dieAreaMm2, xgboost.dieAreaMm2);
+
+    // FF share: ~60% for Serv, single digits for RISSPs.
+    EXPECT_GT(serv.ffAreaFraction, 0.45);
+    EXPECT_LT(serv.ffAreaFraction, 0.70);
+    EXPECT_LT(full.ffAreaFraction, 0.10);
+    EXPECT_LT(xgboost.ffAreaFraction, 0.10);
+
+    // Power at 300 kHz: xgboost and armpit below the baselines.
+    EXPECT_LT(xgboost.powerMw, serv.powerMw);
+    EXPECT_LT(xgboost.powerMw, full.powerMw);
+    EXPECT_LT(armpit.powerMw, full.powerMw);
+
+    // Die geometry sanity: mm-scale dies, X >= Y, area consistent.
+    for (const PhysReport *r : {&full, &serv, &af, &armpit,
+                                &xgboost}) {
+        EXPECT_GT(r->dieAreaMm2, 0.5) << r->name;
+        EXPECT_LT(r->dieAreaMm2, 10.0) << r->name;
+        EXPECT_GE(r->dieXUm, r->dieYUm) << r->name;
+        EXPECT_NEAR(r->dieXUm * r->dieYUm / 1.0e6, r->dieAreaMm2,
+                    0.01) << r->name;
+    }
+}
+
+TEST(Physical, ClockTreeScalesWithFlops)
+{
+    PhysicalModel phys;
+    SynthReport a = fullIsa();
+    SynthReport serv = ServModel().synthReport();
+    PhysReport pa = phys.implement(a, RfStyle::LatchArray);
+    PhysReport ps = phys.implement(serv, RfStyle::RamMacro);
+    EXPECT_GT(ps.ctsGe, pa.ctsGe);
+    EXPECT_NEAR(ps.ctsGe / serv.ffCount, pa.ctsGe / a.ffCount,
+                1e-9);
+}
+
+TEST(Synthesis, EmptySubsetIsFatal)
+{
+    SynthesisModel model;
+    EXPECT_EXIT(model.synthesize(InstrSubset(), "empty"),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+} // namespace
+} // namespace rissp

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the verification substrate itself: the Figure 4 block
+ * pre-verification flow and the §3.4.2 integration checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "verify/block_verify.hh"
+#include "verify/integration_verify.hh"
+#include "verify/spec.hh"
+
+namespace rissp
+{
+namespace
+{
+
+class BlockCertTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    Op op() const { return static_cast<Op>(GetParam()); }
+};
+
+std::string
+opParamName(const ::testing::TestParamInfo<int> &info)
+{
+    return std::string(opName(static_cast<Op>(info.param)));
+}
+
+TEST_P(BlockCertTest, TestbenchPassesCleanBlock)
+{
+    auto vecs = blockVectors(op(), 0xB10C, 200);
+    TestbenchReport rpt = runBlockTestbench(op(), vecs);
+    EXPECT_TRUE(rpt.passed()) << rpt.firstFailure;
+    EXPECT_GE(rpt.vectorsRun, 196u + 200u);
+}
+
+TEST_P(BlockCertTest, PropertiesHold)
+{
+    auto vecs = blockVectors(op(), 0xB10C, 200);
+    for (const PropertyResult &p :
+         checkBlockProperties(op(), vecs))
+        EXPECT_EQ(p.violations, 0u)
+            << opName(op()) << ": " << p.name;
+}
+
+TEST_P(BlockCertTest, MutationCoverageIsComplete)
+{
+    auto vecs = blockVectors(op(), 0xB10C, 200);
+    MutationReport rpt = runMutationCoverage(op(), vecs);
+    EXPECT_TRUE(rpt.fullCoverage())
+        << opName(op()) << " survivors: "
+        << (rpt.survivors.empty() ? "none" : rpt.survivors[0]);
+    EXPECT_EQ(rpt.mutantsGenerated, mutationCatalogue().size());
+}
+
+TEST_P(BlockCertTest, ArchTestSignatureMatchesReference)
+{
+    Program prog = archTestProgram(op());
+    // Custom-extension ops are opt-in: stitch them explicitly.
+    std::set<Op> ops = InstrSubset::fullRv32e().ops();
+    ops.insert(op());
+    CosimReport rpt = cosimulate(prog, InstrSubset(ops), 100'000);
+    EXPECT_TRUE(rpt.passed)
+        << opName(op()) << ": " << rpt.firstDivergence;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, BlockCertTest,
+    ::testing::Range(0, static_cast<int>(kNumOps)), opParamName);
+
+TEST(Certification, WholeLibraryCertifies)
+{
+    HwLibrary lib; // fresh instance so certs start clean
+    EXPECT_FALSE(lib.fullyVerified());
+    certifyLibrary(lib, 0xB10C, 120);
+    EXPECT_TRUE(lib.fullyVerified());
+    const BlockCert &cert = lib.cert(Op::Add);
+    EXPECT_TRUE(cert.functional);
+    EXPECT_TRUE(cert.mutationCovered);
+    EXPECT_TRUE(cert.formal);
+    EXPECT_GT(cert.vectorsRun, 100u);
+    EXPECT_GT(cert.mutantsTotal, 20u);
+}
+
+TEST(Mutation, InjectedFaultsAreObservable)
+{
+    // A broken carry chain must flip some add result.
+    Mutation mut{Mutation::Kind::CarryChainBreak, 1};
+    auto vecs = blockVectors(Op::Add, 0xB10C, 100);
+    TestbenchReport rpt = runBlockTestbench(Op::Add, vecs, &mut);
+    EXPECT_FALSE(rpt.passed());
+
+    // Branch polarity inversion must be caught on beq.
+    Mutation mut2{Mutation::Kind::BranchPolarity, 0};
+    auto vecs2 = blockVectors(Op::Beq, 0xB10C, 100);
+    EXPECT_FALSE(runBlockTestbench(Op::Beq, vecs2, &mut2).passed());
+
+    // Sign-extension faults must be caught on lb but are equivalent
+    // (filtered, not killed) on lbu.
+    Mutation mut3{Mutation::Kind::WrongSignExt, 0};
+    auto vecs3 = blockVectors(Op::Lb, 0xB10C, 100);
+    EXPECT_FALSE(runBlockTestbench(Op::Lb, vecs3, &mut3).passed());
+    auto vecs4 = blockVectors(Op::Lbu, 0xB10C, 100);
+    EXPECT_TRUE(runBlockTestbench(Op::Lbu, vecs4, &mut3).passed());
+}
+
+TEST(RvfiMonitor, AcceptsCleanStream)
+{
+    Program p = assemble(R"(
+        li a0, 10
+        li a1, 0
+    loop:
+        add a1, a1, a0
+        addi a0, a0, -1
+        bne a0, zero, loop
+        sw a1, 0x200(zero)
+        lw a2, 0x200(zero)
+        ecall
+    )");
+    Rissp dut(InstrSubset::fullRv32e(), "mon");
+    dut.reset(p);
+    std::vector<RetireEvent> events;
+    while (true) {
+        RetireEvent ev = dut.step();
+        events.push_back(ev);
+        if (ev.halt || ev.trap)
+            break;
+    }
+    MonitorReport rpt = checkRvfiStream(events);
+    EXPECT_TRUE(rpt.passed())
+        << (rpt.violations.empty() ? "" : rpt.violations[0]);
+    EXPECT_EQ(rpt.eventsChecked, events.size());
+}
+
+TEST(RvfiMonitor, FlagsBrokenStreams)
+{
+    RetireEvent a;
+    a.order = 0;
+    a.pc = 0;
+    a.nextPc = 4;
+    RetireEvent b = a;
+    b.order = 1;
+    b.pc = 8; // chain broken (should be 4)
+    b.nextPc = 12;
+    MonitorReport rpt = checkRvfiStream({a, b});
+    EXPECT_FALSE(rpt.passed());
+    EXPECT_NE(rpt.violations[0].find("pc chain"), std::string::npos);
+
+    RetireEvent c;
+    c.order = 0;
+    c.pc = 0;
+    c.nextPc = 4;
+    c.rd = 0;
+    c.rdData = 7; // x0 written
+    MonitorReport rpt2 = checkRvfiStream({c});
+    EXPECT_FALSE(rpt2.passed());
+
+    RetireEvent d;
+    d.order = 5; // wrong order
+    d.pc = 0;
+    d.nextPc = 4;
+    EXPECT_FALSE(checkRvfiStream({d}).passed());
+}
+
+class RandomCosimTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomCosimTest, RisspTracksReference)
+{
+    const uint64_t seed = 0xFACE0000u + GetParam();
+    InstrSubset full = InstrSubset::fullRv32e();
+    Program prog = randomProgram(seed, 300, full);
+    CosimReport rpt = cosimulate(prog, full, 100'000);
+    EXPECT_TRUE(rpt.passed) << rpt.firstDivergence;
+    EXPECT_TRUE(rpt.monitor.passed());
+    EXPECT_GT(rpt.monitor.eventsChecked, 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCosimTest,
+                         ::testing::Range(0, 12));
+
+TEST(Cosim, TrapsOnOutOfSubsetInstruction)
+{
+    // A RISSP without 'sub' must trap where the reference executes.
+    Program p = assemble(R"(
+        li a0, 5
+        li a1, 3
+        sub a2, a0, a1
+        ecall
+    )");
+    InstrSubset no_sub = InstrSubset::fromNames(
+        {"addi", "lui", "jal"});
+    Rissp dut(no_sub, "no-sub");
+    dut.reset(p);
+    RunResult rr = dut.run(100);
+    EXPECT_EQ(rr.reason, StopReason::Trapped);
+    EXPECT_EQ(rr.stopPc, 8u);
+}
+
+TEST(Spec, MatchesIssOnRandomInstructions)
+{
+    // Spec model vs reference ISS: execute single instructions in
+    // isolation and compare rd/next-pc behaviour.
+    Rng rng(77);
+    InstrSubset full = InstrSubset::fullRv32e();
+    std::vector<Op> ops(full.ops().begin(), full.ops().end());
+    for (int iter = 0; iter < 4000; ++iter) {
+        const Op op = ops[rng.below(
+            static_cast<uint32_t>(ops.size()))];
+        if (isLoad(op) || isStore(op))
+            continue; // memory covered by cosim
+        auto vecs = blockVectors(op, rng.next(), 1);
+        const BlockVector &v = vecs.back();
+        SpecEffect fx = specExecute(v.in.insn, v.in.pc,
+                                    v.in.rs1Data, v.in.rs2Data);
+        // Cross-check against the reference ISS semantics.
+        RefSim sim;
+        Program stub;
+        Segment seg;
+        seg.base = v.in.pc;
+        for (unsigned b = 0; b < 4; ++b)
+            seg.bytes.push_back(
+                static_cast<uint8_t>(v.in.insn.raw >> (8 * b)));
+        stub.segments.push_back(seg);
+        stub.entry = v.in.pc;
+        stub.textBase = v.in.pc;
+        stub.textSize = 4;
+        sim.reset(stub);
+        sim.setReg(v.in.insn.rs1, v.in.rs1Data);
+        sim.setReg(v.in.insn.rs2, v.in.rs2Data);
+        // Read operands back so rs1 == rs2 aliasing is honoured.
+        const uint32_t rs1 = sim.reg(v.in.insn.rs1);
+        const uint32_t rs2 = sim.reg(v.in.insn.rs2);
+        SpecEffect fx0 = specExecute(v.in.insn, v.in.pc, rs1, rs2);
+        RetireEvent ev = sim.step();
+        if (!fx0.halt)
+            EXPECT_EQ(ev.nextPc, fx0.nextPc)
+                << disassemble(v.in.insn.raw);
+        if (fx0.writesRd && v.in.insn.rd != 0)
+            EXPECT_EQ(sim.reg(v.in.insn.rd), fx0.rdValue)
+                << disassemble(v.in.insn.raw);
+        (void)fx;
+    }
+}
+
+} // namespace
+} // namespace rissp

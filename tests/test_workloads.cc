@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Workload integration tests: every benchmark must compile at every
+ * optimization level, run to a clean halt on the reference ISS, and
+ * produce level-independent results (exit code and MMIO stream).
+ * The RISSP generated from each binary's own subset must reproduce
+ * the reference run exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hh"
+#include "core/rissp.hh"
+#include "core/subset.hh"
+#include "sim/refsim.hh"
+#include "workloads/workloads.hh"
+
+namespace rissp
+{
+namespace
+{
+
+using minic::OptLevel;
+
+class WorkloadTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    const Workload &wl() const
+    {
+        return allWorkloads()[static_cast<size_t>(GetParam())];
+    }
+};
+
+std::string
+wlName(const ::testing::TestParamInfo<int> &info)
+{
+    std::string n = allWorkloads()[static_cast<size_t>(
+        info.param)].name;
+    for (char &c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+TEST_P(WorkloadTest, LevelIndependentResults)
+{
+    uint32_t expect_exit = 0;
+    std::vector<uint32_t> expect_words;
+    bool first = true;
+    for (OptLevel level : {OptLevel::O0, OptLevel::O1, OptLevel::O2,
+                           OptLevel::O3, OptLevel::Oz}) {
+        minic::CompileResult r = minic::compile(wl().source, level);
+        RefSim sim;
+        sim.reset(r.program);
+        RunResult rr = sim.run(80'000'000);
+        ASSERT_EQ(rr.reason, StopReason::Halted)
+            << wl().name << " at " << minic::optLevelName(level);
+        if (first) {
+            expect_exit = rr.exitCode;
+            expect_words = sim.outputWords();
+            first = false;
+        } else {
+            EXPECT_EQ(rr.exitCode, expect_exit)
+                << wl().name << " at "
+                << minic::optLevelName(level);
+            EXPECT_EQ(sim.outputWords(), expect_words)
+                << wl().name << " at "
+                << minic::optLevelName(level);
+        }
+    }
+}
+
+TEST_P(WorkloadTest, RisspMatchesReference)
+{
+    minic::CompileResult r = minic::compile(wl().source, OptLevel::O2);
+    InstrSubset subset = InstrSubset::fromProgram(r.program);
+
+    RefSim ref;
+    ref.reset(r.program);
+    RunResult ref_run = ref.run(80'000'000);
+    ASSERT_EQ(ref_run.reason, StopReason::Halted);
+
+    Rissp rissp(subset, "RISSP-" + wl().name);
+    rissp.reset(r.program);
+    RunResult rissp_run = rissp.run(80'000'000);
+    ASSERT_EQ(rissp_run.reason, StopReason::Halted) << wl().name;
+    EXPECT_EQ(rissp_run.exitCode, ref_run.exitCode) << wl().name;
+    EXPECT_EQ(rissp_run.instret, ref_run.instret) << wl().name;
+    EXPECT_EQ(rissp.outputWords(), ref.outputWords()) << wl().name;
+}
+
+TEST_P(WorkloadTest, SubsetIsProperAndPlausible)
+{
+    minic::CompileResult r = minic::compile(wl().source, OptLevel::O2);
+    InstrSubset subset = InstrSubset::fromProgram(r.program);
+    // §4.1: applications use 24-86% of the full ISA.
+    EXPECT_GE(subset.size(), 8u) << subset.describe();
+    EXPECT_LE(subset.size(), kFullIsaSize) << subset.describe();
+    // Every program needs control flow and memory access.
+    EXPECT_TRUE(subset.contains(Op::Jal));
+    EXPECT_TRUE(subset.contains(Op::Lw));
+    EXPECT_TRUE(subset.contains(Op::Sw));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadTest,
+    ::testing::Range(0, static_cast<int>(allWorkloads().size())),
+    wlName);
+
+TEST(Workloads, RegistryShape)
+{
+    EXPECT_EQ(allWorkloads().size(), 25u);
+    size_t embench = 0;
+    size_t edge = 0;
+    for (const Workload &w : allWorkloads()) {
+        if (w.category == "embench")
+            ++embench;
+        else if (w.category == "extreme-edge")
+            ++edge;
+    }
+    EXPECT_EQ(embench, 22u);
+    EXPECT_EQ(edge, 3u);
+    EXPECT_EQ(workloadByName("crc32").name, "crc32");
+    EXPECT_EQ(extremeEdgeNames().size(), 3u);
+}
+
+TEST(Workloads, AfDetectFlagsTheIrregularRhythm)
+{
+    // The APPT pipeline must actually detect the AF segment the
+    // synthetic ECG contains (exit = af*100 + peaks).
+    auto r = minic::compile(workloadByName("af_detect").source,
+                            OptLevel::O2);
+    RefSim sim;
+    sim.reset(r.program);
+    RunResult rr = sim.run(80'000'000);
+    ASSERT_EQ(rr.reason, StopReason::Halted);
+    EXPECT_GE(rr.exitCode, 100u) << "AF not detected";
+    ASSERT_EQ(sim.outputWords().size(), 3u);
+    const uint32_t peaks = sim.outputWords()[0];
+    EXPECT_GT(peaks, 8u);
+    EXPECT_EQ(sim.outputWords()[2], 1u);
+}
+
+TEST(Workloads, XgboostPredictsBothClasses)
+{
+    auto r = minic::compile(workloadByName("xgboost").source,
+                            OptLevel::O2);
+    RefSim sim;
+    sim.reset(r.program);
+    RunResult rr = sim.run(80'000'000);
+    ASSERT_EQ(rr.reason, StopReason::Halted);
+    EXPECT_GT(rr.exitCode, 0u);   // some positives
+    EXPECT_LT(rr.exitCode, 16u);  // some negatives
+}
+
+} // namespace
+} // namespace rissp

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * risspgen — command-line front end for the RISSP generation flow.
+ *
+ *   risspgen characterize <src.c> [-O2]     subset + codesize report
+ *   risspgen run <src.c> [-O2]              execute on the generated
+ *                                           RISSP (prints exit/MMIO)
+ *   risspgen synth <src.c> [-O2]            synthesis + physical
+ *                                           summary vs the baselines
+ *   risspgen retarget <src.c> [-O2]         rewrite onto the minimal
+ *                                           12-op subset and verify
+ *   risspgen table3                         regenerate Table 3 for
+ *                                           the bundled workloads
+ *
+ * Sources are MiniC (see README). A file argument of the form
+ * `@name` selects a bundled workload (e.g. @armpit, @crc32).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "compiler/driver.hh"
+#include "core/rissp.hh"
+#include "core/subset.hh"
+#include "physimpl/physical.hh"
+#include "retarget/retargeter.hh"
+#include "serv/serv_model.hh"
+#include "sim/refsim.hh"
+#include "synth/synthesis.hh"
+#include "util/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace rissp;
+
+minic::OptLevel
+parseLevel(int argc, char **argv, int first)
+{
+    for (int i = first; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "-O0") return minic::OptLevel::O0;
+        if (a == "-O1") return minic::OptLevel::O1;
+        if (a == "-O2") return minic::OptLevel::O2;
+        if (a == "-O3") return minic::OptLevel::O3;
+        if (a == "-Oz") return minic::OptLevel::Oz;
+    }
+    return minic::OptLevel::O2;
+}
+
+std::string
+loadSource(const std::string &path)
+{
+    if (!path.empty() && path[0] == '@')
+        return workloadByName(path.substr(1)).source;
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+int
+cmdCharacterize(const std::string &src, minic::OptLevel level)
+{
+    minic::CompileResult cr = minic::compile(src, level);
+    InstrSubset subset = InstrSubset::fromProgram(cr.program);
+    std::printf("optimization   : %s\n",
+                minic::optLevelName(level).c_str());
+    std::printf("code size      : %zu instructions (%zu bytes)\n",
+                cr.staticInstructions(), cr.program.textSize);
+    std::printf("runtime helpers:");
+    for (const std::string &h : cr.helpers)
+        std::printf(" %s", h.c_str());
+    std::printf("%s\n", cr.helpers.empty() ? " (none)" : "");
+    std::printf("subset         : %zu of %zu base instructions "
+                "(%.0f%%)\n", subset.size(), kFullIsaSize,
+                subset.fractionOfFullIsa() * 100.0);
+    std::printf("instructions   : %s\n", subset.describe().c_str());
+    return 0;
+}
+
+int
+cmdRun(const std::string &src, minic::OptLevel level)
+{
+    minic::CompileResult cr = minic::compile(src, level);
+    InstrSubset subset = InstrSubset::fromProgram(cr.program);
+    Rissp chip(subset, "RISSP");
+    chip.reset(cr.program);
+    RunResult run = chip.run(2'000'000'000ull);
+    const char *why = run.reason == StopReason::Halted ? "halted"
+        : run.reason == StopReason::Trapped ? "TRAPPED"
+        : "step limit";
+    std::printf("%s at pc=0x%x after %llu cycles, exit code %u\n",
+                why, run.stopPc,
+                static_cast<unsigned long long>(run.instret),
+                run.exitCode);
+    if (!chip.outputWords().empty()) {
+        std::printf("output words  :");
+        for (uint32_t w : chip.outputWords())
+            std::printf(" %u", w);
+        std::printf("\n");
+    }
+    if (!chip.outputText().empty())
+        std::printf("output text   : %s\n",
+                    chip.outputText().c_str());
+    return run.reason == StopReason::Halted ? 0 : 1;
+}
+
+int
+cmdSynth(const std::string &src, minic::OptLevel level)
+{
+    minic::CompileResult cr = minic::compile(src, level);
+    InstrSubset subset = InstrSubset::fromProgram(cr.program);
+    SynthesisModel model;
+    PhysicalModel phys;
+    SynthReport mine = model.synthesize(subset, "RISSP-app");
+    SynthReport full =
+        model.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E");
+    SynthReport serv = ServModel().synthReport();
+    PhysReport impl = phys.implement(mine, RfStyle::LatchArray);
+
+    std::printf("%-14s %8s %10s %10s %10s\n", "design", "instrs",
+                "fmax kHz", "area GE", "power mW");
+    std::printf("%-14s %8zu %10.0f %10.0f %10.3f\n",
+                mine.name.c_str(), mine.subsetSize, mine.fmaxKhz,
+                mine.avgAreaGe, mine.avgPowerMw);
+    std::printf("%-14s %8zu %10.0f %10.0f %10.3f\n",
+                full.name.c_str(), full.subsetSize, full.fmaxKhz,
+                full.avgAreaGe, full.avgPowerMw);
+    std::printf("%-14s %8s %10.0f %10.0f %10.3f\n",
+                serv.name.c_str(), "full", serv.fmaxKhz,
+                serv.avgAreaGe, serv.avgPowerMw);
+    std::printf("\nsavings vs RISSP-RV32E: area %.0f%%, power "
+                "%.0f%%\n",
+                (1.0 - mine.avgAreaGe / full.avgAreaGe) * 100.0,
+                (1.0 - mine.avgPowerMw / full.avgPowerMw) * 100.0);
+    std::printf("FlexIC at 300 kHz: %.0f x %.0f um, %.2f mm2, FF "
+                "%.1f%%, %.3f mW\n", impl.dieXUm, impl.dieYUm,
+                impl.dieAreaMm2, impl.ffAreaFraction * 100.0,
+                impl.powerMw);
+    return 0;
+}
+
+int
+cmdRetarget(const std::string &src, minic::OptLevel level)
+{
+    minic::CompileResult cr = minic::compile(src, level);
+    Retargeter rt(Retargeter::minimalSubset());
+    RetargetResult res = rt.retarget(cr.program);
+    if (!res.ok) {
+        std::printf("retargeting failed: %s\n", res.error.c_str());
+        return 1;
+    }
+    std::printf("macros         : %zu synthesized+verified\n",
+                res.macros.size());
+    std::printf("code size      : %zu -> %zu bytes (%+.1f%%)\n",
+                res.initialTextBytes, res.retargetedTextBytes,
+                res.codeGrowth() * 100.0);
+    std::printf("distinct ops   : %zu -> %zu\n",
+                res.initialSubset.size(), res.finalSubset.size());
+
+    RefSim a;
+    a.reset(cr.program);
+    RefSim b;
+    b.reset(res.program);
+    RunResult ra = a.run(2'000'000'000ull);
+    RunResult rb = b.run(2'000'000'000ull);
+    const bool same = ra.reason == rb.reason &&
+        ra.exitCode == rb.exitCode &&
+        a.outputWords() == b.outputWords();
+    std::printf("equivalence    : %s (exit %u vs %u)\n",
+                same ? "verified" : "MISMATCH", ra.exitCode,
+                rb.exitCode);
+    return same ? 0 : 1;
+}
+
+int
+cmdTable3()
+{
+    for (const Workload &wl : allWorkloads()) {
+        minic::CompileResult cr =
+            minic::compile(wl.source, minic::OptLevel::O2);
+        InstrSubset subset = InstrSubset::fromProgram(cr.program);
+        std::printf("%-16s (%2zu) %s\n", wl.name.c_str(),
+                    subset.size(), subset.describe().c_str());
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: risspgen <command> [args]\n"
+        "  characterize <src.c|@workload> [-O0..-Oz]\n"
+        "  run          <src.c|@workload> [-O0..-Oz]\n"
+        "  synth        <src.c|@workload> [-O0..-Oz]\n"
+        "  retarget     <src.c|@workload> [-O0..-Oz]\n"
+        "  table3\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "table3")
+        return cmdTable3();
+    if (argc < 3) {
+        usage();
+        return 2;
+    }
+    const std::string src = loadSource(argv[2]);
+    const minic::OptLevel level = parseLevel(argc, argv, 3);
+    if (cmd == "characterize")
+        return cmdCharacterize(src, level);
+    if (cmd == "run")
+        return cmdRun(src, level);
+    if (cmd == "synth")
+        return cmdSynth(src, level);
+    if (cmd == "retarget")
+        return cmdRetarget(src, level);
+    usage();
+    return 2;
+}
