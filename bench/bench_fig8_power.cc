@@ -2,6 +2,7 @@
  * @file
  * Figure 8: average power (static + dynamic, mW) across the
  * positive-slack sweep points, per design, vs the two baselines.
+ * Per-application sweeps run through the exploration engine.
  */
 
 #include "bench/bench_util.hh"
@@ -14,9 +15,9 @@ int
 main()
 {
     bench::banner("Figure 8: average power (mW, static + dynamic)");
-    SynthesisModel model;
-    const SynthReport full =
-        model.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E");
+    const explore::ResultTable table = bench::synthesizeAll(true);
+    const explore::ExplorationResult &full =
+        table.row(table.size() - 1);
     const SynthReport serv = ServModel().synthReport();
 
     std::printf("%-18s %8s %10s %14s\n", "design", "instrs",
@@ -24,17 +25,17 @@ main()
     bench::rule(54);
     double min_red = 1.0;
     double max_red = 0.0;
-    for (const Workload &wl : allWorkloads()) {
-        const SynthReport r = model.synthesize(
-            bench::subsetAtO2(wl), "RISSP-" + wl.name);
+    for (size_t i = 0; i + 1 < table.size(); ++i) {
+        const explore::ExplorationResult &r = table.row(i);
         const double red = 1.0 - r.avgPowerMw / full.avgPowerMw;
         min_red = std::min(min_red, red);
         max_red = std::max(max_red, red);
-        std::printf("%-18s %8zu %10.3f %12.1f%%\n", r.name.c_str(),
-                    r.subsetSize, r.avgPowerMw, red * 100.0);
+        std::printf("%-18s %8zu %10.3f %12.1f%%\n",
+                    r.subsetName.c_str(), r.subsetSize, r.avgPowerMw,
+                    red * 100.0);
     }
     bench::rule(54);
-    std::printf("%-18s %8zu %10.3f %13s\n", full.name.c_str(),
+    std::printf("%-18s %8zu %10.3f %13s\n", full.subsetName.c_str(),
                 full.subsetSize, full.avgPowerMw, "--");
     std::printf("%-18s %8s %10.3f %13s\n", serv.name.c_str(),
                 "full", serv.avgPowerMw, "--");

@@ -1,7 +1,9 @@
 /**
  * @file
  * Table 3: the list of distinct instructions per application when
- * compiled with -O2.
+ * compiled with -O2. Characterization runs through the exploration
+ * engine (subset extraction only), which compiles the 25 workloads on
+ * the work-stealing pool instead of one at a time.
  */
 
 #include "bench/bench_util.hh"
@@ -13,10 +15,9 @@ main()
 {
     bench::banner("Table 3: distinct instructions per application "
                   "(-O2)");
-    for (const Workload &wl : allWorkloads()) {
-        const InstrSubset subset = bench::subsetAtO2(wl);
-        std::printf("%-16s (%2zu) %s\n", wl.name.c_str(),
-                    subset.size(), subset.describe().c_str());
-    }
+    const explore::ResultTable table = bench::characterizeAll();
+    for (const explore::ExplorationResult &r : table.rows())
+        std::printf("%-16s (%2zu) %s\n", r.workloadName.c_str(),
+                    r.subsetSize, r.subset.describe().c_str());
     return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "compiler/driver.hh"
 #include "core/subset.hh"
+#include "explore/explorer.hh"
 #include "synth/synthesis.hh"
 #include "workloads/workloads.hh"
 
@@ -24,6 +25,50 @@ subsetAtO2(const Workload &wl)
     minic::CompileResult cr =
         minic::compile(wl.source, minic::OptLevel::O2);
     return InstrSubset::fromProgram(cr.program);
+}
+
+/** All bundled workload names in Table 3 order. */
+inline std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &wl : allWorkloads())
+        names.push_back(wl.name);
+    return names;
+}
+
+/**
+ * Characterize every bundled workload (Step 1 only: compile at -O2
+ * and extract the subset) through the parallel exploration engine.
+ * One row per workload, Table 3 order.
+ */
+inline explore::ResultTable
+characterizeAll()
+{
+    explore::ExplorerOptions options;
+    options.simulate = false;
+    options.synthesize = false;
+    explore::Explorer engine(options);
+    return engine.explore(
+        explore::ExplorationPlan::perWorkloadRissps(
+            allWorkloadNames()));
+}
+
+/**
+ * Synthesize the per-application RISSP of every bundled workload
+ * through the parallel exploration engine. One row per workload in
+ * Table 3 order, then (when @p include_full_baseline) one final
+ * RISSP-RV32E row.
+ */
+inline explore::ResultTable
+synthesizeAll(bool include_full_baseline)
+{
+    explore::ExplorerOptions options;
+    options.simulate = false;
+    explore::Explorer engine(options);
+    return engine.explore(
+        explore::ExplorationPlan::perWorkloadRissps(
+            allWorkloadNames(), include_full_baseline));
 }
 
 /** Print a separator line sized to the table. */

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The exploration engine: point execution, memoization, scheduling.
+ */
+
+#include "explore/explorer.hh"
+
+#include "core/rissp.hh"
+#include "explore/fingerprint.hh"
+#include "explore/workpool.hh"
+#include "util/logging.hh"
+#include "verify/integration_verify.hh"
+#include "workloads/workloads.hh"
+
+namespace rissp::explore
+{
+
+namespace
+{
+
+/** Tech used when a plan names none. */
+const TechSpec &
+defaultTechSpec()
+{
+    static const TechSpec spec;
+    return spec;
+}
+
+/** Functional signature of a run: exit code plus all MMIO output. */
+uint64_t
+runSignature(uint32_t exit_code,
+             const std::vector<uint32_t> &out_words,
+             const std::string &out_text)
+{
+    uint64_t hash = fnv1a(&exit_code, sizeof exit_code);
+    for (uint32_t w : out_words)
+        hash = fnv1a(&w, sizeof w, hash);
+    return fnv1a(out_text, hash);
+}
+
+} // namespace
+
+Explorer::Explorer(ExplorerOptions options) : opts(options) {}
+
+uint64_t
+Explorer::workloadKey(const std::string &name, minic::OptLevel level)
+{
+    return workloadFingerprint(name, workloadByName(name).source,
+                               static_cast<uint8_t>(level));
+}
+
+minic::CompileResult
+Explorer::compileWorkload(const std::string &name,
+                          minic::OptLevel level)
+{
+    return compileCache.getOrCompute(workloadKey(name, level), [&] {
+        return minic::compile(workloadByName(name).source, level);
+    });
+}
+
+InstrSubset
+Explorer::resolveSubset(const SubsetSpec &spec, minic::OptLevel level)
+{
+    switch (spec.kind) {
+      case SubsetSpec::Kind::Full:
+        return InstrSubset::fullRv32e();
+      case SubsetSpec::Kind::Explicit:
+        return InstrSubset::fromNames(spec.mnemonics);
+      case SubsetSpec::Kind::FromWorkload:
+        return InstrSubset::fromProgram(
+            compileWorkload(spec.workload, level).program);
+    }
+    panic("resolveSubset: bad kind");
+}
+
+Explorer::SimOutcome
+Explorer::simulatePoint(const InstrSubset &subset,
+                        const minic::CompileResult &compiled)
+{
+    SimOutcome out;
+    Rissp chip(subset, "explore");
+    chip.reset(compiled.program);
+    const RunResult run = chip.run(opts.maxSteps);
+    out.trapped = run.reason == StopReason::Trapped;
+    out.cycles = run.instret;
+    out.exitCode = run.exitCode;
+    out.signature = runSignature(run.exitCode, chip.outputWords(),
+                                 chip.outputText());
+    if (run.reason != StopReason::Halted)
+        out.cosimPassed = false;
+    else if (!opts.verify)
+        out.cosimPassed = true; // assumed, not checked
+    else
+        out.cosimPassed = cosimulate(compiled.program, subset,
+                                     opts.maxSteps).passed;
+    return out;
+}
+
+Explorer::SynthOutcome
+Explorer::synthesizePoint(const InstrSubset &subset,
+                          const std::string &name,
+                          const FlexIcTech &tech)
+{
+    SynthOutcome out;
+    const SynthesisModel model(tech);
+    const SynthReport report = model.synthesize(subset, name);
+    out.fmaxKhz = report.fmaxKhz;
+    out.avgAreaGe = report.avgAreaGe;
+    out.avgPowerMw = report.avgPowerMw;
+    out.epiNj = report.epiNanojoules(1.0, tech); // CPI = 1, §4.2.4
+    if (opts.physical) {
+        const PhysicalModel phys(tech);
+        const PhysReport placed = phys.implement(report, opts.rfStyle);
+        out.physRun = true;
+        out.dieAreaMm2 = placed.dieAreaMm2;
+        out.physPowerMw = placed.powerMw;
+    }
+    return out;
+}
+
+ResultTable
+Explorer::explore(const ExplorationPlan &plan)
+{
+    const std::vector<PlanPoint> points = plan.expand();
+    ResultTable table(points.size());
+
+    auto runPoint = [this, &plan, &table](const PlanPoint &pt) {
+        const SubsetSpec &sspec = plan.subsets[pt.subsetIdx];
+        const std::string &wlName = plan.workloads[pt.workloadIdx];
+        const TechSpec &tech = plan.techs.empty()
+            ? defaultTechSpec() : plan.techs[pt.techIdx];
+
+        ExplorationResult row;
+        row.index = pt.index;
+        row.subsetName = sspec.name;
+        row.workloadName = wlName;
+        row.techName = tech.name;
+        row.subset = resolveSubset(sspec, plan.opt);
+        row.subsetSize = row.subset.size();
+        const uint64_t subsetFp = subsetFingerprint(row.subset);
+
+        if (opts.simulate) {
+            const minic::CompileResult compiled =
+                compileWorkload(wlName, plan.opt);
+            const SimOutcome sim = simCache.getOrCompute(
+                {subsetFp, workloadKey(wlName, plan.opt)},
+                [&] { return simulatePoint(row.subset, compiled); },
+                &row.simMemoHit);
+            row.simRun = true;
+            row.trapped = sim.trapped;
+            row.cosimPassed = sim.cosimPassed;
+            row.cycles = sim.cycles;
+            row.exitCode = sim.exitCode;
+            row.signature = sim.signature;
+        }
+
+        if (opts.synthesize) {
+            const SynthOutcome synth = synthCache.getOrCompute(
+                {subsetFp, techFingerprint(tech.tech)},
+                [&] {
+                    return synthesizePoint(row.subset, sspec.name,
+                                           tech.tech);
+                },
+                &row.synthMemoHit);
+            row.synthRun = true;
+            row.fmaxKhz = synth.fmaxKhz;
+            row.avgAreaGe = synth.avgAreaGe;
+            row.avgPowerMw = synth.avgPowerMw;
+            row.epiNj = synth.epiNj;
+            row.physRun = synth.physRun;
+            row.dieAreaMm2 = synth.dieAreaMm2;
+            row.physPowerMw = synth.physPowerMw;
+        }
+
+        pointCount.fetch_add(1, std::memory_order_relaxed);
+        table.set(std::move(row));
+    };
+
+    const unsigned threads =
+        opts.threads != 0 ? opts.threads : plan.threads;
+    WorkStealingPool pool(threads);
+    std::vector<WorkStealingPool::Task> tasks;
+    tasks.reserve(points.size());
+    for (const PlanPoint &pt : points)
+        tasks.push_back([&runPoint, pt] { runPoint(pt); });
+    pool.run(std::move(tasks));
+    return table;
+}
+
+ExplorerStats
+Explorer::stats() const
+{
+    ExplorerStats s;
+    s.points = pointCount.load(std::memory_order_relaxed);
+    s.compileHits = compileCache.hits();
+    s.compileMisses = compileCache.misses();
+    s.simHits = simCache.hits();
+    s.simMisses = simCache.misses();
+    s.synthHits = synthCache.hits();
+    s.synthMisses = synthCache.misses();
+    return s;
+}
+
+} // namespace rissp::explore

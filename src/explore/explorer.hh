@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Parallel design-space exploration engine.
+ *
+ * For each expanded plan point the Explorer resolves the instruction
+ * subset (Step 1), builds the RISSP and runs the workload on it,
+ * lock-step co-simulates against the reference ISS (§3.4.2), and
+ * pushes the subset through the synthesis and physical-implementation
+ * models (§4.2-4.3). Points run on a work-stealing thread pool;
+ * simulation results are memoized on (subset fingerprint, workload
+ * fingerprint) and synthesis results on (subset fingerprint, tech
+ * fingerprint), so cartesian plans — where the same subset meets many
+ * workloads and the same pair meets many corners — only pay for each
+ * distinct computation once. The caches persist across explore()
+ * calls on the same Explorer: repeated points are free.
+ *
+ * Every model underneath is deterministic and every point writes its
+ * own pre-allocated result row, so the emitted table is identical for
+ * any thread count.
+ */
+
+#ifndef RISSP_EXPLORE_EXPLORER_HH
+#define RISSP_EXPLORE_EXPLORER_HH
+
+#include <cstdint>
+
+#include "compiler/driver.hh"
+#include "explore/memo.hh"
+#include "explore/plan.hh"
+#include "explore/result_table.hh"
+#include "physimpl/physical.hh"
+
+namespace rissp::explore
+{
+
+/** What the Explorer does at each point. */
+struct ExplorerOptions
+{
+    unsigned threads = 0;     ///< 0 = plan's choice, else hw threads
+    bool simulate = true;     ///< run the workload on the RISSP
+    bool verify = true;       ///< lock-step cosim vs the reference ISS
+    bool synthesize = true;   ///< frequency-sweep synthesis
+    bool physical = false;    ///< P&R model (adds die area/power)
+    uint64_t maxSteps = 500'000'000; ///< per-run cycle budget
+    RfStyle rfStyle = RfStyle::LatchArray;
+};
+
+/** Cumulative cache statistics (deterministic for a fixed plan). */
+struct ExplorerStats
+{
+    uint64_t points = 0;       ///< points explored so far
+    uint64_t compileHits = 0;  ///< workload compilations reused
+    uint64_t compileMisses = 0;
+    uint64_t simHits = 0;      ///< co-simulations reused
+    uint64_t simMisses = 0;
+    uint64_t synthHits = 0;    ///< synthesis sweeps reused
+    uint64_t synthMisses = 0;
+};
+
+/** The exploration engine. */
+class Explorer
+{
+  public:
+    explicit Explorer(ExplorerOptions options = {});
+
+    /** Explore every point of @p plan; rows come back in plan order. */
+    ResultTable explore(const ExplorationPlan &plan);
+
+    /** Compile a bundled workload at @p level (memoized; the same
+     *  cache the exploration points use). */
+    minic::CompileResult compileWorkload(const std::string &name,
+                                         minic::OptLevel level);
+
+    /** Resolve a subset spec to concrete ops (compiles the backing
+     *  workload for Kind::FromWorkload, memoized). */
+    InstrSubset resolveSubset(const SubsetSpec &spec,
+                              minic::OptLevel level);
+
+    ExplorerStats stats() const;
+
+    const ExplorerOptions &options() const { return opts; }
+
+  private:
+    struct SimOutcome
+    {
+        bool trapped = false;
+        bool cosimPassed = false;
+        uint64_t cycles = 0;
+        uint32_t exitCode = 0;
+        uint64_t signature = 0;
+    };
+
+    struct SynthOutcome
+    {
+        double fmaxKhz = 0;
+        double avgAreaGe = 0;
+        double avgPowerMw = 0;
+        double epiNj = 0;
+        bool physRun = false;
+        double dieAreaMm2 = 0;
+        double physPowerMw = 0;
+    };
+
+    /** The one place the workload cache key is derived from
+     *  (name, opt level); shared by the compile and sim caches. */
+    static uint64_t workloadKey(const std::string &name,
+                                minic::OptLevel level);
+
+    SimOutcome simulatePoint(const InstrSubset &subset,
+                             const minic::CompileResult &compiled);
+    SynthOutcome synthesizePoint(const InstrSubset &subset,
+                                 const std::string &name,
+                                 const FlexIcTech &tech);
+
+    ExplorerOptions opts;
+    MemoCache<uint64_t, minic::CompileResult> compileCache;
+    MemoCache<FingerprintPair, SimOutcome, FingerprintPairHash>
+        simCache;
+    MemoCache<FingerprintPair, SynthOutcome, FingerprintPairHash>
+        synthCache;
+    std::atomic<uint64_t> pointCount{0};
+};
+
+} // namespace rissp::explore
+
+#endif // RISSP_EXPLORE_EXPLORER_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Exactly-once concurrent memoization cache.
+ *
+ * The first thread to ask for a key computes the value; every other
+ * thread — including ones that arrive while the computation is still
+ * running — blocks on a shared future and then reuses it. Because each
+ * distinct key is computed exactly once, `misses()` equals the number
+ * of distinct keys and `hits()` is deterministic for a fixed plan no
+ * matter how many worker threads race on the cache.
+ */
+
+#ifndef RISSP_EXPLORE_MEMO_HH
+#define RISSP_EXPLORE_MEMO_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace rissp::explore
+{
+
+/** Key for caches keyed on two fingerprints. */
+struct FingerprintPair
+{
+    uint64_t first = 0;
+    uint64_t second = 0;
+
+    bool operator==(const FingerprintPair &) const = default;
+};
+
+struct FingerprintPairHash
+{
+    size_t operator()(const FingerprintPair &k) const
+    {
+        // Splitmix-style combine; both halves are already hashes.
+        uint64_t x = k.first + 0x9e3779b97f4a7c15ull * k.second;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 27;
+        return static_cast<size_t>(x);
+    }
+};
+
+/** Thread-safe exactly-once memoization of Key -> Value. */
+template <typename Key, typename Value,
+          typename Hash = std::hash<Key>>
+class MemoCache
+{
+  public:
+    /**
+     * Return the cached value for @p key, computing it with @p fn on
+     * first use. @p fn runs outside the cache lock, so long-running
+     * computations for different keys proceed in parallel.
+     * @p was_hit, when given, reports whether this lookup reused a
+     * value (note: which of several racing lookups computes is
+     * scheduling-dependent; only the aggregate counters are
+     * deterministic).
+     */
+    template <typename Fn>
+    Value getOrCompute(const Key &key, Fn &&fn,
+                       bool *was_hit = nullptr)
+    {
+        std::promise<Value> promise;
+        std::shared_future<Value> future;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            auto it = entries.find(key);
+            if (it == entries.end()) {
+                future = promise.get_future().share();
+                entries.emplace(key, future);
+                owner = true;
+            } else {
+                future = it->second;
+            }
+        }
+        if (owner) {
+            missCount.fetch_add(1, std::memory_order_relaxed);
+            promise.set_value(fn());
+        } else {
+            hitCount.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (was_hit)
+            *was_hit = !owner;
+        return future.get();
+    }
+
+    /** Lookups that reused a value (including waits on in-flight
+     *  computations by another thread). */
+    uint64_t hits() const
+    {
+        return hitCount.load(std::memory_order_relaxed);
+    }
+
+    /** Lookups that computed: equals the number of distinct keys. */
+    uint64_t misses() const
+    {
+        return missCount.load(std::memory_order_relaxed);
+    }
+
+    size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return entries.size();
+    }
+
+  private:
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::shared_future<Value>, Hash> entries;
+    std::atomic<uint64_t> hitCount{0};
+    std::atomic<uint64_t> missCount{0};
+};
+
+} // namespace rissp::explore
+
+#endif // RISSP_EXPLORE_MEMO_HH

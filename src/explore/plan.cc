@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Plan construction, expansion and plan-file parsing.
+ */
+
+#include "explore/plan.hh"
+
+#include <exception>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace rissp::explore
+{
+
+SubsetSpec
+SubsetSpec::full(const std::string &name)
+{
+    SubsetSpec spec;
+    spec.name = name;
+    spec.kind = Kind::Full;
+    return spec;
+}
+
+SubsetSpec
+SubsetSpec::fromWorkload(const std::string &workload,
+                         const std::string &name)
+{
+    SubsetSpec spec;
+    spec.name = name.empty() ? "RISSP-" + workload : name;
+    spec.kind = Kind::FromWorkload;
+    spec.workload = workload;
+    return spec;
+}
+
+SubsetSpec
+SubsetSpec::fromNames(const std::string &name,
+                      std::vector<std::string> mnemonics)
+{
+    SubsetSpec spec;
+    spec.name = name;
+    spec.kind = Kind::Explicit;
+    spec.mnemonics = std::move(mnemonics);
+    return spec;
+}
+
+void
+TechSpec::set(const std::string &key, double value)
+{
+    if (key == "gateDelayNs")
+        tech.gateDelayNs = value;
+    else if (key == "ffClkToQPlusSetupNs")
+        tech.ffClkToQPlusSetupNs = value;
+    else if (key == "fetchDepthLevels")
+        tech.fetchDepthLevels = value;
+    else if (key == "switchLevelDelay")
+        tech.switchLevelDelay = value;
+    else if (key == "ffAreaGe")
+        tech.ffAreaGe = value;
+    else if (key == "rfLatchAreaGe")
+        tech.rfLatchAreaGe = value;
+    else if (key == "nand2AreaUm2")
+        tech.nand2AreaUm2 = value;
+    else if (key == "placementUtilization")
+        tech.placementUtilization = value;
+    else if (key == "dynUwPerGeMhz")
+        tech.dynUwPerGeMhz = value;
+    else if (key == "ffPowerMultiplier")
+        tech.ffPowerMultiplier = value;
+    else if (key == "staticUwPerGe")
+        tech.staticUwPerGe = value;
+    else if (key == "risspCombActivity")
+        tech.risspCombActivity = value;
+    else if (key == "risspFfActivity")
+        tech.risspFfActivity = value;
+    else if (key == "sweepStartKhz")
+        tech.sweepStartKhz = value;
+    else if (key == "sweepEndKhz")
+        tech.sweepEndKhz = value;
+    else if (key == "sweepStepKhz")
+        tech.sweepStepKhz = value;
+    else if (key == "areaEffortAlpha")
+        tech.areaEffortAlpha = value;
+    else if (key == "routingOverhead")
+        tech.routingOverhead = value;
+    else if (key == "ctsGePerFf")
+        tech.ctsGePerFf = value;
+    else if (key == "ctsActivity")
+        tech.ctsActivity = value;
+    else if (key == "implKhz")
+        tech.implKhz = value;
+    else
+        fatal("tech '%s': unknown constant '%s'", name.c_str(),
+              key.c_str());
+}
+
+std::vector<PlanPoint>
+ExplorationPlan::expand() const
+{
+    if (subsets.empty())
+        fatal("exploration plan has no subsets");
+    if (workloads.empty())
+        fatal("exploration plan has no workloads");
+    if (mode == Mode::Paired && subsets.size() != workloads.size())
+        fatal("paired plan needs equal subset/workload counts "
+              "(%zu vs %zu)", subsets.size(), workloads.size());
+
+    const size_t numTechs = techs.empty() ? 1 : techs.size();
+    std::vector<PlanPoint> points;
+    points.reserve(pointCount());
+    // Tech is the outermost axis so a multi-corner plan revisits every
+    // (subset, workload) pair: the second corner's simulations are all
+    // memoization hits.
+    for (size_t t = 0; t < numTechs; ++t) {
+        if (mode == Mode::Paired) {
+            for (size_t i = 0; i < subsets.size(); ++i)
+                points.push_back({points.size(), i, i, t});
+        } else {
+            for (size_t s = 0; s < subsets.size(); ++s)
+                for (size_t w = 0; w < workloads.size(); ++w)
+                    points.push_back({points.size(), s, w, t});
+        }
+    }
+    return points;
+}
+
+size_t
+ExplorationPlan::pointCount() const
+{
+    const size_t numTechs = techs.empty() ? 1 : techs.size();
+    if (mode == Mode::Paired)
+        return subsets.size() * numTechs;
+    return subsets.size() * workloads.size() * numTechs;
+}
+
+namespace
+{
+
+std::vector<std::string>
+splitWords(const std::string &line)
+{
+    std::istringstream in(line);
+    std::vector<std::string> words;
+    std::string word;
+    while (in >> word)
+        words.push_back(word);
+    return words;
+}
+
+/** Parse an unsigned integer; fatal() with line context on junk. */
+unsigned
+parseUnsigned(const std::string &word, int lineno)
+{
+    size_t used = 0;
+    unsigned long value = 0;
+    try {
+        value = std::stoul(word, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != word.size() || word[0] == '-' || value > 4096)
+        fatal("plan line %d: bad count '%s'", lineno, word.c_str());
+    return static_cast<unsigned>(value);
+}
+
+/** Parse a floating-point value; fatal() with line context on junk. */
+double
+parseDouble(const std::string &word, int lineno)
+{
+    size_t used = 0;
+    double value = 0;
+    try {
+        value = std::stod(word, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != word.size())
+        fatal("plan line %d: bad number '%s'", lineno, word.c_str());
+    return value;
+}
+
+minic::OptLevel
+parseOptLevel(const std::string &word, int lineno)
+{
+    for (minic::OptLevel level : minic::allOptLevels()) {
+        const std::string label = minic::optLevelName(level);
+        if (word == label || "-" + word == label)
+            return level;
+    }
+    fatal("plan line %d: unknown optimization level '%s'", lineno,
+          word.c_str());
+}
+
+} // namespace
+
+ExplorationPlan
+ExplorationPlan::parse(const std::string &text)
+{
+    ExplorationPlan plan;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::vector<std::string> words = splitWords(line);
+        if (words.empty())
+            continue;
+        const std::string &kw = words[0];
+        if (kw == "opt" && words.size() == 2) {
+            plan.opt = parseOptLevel(words[1], lineno);
+        } else if (kw == "mode" && words.size() == 2) {
+            if (words[1] == "cartesian")
+                plan.mode = Mode::Cartesian;
+            else if (words[1] == "paired")
+                plan.mode = Mode::Paired;
+            else
+                fatal("plan line %d: unknown mode '%s'", lineno,
+                      words[1].c_str());
+        } else if (kw == "threads" && words.size() == 2) {
+            plan.threads = parseUnsigned(words[1], lineno);
+        } else if (kw == "workload" && words.size() >= 2) {
+            for (size_t i = 1; i < words.size(); ++i) {
+                workloadByName(words[i]); // validate early
+                plan.workloads.push_back(words[i]);
+            }
+        } else if (kw == "subset" && words.size() >= 4 &&
+                   words[2] == "=") {
+            const std::string &name = words[1];
+            if (words[3][0] == '@') {
+                const std::string ref = words[3].substr(1);
+                if (ref == "full") {
+                    plan.subsets.push_back(SubsetSpec::full(name));
+                } else {
+                    workloadByName(ref); // validate early
+                    plan.subsets.push_back(
+                        SubsetSpec::fromWorkload(ref, name));
+                }
+            } else {
+                std::vector<std::string> ops(words.begin() + 3,
+                                             words.end());
+                plan.subsets.push_back(
+                    SubsetSpec::fromNames(name, std::move(ops)));
+            }
+        } else if (kw == "tech" && words.size() >= 2) {
+            TechSpec spec;
+            spec.name = words[1];
+            for (size_t i = 2; i < words.size(); ++i) {
+                const size_t eq = words[i].find('=');
+                if (eq == std::string::npos)
+                    fatal("plan line %d: tech override '%s' is not "
+                          "key=value", lineno, words[i].c_str());
+                spec.set(words[i].substr(0, eq),
+                         parseDouble(words[i].substr(eq + 1),
+                                     lineno));
+            }
+            plan.techs.push_back(std::move(spec));
+        } else {
+            fatal("plan line %d: cannot parse '%s'", lineno,
+                  line.c_str());
+        }
+    }
+    return plan;
+}
+
+ExplorationPlan
+ExplorationPlan::perWorkloadRissps(
+    const std::vector<std::string> &workload_names,
+    bool include_full_baseline)
+{
+    ExplorationPlan plan;
+    plan.mode = Mode::Paired;
+    for (const std::string &wl : workload_names) {
+        plan.subsets.push_back(SubsetSpec::fromWorkload(wl));
+        plan.workloads.push_back(wl);
+    }
+    if (include_full_baseline && !workload_names.empty()) {
+        plan.subsets.push_back(SubsetSpec::full());
+        plan.workloads.push_back(workload_names.front());
+    }
+    return plan;
+}
+
+} // namespace rissp::explore

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Work-stealing thread pool for exploration points.
+ *
+ * Design-space points are wildly uneven — a 7-op subset cosimulates in
+ * microseconds while the full-ISA synthesis sweep grinds through 117
+ * frequency points — so static partitioning leaves threads idle.
+ * Each worker owns a deque seeded round-robin; it pops from the back
+ * of its own deque (hot cache) and steals from the front of a
+ * victim's (oldest, likely biggest remaining chunk). Tasks never
+ * spawn tasks, so a worker may exit once every deque reads empty.
+ */
+
+#ifndef RISSP_EXPLORE_WORKPOOL_HH
+#define RISSP_EXPLORE_WORKPOOL_HH
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace rissp::explore
+{
+
+/** Run a fixed batch of tasks on a work-stealing pool. */
+class WorkStealingPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @p threads 0 picks std::thread::hardware_concurrency(). */
+    explicit WorkStealingPool(unsigned threads = 0);
+
+    /** Execute every task; blocks until all complete. Runs inline
+     *  when constructed with one thread. */
+    void run(std::vector<Task> tasks);
+
+    unsigned threadCount() const { return numThreads; }
+
+    /** Tasks obtained by stealing rather than from the worker's own
+     *  deque in the last run() (diagnostic; 0 when single-threaded). */
+    uint64_t stealCount() const { return steals; }
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(std::vector<WorkerQueue> &queues, unsigned self);
+
+    unsigned numThreads;
+    uint64_t steals = 0;
+    std::mutex stealMu;
+};
+
+} // namespace rissp::explore
+
+#endif // RISSP_EXPLORE_WORKPOOL_HH

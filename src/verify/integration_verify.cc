@@ -1,5 +1,7 @@
 #include "verify/integration_verify.hh"
 
+#include <atomic>
+
 #include "assembler/assembler.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -217,8 +219,10 @@ archTestProgram(Op op)
       case InstrType::B:
         for (const char *a : {"0", "1", "-1", "0x80000000"}) {
             for (const char *b : {"0", "1", "-1"}) {
-                static int lbl = 0;
-                ++lbl;
+                // atomic so concurrent callers (parallel test
+                // harnesses) always get unique branch labels
+                static std::atomic<int> lblCounter{0};
+                const int lbl = ++lblCounter;
                 body += strFormat(
                     "    li a0, %s\n    li a1, %s\n"
                     "    li a2, 111\n"
