@@ -5,20 +5,21 @@
  * FlexIC, with the Figure 4 verification flow in the loop:
  *
  *   - certify the instruction blocks the subset needs;
- *   - generate the RISSP and co-simulate it against the reference
- *     ISS with RVFI monitoring (the §3.4.2 integration step);
+ *   - generate the RISSP, co-simulate it against the reference ISS
+ *     with RVFI monitoring (the §3.4.2 integration step) and run the
+ *     classifier — one `RunRequest` with verify on;
  *   - synthesize and place & route, printing the Figure 10-style
  *     summary for this one chip.
+ *
+ * Block certification is the Step 0 library effort and stays a
+ * direct library call; everything per-application goes through
+ * `flow::FlowService`.
  */
 
 #include <cstdio>
 
-#include "compiler/driver.hh"
-#include "core/rissp.hh"
-#include "physimpl/physical.hh"
-#include "synth/synthesis.hh"
+#include "flow/flow.hh"
 #include "verify/block_verify.hh"
-#include "verify/integration_verify.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -30,9 +31,16 @@ main()
     std::printf("== %s: %s application ==\n", app.name.c_str(),
                 app.category.c_str());
 
-    minic::CompileResult cr =
-        minic::compile(app.source, minic::OptLevel::O2);
-    InstrSubset subset = InstrSubset::fromProgram(cr.program);
+    flow::FlowService service;
+    flow::CharacterizeRequest creq;
+    creq.source = flow::SourceRef::bundled(app.name);
+    flow::CharacterizeResponse cres = service.characterize(creq);
+    if (!cres.status.isOk()) {
+        std::printf("characterize failed: %s\n",
+                    cres.status.toString().c_str());
+        return 1;
+    }
+    const InstrSubset &subset = cres.subset.subset;
     std::printf("subset: %s\n", subset.describe().c_str());
 
     // Pre-verify exactly the blocks this RISSP stitches (Step 0 is
@@ -48,34 +56,43 @@ main()
     std::printf("all %zu blocks certified (vectors + mutation + "
                 "properties)\n", subset.size());
 
-    // Integration-level verification: lock-step co-simulation with
-    // RVFI monitoring while the application runs.
-    CosimReport cosim = cosimulate(cr.program, subset, 10'000'000);
-    if (!cosim.passed) {
+    // Generate the RISSP, co-simulate with RVFI monitoring while the
+    // application runs, and collect its per-frame scores.
+    flow::RunRequest rreq;
+    rreq.source = creq.source;
+    rreq.verify = true;
+    flow::RunResponse rres = service.run(rreq);
+    if (!rres.cosim.run || !rres.cosim.passed) {
         std::printf("co-simulation diverged: %s\n",
-                    cosim.firstDivergence.c_str());
+                    rres.cosim.run
+                        ? rres.cosim.firstDivergence.c_str()
+                        : rres.status.toString().c_str());
         return 1;
     }
     std::printf("co-simulation clean over %llu instructions "
                 "(%llu RVFI events checked)\n",
-                static_cast<unsigned long long>(cosim.instret),
+                static_cast<unsigned long long>(rres.cosim.instret),
                 static_cast<unsigned long long>(
-                    cosim.monitor.eventsChecked));
+                    rres.cosim.rvfiEventsChecked));
 
-    // Run the classifier and report its per-frame scores.
-    Rissp rissp(subset, "RISSP-armpit");
-    rissp.reset(cr.program);
-    rissp.run();
     std::printf("malodour scores per frame:");
-    for (uint32_t s : rissp.outputWords())
+    for (uint32_t s : rres.exec.outputWords)
         std::printf(" %u", s);
     std::printf("\n");
 
     // Backend: synthesis + physical implementation.
-    SynthesisModel synth;
-    PhysicalModel phys;
-    SynthReport sr = synth.synthesize(subset, "RISSP-armpit");
-    PhysReport pr = phys.implement(sr, RfStyle::LatchArray);
+    flow::SynthRequest sreq;
+    sreq.source = creq.source;
+    sreq.name = "RISSP-armpit";
+    sreq.baselines = false;
+    flow::SynthResponse sres = service.synth(sreq);
+    if (!sres.status.isOk()) {
+        std::printf("synth failed: %s\n",
+                    sres.status.toString().c_str());
+        return 1;
+    }
+    const SynthReport &sr = sres.synth.app;
+    const PhysReport &pr = sres.phys.report;
     std::printf("synthesis: %.0f GE, fmax %.0f kHz, %.3f mW avg\n",
                 sr.avgAreaGe, sr.fmaxKhz, sr.avgPowerMw);
     std::printf("FlexIC: %.0f x %.0f um, %.2f mm2, FF %.1f%%, "

@@ -6,13 +6,15 @@
  * covering af_detect + xgboost + armpit (union of subsets), runs all
  * three workloads on the single chip, and quantifies what the
  * domain generality costs versus per-application silicon.
+ *
+ * Everything goes through `flow::FlowService`; the domain chip is
+ * expressed with `subsetOverride` — the same mechanism a deployment
+ * would use to pin a fleet of applications to fabricated silicon.
  */
 
 #include <cstdio>
 
-#include "compiler/driver.hh"
-#include "core/rissp.hh"
-#include "synth/synthesis.hh"
+#include "flow/flow.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -20,28 +22,52 @@ main()
 {
     using namespace rissp;
 
-    SynthesisModel synth;
+    flow::FlowService service;
+
+    auto synthOf = [&](const InstrSubset &subset,
+                       const std::string &name, bool baselines) {
+        flow::SynthRequest req;
+        req.subsetOverride = subset;
+        req.name = name;
+        req.baselines = baselines;
+        req.physical = false;
+        return service.synth(req);
+    };
+
     std::vector<InstrSubset> parts;
-    std::vector<minic::CompileResult> binaries;
     std::printf("healthcare domain applications:\n");
     for (const std::string &name : extremeEdgeNames()) {
-        const Workload &wl = workloadByName(name);
-        binaries.push_back(
-            minic::compile(wl.source, minic::OptLevel::O2));
-        parts.push_back(
-            InstrSubset::fromProgram(binaries.back().program));
-        SynthReport r = synth.synthesize(parts.back(),
-                                         "RISSP-" + name);
+        flow::CharacterizeRequest creq;
+        creq.source = flow::SourceRef::bundled(name);
+        flow::CharacterizeResponse cres = service.characterize(creq);
+        if (!cres.status.isOk()) {
+            std::printf("characterize failed: %s\n",
+                        cres.status.toString().c_str());
+            return 1;
+        }
+        parts.push_back(cres.subset.subset);
+        flow::SynthResponse sres =
+            synthOf(parts.back(), "RISSP-" + name, false);
+        if (!sres.status.isOk()) {
+            std::printf("synth failed: %s\n",
+                        sres.status.toString().c_str());
+            return 1;
+        }
         std::printf("  %-10s %2zu instrs, %5.0f GE\n", name.c_str(),
-                    parts.back().size(), r.avgAreaGe);
+                    parts.back().size(), sres.synth.app.avgAreaGe);
     }
 
     // One processor for the whole domain: union of the subsets.
     InstrSubset domain = InstrSubset::unionOf(parts);
-    SynthReport domain_synth =
-        synth.synthesize(domain, "RISSP-healthcare");
-    SynthReport full =
-        synth.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E");
+    flow::SynthResponse dres =
+        synthOf(domain, "RISSP-healthcare", true);
+    if (!dres.status.isOk()) {
+        std::printf("synth failed: %s\n",
+                    dres.status.toString().c_str());
+        return 1;
+    }
+    const SynthReport &domain_synth = dres.synth.app;
+    const SynthReport &full = dres.synth.fullIsa;
     std::printf("domain RISSP: %zu instrs %s\n", domain.size(),
                 domain.describe().c_str());
     std::printf("  %5.0f GE (%.0f%% below full ISA), fmax %.0f "
@@ -50,16 +76,25 @@ main()
                     100.0, domain_synth.fmaxKhz);
 
     // Every application of the domain runs on the one chip.
-    Rissp chip(domain, "RISSP-healthcare");
-    for (size_t i = 0; i < binaries.size(); ++i) {
-        chip.reset(binaries[i].program);
-        RunResult run = chip.run(200'000'000);
+    for (const std::string &name : extremeEdgeNames()) {
+        flow::RunRequest rreq;
+        rreq.source = flow::SourceRef::bundled(name);
+        rreq.subsetOverride = domain;
+        rreq.maxSteps = 200'000'000;
+        flow::RunResponse rres = service.run(rreq);
+        if (!rres.exec.run) {
+            std::printf("run failed: %s\n",
+                        rres.status.toString().c_str());
+            return 1;
+        }
         std::printf("  %-10s on domain chip: %s, exit=%u, %llu "
-                    "cycles\n", extremeEdgeNames()[i].c_str(),
-                    run.reason == StopReason::Halted ? "OK" : "FAIL",
-                    run.exitCode,
-                    static_cast<unsigned long long>(run.instret));
-        if (run.reason != StopReason::Halted)
+                    "cycles\n", name.c_str(),
+                    rres.exec.reason == StopReason::Halted
+                        ? "OK" : "FAIL",
+                    rres.exec.exitCode,
+                    static_cast<unsigned long long>(
+                        rres.exec.cycles));
+        if (rres.exec.reason != StopReason::Halted)
             return 1;
     }
     return 0;

@@ -1,21 +1,22 @@
 /**
  * @file
- * Quickstart: the complete RISSP flow on a ten-line program.
+ * Quickstart: the complete RISSP flow on a ten-line program, driven
+ * through the library's one entry point, `flow::FlowService`:
  *
- *   1. compile a MiniC source for the full RV32E ISA;
- *   2. extract the distinct-instruction subset (Step 1);
- *   3. stitch a RISSP from the pre-verified block library (Steps
- *      2-3) and execute the binary on it;
- *   4. synthesize the RISSP for the FlexIC process and compare it
- *      against the full-ISA baseline.
+ *   1. characterize — compile a MiniC source for the full RV32E ISA
+ *      and extract the distinct-instruction subset (Step 1);
+ *   2. run — stitch a RISSP from the pre-verified block library
+ *      (Steps 2-3) and execute the binary on it;
+ *   3. synth — synthesize the RISSP for the FlexIC process and
+ *      compare it against the full-ISA baseline.
+ *
+ * The service memoizes the shared stages: the three requests below
+ * compile the source exactly once.
  */
 
 #include <cstdio>
 
-#include "compiler/driver.hh"
-#include "core/rissp.hh"
-#include "core/subset.hh"
-#include "synth/synthesis.hh"
+#include "flow/flow.hh"
 
 int
 main()
@@ -31,35 +32,55 @@ main()
         }
     )";
 
-    // 1. Compile for the full RV32E ISA (the paper's Step 1 input).
-    minic::CompileResult cr =
-        minic::compile(source, minic::OptLevel::O2);
-    std::printf("compiled: %zu static instructions\n",
-                cr.staticInstructions());
+    flow::FlowService service;
 
-    // 2. Characterize: which instructions does the binary use?
-    InstrSubset subset = InstrSubset::fromProgram(cr.program);
+    // 1. Compile for the full RV32E ISA (the paper's Step 1 input)
+    //    and characterize: which instructions does the binary use?
+    flow::CharacterizeRequest creq;
+    creq.source = flow::SourceRef::inlineText(source, "quickstart");
+    flow::CharacterizeResponse cres = service.characterize(creq);
+    if (!cres.status.isOk()) {
+        std::printf("characterize failed: %s\n",
+                    cres.status.toString().c_str());
+        return 1;
+    }
+    std::printf("compiled: %zu static instructions\n",
+                cres.compile.staticInstructions);
+    const InstrSubset &subset = cres.subset.subset;
     std::printf("subset (%zu of %zu): %s\n", subset.size(),
                 kFullIsaSize, subset.describe().c_str());
 
-    // 3. Generate the RISSP and run the program on it.
-    Rissp rissp(subset, "RISSP-quickstart");
-    rissp.reset(cr.program);
-    RunResult run = rissp.run();
+    // 2. Generate the RISSP and run the program on it.
+    flow::RunRequest rreq;
+    rreq.source = creq.source;
+    flow::RunResponse rres = service.run(rreq);
+    if (!rres.exec.run) {
+        std::printf("run failed: %s\n",
+                    rres.status.toString().c_str());
+        return 1;
+    }
     std::printf("RISSP executed %llu cycles (CPI=1), exit code %u\n",
-                static_cast<unsigned long long>(run.instret),
-                run.exitCode);
+                static_cast<unsigned long long>(rres.exec.cycles),
+                rres.exec.exitCode);
 
-    // 4. Synthesize for the FlexIC process and compare.
-    SynthesisModel synth;
-    SynthReport mine = synth.synthesize(subset, "RISSP-quickstart");
-    SynthReport full =
-        synth.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E");
+    // 3. Synthesize for the FlexIC process and compare.
+    flow::SynthRequest sreq;
+    sreq.source = creq.source;
+    sreq.name = "RISSP-quickstart";
+    sreq.physical = false;
+    flow::SynthResponse sres = service.synth(sreq);
+    if (!sres.status.isOk()) {
+        std::printf("synth failed: %s\n",
+                    sres.status.toString().c_str());
+        return 1;
+    }
+    const SynthReport &mine = sres.synth.app;
+    const SynthReport &full = sres.synth.fullIsa;
     std::printf("area: %.0f GE vs %.0f GE full ISA (%.0f%% "
                 "smaller)\n", mine.avgAreaGe, full.avgAreaGe,
                 (1.0 - mine.avgAreaGe / full.avgAreaGe) * 100.0);
     std::printf("fmax: %.0f kHz vs %.0f kHz; power %.3f mW vs "
                 "%.3f mW\n", mine.fmaxKhz, full.fmaxKhz,
                 mine.avgPowerMw, full.avgPowerMw);
-    return run.exitCode == 186 ? 0 : 1;
+    return rres.exec.exitCode == 186 ? 0 : 1;
 }

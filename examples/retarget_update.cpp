@@ -3,22 +3,27 @@
  * Long-lasting extreme-edge scenario (§5, Figure 11): a fabricated
  * af_detect RISSP must receive a software update. The updated
  * firmware, recompiled for the full ISA, uses instructions the chip
- * does not implement — the retargeting tool rewrites it onto the
+ * does not implement — a `RetargetRequest` rewrites it onto the
  * fabricated subset and proves equivalence.
+ *
+ * The trap on the un-retargeted binary is demonstrated with a
+ * `RunRequest` whose `subsetOverride` pins execution to the
+ * fabricated silicon — note the request *fails* with a structured
+ * Trap status while still reporting the execution stage that
+ * produced it.
  */
 
 #include <cstdio>
 
-#include "compiler/driver.hh"
-#include "core/rissp.hh"
-#include "retarget/retargeter.hh"
-#include "sim/refsim.hh"
+#include "flow/flow.hh"
 #include "workloads/workloads.hh"
 
 int
 main()
 {
     using namespace rissp;
+
+    flow::FlowService service;
 
     // The chip in the field implements only the minimal subset.
     const InstrSubset fabricated = Retargeter::minimalSubset();
@@ -27,30 +32,44 @@ main()
 
     // A firmware update arrives, compiled by the standard toolchain
     // for the full RV32E ISA.
-    const Workload &app = workloadByName("af_detect");
-    minic::CompileResult update =
-        minic::compile(app.source, minic::OptLevel::O2);
-    InstrSubset update_subset =
-        InstrSubset::fromProgram(update.program);
+    const flow::SourceRef update = flow::SourceRef::bundled("af_detect");
+    flow::CharacterizeRequest creq;
+    creq.source = update;
+    flow::CharacterizeResponse cres = service.characterize(creq);
+    if (!cres.status.isOk()) {
+        std::printf("characterize failed: %s\n",
+                    cres.status.toString().c_str());
+        return 1;
+    }
+    const InstrSubset &update_subset = cres.subset.subset;
     std::printf("update binary uses (%zu): %s\n",
                 update_subset.size(),
                 update_subset.describe().c_str());
 
     // Without retargeting, the chip traps on the first unsupported
     // instruction.
-    Rissp chip(fabricated, "fabricated-RISSP");
-    chip.reset(update.program);
-    RunResult raw_run = chip.run(1'000'000);
+    flow::RunRequest raw;
+    raw.source = update;
+    raw.subsetOverride = fabricated;
+    raw.maxSteps = 1'000'000;
+    flow::RunResponse raw_run = service.run(raw);
     std::printf("raw update on chip: %s at pc=0x%x\n",
-                raw_run.reason == StopReason::Trapped
+                raw_run.exec.reason == StopReason::Trapped
                     ? "TRAP (unsupported instruction)" : "ran?!",
-                raw_run.stopPc);
+                raw_run.exec.stopPc);
 
-    // Retarget: synthesize verified macros, rewrite, reassemble.
-    Retargeter rt(fabricated);
-    RetargetResult res = rt.retarget(update.program);
-    if (!res.ok) {
-        std::printf("retargeting failed: %s\n", res.error.c_str());
+    // Retarget: synthesize verified macros, rewrite, reassemble,
+    // and prove the rewritten binary equivalent to the original.
+    flow::RetargetRequest rreq;
+    rreq.source = update;
+    rreq.maxSteps = 400'000'000;
+    flow::RetargetResponse rres = service.retarget(rreq);
+    const RetargetResult &res = rres.retarget.result;
+    if (!rres.retarget.run || !res.ok) {
+        std::printf("retargeting failed: %s\n",
+                    rres.retarget.run
+                        ? res.error.c_str()
+                        : rres.status.toString().c_str());
         return 1;
     }
     std::printf("retargeted: %zu macros, code %zu -> %zu bytes "
@@ -64,18 +83,12 @@ main()
                     m.attempts);
 
     // The update now runs on the fabricated chip and matches the
-    // reference result.
-    RefSim golden;
-    golden.reset(update.program);
-    RunResult want = golden.run(400'000'000);
-
-    chip.reset(res.program);
-    RunResult got = chip.run(400'000'000);
-    const bool ok = got.reason == StopReason::Halted &&
-        got.exitCode == want.exitCode &&
-        chip.outputWords() == golden.outputWords();
+    // reference result (exit code and the streamed AF flags).
+    const flow::EquivalenceStage &eq = rres.equivalence;
+    const bool ok = eq.run && eq.matched &&
+        eq.dutReason == StopReason::Halted;
     std::printf("update on fabricated chip: exit=%u (golden %u) "
-                "AF flag streams %s\n", got.exitCode, want.exitCode,
+                "AF flag streams %s\n", eq.dutExit, eq.refExit,
                 ok ? "match" : "MISMATCH");
     return ok ? 0 : 1;
 }

@@ -1151,7 +1151,8 @@ assemble(const std::string &source, const AsmOptions &options)
 {
     AsmResult r = tryAssemble(source, options);
     if (!r.ok)
-        fatal("assembly failed: %s", r.error.c_str());
+        panic("assemble: trusted source failed: %s (user input goes "
+              "through tryAssemble)", r.error.c_str());
     return std::move(r.program);
 }
 
@@ -1161,7 +1162,9 @@ assembleModules(const std::vector<std::string> &sources,
 {
     AsmResult r = tryAssembleModules(sources, options);
     if (!r.ok)
-        fatal("assembly failed: %s", r.error.c_str());
+        panic("assembleModules: trusted source failed: %s (user "
+              "input goes through tryAssembleModules)",
+              r.error.c_str());
     return std::move(r.program);
 }
 

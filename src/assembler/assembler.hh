@@ -51,7 +51,8 @@ AsmResult tryAssemble(const std::string &source,
 AsmResult tryAssembleModules(const std::vector<std::string> &sources,
                              const AsmOptions &options = {});
 
-/** Assemble source text; fatal() on malformed input. */
+/** Assemble trusted source text (panic() on malformed input);
+ *  user-provided assembly goes through tryAssemble(). */
 Program assemble(const std::string &source,
                  const AsmOptions &options = {});
 

@@ -149,6 +149,17 @@ compile(const std::string &source, OptLevel level,
     return result;
 }
 
+Result<CompileResult>
+tryCompile(const std::string &source, OptLevel level,
+           const MachineOptions &machine)
+{
+    try {
+        return compile(source, level, machine);
+    } catch (const CompileError &e) {
+        return Status::error(ErrorCode::CompileError, e.what());
+    }
+}
+
 std::string
 compileToAsm(const std::string &source, OptLevel level,
              std::set<std::string> *helpers_out)

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/program.hh"
+#include "util/status.hh"
 
 namespace rissp::minic
 {
@@ -57,6 +58,13 @@ CompileResult compile(const std::string &source, OptLevel level);
 /** Compile with explicit machine options. */
 CompileResult compile(const std::string &source, OptLevel level,
                       const MachineOptions &machine);
+
+/** Compile MiniC source, reporting bad input as a value instead of
+ *  an exception: ErrorCode::CompileError with "line N: ..." in the
+ *  message. This is the entry point for user-provided sources. */
+Result<CompileResult> tryCompile(const std::string &source,
+                                 OptLevel level,
+                                 const MachineOptions &machine = {});
 
 /** Compile to application assembly only (no linking); used by the
  *  retargeting flow, which reassembles against macro files. */

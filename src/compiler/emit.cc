@@ -1,5 +1,6 @@
 #include "compiler/emit.hh"
 
+#include "compiler/lexer.hh"
 #include "compiler/lower.hh"
 #include "isa/reg.hh"
 #include "util/bits.hh"
@@ -98,9 +99,12 @@ class FnEmitter
         if (alloc.usesS1)
             savedBytes += 4;
         frameBytes = (off + savedBytes + 7u) & ~7u;
+        // User source can overflow the frame (huge locals): report it
+        // as a compile diagnostic, not a process exit.
         if (frameBytes > 2032)
-            fatal("frame of '%s' too large (%u bytes)",
-                  fn.name.c_str(), frameBytes);
+            throw CompileError(0, strFormat(
+                "frame of '%s' too large (%u bytes)",
+                fn.name.c_str(), frameBytes));
     }
 
     uint32_t slotOff(int slot) const

@@ -49,18 +49,31 @@ InstrSubset::fullRv32e()
     return InstrSubset(std::move(ops));
 }
 
-InstrSubset
-InstrSubset::fromNames(const std::vector<std::string> &names)
+Result<InstrSubset>
+InstrSubset::tryFromNames(const std::vector<std::string> &names)
 {
     std::set<Op> ops;
     for (const std::string &name : names) {
         auto op = opFromName(toLower(name));
         if (!op)
-            fatal("unknown instruction '%s' in subset spec",
-                  name.c_str());
+            return Status::errorf(
+                ErrorCode::InvalidArgument,
+                "unknown instruction '%s' in subset spec",
+                name.c_str());
         ops.insert(*op);
     }
     return InstrSubset(std::move(ops));
+}
+
+InstrSubset
+InstrSubset::fromNames(const std::vector<std::string> &names)
+{
+    Result<InstrSubset> subset = tryFromNames(names);
+    if (!subset)
+        panic("InstrSubset::fromNames: %s (validate with "
+              "tryFromNames first)",
+              subset.status().message().c_str());
+    return subset.take();
 }
 
 bool

@@ -19,6 +19,7 @@
 
 #include "isa/op.hh"
 #include "sim/program.hh"
+#include "util/status.hh"
 
 namespace rissp
 {
@@ -44,8 +45,14 @@ class InstrSubset
     /** The full RV32E ISA (the RISSP-RV32E baseline). */
     static InstrSubset fullRv32e();
 
-    /** Parse mnemonics, e.g. {"addi","lw","sw"}. Unknown names are
-     *  fatal(): a subset spec is user input. */
+    /** Parse mnemonics, e.g. {"addi","lw","sw"}. A subset spec is
+     *  user input: unknown names come back as InvalidArgument. */
+    static Result<InstrSubset>
+    tryFromNames(const std::vector<std::string> &names);
+
+    /** Parse mnemonics that are known to be valid (panic() on an
+     *  unknown name). For trusted callers with hard-coded lists;
+     *  user input goes through tryFromNames(). */
     static InstrSubset fromNames(const std::vector<std::string> &names);
 
     bool contains(Op op) const;

@@ -40,22 +40,33 @@ runSignature(uint32_t exit_code,
 
 } // namespace
 
-Explorer::Explorer(ExplorerOptions options) : opts(options) {}
+Explorer::Explorer(ExplorerOptions options,
+                   std::shared_ptr<flow::StageCaches> shared_caches)
+    : opts(options),
+      caches(shared_caches ? std::move(shared_caches)
+                           : std::make_shared<flow::StageCaches>())
+{
+}
 
 uint64_t
 Explorer::workloadKey(const std::string &name, minic::OptLevel level)
 {
-    return workloadFingerprint(name, workloadByName(name).source,
-                               static_cast<uint8_t>(level));
+    return flow::sourceKey(name, workloadByName(name).source, level);
 }
 
 minic::CompileResult
 Explorer::compileWorkload(const std::string &name,
                           minic::OptLevel level)
 {
-    return compileCache.getOrCompute(workloadKey(name, level), [&] {
-        return minic::compile(workloadByName(name).source, level);
-    });
+    // Bundled workloads always compile, so the cached Result is
+    // always a value.
+    return caches->compile
+        .getOrCompute(workloadKey(name, level),
+                      [&]() -> Result<minic::CompileResult> {
+                          return minic::compile(
+                              workloadByName(name).source, level);
+                      })
+        .value();
 }
 
 InstrSubset
@@ -73,11 +84,11 @@ Explorer::resolveSubset(const SubsetSpec &spec, minic::OptLevel level)
     panic("resolveSubset: bad kind");
 }
 
-Explorer::SimOutcome
+flow::SimOutcome
 Explorer::simulatePoint(const InstrSubset &subset,
                         const minic::CompileResult &compiled)
 {
-    SimOutcome out;
+    flow::SimOutcome out;
     Rissp chip(subset, "explore");
     chip.reset(compiled.program);
     const RunResult run = chip.run(opts.maxSteps);
@@ -96,12 +107,12 @@ Explorer::simulatePoint(const InstrSubset &subset,
     return out;
 }
 
-Explorer::SynthOutcome
+flow::SynthOutcome
 Explorer::synthesizePoint(const InstrSubset &subset,
                           const std::string &name,
                           const FlexIcTech &tech)
 {
-    SynthOutcome out;
+    flow::SynthOutcome out;
     const SynthesisModel model(tech);
     const SynthReport report = model.synthesize(subset, name);
     out.fmaxKhz = report.fmaxKhz;
@@ -142,7 +153,7 @@ Explorer::explore(const ExplorationPlan &plan)
         if (opts.simulate) {
             const minic::CompileResult compiled =
                 compileWorkload(wlName, plan.opt);
-            const SimOutcome sim = simCache.getOrCompute(
+            const flow::SimOutcome sim = caches->sim.getOrCompute(
                 {subsetFp, workloadKey(wlName, plan.opt)},
                 [&] { return simulatePoint(row.subset, compiled); },
                 &row.simMemoHit);
@@ -155,7 +166,8 @@ Explorer::explore(const ExplorationPlan &plan)
         }
 
         if (opts.synthesize) {
-            const SynthOutcome synth = synthCache.getOrCompute(
+            const flow::SynthOutcome synth =
+                caches->synth.getOrCompute(
                 {subsetFp, techFingerprint(tech.tech)},
                 [&] {
                     return synthesizePoint(row.subset, sspec.name,
@@ -192,12 +204,12 @@ Explorer::stats() const
 {
     ExplorerStats s;
     s.points = pointCount.load(std::memory_order_relaxed);
-    s.compileHits = compileCache.hits();
-    s.compileMisses = compileCache.misses();
-    s.simHits = simCache.hits();
-    s.simMisses = simCache.misses();
-    s.synthHits = synthCache.hits();
-    s.synthMisses = synthCache.misses();
+    s.compileHits = caches->compile.hits();
+    s.compileMisses = caches->compile.misses();
+    s.simHits = caches->sim.hits();
+    s.simMisses = caches->sim.misses();
+    s.synthHits = caches->synth.hits();
+    s.synthMisses = caches->synth.misses();
     return s;
 }
 

@@ -11,8 +11,11 @@
  * fingerprint) and synthesis results on (subset fingerprint, tech
  * fingerprint), so cartesian plans — where the same subset meets many
  * workloads and the same pair meets many corners — only pay for each
- * distinct computation once. The caches persist across explore()
- * calls on the same Explorer: repeated points are free.
+ * distinct computation once. The caches live in a shared
+ * `flow::StageCaches` (by default private to the Explorer, but a
+ * `FlowService` passes its own), so they persist across explore()
+ * calls — and across every other entry point sharing the set:
+ * repeated points are free.
  *
  * Every model underneath is deterministic and every point writes its
  * own pre-allocated result row, so the emitted table is identical for
@@ -23,11 +26,12 @@
 #define RISSP_EXPLORE_EXPLORER_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "compiler/driver.hh"
-#include "explore/memo.hh"
 #include "explore/plan.hh"
 #include "explore/result_table.hh"
+#include "flow/caches.hh"
 #include "physimpl/physical.hh"
 
 namespace rissp::explore
@@ -61,9 +65,17 @@ struct ExplorerStats
 class Explorer
 {
   public:
-    explicit Explorer(ExplorerOptions options = {});
+    /** @param caches stage caches to use; by default the Explorer
+     *  makes a private set. Pass a shared set (e.g. a FlowService's)
+     *  to pool work across engines and request verbs. */
+    explicit Explorer(
+        ExplorerOptions options = {},
+        std::shared_ptr<flow::StageCaches> caches = nullptr);
 
-    /** Explore every point of @p plan; rows come back in plan order. */
+    /** Explore every point of @p plan; rows come back in plan order.
+     *  The plan must validate() (panic() otherwise) — user-provided
+     *  plans are validated by parse()/FlowService before they get
+     *  here. */
     ResultTable explore(const ExplorationPlan &plan);
 
     /** Compile a bundled workload at @p level (memoized; the same
@@ -81,43 +93,20 @@ class Explorer
     const ExplorerOptions &options() const { return opts; }
 
   private:
-    struct SimOutcome
-    {
-        bool trapped = false;
-        bool cosimPassed = false;
-        uint64_t cycles = 0;
-        uint32_t exitCode = 0;
-        uint64_t signature = 0;
-    };
-
-    struct SynthOutcome
-    {
-        double fmaxKhz = 0;
-        double avgAreaGe = 0;
-        double avgPowerMw = 0;
-        double epiNj = 0;
-        bool physRun = false;
-        double dieAreaMm2 = 0;
-        double physPowerMw = 0;
-    };
-
-    /** The one place the workload cache key is derived from
-     *  (name, opt level); shared by the compile and sim caches. */
+    /** The workload cache key (name, opt level); the same derivation
+     *  flow::sourceKey gives request verbs. */
     static uint64_t workloadKey(const std::string &name,
                                 minic::OptLevel level);
 
-    SimOutcome simulatePoint(const InstrSubset &subset,
-                             const minic::CompileResult &compiled);
-    SynthOutcome synthesizePoint(const InstrSubset &subset,
-                                 const std::string &name,
-                                 const FlexIcTech &tech);
+    flow::SimOutcome
+    simulatePoint(const InstrSubset &subset,
+                  const minic::CompileResult &compiled);
+    flow::SynthOutcome synthesizePoint(const InstrSubset &subset,
+                                       const std::string &name,
+                                       const FlexIcTech &tech);
 
     ExplorerOptions opts;
-    MemoCache<uint64_t, minic::CompileResult> compileCache;
-    MemoCache<FingerprintPair, SimOutcome, FingerprintPairHash>
-        simCache;
-    MemoCache<FingerprintPair, SynthOutcome, FingerprintPairHash>
-        synthCache;
+    std::shared_ptr<flow::StageCaches> caches;
     std::atomic<uint64_t> pointCount{0};
 };
 

@@ -5,10 +5,13 @@
 
 #include "explore/plan.hh"
 
+#include <cstdarg>
 #include <exception>
+#include <optional>
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/strings.hh"
 #include "workloads/workloads.hh"
 
 namespace rissp::explore
@@ -45,8 +48,8 @@ SubsetSpec::fromNames(const std::string &name,
     return spec;
 }
 
-void
-TechSpec::set(const std::string &key, double value)
+Status
+TechSpec::trySet(const std::string &key, double value)
 {
     if (key == "gateDelayNs")
         tech.gateDelayNs = value;
@@ -91,20 +94,68 @@ TechSpec::set(const std::string &key, double value)
     else if (key == "implKhz")
         tech.implKhz = value;
     else
-        fatal("tech '%s': unknown constant '%s'", name.c_str(),
-              key.c_str());
+        return Status::errorf(
+            ErrorCode::InvalidArgument,
+            "tech '%s': unknown constant '%s'", name.c_str(),
+            key.c_str());
+    return Status::ok();
+}
+
+void
+TechSpec::set(const std::string &key, double value)
+{
+    const Status status = trySet(key, value);
+    if (!status)
+        panic("TechSpec::set: %s (validate with trySet first)",
+              status.message().c_str());
+}
+
+Status
+ExplorationPlan::validate() const
+{
+    if (subsets.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "exploration plan has no subsets");
+    if (workloads.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "exploration plan has no workloads");
+    if (mode == Mode::Paired && subsets.size() != workloads.size())
+        return Status::errorf(
+            ErrorCode::InvalidArgument,
+            "paired plan needs equal subset/workload counts "
+            "(%zu vs %zu)", subsets.size(), workloads.size());
+    for (const std::string &wl : workloads)
+        if (!findWorkload(wl))
+            return Status::errorf(ErrorCode::NotFound,
+                                  "unknown workload '%s'",
+                                  wl.c_str());
+    for (const SubsetSpec &spec : subsets) {
+        if (spec.kind == SubsetSpec::Kind::FromWorkload &&
+            !findWorkload(spec.workload))
+            return Status::errorf(
+                ErrorCode::NotFound,
+                "subset '%s': unknown workload '%s'",
+                spec.name.c_str(), spec.workload.c_str());
+        if (spec.kind == SubsetSpec::Kind::Explicit) {
+            const Result<InstrSubset> ops =
+                InstrSubset::tryFromNames(spec.mnemonics);
+            if (!ops)
+                return Status::errorf(
+                    ErrorCode::InvalidArgument, "subset '%s': %s",
+                    spec.name.c_str(),
+                    ops.status().message().c_str());
+        }
+    }
+    return Status::ok();
 }
 
 std::vector<PlanPoint>
 ExplorationPlan::expand() const
 {
-    if (subsets.empty())
-        fatal("exploration plan has no subsets");
-    if (workloads.empty())
-        fatal("exploration plan has no workloads");
-    if (mode == Mode::Paired && subsets.size() != workloads.size())
-        fatal("paired plan needs equal subset/workload counts "
-              "(%zu vs %zu)", subsets.size(), workloads.size());
+    const Status status = validate();
+    if (!status)
+        panic("ExplorationPlan::expand: %s (validate first)",
+              status.message().c_str());
 
     const size_t numTechs = techs.empty() ? 1 : techs.size();
     std::vector<PlanPoint> points;
@@ -148,9 +199,43 @@ splitWords(const std::string &line)
     return words;
 }
 
-/** Parse an unsigned integer; fatal() with line context on junk. */
-unsigned
-parseUnsigned(const std::string &word, int lineno)
+/** Collects every "plan line N: ..." diagnostic of one parse pass. */
+class ParseErrors
+{
+  public:
+    void
+    add(int lineno, std::string message)
+    {
+        lines.push_back(strFormat("plan line %d: %s", lineno,
+                                  message.c_str()));
+    }
+
+    __attribute__((format(printf, 3, 4))) void
+    addf(int lineno, const char *fmt, ...)
+    {
+        va_list args;
+        va_start(args, fmt);
+        std::string message = vstrFormat(fmt, args);
+        va_end(args);
+        add(lineno, std::move(message));
+    }
+
+    bool empty() const { return lines.empty(); }
+
+    Status
+    toStatus() const
+    {
+        return Status::error(ErrorCode::ParseError,
+                             join(lines, "\n"));
+    }
+
+  private:
+    std::vector<std::string> lines;
+};
+
+/** Parse an unsigned integer; nullopt + diagnostic on junk. */
+std::optional<unsigned>
+parseUnsigned(const std::string &word, int lineno, ParseErrors &errs)
 {
     size_t used = 0;
     unsigned long value = 0;
@@ -159,14 +244,16 @@ parseUnsigned(const std::string &word, int lineno)
     } catch (const std::exception &) {
         used = 0;
     }
-    if (used != word.size() || word[0] == '-' || value > 4096)
-        fatal("plan line %d: bad count '%s'", lineno, word.c_str());
+    if (used != word.size() || word[0] == '-' || value > 4096) {
+        errs.addf(lineno, "bad count '%s'", word.c_str());
+        return std::nullopt;
+    }
     return static_cast<unsigned>(value);
 }
 
-/** Parse a floating-point value; fatal() with line context on junk. */
-double
-parseDouble(const std::string &word, int lineno)
+/** Parse a floating-point value; nullopt + diagnostic on junk. */
+std::optional<double>
+parseDouble(const std::string &word, int lineno, ParseErrors &errs)
 {
     size_t used = 0;
     double value = 0;
@@ -175,29 +262,33 @@ parseDouble(const std::string &word, int lineno)
     } catch (const std::exception &) {
         used = 0;
     }
-    if (used != word.size())
-        fatal("plan line %d: bad number '%s'", lineno, word.c_str());
+    if (used != word.size()) {
+        errs.addf(lineno, "bad number '%s'", word.c_str());
+        return std::nullopt;
+    }
     return value;
 }
 
-minic::OptLevel
-parseOptLevel(const std::string &word, int lineno)
+std::optional<minic::OptLevel>
+parseOptLevel(const std::string &word, int lineno, ParseErrors &errs)
 {
     for (minic::OptLevel level : minic::allOptLevels()) {
         const std::string label = minic::optLevelName(level);
         if (word == label || "-" + word == label)
             return level;
     }
-    fatal("plan line %d: unknown optimization level '%s'", lineno,
-          word.c_str());
+    errs.addf(lineno, "unknown optimization level '%s'",
+              word.c_str());
+    return std::nullopt;
 }
 
 } // namespace
 
-ExplorationPlan
+Result<ExplorationPlan>
 ExplorationPlan::parse(const std::string &text)
 {
     ExplorationPlan plan;
+    ParseErrors errs;
     std::istringstream in(text);
     std::string line;
     int lineno = 0;
@@ -211,20 +302,26 @@ ExplorationPlan::parse(const std::string &text)
             continue;
         const std::string &kw = words[0];
         if (kw == "opt" && words.size() == 2) {
-            plan.opt = parseOptLevel(words[1], lineno);
+            if (auto opt = parseOptLevel(words[1], lineno, errs))
+                plan.opt = *opt;
         } else if (kw == "mode" && words.size() == 2) {
             if (words[1] == "cartesian")
                 plan.mode = Mode::Cartesian;
             else if (words[1] == "paired")
                 plan.mode = Mode::Paired;
             else
-                fatal("plan line %d: unknown mode '%s'", lineno,
-                      words[1].c_str());
+                errs.addf(lineno, "unknown mode '%s'",
+                          words[1].c_str());
         } else if (kw == "threads" && words.size() == 2) {
-            plan.threads = parseUnsigned(words[1], lineno);
+            if (auto n = parseUnsigned(words[1], lineno, errs))
+                plan.threads = *n;
         } else if (kw == "workload" && words.size() >= 2) {
             for (size_t i = 1; i < words.size(); ++i) {
-                workloadByName(words[i]); // validate early
+                if (!findWorkload(words[i])) {
+                    errs.addf(lineno, "unknown workload '%s'",
+                              words[i].c_str());
+                    continue;
+                }
                 plan.workloads.push_back(words[i]);
             }
         } else if (kw == "subset" && words.size() >= 4 &&
@@ -234,14 +331,22 @@ ExplorationPlan::parse(const std::string &text)
                 const std::string ref = words[3].substr(1);
                 if (ref == "full") {
                     plan.subsets.push_back(SubsetSpec::full(name));
+                } else if (!findWorkload(ref)) {
+                    errs.addf(lineno, "unknown workload '%s'",
+                              ref.c_str());
                 } else {
-                    workloadByName(ref); // validate early
                     plan.subsets.push_back(
                         SubsetSpec::fromWorkload(ref, name));
                 }
             } else {
                 std::vector<std::string> ops(words.begin() + 3,
                                              words.end());
+                const Result<InstrSubset> parsed =
+                    InstrSubset::tryFromNames(ops);
+                if (!parsed) {
+                    errs.add(lineno, parsed.status().message());
+                    continue;
+                }
                 plan.subsets.push_back(
                     SubsetSpec::fromNames(name, std::move(ops)));
             }
@@ -250,19 +355,28 @@ ExplorationPlan::parse(const std::string &text)
             spec.name = words[1];
             for (size_t i = 2; i < words.size(); ++i) {
                 const size_t eq = words[i].find('=');
-                if (eq == std::string::npos)
-                    fatal("plan line %d: tech override '%s' is not "
-                          "key=value", lineno, words[i].c_str());
-                spec.set(words[i].substr(0, eq),
-                         parseDouble(words[i].substr(eq + 1),
-                                     lineno));
+                if (eq == std::string::npos) {
+                    errs.addf(lineno,
+                              "tech override '%s' is not key=value",
+                              words[i].c_str());
+                    continue;
+                }
+                const auto value = parseDouble(
+                    words[i].substr(eq + 1), lineno, errs);
+                if (!value)
+                    continue;
+                const Status set =
+                    spec.trySet(words[i].substr(0, eq), *value);
+                if (!set)
+                    errs.add(lineno, set.message());
             }
             plan.techs.push_back(std::move(spec));
         } else {
-            fatal("plan line %d: cannot parse '%s'", lineno,
-                  line.c_str());
+            errs.addf(lineno, "cannot parse '%s'", line.c_str());
         }
     }
+    if (!errs.empty())
+        return errs.toStatus();
     return plan;
 }
 

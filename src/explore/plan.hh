@@ -23,6 +23,7 @@
 #include "compiler/driver.hh"
 #include "core/subset.hh"
 #include "synth/flexic_tech.hh"
+#include "util/status.hh"
 
 namespace rissp::explore
 {
@@ -57,7 +58,12 @@ struct TechSpec
     FlexIcTech tech = FlexIcTech::defaults();
 
     /** Override one model constant by name, e.g. "gateDelayNs".
-     *  Unknown keys are fatal(): tech overrides are user input. */
+     *  Tech overrides are user input: an unknown key comes back as
+     *  InvalidArgument. */
+    Status trySet(const std::string &key, double value);
+
+    /** Override a constant whose key is known to be valid (panic()
+     *  on an unknown key); user input goes through trySet(). */
     void set(const std::string &key, double value);
 };
 
@@ -88,8 +94,16 @@ class ExplorationPlan
     Mode mode = Mode::Cartesian;
     unsigned threads = 0;               ///< 0 = hardware concurrency
 
-    /** Expand into the deterministic point list. Empty axes and a
-     *  Paired-mode size mismatch are fatal(). */
+    /**
+     * Check the plan is explorable: axes non-empty, Paired-mode
+     * sizes equal, every workload name bundled, every explicit
+     * mnemonic known. The Explorer requires a valid plan; FlowService
+     * turns a failed validate() into an error response.
+     */
+    Status validate() const;
+
+    /** Expand into the deterministic point list. The plan must
+     *  validate() (panic() otherwise). */
     std::vector<PlanPoint> expand() const;
 
     /** Points expand() will produce. */
@@ -108,9 +122,12 @@ class ExplorationPlan
      *   tech flexic
      *   tech slow gateDelayNs=20 ffPowerMultiplier=12
      *
-     * Malformed lines are fatal(): plan files are user input.
+     * Plan files are user input: malformed lines are reported as a
+     * ParseError carrying every offending line ("plan line N: ...",
+     * newline-separated), not just the first one — parsing continues
+     * past a bad line so one pass surfaces all mistakes.
      */
-    static ExplorationPlan parse(const std::string &text);
+    static Result<ExplorationPlan> parse(const std::string &text);
 
     /**
      * The paper's per-application flow as a plan: for each workload a

@@ -5,9 +5,9 @@
 
 #include "explore/result_table.hh"
 
-#include <cstdio>
 #include <sstream>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace rissp::explore
@@ -40,10 +40,7 @@ namespace
 std::string
 num(double value)
 {
-    std::ostringstream out;
-    out.precision(17);
-    out << value;
-    return out.str();
+    return jsonNum(value);
 }
 
 /** RFC 4180: quote a field when it contains a comma, quote or
@@ -60,25 +57,6 @@ csvField(const std::string &s)
         out += c;
     }
     out += '"';
-    return out;
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out += buf;
-        } else {
-            out += c;
-        }
-    }
     return out;
 }
 

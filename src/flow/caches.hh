@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The shared stage caches of the RISSP pipeline.
+ *
+ * Compilation, co-simulation and synthesis are the expensive stages
+ * of every flow, and their results are pure functions of small
+ * fingerprints. `StageCaches` bundles the three exactly-once memo
+ * caches so that one set can back *all* entry points at once: the
+ * `FlowService` request verbs, the design-space `Explorer`, and any
+ * future server front end share one instance, and a characterize
+ * request warms the cache the next explore request hits. The caches
+ * were originally private to the Explorer; lifting them here is what
+ * makes the facade cheap to call repeatedly.
+ *
+ * All three caches are thread-safe (see explore/memo.hh); a
+ * StageCaches can be shared freely across concurrent requests.
+ *
+ * Layering: this header is the *leaf* of the flow package — the
+ * Explorer includes it, and flow/flow.hh includes the Explorer, so
+ * nothing from flow/flow.hh (or any facade-level type) may ever be
+ * included here.
+ */
+
+#ifndef RISSP_FLOW_CACHES_HH
+#define RISSP_FLOW_CACHES_HH
+
+#include <cstdint>
+
+#include "compiler/driver.hh"
+#include "explore/fingerprint.hh"
+#include "explore/memo.hh"
+#include "util/status.hh"
+
+namespace rissp::flow
+{
+
+/** Memoized result of simulating one (subset, workload) point. */
+struct SimOutcome
+{
+    bool trapped = false;
+    bool cosimPassed = false;
+    uint64_t cycles = 0;
+    uint32_t exitCode = 0;
+    uint64_t signature = 0;
+};
+
+/** Memoized result of synthesizing one (subset, tech) point. */
+struct SynthOutcome
+{
+    double fmaxKhz = 0;
+    double avgAreaGe = 0;
+    double avgPowerMw = 0;
+    double epiNj = 0;
+    bool physRun = false;
+    double dieAreaMm2 = 0;
+    double physPowerMw = 0;
+};
+
+/** The three shared memo caches of the pipeline. */
+struct StageCaches
+{
+    /** Key: workload/source fingerprint (name, text, opt level).
+     *  Failed compilations are cached too — a service retrying a bad
+     *  source pays for the diagnosis once. */
+    explore::MemoCache<uint64_t, Result<minic::CompileResult>>
+        compile;
+
+    /** Key: (subset fingerprint, workload fingerprint). */
+    explore::MemoCache<explore::FingerprintPair, SimOutcome,
+                       explore::FingerprintPairHash>
+        sim;
+
+    /** Key: (subset fingerprint, tech fingerprint). */
+    explore::MemoCache<explore::FingerprintPair, SynthOutcome,
+                       explore::FingerprintPairHash>
+        synth;
+};
+
+/** The one place the source cache key is derived from: the same key
+ *  must be produced for a workload compiled by an explore plan and
+ *  by a request verb, or they stop sharing work. */
+inline uint64_t
+sourceKey(const std::string &name, const std::string &source,
+          minic::OptLevel level, bool custom_mul = false)
+{
+    return explore::workloadFingerprint(
+        name, source,
+        static_cast<uint8_t>(
+            static_cast<uint8_t>(level) | (custom_mul ? 0x80 : 0)));
+}
+
+} // namespace rissp::flow
+
+#endif // RISSP_FLOW_CACHES_HH

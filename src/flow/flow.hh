@@ -1,0 +1,310 @@
+/**
+ * @file
+ * FlowService — the service-grade request/response facade over the
+ * whole RISSP pipeline (compile → subset → stitch → cosim →
+ * synthesize → P&R → retarget → explore).
+ *
+ * The paper's pitch is that RISSPs are cheap enough to generate per
+ * application; that only scales if generating one is a single
+ * well-specified call rather than hand-stitched glue. Every client —
+ * the `risspgen` verbs, `rissp-explore`, the examples, a future
+ * server — sends one of five typed requests and gets back a
+ * stage-granular response:
+ *
+ *  - each stage struct carries a `run` flag and its own data, so
+ *    partial results survive downstream failures (a trapped run
+ *    still reports the compile and subset stages it completed);
+ *  - the response `status` is the overall verdict, with an ErrorCode
+ *    a server can map onto a wire protocol;
+ *  - nothing in the service aborts on user input: malformed sources,
+ *    unknown workloads, bad plans and impossible techs all come back
+ *    as values (see util/status.hh).
+ *
+ * The service owns the shared `StageCaches` and is reentrant: all
+ * verbs are `const`, all mutable state lives in the thread-safe
+ * caches, so one instance can serve concurrent requests — the shape
+ * a daemon or a sharded backend needs.
+ */
+
+#ifndef RISSP_FLOW_FLOW_HH
+#define RISSP_FLOW_FLOW_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blocks/structural.hh"
+#include "compiler/driver.hh"
+#include "core/subset.hh"
+#include "explore/explorer.hh"
+#include "flow/caches.hh"
+#include "physimpl/physical.hh"
+#include "retarget/retargeter.hh"
+#include "sim/refsim.hh"
+#include "synth/synthesis.hh"
+#include "util/status.hh"
+#include "verify/integration_verify.hh"
+
+namespace rissp::flow
+{
+
+/**
+ * What to compile: a bundled workload by name, or inline MiniC text.
+ * File IO stays at the CLI edge — a service never opens paths.
+ */
+struct SourceRef
+{
+    std::string workload; ///< bundled workload name, when non-empty
+    std::string text;     ///< inline MiniC source otherwise
+    std::string label = "<inline>"; ///< report/cache label for text
+
+    static SourceRef
+    bundled(std::string name)
+    {
+        SourceRef ref;
+        ref.workload = std::move(name);
+        return ref;
+    }
+
+    static SourceRef
+    inlineText(std::string source, std::string label = "<inline>")
+    {
+        SourceRef ref;
+        ref.text = std::move(source);
+        ref.label = std::move(label);
+        return ref;
+    }
+};
+
+// --------------------------------------------------------- stages
+
+/** Step 1 front half: MiniC → linked RV32E image. */
+struct CompileStage
+{
+    bool run = false;
+    minic::OptLevel opt = minic::OptLevel::O2;
+    size_t staticInstructions = 0;
+    size_t textBytes = 0;
+    std::vector<std::string> helpers; ///< runtime helpers linked in
+};
+
+/** Step 1 back half: the distinct-instruction subset. */
+struct SubsetStage
+{
+    bool run = false;
+    InstrSubset subset;
+};
+
+/** Execution on the generated RISSP. */
+struct ExecStage
+{
+    bool run = false;
+    StopReason reason = StopReason::Running;
+    uint32_t stopPc = 0;
+    uint64_t cycles = 0;     ///< CPI = 1: cycles == instret
+    uint32_t exitCode = 0;
+    std::vector<uint32_t> outputWords;
+    std::string outputText;
+};
+
+/** Lock-step co-simulation against the reference ISS (§3.4.2). */
+struct CosimStage
+{
+    bool run = false;
+    bool passed = false;
+    uint64_t instret = 0;
+    uint64_t rvfiEventsChecked = 0;
+    std::string firstDivergence;
+};
+
+/** Frequency-sweep synthesis (§4.2), with optional baselines. */
+struct SynthStage
+{
+    bool run = false;
+    SynthReport app;            ///< the requested design
+    bool baselinesRun = false;
+    SynthReport fullIsa;        ///< RISSP-RV32E baseline
+    SynthReport serv;           ///< bit-serial Serv baseline
+};
+
+/** Physical implementation (§4.3). */
+struct PhysStage
+{
+    bool run = false;
+    PhysReport report;
+};
+
+/** §5 retargeting onto a fabricated subset. */
+struct RetargetStage
+{
+    bool run = false;
+    RetargetResult result;
+};
+
+/** Original-vs-retargeted equivalence: the original program on the
+ *  reference ISS against the rewritten one on a RISSP that
+ *  implements only the target subset. */
+struct EquivalenceStage
+{
+    bool run = false;
+    bool matched = false;
+    StopReason refReason = StopReason::Running;
+    StopReason dutReason = StopReason::Running;
+    uint32_t refExit = 0;
+    uint32_t dutExit = 0;
+};
+
+// ------------------------------------------------------- requests
+
+/** Characterize: compile and report the subset (risspgen verb 1). */
+struct CharacterizeRequest
+{
+    SourceRef source;
+    minic::OptLevel opt = minic::OptLevel::O2;
+    minic::MachineOptions machine;
+};
+
+struct CharacterizeResponse
+{
+    Status status;
+    CompileStage compile;
+    SubsetStage subset;
+};
+
+/** Run: execute on the generated RISSP, optionally co-simulating
+ *  against the reference ISS (risspgen verb 2). */
+struct RunRequest
+{
+    SourceRef source;
+    minic::OptLevel opt = minic::OptLevel::O2;
+    uint64_t maxSteps = 2'000'000'000ull;
+    bool verify = false; ///< lock-step cosim after a clean halt
+
+    /** Run on this subset instead of the program's own — how a
+     *  domain chip or an underprovisioned (trapping) RISSP is
+     *  requested. */
+    std::optional<InstrSubset> subsetOverride;
+
+    /** Inject a netlist fault into the RISSP during cosim (mutation
+     *  testing of the verification flow; requires verify). */
+    std::optional<Mutation> injectFault;
+};
+
+struct RunResponse
+{
+    Status status;
+    CompileStage compile;
+    SubsetStage subset;
+    ExecStage exec;
+    CosimStage cosim;
+};
+
+/** Synth: frequency-sweep synthesis + P&R, with the paper's two
+ *  baselines (risspgen verb 3). */
+struct SynthRequest
+{
+    SourceRef source;    ///< ignored when subsetOverride is set
+    minic::OptLevel opt = minic::OptLevel::O2;
+    std::optional<InstrSubset> subsetOverride;
+    std::string name = "RISSP-app";
+    explore::TechSpec tech;  ///< user-tunable process corner
+    bool baselines = true;   ///< also synthesize RV32E + Serv
+    bool physical = true;    ///< P&R the app design
+    RfStyle rfStyle = RfStyle::LatchArray;
+};
+
+struct SynthResponse
+{
+    Status status;
+    CompileStage compile;
+    SubsetStage subset;
+    SynthStage synth;
+    PhysStage phys;
+};
+
+/** Retarget: rewrite onto a fabricated subset and prove equivalence
+ *  (risspgen verb 4). */
+struct RetargetRequest
+{
+    SourceRef source;
+    minic::OptLevel opt = minic::OptLevel::O2;
+    /** Fabricated subset; Retargeter::minimalSubset() when unset.
+     *  Validated against the §5 kernel ops. */
+    std::optional<InstrSubset> target;
+    uint64_t maxSteps = 2'000'000'000ull;
+    bool verifyEquivalence = true;
+};
+
+struct RetargetResponse
+{
+    Status status;
+    CompileStage compile;
+    RetargetStage retarget;
+    EquivalenceStage equivalence;
+};
+
+/** Explore: sweep a (subset × workload × tech) design space. */
+struct ExploreRequest
+{
+    /** Plan text (the rissp-explore grammar)… */
+    std::string planText;
+    /** …or a programmatic plan; wins over planText when set. */
+    std::optional<explore::ExplorationPlan> plan;
+    explore::ExplorerOptions options;
+};
+
+struct ExploreResponse
+{
+    Status status;
+    explore::ExplorationPlan plan; ///< the plan that was swept
+    explore::ResultTable table;
+    /** `points` counts this sweep; the hit/miss counters read the
+     *  shared caches and are therefore service-cumulative on a
+     *  long-lived FlowService. */
+    explore::ExplorerStats stats;
+};
+
+// -------------------------------------------------------- service
+
+/** The facade. One instance serves any number of clients. */
+class FlowService
+{
+  public:
+    /** @param caches stage caches to adopt; by default the service
+     *  creates its own set. */
+    explicit FlowService(
+        std::shared_ptr<StageCaches> caches = nullptr);
+
+    CharacterizeResponse
+    characterize(const CharacterizeRequest &request) const;
+
+    RunResponse run(const RunRequest &request) const;
+
+    SynthResponse synth(const SynthRequest &request) const;
+
+    RetargetResponse retarget(const RetargetRequest &request) const;
+
+    ExploreResponse explore(const ExploreRequest &request) const;
+
+    /** Cumulative cache statistics across all requests served
+     *  (`points` stays 0 — it is a per-Explorer counter). */
+    explore::ExplorerStats stats() const;
+
+    const std::shared_ptr<StageCaches> &caches() const
+    {
+        return stageCaches;
+    }
+
+  private:
+    /** Resolve + compile a source, memoized in the shared cache. */
+    Result<minic::CompileResult>
+    compileSource(const SourceRef &source, minic::OptLevel opt,
+                  const minic::MachineOptions &machine = {}) const;
+
+    std::shared_ptr<StageCaches> stageCaches;
+};
+
+} // namespace rissp::flow
+
+#endif // RISSP_FLOW_FLOW_HH

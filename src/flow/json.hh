@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Machine-readable renderings of Flow API responses.
+ *
+ * One JSON object per response, stage-granular like the structs:
+ * every stage appears with a "run" flag, so a consumer can tell "the
+ * run trapped" apart from "the run was never attempted". The status
+ * object always comes first; its "code" field uses the stable
+ * errorCodeName() strings. `risspgen --json` prints these verbatim —
+ * the CLI adds nothing, which is the point: the JSON a script parses
+ * is exactly what a server would return.
+ */
+
+#ifndef RISSP_FLOW_JSON_HH
+#define RISSP_FLOW_JSON_HH
+
+#include <string>
+
+#include "flow/flow.hh"
+
+namespace rissp::flow
+{
+
+std::string toJson(const CharacterizeResponse &response);
+std::string toJson(const RunResponse &response);
+std::string toJson(const SynthResponse &response);
+std::string toJson(const RetargetResponse &response);
+
+/** A bare status (e.g. a CLI-edge error) as a response-shaped
+ *  object: {"status": {...}}. */
+std::string toJson(const Status &status);
+
+} // namespace rissp::flow
+
+#endif // RISSP_FLOW_JSON_HH

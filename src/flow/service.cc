@@ -1,0 +1,309 @@
+/**
+ * @file
+ * FlowService implementation: each verb walks the pipeline stages,
+ * recording every stage it completes before a failure can cut the
+ * walk short.
+ */
+
+#include "flow/flow.hh"
+
+#include "core/rissp.hh"
+#include "serv/serv_model.hh"
+#include "workloads/workloads.hh"
+
+namespace rissp::flow
+{
+
+namespace
+{
+
+void
+fillCompileStage(CompileStage &stage,
+                 const minic::CompileResult &compiled,
+                 minic::OptLevel opt)
+{
+    stage.run = true;
+    stage.opt = opt;
+    stage.staticInstructions = compiled.staticInstructions();
+    stage.textBytes = compiled.program.textSize;
+    stage.helpers.assign(compiled.helpers.begin(),
+                         compiled.helpers.end());
+}
+
+} // namespace
+
+FlowService::FlowService(std::shared_ptr<StageCaches> caches)
+    : stageCaches(caches ? std::move(caches)
+                         : std::make_shared<StageCaches>())
+{
+}
+
+Result<minic::CompileResult>
+FlowService::compileSource(const SourceRef &source,
+                           minic::OptLevel opt,
+                           const minic::MachineOptions &machine) const
+{
+    const std::string *text = &source.text;
+    const std::string *label = &source.label;
+    if (!source.workload.empty()) {
+        const Workload *wl = findWorkload(source.workload);
+        if (!wl)
+            return Status::errorf(ErrorCode::NotFound,
+                                  "unknown workload '%s'",
+                                  source.workload.c_str());
+        text = &wl->source;
+        label = &wl->name;
+    }
+    const uint64_t key =
+        sourceKey(*label, *text, opt, machine.customMul);
+    return stageCaches->compile.getOrCompute(key, [&] {
+        return minic::tryCompile(*text, opt, machine);
+    });
+}
+
+CharacterizeResponse
+FlowService::characterize(const CharacterizeRequest &request) const
+{
+    CharacterizeResponse response;
+    const Result<minic::CompileResult> compiled =
+        compileSource(request.source, request.opt, request.machine);
+    if (!compiled) {
+        response.status = compiled.status();
+        return response;
+    }
+    fillCompileStage(response.compile, compiled.value(),
+                     request.opt);
+    response.subset.run = true;
+    response.subset.subset =
+        InstrSubset::fromProgram(compiled.value().program);
+    return response;
+}
+
+RunResponse
+FlowService::run(const RunRequest &request) const
+{
+    RunResponse response;
+    const Result<minic::CompileResult> compiled =
+        compileSource(request.source, request.opt);
+    if (!compiled) {
+        response.status = compiled.status();
+        return response;
+    }
+    const Program &program = compiled.value().program;
+    fillCompileStage(response.compile, compiled.value(),
+                     request.opt);
+
+    response.subset.run = true;
+    response.subset.subset = request.subsetOverride
+        ? *request.subsetOverride
+        : InstrSubset::fromProgram(program);
+
+    Rissp chip(response.subset.subset, "RISSP");
+    chip.reset(program);
+    const RunResult run = chip.run(request.maxSteps);
+    response.exec.run = true;
+    response.exec.reason = run.reason;
+    response.exec.stopPc = run.stopPc;
+    response.exec.cycles = run.instret;
+    response.exec.exitCode = run.exitCode;
+    response.exec.outputWords = chip.outputWords();
+    response.exec.outputText = chip.outputText();
+
+    switch (run.reason) {
+      case StopReason::Trapped:
+        response.status = Status::errorf(
+            ErrorCode::Trap,
+            "trapped at pc=0x%x: instruction outside the subset",
+            run.stopPc);
+        return response;
+      case StopReason::StepLimit:
+        response.status = Status::errorf(
+            ErrorCode::StepLimit,
+            "step limit of %llu cycles reached at pc=0x%x",
+            static_cast<unsigned long long>(request.maxSteps),
+            run.stopPc);
+        return response;
+      default:
+        break;
+    }
+
+    if (request.verify) {
+        // cosimulate() re-executes DUT and reference lock-step from
+        // reset; a verified run therefore executes the program
+        // twice, like the Figure 4 flow it mirrors. Deriving the
+        // exec stage from the cosim pass would halve that.
+        const Mutation *fault =
+            request.injectFault ? &*request.injectFault : nullptr;
+        const CosimReport cosim =
+            cosimulate(program, response.subset.subset,
+                       request.maxSteps, fault);
+        response.cosim.run = true;
+        response.cosim.passed = cosim.passed;
+        response.cosim.instret = cosim.instret;
+        response.cosim.rvfiEventsChecked =
+            cosim.monitor.eventsChecked;
+        response.cosim.firstDivergence = cosim.firstDivergence;
+        if (!cosim.passed) {
+            response.status = Status::error(
+                ErrorCode::CosimMismatch,
+                "co-simulation diverged: " + cosim.firstDivergence);
+            return response;
+        }
+    }
+    return response;
+}
+
+SynthResponse
+FlowService::synth(const SynthRequest &request) const
+{
+    SynthResponse response;
+    response.subset.run = true;
+    if (request.subsetOverride) {
+        response.subset.subset = *request.subsetOverride;
+    } else {
+        const Result<minic::CompileResult> compiled =
+            compileSource(request.source, request.opt);
+        if (!compiled) {
+            response.status = compiled.status();
+            return response;
+        }
+        fillCompileStage(response.compile, compiled.value(),
+                         request.opt);
+        response.subset.subset =
+            InstrSubset::fromProgram(compiled.value().program);
+    }
+
+    const FlexIcTech &tech = request.tech.tech;
+    const SynthesisModel model(tech);
+    Result<SynthReport> app = model.trySynthesize(
+        response.subset.subset, request.name);
+    if (!app) {
+        response.status = app.status();
+        return response;
+    }
+    response.synth.run = true;
+    response.synth.app = app.take();
+
+    if (request.baselines) {
+        Result<SynthReport> full = model.trySynthesize(
+            InstrSubset::fullRv32e(), "RISSP-RV32E");
+        if (!full) {
+            // The corner is so hostile even the baseline fails; the
+            // app numbers above still stand.
+            response.status = full.status();
+            return response;
+        }
+        response.synth.baselinesRun = true;
+        response.synth.fullIsa = full.take();
+        response.synth.serv = ServModel(tech).synthReport();
+    }
+
+    if (request.physical) {
+        const PhysicalModel phys(tech);
+        response.phys.run = true;
+        response.phys.report =
+            phys.implement(response.synth.app, request.rfStyle);
+    }
+    return response;
+}
+
+RetargetResponse
+FlowService::retarget(const RetargetRequest &request) const
+{
+    RetargetResponse response;
+    const Result<minic::CompileResult> compiled =
+        compileSource(request.source, request.opt);
+    if (!compiled) {
+        response.status = compiled.status();
+        return response;
+    }
+    const Program &program = compiled.value().program;
+    fillCompileStage(response.compile, compiled.value(),
+                     request.opt);
+
+    const InstrSubset target = request.target
+        ? *request.target : Retargeter::minimalSubset();
+    const Status valid = Retargeter::validateTarget(target);
+    if (!valid) {
+        response.status = valid;
+        return response;
+    }
+
+    Retargeter tool(target);
+    response.retarget.run = true;
+    response.retarget.result = tool.retarget(program);
+    const RetargetResult &result = response.retarget.result;
+    if (!result.ok) {
+        response.status = Status::error(ErrorCode::RetargetError,
+                                        result.error);
+        return response;
+    }
+
+    if (request.verifyEquivalence) {
+        RefSim golden;
+        golden.reset(program);
+        const RunResult want = golden.run(request.maxSteps);
+        Rissp chip(target, "retarget-dut");
+        chip.reset(result.program);
+        const RunResult got = chip.run(request.maxSteps);
+
+        EquivalenceStage &eq = response.equivalence;
+        eq.run = true;
+        eq.refReason = want.reason;
+        eq.dutReason = got.reason;
+        eq.refExit = want.exitCode;
+        eq.dutExit = got.exitCode;
+        eq.matched = want.reason == got.reason &&
+            want.exitCode == got.exitCode &&
+            golden.outputWords() == chip.outputWords();
+        if (!eq.matched) {
+            response.status = Status::error(
+                ErrorCode::CosimMismatch,
+                "retargeted program diverges from the original");
+            return response;
+        }
+    }
+    return response;
+}
+
+ExploreResponse
+FlowService::explore(const ExploreRequest &request) const
+{
+    ExploreResponse response;
+    if (request.plan) {
+        response.plan = *request.plan;
+    } else {
+        Result<explore::ExplorationPlan> parsed =
+            explore::ExplorationPlan::parse(request.planText);
+        if (!parsed) {
+            response.status = parsed.status();
+            return response;
+        }
+        response.plan = parsed.take();
+    }
+    const Status valid = response.plan.validate();
+    if (!valid) {
+        response.status = valid;
+        return response;
+    }
+
+    explore::Explorer explorer(request.options, stageCaches);
+    response.table = explorer.explore(response.plan);
+    response.stats = explorer.stats();
+    return response;
+}
+
+explore::ExplorerStats
+FlowService::stats() const
+{
+    explore::ExplorerStats s;
+    s.compileHits = stageCaches->compile.hits();
+    s.compileMisses = stageCaches->compile.misses();
+    s.simHits = stageCaches->sim.hits();
+    s.simMisses = stageCaches->sim.misses();
+    s.synthHits = stageCaches->synth.hits();
+    s.synthMisses = stageCaches->synth.misses();
+    return s;
+}
+
+} // namespace rissp::flow

@@ -80,11 +80,23 @@ nativeLine(const Instr &in, const std::string &branch_target)
 Retargeter::Retargeter(const InstrSubset &target, uint64_t seed)
     : targetSubset(target), rng(seed)
 {
+    const Status status = validateTarget(target);
+    if (!status)
+        panic("Retargeter: %s (validate with validateTarget first)",
+              status.message().c_str());
+}
+
+Status
+Retargeter::validateTarget(const InstrSubset &target)
+{
     const InstrSubset kernel = minimalSubset();
     for (Op op : kernel.ops())
-        if (!targetSubset.contains(op))
-            fatal("retarget subset lacks kernel instruction '%s'",
-                  std::string(opName(op)).c_str());
+        if (!target.contains(op))
+            return Status::errorf(
+                ErrorCode::InvalidArgument,
+                "retarget subset lacks kernel instruction '%s'",
+                std::string(opName(op)).c_str());
+    return Status::ok();
 }
 
 InstrSubset
@@ -294,7 +306,7 @@ Retargeter::synthesizeMacro(Op op)
     return result;
 }
 
-std::string
+Result<std::string>
 Retargeter::reconstruct(const Program &program,
                         const std::set<Op> &rewrite) const
 {
@@ -312,7 +324,9 @@ Retargeter::reconstruct(const Program &program,
         if (in.type() == InstrType::B || in.op == Op::Jal)
             label_addrs.insert(pc + static_cast<uint32_t>(in.imm));
         if (in.op == Op::Auipc)
-            fatal("retarget: auipc unsupported in reconstruction");
+            return Status::error(
+                ErrorCode::RetargetError,
+                "auipc unsupported in reconstruction");
         // Expansion macros use ra (and t0 in store macros) as saved
         // scratch; an instruction that is itself being rewritten must
         // not name ra as an operand or destination.
@@ -320,8 +334,10 @@ Retargeter::reconstruct(const Program &program,
             ((readsRs1(in.op) && in.rs1 == reg::ra) ||
              (readsRs2(in.op) && in.rs2 == reg::ra) ||
              (writesRd(in.op) && in.rd == reg::ra)))
-            fatal("retarget: ra operand on rewritten %s at 0x%x",
-                  std::string(opName(in.op)).c_str(), pc);
+            return Status::errorf(
+                ErrorCode::RetargetError,
+                "ra operand on rewritten %s at 0x%x",
+                std::string(opName(in.op)).c_str(), pc);
     }
 
     std::string out = "    .text\n";
@@ -383,10 +399,14 @@ Retargeter::retarget(const Program &program)
     }
 
     // Step 3: rewrite and reassemble.
-    const std::string source =
+    Result<std::string> source =
         reconstruct(program, result.rewrittenOps);
+    if (!source) {
+        result.error = source.status().message();
+        return result;
+    }
     AsmResult reassembled =
-        tryAssemble(result.macroFile + source);
+        tryAssemble(result.macroFile + source.value());
     if (!reassembled.ok) {
         result.error = "reassembly failed: " + reassembled.error;
         return result;

@@ -26,6 +26,7 @@
 #include "core/subset.hh"
 #include "retarget/macro_library.hh"
 #include "util/rng.hh"
+#include "util/status.hh"
 
 namespace rissp
 {
@@ -70,8 +71,7 @@ class Retargeter
   public:
     /**
      * @param target the subset the fabricated RISSP supports; must
-     *        include the §5 kernel ops {addi, add, and, xori, sll,
-     *        sra, jal, jalr, blt, bltu, lw, sw}
+     *        satisfy validateTarget() (panic() otherwise)
      * @param seed   drives the generator's candidate ordering (how
      *        many hallucinated attempts precede the good one)
      */
@@ -81,6 +81,11 @@ class Retargeter
     /** The paper's minimal 12-instruction subset. */
     static InstrSubset minimalSubset();
 
+    /** Check a user-chosen target subset includes the §5 kernel ops
+     *  {addi, add, and, xori, sll, sra, jal, jalr, blt, bltu, lw,
+     *  sw}; call before constructing a Retargeter from user input. */
+    static Status validateTarget(const InstrSubset &target);
+
     /** Synthesize + verify the macro for one instruction. */
     MacroExpansion synthesizeMacro(Op op);
 
@@ -89,9 +94,11 @@ class Retargeter
 
     /** Reconstruct assembly from a binary, rewriting ops in
      *  @p rewrite into canonical macro invocations (exposed for
-     *  tests). */
-    std::string reconstruct(const Program &program,
-                            const std::set<Op> &rewrite) const;
+     *  tests). Programs the rewriter cannot express (auipc, ra used
+     *  as an operand of a rewritten op) come back as RetargetError
+     *  instead of aborting: the input binary is the user's. */
+    Result<std::string> reconstruct(const Program &program,
+                                    const std::set<Op> &rewrite) const;
 
   private:
     bool verifyCandidate(Op op, const std::string &body);

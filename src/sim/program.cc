@@ -38,7 +38,8 @@ Program::symbol(const std::string &name) const
 {
     auto it = symbols.find(name);
     if (it == symbols.end())
-        fatal("undefined symbol '%s'", name.c_str());
+        panic("Program::symbol: undefined symbol '%s' (check "
+              "hasSymbol first)", name.c_str());
     return it->second;
 }
 

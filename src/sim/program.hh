@@ -44,7 +44,8 @@ struct Program
     /** All instruction words in the text section, in address order. */
     std::vector<uint32_t> textWords() const;
 
-    /** Address of a symbol; fatal() if absent. */
+    /** Address of a symbol; the symbol must exist (panic()
+     *  otherwise) — check hasSymbol() first when unsure. */
     uint32_t symbol(const std::string &name) const;
 
     /** True when the symbol table defines @p name. */

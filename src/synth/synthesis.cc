@@ -94,9 +94,30 @@ SynthesisModel::maxBlockDepth(const InstrSubset &subset) const
     return depth;
 }
 
+namespace
+{
+
+SynthReport
+unwrap(Result<SynthReport> report)
+{
+    if (!report)
+        panic("synthesize: %s (use trySynthesize for user-tuned "
+              "requests)", report.status().toString().c_str());
+    return report.take();
+}
+
+} // namespace
+
 SynthReport
 SynthesisModel::synthesize(const InstrSubset &subset,
                            const std::string &name) const
+{
+    return unwrap(synthesizeInternal(subset, name, /*share=*/true));
+}
+
+Result<SynthReport>
+SynthesisModel::trySynthesize(const InstrSubset &subset,
+                              const std::string &name) const
 {
     return synthesizeInternal(subset, name, /*share=*/true);
 }
@@ -105,16 +126,18 @@ SynthReport
 SynthesisModel::synthesizeUnshared(const InstrSubset &subset,
                                    const std::string &name) const
 {
-    return synthesizeInternal(subset, name, /*share=*/false);
+    return unwrap(synthesizeInternal(subset, name, /*share=*/false));
 }
 
-SynthReport
+Result<SynthReport>
 SynthesisModel::synthesizeInternal(const InstrSubset &subset,
                                    const std::string &name,
                                    bool share) const
 {
     if (subset.empty())
-        fatal("cannot synthesize an empty instruction subset");
+        return Status::error(
+            ErrorCode::InvalidArgument,
+            "cannot synthesize an empty instruction subset");
 
     SynthReport rpt;
     rpt.name = name;
@@ -165,8 +188,10 @@ SynthesisModel::synthesizeInternal(const InstrSubset &subset,
         rpt.sweep.push_back(pt);
     }
     if (met_points == 0)
-        fatal("design '%s' meets no sweep point (path %.0f ns)",
-              name.c_str(), rpt.criticalPathNs);
+        return Status::errorf(
+            ErrorCode::SynthError,
+            "design '%s' meets no sweep point (path %.0f ns)",
+            name.c_str(), rpt.criticalPathNs);
     rpt.avgAreaGe = sum_area / static_cast<double>(met_points);
     rpt.avgPowerMw = sum_power / static_cast<double>(met_points);
     return rpt;
@@ -180,7 +205,7 @@ SynthesisModel::synthesizePipelined(const InstrSubset &subset,
     // execute: the fetch levels leave the critical path, a 32-bit
     // instruction register plus bubble/flush control joins the flop
     // count, and the next-pc mux gains a flush leg.
-    SynthReport rpt = synthesizeInternal(subset, name, true);
+    SynthReport rpt = unwrap(synthesizeInternal(subset, name, true));
     constexpr double kPipelineFfs = 34.0;  // IR + valid/flush bits
     constexpr double kFlushCtlGe = 45.0;
     rpt.ffCount += kPipelineFfs;

@@ -21,6 +21,7 @@
 #include "blocks/library.hh"
 #include "core/subset.hh"
 #include "synth/flexic_tech.hh"
+#include "util/status.hh"
 
 namespace rissp
 {
@@ -77,9 +78,19 @@ class SynthesisModel
         const FlexIcTech &tech = FlexIcTech::defaults(),
         const HwLibrary &library = HwLibrary::instance());
 
-    /** Synthesize a RISSP for @p subset. */
+    /** Synthesize a RISSP for @p subset. The subset must be
+     *  non-empty and meet at least one sweep point (panic()
+     *  otherwise) — guaranteed for any compiled workload on the
+     *  default tech; requests with user-tuned techs go through
+     *  trySynthesize(). */
     SynthReport synthesize(const InstrSubset &subset,
                            const std::string &name) const;
+
+    /** Like synthesize(), but an empty subset (InvalidArgument) or a
+     *  sweep that meets no point under a user-tuned tech
+     *  (SynthError) comes back as a value. */
+    Result<SynthReport> trySynthesize(const InstrSubset &subset,
+                                      const std::string &name) const;
 
     /**
      * Ablation: synthesize the *unoptimised* RISSP, i.e. skip the
@@ -119,9 +130,9 @@ class SynthesisModel
     double combGatesFor(const InstrSubset &subset,
                         bool share) const;
     double maxBlockDepth(const InstrSubset &subset) const;
-    SynthReport synthesizeInternal(const InstrSubset &subset,
-                                   const std::string &name,
-                                   bool share) const;
+    Result<SynthReport>
+    synthesizeInternal(const InstrSubset &subset,
+                       const std::string &name, bool share) const;
 
     const FlexIcTech &techRef;
     const HwLibrary &lib;

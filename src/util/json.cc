@@ -1,0 +1,37 @@
+#include "util/json.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rissp
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNum(double value)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << value;
+    return out.str();
+}
+
+} // namespace rissp

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the report emitters
+ * (explore::ResultTable, flow::toJson): escaping and round-trip
+ * number formatting. Emitters build objects by hand — the output
+ * formats are small and fixed, and byte-stable output across runs
+ * matters more than a DOM.
+ */
+
+#ifndef RISSP_UTIL_JSON_HH
+#define RISSP_UTIL_JSON_HH
+
+#include <string>
+
+namespace rissp
+{
+
+/** Escape for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Shortest round-trip form of a double, so emitted files compare
+ *  byte-for-byte across runs and thread counts. */
+std::string jsonNum(double value);
+
+/** "true"/"false". */
+inline const char *
+jsonBool(bool value)
+{
+    return value ? "true" : "false";
+}
+
+} // namespace rissp
+
+#endif // RISSP_UTIL_JSON_HH

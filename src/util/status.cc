@@ -1,0 +1,46 @@
+#include "util/status.hh"
+
+#include <cstdarg>
+
+namespace rissp
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "ok";
+      case ErrorCode::InvalidArgument: return "invalid_argument";
+      case ErrorCode::NotFound: return "not_found";
+      case ErrorCode::ParseError: return "parse_error";
+      case ErrorCode::CompileError: return "compile_error";
+      case ErrorCode::AsmError: return "asm_error";
+      case ErrorCode::Trap: return "trap";
+      case ErrorCode::StepLimit: return "step_limit";
+      case ErrorCode::CosimMismatch: return "cosim_mismatch";
+      case ErrorCode::RetargetError: return "retarget_error";
+      case ErrorCode::SynthError: return "synth_error";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+Status
+Status::errorf(ErrorCode code, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string message = vstrFormat(fmt, args);
+    va_end(args);
+    return error(code, std::move(message));
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    return std::string(errorCodeName(errCode)) + ": " + errMessage;
+}
+
+} // namespace rissp

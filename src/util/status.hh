@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Recoverable error reporting for library code.
+ *
+ * The gem5-style fatal() in logging.hh terminates the process, which
+ * is acceptable at a CLI edge but never inside a library that a
+ * long-lived service links: a malformed request must come back to the
+ * caller as a value. `Status` carries an error code plus a human
+ * message; `Result<T>` is a Status or a T. The convention across the
+ * library is:
+ *
+ *  - user-provided input (plan text, workload names, MiniC sources,
+ *    mnemonics, tech overrides) flows through Status/Result APIs;
+ *  - panic() remains for internal invariants (bugs in this library);
+ *  - fatal() survives only in CLI mains, where exiting is the point.
+ *
+ * Both types are cheap to copy and safe to share across threads once
+ * constructed, which is what lets `FlowService` cache them.
+ */
+
+#ifndef RISSP_UTIL_STATUS_HH
+#define RISSP_UTIL_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+/** What went wrong, service-API style. */
+enum class ErrorCode : uint8_t
+{
+    Ok,              ///< no error
+    InvalidArgument, ///< malformed request field (bad mnemonic, plan…)
+    NotFound,        ///< named entity absent (workload, symbol)
+    ParseError,      ///< structured text did not parse (plan files)
+    CompileError,    ///< MiniC source rejected by the compiler
+    AsmError,        ///< assembly text rejected by the assembler
+    Trap,            ///< program executed an instruction outside the subset
+    StepLimit,       ///< run exhausted its cycle budget
+    CosimMismatch,   ///< RISSP diverged from the reference ISS
+    RetargetError,   ///< retargeting could not rewrite the program
+    SynthError,      ///< synthesis met no sweep point
+    Internal,        ///< invariant violation surfaced as a value
+};
+
+/** Stable lower-snake name, e.g. "invalid_argument" (JSON field). */
+const char *errorCodeName(ErrorCode code);
+
+/** An error code plus a formatted message; Ok when default-made. */
+class Status
+{
+  public:
+    Status() = default;
+
+    static Status ok() { return Status(); }
+
+    static Status
+    error(ErrorCode code, std::string message)
+    {
+        Status s;
+        s.errCode = code;
+        s.errMessage = std::move(message);
+        return s;
+    }
+
+    /** printf-style constructor for error statuses. */
+    static Status errorf(ErrorCode code, const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    bool isOk() const { return errCode == ErrorCode::Ok; }
+    explicit operator bool() const { return isOk(); }
+
+    ErrorCode code() const { return errCode; }
+    const std::string &message() const { return errMessage; }
+
+    /** "invalid_argument: unknown workload 'x'" (or "ok"). */
+    std::string toString() const;
+
+  private:
+    ErrorCode errCode = ErrorCode::Ok;
+    std::string errMessage;
+};
+
+/** A Status or a value: the return type of every recoverable API. */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : val(std::move(value)) {}
+    Result(Status status) : st(std::move(status))
+    {
+        if (st.isOk())
+            panic("Result constructed from an ok Status");
+    }
+
+    bool isOk() const { return st.isOk(); }
+    explicit operator bool() const { return isOk(); }
+
+    const Status &status() const { return st; }
+    ErrorCode code() const { return st.code(); }
+
+    /** The value; calling this on an error Result is a bug. */
+    const T &
+    value() const
+    {
+        if (!isOk())
+            panic("Result::value() on error: %s",
+                  st.toString().c_str());
+        return *val;
+    }
+
+    T &
+    value()
+    {
+        if (!isOk())
+            panic("Result::value() on error: %s",
+                  st.toString().c_str());
+        return *val;
+    }
+
+    /** Move the value out (the Result is spent afterwards). */
+    T
+    take()
+    {
+        if (!isOk())
+            panic("Result::take() on error: %s",
+                  st.toString().c_str());
+        return std::move(*val);
+    }
+
+    /** The value, or @p fallback on error. */
+    T
+    valueOr(T fallback) const
+    {
+        return isOk() ? *val : std::move(fallback);
+    }
+
+  private:
+    Status st;
+    std::optional<T> val;
+};
+
+} // namespace rissp
+
+#endif // RISSP_UTIL_STATUS_HH

@@ -72,7 +72,7 @@ eventsMatch(const RetireEvent &a, const RetireEvent &b)
 
 CosimReport
 cosimulate(const Program &program, const InstrSubset &subset,
-           uint64_t max_steps)
+           uint64_t max_steps, const Mutation *fault)
 {
     CosimReport rpt;
     RefSim ref;
@@ -83,7 +83,7 @@ cosimulate(const Program &program, const InstrSubset &subset,
     std::vector<RetireEvent> dut_events;
     for (uint64_t i = 0; i < max_steps; ++i) {
         RetireEvent re = ref.step();
-        RetireEvent de = dut.step();
+        RetireEvent de = dut.step(fault);
         dut_events.push_back(de);
         if (!eventsMatch(re, de)) {
             rpt.firstDivergence = strFormat(
@@ -269,7 +269,8 @@ randomProgram(uint64_t seed, unsigned num_instrs,
         pool.push_back(op);
     }
     if (pool.empty())
-        fatal("randomProgram: empty usable subset");
+        panic("randomProgram: empty usable subset (callers pass a "
+              "non-trivial subset)");
 
     std::string body = "    .data\nsignature:\n    .space 256\n"
         "    .text\n_start:\n    la a5, signature\n";

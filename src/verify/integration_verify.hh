@@ -46,10 +46,17 @@ struct CosimReport
  * ISS, comparing every retirement event, the final register file and
  * the final memory signature region (symbol "signature", when the
  * program defines it).
+ *
+ * @param fault optional netlist fault injected into the RISSP's
+ *        execution (mutation testing at the integration level): a
+ *        non-equivalent fault must surface as a divergence, which is
+ *        how the mismatch path of the verification flow is exercised
+ *        end-to-end.
  */
 CosimReport cosimulate(const Program &program,
                        const InstrSubset &subset,
-                       uint64_t max_steps = 10'000'000);
+                       uint64_t max_steps = 10'000'000,
+                       const Mutation *fault = nullptr);
 
 /**
  * Directed architectural test for one instruction: a program that

@@ -55,13 +55,22 @@ allWorkloads()
     return all;
 }
 
-const Workload &
-workloadByName(const std::string &name)
+const Workload *
+findWorkload(const std::string &name)
 {
     for (const Workload &w : allWorkloads())
         if (w.name == name)
-            return w;
-    fatal("unknown workload '%s'", name.c_str());
+            return &w;
+    return nullptr;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    if (const Workload *w = findWorkload(name))
+        return *w;
+    panic("workloadByName: unknown workload '%s' (validate with "
+          "findWorkload first)", name.c_str());
 }
 
 std::vector<std::string>

@@ -33,7 +33,13 @@ struct Workload
 /** All 25 workloads in the paper's Table 3 order. */
 const std::vector<Workload> &allWorkloads();
 
-/** Lookup by name; fatal() when unknown. */
+/** Lookup by name; nullptr when unknown. This is the entry point
+ *  for user-provided names (CLI `@name`, plan files, Flow API). */
+const Workload *findWorkload(const std::string &name);
+
+/** Lookup by name; the name must exist (panic() otherwise). For
+ *  trusted callers with hard-coded names; validate user input with
+ *  findWorkload() first. */
 const Workload &workloadByName(const std::string &name);
 
 /** The three extreme-edge application names. */

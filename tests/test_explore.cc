@@ -69,24 +69,27 @@ TEST(Plan, PairedExpansion)
         EXPECT_EQ(pt.subsetIdx, pt.workloadIdx);
 }
 
-TEST(Plan, PairedSizeMismatchIsFatal)
+TEST(Plan, PairedSizeMismatchFailsValidation)
 {
     ExplorationPlan plan;
     plan.mode = ExplorationPlan::Mode::Paired;
     plan.subsets = {SubsetSpec::full()};
     plan.workloads = {"crc32", "armpit"};
-    EXPECT_EXIT(plan.expand(), ::testing::ExitedWithCode(1),
-                "paired");
+    const Status status = plan.validate();
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(status.message().find("paired"), std::string::npos);
 }
 
-TEST(Plan, EmptyAxesAreFatal)
+TEST(Plan, EmptyAxesFailValidation)
 {
     ExplorationPlan plan;
-    EXPECT_EXIT(plan.expand(), ::testing::ExitedWithCode(1),
-                "no subsets");
+    EXPECT_NE(plan.validate().message().find("no subsets"),
+              std::string::npos);
     plan.subsets = {SubsetSpec::full()};
-    EXPECT_EXIT(plan.expand(), ::testing::ExitedWithCode(1),
-                "no workloads");
+    EXPECT_NE(plan.validate().message().find("no workloads"),
+              std::string::npos);
+    plan.workloads = {"crc32"};
+    EXPECT_TRUE(plan.validate().isOk());
 }
 
 TEST(Plan, ParseRoundTrip)
@@ -101,7 +104,8 @@ TEST(Plan, ParseRoundTrip)
         "subset fit  = @crc32\n"
         "subset full = @full\n"
         "tech flexic\n"
-        "tech slow gateDelayNs=20 ffPowerMultiplier=12\n");
+        "tech slow gateDelayNs=20 ffPowerMultiplier=12\n")
+        .take();
     EXPECT_EQ(plan.opt, minic::OptLevel::O1);
     EXPECT_EQ(plan.threads, 3u);
     ASSERT_EQ(plan.workloads.size(), 2u);
@@ -119,12 +123,23 @@ TEST(Plan, ParseRoundTrip)
 
 TEST(Plan, ParseRejectsGarbage)
 {
-    EXPECT_EXIT(ExplorationPlan::parse("frobnicate everything\n"),
-                ::testing::ExitedWithCode(1), "cannot parse");
-    EXPECT_EXIT(ExplorationPlan::parse("workload not-a-workload\n"),
-                ::testing::ExitedWithCode(1), "unknown workload");
-    EXPECT_EXIT(ExplorationPlan::parse("tech t nosuchknob=1\n"),
-                ::testing::ExitedWithCode(1), "unknown constant");
+    auto errorOf = [](const char *text) {
+        const Result<ExplorationPlan> plan =
+            ExplorationPlan::parse(text);
+        EXPECT_FALSE(plan.isOk());
+        EXPECT_EQ(plan.status().code(), ErrorCode::ParseError);
+        return plan.isOk() ? std::string()
+                           : plan.status().message();
+    };
+    EXPECT_NE(errorOf("frobnicate everything\n")
+                  .find("plan line 1: cannot parse"),
+              std::string::npos);
+    EXPECT_NE(errorOf("workload not-a-workload\n")
+                  .find("unknown workload"),
+              std::string::npos);
+    EXPECT_NE(errorOf("tech t nosuchknob=1\n")
+                  .find("unknown constant"),
+              std::string::npos);
 }
 
 // ----------------------------------------------------------- primitives

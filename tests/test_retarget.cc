@@ -84,11 +84,12 @@ TEST(Retargeter, BuggyCandidatesAreRejected)
 
 TEST(Retargeter, RejectsTargetWithoutKernelOps)
 {
-    EXPECT_EXIT(
-        {
-            Retargeter rt(InstrSubset::fromNames({"addi", "lw"}));
-        },
-        ::testing::ExitedWithCode(1), "kernel instruction");
+    const Status status = Retargeter::validateTarget(
+        InstrSubset::fromNames({"addi", "lw"}));
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(status.message().find("kernel instruction"),
+              std::string::npos);
 }
 
 TEST(Retargeter, SimpleProgramEquivalence)

@@ -274,11 +274,15 @@ TEST(Physical, ClockTreeScalesWithFlops)
                 1e-9);
 }
 
-TEST(Synthesis, EmptySubsetIsFatal)
+TEST(Synthesis, EmptySubsetIsRecoverable)
 {
     SynthesisModel model;
-    EXPECT_EXIT(model.synthesize(InstrSubset(), "empty"),
-                ::testing::ExitedWithCode(1), "empty");
+    const Result<SynthReport> report =
+        model.trySynthesize(InstrSubset(), "empty");
+    ASSERT_FALSE(report.isOk());
+    EXPECT_EQ(report.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(report.status().message().find("empty"),
+              std::string::npos);
 }
 
 } // namespace

@@ -1,12 +1,18 @@
 #!/bin/sh
 # Tier-1 verification: configure, build, test (see ROADMAP.md).
-# Usage: tools/ci.sh [build-dir]   (default: build)
+# The ctest run includes the examples/ binaries, registered as smoke
+# tests, so API examples cannot rot silently.
+#
+# Usage: tools/ci.sh [build-dir] [extra cmake args...]
+#   tools/ci.sh                      # plain tier-1
+#   tools/ci.sh build-asan -DRISSP_SANITIZE=ON   # ASan+UBSan job
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+[ "$#" -gt 0 ] && shift
 
-cmake -B "$BUILD_DIR" -S .
+cmake -B "$BUILD_DIR" -S . "$@"
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
 cd "$BUILD_DIR"
 ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"

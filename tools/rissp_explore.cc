@@ -18,6 +18,10 @@
  * The plan-file grammar is documented in explore/plan.hh; --demo runs
  * a built-in 3-subset x 3-workload cartesian plan (9 points). Results
  * are deterministic: any --threads value emits identical tables.
+ *
+ * A thin adapter over `flow::FlowService`: plan parsing, validation
+ * and the sweep itself happen behind the service; a malformed plan
+ * exits with every offending line listed, not an abort.
  */
 
 #include <cstdio>
@@ -26,7 +30,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "explore/explorer.hh"
+#include "flow/flow.hh"
 #include "util/logging.hh"
 
 namespace
@@ -177,15 +181,23 @@ main(int argc, char **argv)
     if (planText.empty())
         fatal("no plan given (file argument or --demo)");
 
-    const ExplorationPlan plan = ExplorationPlan::parse(planText);
-    Explorer explorer(options);
-    const ResultTable table = explorer.explore(plan);
+    flow::FlowService service;
+    flow::ExploreRequest request;
+    request.planText = planText;
+    request.options = options;
+    const flow::ExploreResponse response = service.explore(request);
+    if (!response.status.isOk()) {
+        std::fprintf(stderr, "rissp-explore: error: %s\n",
+                     response.status.toString().c_str());
+        return 1;
+    }
+    const ResultTable &table = response.table;
 
     if (!quiet)
         printTable(table);
     printFrontier(table);
 
-    const ExplorerStats stats = explorer.stats();
+    const ExplorerStats &stats = response.stats;
     std::printf("\n%llu points | compile %llu/%llu | sim %llu/%llu | "
                 "synth %llu/%llu (memo hits/lookups)\n",
                 static_cast<unsigned long long>(stats.points),

@@ -12,30 +12,40 @@
  *   risspgen table3                         regenerate Table 3 for
  *                                           the bundled workloads
  *
+ * Every verb accepts --json: the machine-readable response from the
+ * Flow API, verbatim (see flow/json.hh), instead of the human table.
+ *
  * Sources are MiniC (see README). A file argument of the form
  * `@name` selects a bundled workload (e.g. @armpit, @crc32).
+ *
+ * This main is a thin adapter: it loads files, builds a request,
+ * calls `flow::FlowService`, and formats the response. All pipeline
+ * logic — and all input validation — lives behind the service, so a
+ * malformed request exits with a structured error, never an abort.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
 
-#include "compiler/driver.hh"
-#include "core/rissp.hh"
-#include "core/subset.hh"
-#include "physimpl/physical.hh"
-#include "retarget/retargeter.hh"
-#include "serv/serv_model.hh"
-#include "sim/refsim.hh"
-#include "synth/synthesis.hh"
-#include "util/logging.hh"
+#include "flow/flow.hh"
+#include "flow/json.hh"
 #include "workloads/workloads.hh"
 
 namespace
 {
 
 using namespace rissp;
+
+/** Everything parsed off the command line. */
+struct CliOptions
+{
+    std::string command;
+    std::string sourceArg;
+    minic::OptLevel level = minic::OptLevel::O2;
+    bool json = false;
+};
 
 minic::OptLevel
 parseLevel(int argc, char **argv, int first)
@@ -51,32 +61,61 @@ parseLevel(int argc, char **argv, int first)
     return minic::OptLevel::O2;
 }
 
-std::string
-loadSource(const std::string &path)
+/** Report a failed request and pick the exit code. */
+int
+reportError(const Status &status, bool json)
 {
-    if (!path.empty() && path[0] == '@')
-        return workloadByName(path.substr(1)).source;
-    std::ifstream in(path);
+    if (json)
+        std::fputs(flow::toJson(status).c_str(), stdout);
+    else
+        std::fprintf(stderr, "risspgen: error: %s\n",
+                     status.toString().c_str());
+    return 1;
+}
+
+/** Resolve a CLI source argument: `@name` stays a workload
+ *  reference (the service validates it); anything else is a file
+ *  read here, at the edge — the service never does IO. */
+Result<flow::SourceRef>
+resolveSource(const std::string &arg)
+{
+    if (!arg.empty() && arg[0] == '@')
+        return flow::SourceRef::bundled(arg.substr(1));
+    std::ifstream in(arg);
     if (!in)
-        fatal("cannot open '%s'", path.c_str());
+        return Status::errorf(ErrorCode::NotFound,
+                              "cannot open '%s'", arg.c_str());
     std::ostringstream buf;
     buf << in.rdbuf();
-    return buf.str();
+    return flow::SourceRef::inlineText(buf.str(), arg);
 }
 
 int
-cmdCharacterize(const std::string &src, minic::OptLevel level)
+cmdCharacterize(const flow::FlowService &service,
+                const flow::SourceRef &src, const CliOptions &cli)
 {
-    minic::CompileResult cr = minic::compile(src, level);
-    InstrSubset subset = InstrSubset::fromProgram(cr.program);
+    flow::CharacterizeRequest request;
+    request.source = src;
+    request.opt = cli.level;
+    const flow::CharacterizeResponse response =
+        service.characterize(request);
+    if (!response.status.isOk())
+        return reportError(response.status, cli.json);
+    if (cli.json) {
+        std::fputs(flow::toJson(response).c_str(), stdout);
+        return 0;
+    }
+    const InstrSubset &subset = response.subset.subset;
     std::printf("optimization   : %s\n",
-                minic::optLevelName(level).c_str());
+                minic::optLevelName(cli.level).c_str());
     std::printf("code size      : %zu instructions (%zu bytes)\n",
-                cr.staticInstructions(), cr.program.textSize);
+                response.compile.staticInstructions,
+                response.compile.textBytes);
     std::printf("runtime helpers:");
-    for (const std::string &h : cr.helpers)
+    for (const std::string &h : response.compile.helpers)
         std::printf(" %s", h.c_str());
-    std::printf("%s\n", cr.helpers.empty() ? " (none)" : "");
+    std::printf("%s\n",
+                response.compile.helpers.empty() ? " (none)" : "");
     std::printf("subset         : %zu of %zu base instructions "
                 "(%.0f%%)\n", subset.size(), kFullIsaSize,
                 subset.fractionOfFullIsa() * 100.0);
@@ -85,44 +124,59 @@ cmdCharacterize(const std::string &src, minic::OptLevel level)
 }
 
 int
-cmdRun(const std::string &src, minic::OptLevel level)
+cmdRun(const flow::FlowService &service, const flow::SourceRef &src,
+       const CliOptions &cli)
 {
-    minic::CompileResult cr = minic::compile(src, level);
-    InstrSubset subset = InstrSubset::fromProgram(cr.program);
-    Rissp chip(subset, "RISSP");
-    chip.reset(cr.program);
-    RunResult run = chip.run(2'000'000'000ull);
-    const char *why = run.reason == StopReason::Halted ? "halted"
-        : run.reason == StopReason::Trapped ? "TRAPPED"
+    flow::RunRequest request;
+    request.source = src;
+    request.opt = cli.level;
+    const flow::RunResponse response = service.run(request);
+    // Trap and step-limit are valid outcomes of a valid request:
+    // the exec stage ran, so report it; only a request that never
+    // reached execution is an error.
+    if (!response.exec.run)
+        return reportError(response.status, cli.json);
+    if (cli.json) {
+        std::fputs(flow::toJson(response).c_str(), stdout);
+        return response.exec.reason == StopReason::Halted ? 0 : 1;
+    }
+    const flow::ExecStage &exec = response.exec;
+    const char *why = exec.reason == StopReason::Halted ? "halted"
+        : exec.reason == StopReason::Trapped ? "TRAPPED"
         : "step limit";
     std::printf("%s at pc=0x%x after %llu cycles, exit code %u\n",
-                why, run.stopPc,
-                static_cast<unsigned long long>(run.instret),
-                run.exitCode);
-    if (!chip.outputWords().empty()) {
+                why, exec.stopPc,
+                static_cast<unsigned long long>(exec.cycles),
+                exec.exitCode);
+    if (!exec.outputWords.empty()) {
         std::printf("output words  :");
-        for (uint32_t w : chip.outputWords())
+        for (uint32_t w : exec.outputWords)
             std::printf(" %u", w);
         std::printf("\n");
     }
-    if (!chip.outputText().empty())
-        std::printf("output text   : %s\n",
-                    chip.outputText().c_str());
-    return run.reason == StopReason::Halted ? 0 : 1;
+    if (!exec.outputText.empty())
+        std::printf("output text   : %s\n", exec.outputText.c_str());
+    return exec.reason == StopReason::Halted ? 0 : 1;
 }
 
 int
-cmdSynth(const std::string &src, minic::OptLevel level)
+cmdSynth(const flow::FlowService &service, const flow::SourceRef &src,
+         const CliOptions &cli)
 {
-    minic::CompileResult cr = minic::compile(src, level);
-    InstrSubset subset = InstrSubset::fromProgram(cr.program);
-    SynthesisModel model;
-    PhysicalModel phys;
-    SynthReport mine = model.synthesize(subset, "RISSP-app");
-    SynthReport full =
-        model.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E");
-    SynthReport serv = ServModel().synthReport();
-    PhysReport impl = phys.implement(mine, RfStyle::LatchArray);
+    flow::SynthRequest request;
+    request.source = src;
+    request.opt = cli.level;
+    const flow::SynthResponse response = service.synth(request);
+    if (!response.status.isOk())
+        return reportError(response.status, cli.json);
+    if (cli.json) {
+        std::fputs(flow::toJson(response).c_str(), stdout);
+        return 0;
+    }
+    const SynthReport &mine = response.synth.app;
+    const SynthReport &full = response.synth.fullIsa;
+    const SynthReport &serv = response.synth.serv;
+    const PhysReport &impl = response.phys.report;
 
     std::printf("%-14s %8s %10s %10s %10s\n", "design", "instrs",
                 "fmax kHz", "area GE", "power mW");
@@ -147,11 +201,21 @@ cmdSynth(const std::string &src, minic::OptLevel level)
 }
 
 int
-cmdRetarget(const std::string &src, minic::OptLevel level)
+cmdRetarget(const flow::FlowService &service,
+            const flow::SourceRef &src, const CliOptions &cli)
 {
-    minic::CompileResult cr = minic::compile(src, level);
-    Retargeter rt(Retargeter::minimalSubset());
-    RetargetResult res = rt.retarget(cr.program);
+    flow::RetargetRequest request;
+    request.source = src;
+    request.opt = cli.level;
+    const flow::RetargetResponse response =
+        service.retarget(request);
+    if (!response.retarget.run)
+        return reportError(response.status, cli.json);
+    if (cli.json) {
+        std::fputs(flow::toJson(response).c_str(), stdout);
+        return response.status.isOk() ? 0 : 1;
+    }
+    const RetargetResult &res = response.retarget.result;
     if (!res.ok) {
         std::printf("retargeting failed: %s\n", res.error.c_str());
         return 1;
@@ -163,32 +227,39 @@ cmdRetarget(const std::string &src, minic::OptLevel level)
                 res.codeGrowth() * 100.0);
     std::printf("distinct ops   : %zu -> %zu\n",
                 res.initialSubset.size(), res.finalSubset.size());
-
-    RefSim a;
-    a.reset(cr.program);
-    RefSim b;
-    b.reset(res.program);
-    RunResult ra = a.run(2'000'000'000ull);
-    RunResult rb = b.run(2'000'000'000ull);
-    const bool same = ra.reason == rb.reason &&
-        ra.exitCode == rb.exitCode &&
-        a.outputWords() == b.outputWords();
+    const flow::EquivalenceStage &eq = response.equivalence;
     std::printf("equivalence    : %s (exit %u vs %u)\n",
-                same ? "verified" : "MISMATCH", ra.exitCode,
-                rb.exitCode);
-    return same ? 0 : 1;
+                eq.matched ? "verified" : "MISMATCH", eq.refExit,
+                eq.dutExit);
+    return eq.matched ? 0 : 1;
 }
 
 int
-cmdTable3()
+cmdTable3(const flow::FlowService &service, const CliOptions &cli)
 {
+    bool first = true;
+    if (cli.json)
+        std::printf("[\n");
     for (const Workload &wl : allWorkloads()) {
-        minic::CompileResult cr =
-            minic::compile(wl.source, minic::OptLevel::O2);
-        InstrSubset subset = InstrSubset::fromProgram(cr.program);
+        flow::CharacterizeRequest request;
+        request.source = flow::SourceRef::bundled(wl.name);
+        const flow::CharacterizeResponse response =
+            service.characterize(request);
+        if (!response.status.isOk())
+            return reportError(response.status, cli.json);
+        if (cli.json) {
+            std::string row = flow::toJson(response);
+            row.pop_back(); // the emitter's trailing newline
+            std::printf("%s%s", first ? "" : ",\n", row.c_str());
+            first = false;
+            continue;
+        }
+        const InstrSubset &subset = response.subset.subset;
         std::printf("%-16s (%2zu) %s\n", wl.name.c_str(),
                     subset.size(), subset.describe().c_str());
     }
+    if (cli.json)
+        std::printf("\n]\n");
     return 0;
 }
 
@@ -197,11 +268,11 @@ usage()
 {
     std::printf(
         "usage: risspgen <command> [args]\n"
-        "  characterize <src.c|@workload> [-O0..-Oz]\n"
-        "  run          <src.c|@workload> [-O0..-Oz]\n"
-        "  synth        <src.c|@workload> [-O0..-Oz]\n"
-        "  retarget     <src.c|@workload> [-O0..-Oz]\n"
-        "  table3\n");
+        "  characterize <src.c|@workload> [-O0..-Oz] [--json]\n"
+        "  run          <src.c|@workload> [-O0..-Oz] [--json]\n"
+        "  synth        <src.c|@workload> [-O0..-Oz] [--json]\n"
+        "  retarget     <src.c|@workload> [-O0..-Oz] [--json]\n"
+        "  table3 [--json]\n");
 }
 
 } // namespace
@@ -213,23 +284,34 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
-    const std::string cmd = argv[1];
-    if (cmd == "table3")
-        return cmdTable3();
-    if (argc < 3) {
+    CliOptions cli;
+    cli.command = argv[1];
+    for (int i = 2; i < argc; ++i)
+        if (std::string(argv[i]) == "--json")
+            cli.json = true;
+    cli.level = parseLevel(argc, argv, 3);
+
+    const flow::FlowService service;
+    if (cli.command == "table3")
+        return cmdTable3(service, cli);
+    if (argc < 3 || std::string(argv[2]) == "--json") {
         usage();
         return 2;
     }
-    const std::string src = loadSource(argv[2]);
-    const minic::OptLevel level = parseLevel(argc, argv, 3);
-    if (cmd == "characterize")
-        return cmdCharacterize(src, level);
-    if (cmd == "run")
-        return cmdRun(src, level);
-    if (cmd == "synth")
-        return cmdSynth(src, level);
-    if (cmd == "retarget")
-        return cmdRetarget(src, level);
+    cli.sourceArg = argv[2];
+
+    Result<flow::SourceRef> src = resolveSource(cli.sourceArg);
+    if (!src)
+        return reportError(src.status(), cli.json);
+
+    if (cli.command == "characterize")
+        return cmdCharacterize(service, src.value(), cli);
+    if (cli.command == "run")
+        return cmdRun(service, src.value(), cli);
+    if (cli.command == "synth")
+        return cmdSynth(service, src.value(), cli);
+    if (cli.command == "retarget")
+        return cmdRetarget(service, src.value(), cli);
     usage();
     return 2;
 }
