@@ -1,12 +1,26 @@
 /**
  * @file
- * google-benchmark microbenchmarks for the toolchain itself:
- * decoder, reference ISS, RISSP cycle simulator, assembler, MiniC
- * compiler and the synthesis model. These are repo-health numbers
- * (simulation throughput), not paper figures.
+ * Sim-throughput microbenchmarks for the toolchain itself: decoder,
+ * reference ISS, RISSP cycle simulator, lock-step cosimulation,
+ * assembler, MiniC compiler and the synthesis model. These are
+ * repo-health numbers (simulation throughput), not paper figures.
+ *
+ * Self-contained timing harness (no google-benchmark dependency) so
+ * every CI configuration can run it. Besides the human-readable
+ * table, results are written to BENCH_simspeed.json (see
+ * docs/BENCHMARKS.md for the schema) so the throughput trajectory is
+ * tracked across PRs.
+ *
+ *   bench_micro [--json <path>] [--min-time <seconds>] [--quick]
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "assembler/assembler.hh"
 #include "compiler/driver.hh"
@@ -14,7 +28,9 @@
 #include "core/subset.hh"
 #include "sim/refsim.hh"
 #include "synth/synthesis.hh"
+#include "util/json.hh"
 #include "util/rng.hh"
+#include "verify/integration_verify.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -22,20 +38,38 @@ namespace
 
 using namespace rissp;
 
-void
-BM_Decode(benchmark::State &state)
+struct BenchResult
 {
-    Rng rng(42);
-    std::vector<uint32_t> words;
-    for (int i = 0; i < 4096; ++i)
-        words.push_back(rng.next32());
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(decode(words[i++ & 4095]));
-    }
-    state.SetItemsProcessed(state.iterations());
+    std::string name;
+    uint64_t items = 0;       ///< work units processed
+    double seconds = 0;       ///< wall time spent processing them
+    const char *unit = "items";
+
+    double rate() const { return seconds > 0 ? items / seconds : 0; }
+};
+
+/**
+ * Run @p fn (which returns the number of items it processed)
+ * repeatedly until at least @p min_time seconds elapsed.
+ */
+template <typename Fn>
+BenchResult
+measure(const std::string &name, const char *unit, double min_time,
+        Fn &&fn)
+{
+    using clock = std::chrono::steady_clock;
+    BenchResult r;
+    r.name = name;
+    r.unit = unit;
+    const auto start = clock::now();
+    do {
+        r.items += fn();
+        r.seconds =
+            std::chrono::duration<double>(clock::now() - start)
+                .count();
+    } while (r.seconds < min_time);
+    return r;
 }
-BENCHMARK(BM_Decode);
 
 const char *kLoopSrc =
     "int main() { int s = 0;"
@@ -43,72 +77,139 @@ const char *kLoopSrc =
     "  return s & 0xFF; }";
 
 void
-BM_RefSimRun(benchmark::State &state)
+writeJson(const std::string &path,
+          const std::vector<BenchResult> &results)
 {
-    minic::CompileResult cr =
-        minic::compile(kLoopSrc, minic::OptLevel::O2);
-    RefSim sim;
-    uint64_t instret = 0;
-    for (auto _ : state) {
-        sim.reset(cr.program);
-        RunResult r = sim.run(10'000'000);
-        instret += r.instret;
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "bench_micro: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
     }
-    state.SetItemsProcessed(static_cast<int64_t>(instret));
-}
-BENCHMARK(BM_RefSimRun);
-
-void
-BM_RisspSimRun(benchmark::State &state)
-{
-    minic::CompileResult cr =
-        minic::compile(kLoopSrc, minic::OptLevel::O2);
-    InstrSubset subset = InstrSubset::fromProgram(cr.program);
-    Rissp rissp(subset, "bench");
-    uint64_t instret = 0;
-    for (auto _ : state) {
-        rissp.reset(cr.program);
-        RunResult r = rissp.run(10'000'000);
-        instret += r.instret;
+    out << "{\n  \"schema\": \"rissp-simspeed-v1\",\n"
+        << "  \"benchmarks\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        out << "    {\"name\": \"" << jsonEscape(r.name)
+            << "\", \"unit\": \"" << jsonEscape(r.unit)
+            << "\", \"items\": " << r.items
+            << ", \"seconds\": " << jsonNum(r.seconds)
+            << ", \"items_per_second\": " << jsonNum(r.rate())
+            << (i + 1 < results.size() ? "},\n" : "}\n");
     }
-    state.SetItemsProcessed(static_cast<int64_t>(instret));
+    out << "  ]\n}\n";
 }
-BENCHMARK(BM_RisspSimRun);
-
-void
-BM_CompileCrc32(benchmark::State &state)
-{
-    const std::string src = workloadByName("crc32").source;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            minic::compile(src, minic::OptLevel::O2));
-    }
-}
-BENCHMARK(BM_CompileCrc32);
-
-void
-BM_AssembleRuntime(benchmark::State &state)
-{
-    minic::CompileResult cr = minic::compile(
-        workloadByName("crc32").source, minic::OptLevel::O2);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            minic::linkProgram(cr.appAsm, cr.helpers));
-    }
-}
-BENCHMARK(BM_AssembleRuntime);
-
-void
-BM_SynthesizeFullIsa(benchmark::State &state)
-{
-    SynthesisModel model;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(model.synthesize(
-            InstrSubset::fullRv32e(), "RISSP-RV32E"));
-    }
-}
-BENCHMARK(BM_SynthesizeFullIsa);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_simspeed.json";
+    double min_time = 1.0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--min-time") &&
+                   i + 1 < argc) {
+            min_time = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            min_time = 0.2;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json <path>] "
+                         "[--min-time <seconds>] [--quick]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<BenchResult> results;
+    auto bench = [&](const std::string &name, const char *unit,
+                     auto &&fn) {
+        results.push_back(measure(name, unit, min_time, fn));
+        const BenchResult &r = results.back();
+        std::printf("%-18s %12.3e %s/s  (%llu in %.2fs)\n",
+                    r.name.c_str(), r.rate(), r.unit,
+                    static_cast<unsigned long long>(r.items),
+                    r.seconds);
+        std::fflush(stdout);
+    };
+
+    // Decoder on a pool of random words.
+    {
+        Rng rng(42);
+        std::vector<uint32_t> words;
+        for (int i = 0; i < 4096; ++i)
+            words.push_back(rng.next32());
+        size_t next = 0;
+        bench("decode", "instr", [&] {
+            uint32_t acc = 0;
+            for (int i = 0; i < 4096; ++i)
+                acc += static_cast<uint32_t>(
+                    decode(words[next++ & 4095]).op);
+            // Defeat dead-code elimination without observable output.
+            if (acc == 0xFFFFFFFFu)
+                std::fputc(0, stderr);
+            return 4096;
+        });
+    }
+
+    minic::CompileResult cr =
+        minic::compile(kLoopSrc, minic::OptLevel::O2);
+    InstrSubset subset = InstrSubset::fromProgram(cr.program);
+
+    // Reference ISS instruction throughput.
+    {
+        RefSim sim;
+        bench("refsim_run", "instret", [&] {
+            sim.reset(cr.program);
+            return sim.run(10'000'000).instret;
+        });
+    }
+
+    // RISSP cycle-simulator throughput.
+    {
+        Rissp chip(subset, "bench");
+        bench("rissp_run", "instret", [&] {
+            chip.reset(cr.program);
+            return chip.run(10'000'000).instret;
+        });
+    }
+
+    // Lock-step cosimulation (both simulators plus trace compare).
+    bench("cosim", "instret", [&] {
+        return cosimulate(cr.program, subset, 10'000'000).instret;
+    });
+
+    // Compiler front half of the flow.
+    bench("compile_crc32", "compile", [&] {
+        minic::CompileResult c = minic::compile(
+            workloadByName("crc32").source, minic::OptLevel::O2);
+        return c.program.segments.empty() ? 0 : 1;
+    });
+
+    // Assembler + runtime link.
+    {
+        minic::CompileResult crc = minic::compile(
+            workloadByName("crc32").source, minic::OptLevel::O2);
+        bench("assemble_runtime", "link", [&] {
+            Program p = minic::linkProgram(crc.appAsm, crc.helpers);
+            return p.segments.empty() ? 0 : 1;
+        });
+    }
+
+    // Synthesis model on the full ISA.
+    {
+        SynthesisModel model;
+        bench("synth_full_isa", "synth", [&] {
+            SynthReport rpt = model.synthesize(
+                InstrSubset::fullRv32e(), "RISSP-RV32E");
+            return rpt.fmaxKhz > 0 ? 1 : 0;
+        });
+    }
+
+    writeJson(json_path, results);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -34,6 +34,16 @@ uint32_t
 structAdd(uint32_t a, uint32_t b, bool cin, bool &cout,
           const Mutation *mut)
 {
+    if (!mut) {
+        // Wire-equivalent fast path: a full-adder carry chain IS
+        // binary addition. The bit-level chain below remains the
+        // mutation surface — any caller holding a Mutation (even an
+        // inactive one) goes through it, which is how the
+        // equivalence of the two paths is tested.
+        const uint64_t s = static_cast<uint64_t>(a) + b + (cin ? 1 : 0);
+        cout = (s >> 32) != 0;
+        return static_cast<uint32_t>(s);
+    }
     uint32_t sum = 0;
     uint32_t carry = cin ? 1u : 0u;
     for (unsigned i = 0; i < 32; ++i) {
@@ -64,6 +74,15 @@ structShiftRight(uint32_t value, unsigned amount, bool arith,
                  const Mutation *mut)
 {
     amount &= 31;
+    if (!mut) {
+        // Wire-equivalent fast path (see structAdd): the five barrel
+        // stages with sign fill compose to one arithmetic/logical
+        // shift by `amount`.
+        return arith
+            ? static_cast<uint32_t>(
+                  static_cast<int32_t>(value) >> amount)
+            : value >> amount;
+    }
     const uint32_t sign = arith ? bit(value, 31) : 0;
     const bool drop_arith =
         mut && mut->kind == Mutation::Kind::ShiftNoArith;
@@ -99,6 +118,8 @@ bitReverse(uint32_t v)
 uint32_t
 structShiftLeft(uint32_t value, unsigned amount, const Mutation *mut)
 {
+    if (!mut)
+        return value << (amount & 31); // wire-equivalent fast path
     // Hardware left shift through the shared right core: reverse the
     // operand, shift right logically, reverse back.
     return bitReverse(structShiftRight(bitReverse(value), amount,
@@ -108,6 +129,8 @@ structShiftLeft(uint32_t value, unsigned amount, const Mutation *mut)
 uint32_t
 structMul(uint32_t a, uint32_t b, const Mutation *mut)
 {
+    if (!mut)
+        return a * b; // wire-equivalent fast path
     // Row-by-row partial-product accumulation, each row through the
     // structural carry-chain adder.
     uint32_t acc = 0;
@@ -132,6 +155,14 @@ structEq(uint32_t a, uint32_t b, const Mutation *mut)
 bool
 structLt(uint32_t a, uint32_t b, bool is_signed, const Mutation *mut)
 {
+    if (!mut) {
+        // Wire-equivalent fast path: !carry-out of a + ~b + 1 is the
+        // unsigned borrow; the overflow-corrected difference sign is
+        // the signed compare.
+        return is_signed
+            ? static_cast<int32_t>(a) < static_cast<int32_t>(b)
+            : a < b;
+    }
     bool borrow_out = false;
     const uint32_t diff = structSub(a, b, borrow_out, nullptr);
     // Unsigned: borrow (carry-out == 0) means a < b.

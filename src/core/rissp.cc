@@ -18,7 +18,10 @@ Rissp::reset(const Program &program)
     pcReg = program.entry;
     regs.fill(0);
     mem.clear();
+    const AddrSpan span = program.denseSpan();
+    mem.reserveSpan(span.base, span.size);
     program.load(mem);
+    dec.build(program, mem);
     stopped = StopReason::Running;
     retired = 0;
     outWords.clear();
@@ -40,10 +43,21 @@ Rissp::step(const Mutation *mut)
     ev.order = retired;
     ev.pc = pcReg;
 
-    // Fetch: IMEM interface reads the word at pc.
-    const uint32_t raw = mem.loadWord(pcReg);
-    ev.raw = raw;
-    const Instr in = decode(raw);
+    // Fetch: IMEM interface reads the word at pc — pre-decoded by
+    // index for text-span pcs, decode-on-fetch otherwise.
+    const Instr *fetched = dec.fetch(pcReg);
+    Instr slow;
+    if (!fetched) {
+        if (accessWraps(pcReg, 4)) {
+            ev.trap = true;
+            stopped = StopReason::Trapped;
+            return ev;
+        }
+        slow = decode(mem.loadWord(pcReg));
+        fetched = &slow;
+    }
+    const Instr &in = *fetched;
+    ev.raw = in.raw;
     ev.op = in.op;
 
     // Register file read ports feed ModularEX.
@@ -85,27 +99,50 @@ Rissp::step(const Mutation *mut)
         ev.memRead = true;
         ev.memAddr = out.memAddr;
         ev.memBytes = out.memBytes;
-        uint32_t raw_data = 0;
-        for (unsigned b = 0; b < out.memBytes; ++b)
-            raw_data |= static_cast<uint32_t>(
-                mem.loadByte(out.memAddr + b)) << (8 * b);
+        if (accessWraps(out.memAddr, out.memBytes)) {
+            ev.trap = true;
+            stopped = StopReason::Trapped;
+            return ev;
+        }
+        const uint32_t raw_data =
+            out.memBytes == 4 ? mem.loadWord(out.memAddr)
+            : out.memBytes == 2 ? mem.loadHalf(out.memAddr)
+            : mem.loadByte(out.memAddr);
+        // RVFI memData reports the width-extended DMEM data even for
+        // rd == x0 (the reference does too); only the register-file
+        // write below masks x0.
         out.rdData = ex.extendLoadData(in.op, raw_data, mut);
-        if (out.rdAddr == 0)
-            out.rdData = 0;
         ev.memData = out.rdData;
     } else if (out.memWrite) {
         ev.memWrite = true;
         ev.memAddr = out.memAddr;
         ev.memBytes = out.memBytes;
         ev.memData = out.memWdata;
+        if (accessWraps(out.memAddr, out.memBytes)) {
+            ev.trap = true;
+            stopped = StopReason::Trapped;
+            return ev;
+        }
         if (out.memAddr == mmio::kPutWord && out.memBytes == 4) {
             outWords.push_back(out.memWdata);
         } else if (out.memAddr == mmio::kPutChar) {
             outText.push_back(static_cast<char>(out.memWdata & 0xFF));
         } else {
-            for (unsigned b = 0; b < out.memBytes; ++b)
-                mem.storeByte(out.memAddr + b, static_cast<uint8_t>(
-                    out.memWdata >> (8 * b)));
+            switch (out.memBytes) {
+              case 4:
+                mem.storeWord(out.memAddr, out.memWdata);
+                break;
+              case 2:
+                mem.storeHalf(out.memAddr,
+                              static_cast<uint16_t>(out.memWdata));
+                break;
+              default:
+                mem.storeByte(out.memAddr,
+                              static_cast<uint8_t>(out.memWdata));
+                break;
+            }
+            if (dec.overlaps(out.memAddr, out.memBytes))
+                dec.invalidate(mem, out.memAddr, out.memBytes);
         }
     }
 

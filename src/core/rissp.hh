@@ -54,6 +54,9 @@ class Rissp
 
     uint32_t pc() const { return pcReg; }
     uint32_t reg(unsigned idx) const;
+    /** Direct memory access. Writing into the text span through this
+     *  handle bypasses the decoded-instruction cache; call reset()
+     *  again before executing such a change (icache semantics). */
     Memory &memory() { return mem; }
     const Memory &memory() const { return mem; }
     uint64_t cycles() const { return retired; } // CPI == 1
@@ -68,6 +71,7 @@ class Rissp
     uint32_t pcReg = 0;
     std::array<uint32_t, kNumRegsE> regs{};
     Memory mem;
+    DecodedProgram dec;
     StopReason stopped = StopReason::Running;
     uint64_t retired = 0;
     std::vector<uint32_t> outWords;

@@ -97,13 +97,17 @@ Explorer::simulatePoint(const InstrSubset &subset,
     out.exitCode = run.exitCode;
     out.signature = runSignature(run.exitCode, chip.outputWords(),
                                  chip.outputText());
-    if (run.reason != StopReason::Halted)
+    if (run.reason != StopReason::Halted) {
         out.cosimPassed = false;
-    else if (!opts.verify)
+    } else if (!opts.verify) {
         out.cosimPassed = true; // assumed, not checked
-    else
-        out.cosimPassed = cosimulate(compiled.program, subset,
-                                     opts.maxSteps).passed;
+    } else {
+        CosimOptions cosim;
+        cosim.maxSteps = opts.maxSteps;
+        cosim.contextEvents = 0; // only the verdict is tabulated
+        out.cosimPassed =
+            cosimulate(compiled.program, subset, cosim).passed;
+    }
     return out;
 }
 

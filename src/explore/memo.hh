@@ -59,6 +59,11 @@ class MemoCache
      * value (note: which of several racing lookups computes is
      * scheduling-dependent; only the aggregate counters are
      * deterministic).
+     *
+     * If @p fn throws, the exception propagates to this caller and to
+     * every waiter already blocked on the same key, and the entry is
+     * removed — the next lookup of the key recomputes. (Callers that
+     * want failures cached as values store a Result instead.)
      */
     template <typename Fn>
     Value getOrCompute(const Key &key, Fn &&fn,
@@ -80,7 +85,20 @@ class MemoCache
         }
         if (owner) {
             missCount.fetch_add(1, std::memory_order_relaxed);
-            promise.set_value(fn());
+            try {
+                promise.set_value(fn());
+            } catch (...) {
+                // Don't poison the key: erase the entry FIRST so no
+                // new lookup can latch onto the failed future, then
+                // publish the exception to the waiters already
+                // blocked on it. A later lookup recomputes instead
+                // of receiving broken_promise forever.
+                {
+                    std::lock_guard<std::mutex> lock(mu);
+                    entries.erase(key);
+                }
+                promise.set_exception(std::current_exception());
+            }
         } else {
             hitCount.fetch_add(1, std::memory_order_relaxed);
         }

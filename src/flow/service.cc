@@ -132,11 +132,12 @@ FlowService::run(const RunRequest &request) const
         // reset; a verified run therefore executes the program
         // twice, like the Figure 4 flow it mirrors. Deriving the
         // exec stage from the cosim pass would halve that.
-        const Mutation *fault =
+        CosimOptions options;
+        options.maxSteps = request.maxSteps;
+        options.fault =
             request.injectFault ? &*request.injectFault : nullptr;
         const CosimReport cosim =
-            cosimulate(program, response.subset.subset,
-                       request.maxSteps, fault);
+            cosimulate(program, response.subset.subset, options);
         response.cosim.run = true;
         response.cosim.passed = cosim.passed;
         response.cosim.instret = cosim.instret;

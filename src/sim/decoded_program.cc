@@ -1,0 +1,41 @@
+#include "sim/decoded_program.hh"
+
+namespace rissp
+{
+
+void
+DecodedProgram::build(const Program &program, const Memory &mem)
+{
+    textBase = program.textBase;
+    textSize = program.textSize & ~3u;
+    instrs.clear();
+    instrs.reserve(textSize / 4);
+    for (uint32_t off = 0; off < textSize; off += 4)
+        instrs.push_back(decode(mem.loadWord(textBase + off)));
+}
+
+void
+DecodedProgram::clear()
+{
+    textBase = 0;
+    textSize = 0;
+    instrs.clear();
+}
+
+void
+DecodedProgram::invalidate(const Memory &mem, uint32_t addr,
+                           uint32_t len)
+{
+    if (!overlaps(addr, len))
+        return;
+    const uint64_t end = static_cast<uint64_t>(addr) + len;
+    const uint32_t first =
+        addr <= textBase ? 0u : (addr - textBase) / 4;
+    const uint64_t limit = textBase + static_cast<uint64_t>(textSize);
+    const uint32_t last = static_cast<uint32_t>(
+        ((end < limit ? end : limit) - textBase + 3) / 4);
+    for (uint32_t w = first; w < last; ++w)
+        instrs[w] = decode(mem.loadWord(textBase + w * 4));
+}
+
+} // namespace rissp

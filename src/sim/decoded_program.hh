@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Pre-decoded instruction cache shared by the simulators.
+ *
+ * Both RefSim and Rissp used to re-decode every instruction word on
+ * every fetch, behind four hash-map page lookups. A DecodedProgram
+ * decodes each text word exactly once at reset and serves fetches as a
+ * single bounds-checked array index. Stores into the text span
+ * invalidate (re-decode) the overlapped words, so self-modifying code
+ * still observes its own writes; fetches outside the cached span fall
+ * back to decode-on-fetch in the caller.
+ *
+ * Coherence contract: the cache only sees stores issued through the
+ * owning simulator's store path. Writing into the text span directly
+ * via Memory (e.g. `sim.memory().storeWord(...)`) requires a fresh
+ * `reset()` before the change is fetched, exactly like an icache
+ * without hardware coherence.
+ */
+
+#ifndef RISSP_SIM_DECODED_PROGRAM_HH
+#define RISSP_SIM_DECODED_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instr.hh"
+#include "sim/memory.hh"
+#include "sim/program.hh"
+
+namespace rissp
+{
+
+/** One-time decode of a program's text span, with invalidation. */
+class DecodedProgram
+{
+  public:
+    /**
+     * Decode the text span of @p program from @p mem (which must
+     * already hold the loaded image, so that later re-decodes and the
+     * initial decode read the same bytes).
+     */
+    void build(const Program &program, const Memory &mem);
+
+    /** Drop the cache (fetch() returns nullptr until rebuilt). */
+    void clear();
+
+    /**
+     * Decoded instruction at @p pc, or nullptr when @p pc is outside
+     * the cached span or not word-aligned — the caller then falls
+     * back to decode-on-fetch.
+     */
+    const Instr *fetch(uint32_t pc) const
+    {
+        const uint32_t off = pc - textBase;
+        if (off >= textSize || (off & 3))
+            return nullptr;
+        return &instrs[off >> 2];
+    }
+
+    /** True when a @p len byte store at @p addr touches the span. */
+    bool overlaps(uint32_t addr, uint32_t len) const
+    {
+        return static_cast<uint64_t>(addr) + len > textBase &&
+            addr < textBase + textSize;
+    }
+
+    /**
+     * Re-decode every text word overlapped by a @p len byte store at
+     * @p addr, reading the just-stored bytes back from @p mem. Call
+     * after the store has been committed to @p mem.
+     */
+    void invalidate(const Memory &mem, uint32_t addr, uint32_t len);
+
+    uint32_t base() const { return textBase; }
+    uint32_t size() const { return textSize; }
+
+  private:
+    uint32_t textBase = 0;
+    uint32_t textSize = 0;         ///< bytes; always a multiple of 4
+    std::vector<Instr> instrs;     ///< one per text word
+};
+
+} // namespace rissp
+
+#endif // RISSP_SIM_DECODED_PROGRAM_HH

@@ -1,5 +1,7 @@
 #include "sim/memory.hh"
 
+#include <cstring>
+
 namespace rissp
 {
 
@@ -22,49 +24,58 @@ Memory::touchPage(uint32_t addr)
 }
 
 uint8_t
-Memory::loadByte(uint32_t addr) const
+Memory::loadByteSparse(uint32_t addr) const
 {
     const Page *page = findPage(addr);
     return page ? (*page)[addr % kPageBytes] : 0;
 }
 
-uint16_t
-Memory::loadHalf(uint32_t addr) const
-{
-    return static_cast<uint16_t>(loadByte(addr)) |
-        (static_cast<uint16_t>(loadByte(addr + 1)) << 8);
-}
-
-uint32_t
-Memory::loadWord(uint32_t addr) const
-{
-    return static_cast<uint32_t>(loadHalf(addr)) |
-        (static_cast<uint32_t>(loadHalf(addr + 2)) << 16);
-}
-
 void
-Memory::storeByte(uint32_t addr, uint8_t value)
+Memory::storeByteSparse(uint32_t addr, uint8_t value)
 {
     touchPage(addr)[addr % kPageBytes] = value;
 }
 
 void
-Memory::storeHalf(uint32_t addr, uint16_t value)
+Memory::reserveSpan(uint32_t base, uint32_t size)
 {
-    storeByte(addr, static_cast<uint8_t>(value));
-    storeByte(addr + 1, static_cast<uint8_t>(value >> 8));
-}
-
-void
-Memory::storeWord(uint32_t addr, uint32_t value)
-{
-    storeHalf(addr, static_cast<uint16_t>(value));
-    storeHalf(addr + 2, static_cast<uint16_t>(value >> 16));
+    denseBase = base;
+    dense.assign(size, 0);
+    if (size == 0)
+        return;
+    // Migrate bytes already stored in the span through the page map.
+    // Pages swallowed whole by the arena are dropped — in-span reads
+    // always hit the arena, so keeping them would only shadow stale
+    // duplicates; partially-covered edge pages keep their
+    // out-of-span bytes.
+    const uint64_t end = static_cast<uint64_t>(base) + size;
+    for (auto it = pages.begin(); it != pages.end();) {
+        const uint64_t page_base =
+            static_cast<uint64_t>(it->first) * kPageBytes;
+        const uint64_t lo = page_base > base ? page_base : base;
+        const uint64_t hi = page_base + kPageBytes < end
+            ? page_base + kPageBytes : end;
+        if (lo >= hi) {
+            ++it;
+            continue;
+        }
+        std::memcpy(dense.data() + (lo - base),
+                    it->second->data() + (lo - page_base), hi - lo);
+        if (lo == page_base && hi == page_base + kPageBytes)
+            it = pages.erase(it);
+        else
+            ++it;
+    }
 }
 
 void
 Memory::storeBlock(uint32_t addr, const uint8_t *data, size_t len)
 {
+    const uint32_t off = addr - denseBase;
+    if (off < dense.size() && dense.size() - off >= len) {
+        std::memcpy(dense.data() + off, data, len);
+        return;
+    }
     for (size_t i = 0; i < len; ++i)
         storeByte(addr + static_cast<uint32_t>(i), data[i]);
 }
@@ -73,6 +84,11 @@ std::vector<uint8_t>
 Memory::loadBlock(uint32_t addr, size_t len) const
 {
     std::vector<uint8_t> out(len);
+    const uint32_t off = addr - denseBase;
+    if (off < dense.size() && dense.size() - off >= len) {
+        std::memcpy(out.data(), dense.data() + off, len);
+        return out;
+    }
     for (size_t i = 0; i < len; ++i)
         out[i] = loadByte(addr + static_cast<uint32_t>(i));
     return out;

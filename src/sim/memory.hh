@@ -1,9 +1,21 @@
 /**
  * @file
- * Byte-addressable sparse memory shared by the simulators.
+ * Byte-addressable memory shared by the simulators.
  *
- * Little-endian, allocated in 4 KiB pages on first touch. Unwritten
- * locations read as zero, matching an idealized zero-initialized SRAM.
+ * Little-endian. Two backing stores compose:
+ *
+ *  - an optional dense arena covering one contiguous span (the
+ *    program image plus stack, reserved by the simulators at reset) —
+ *    loads and stores inside it are direct array accesses, with
+ *    single-instruction word/half fast paths;
+ *  - a sparse map of 4 KiB pages allocated on first touch, the
+ *    fallback for anything outside the span.
+ *
+ * Unwritten locations read as zero, matching an idealized
+ * zero-initialized SRAM. Multi-byte accessors address each byte at
+ * `addr + i` with 32-bit wrap-around; the simulators trap wrapping
+ * data accesses before issuing them (see RefSim/Rissp), so the wrap
+ * case is never exercised from simulated code.
  */
 
 #ifndef RISSP_SIM_MEMORY_HH
@@ -18,19 +30,79 @@
 namespace rissp
 {
 
-/** Sparse little-endian memory. */
+/** Dense-span + sparse-page little-endian memory. */
 class Memory
 {
   public:
     static constexpr uint32_t kPageBytes = 4096;
 
-    uint8_t loadByte(uint32_t addr) const;
-    uint16_t loadHalf(uint32_t addr) const;
-    uint32_t loadWord(uint32_t addr) const;
+    uint8_t loadByte(uint32_t addr) const
+    {
+        const uint32_t off = addr - denseBase;
+        if (off < dense.size())
+            return dense[off];
+        return loadByteSparse(addr);
+    }
 
-    void storeByte(uint32_t addr, uint8_t value);
-    void storeHalf(uint32_t addr, uint16_t value);
-    void storeWord(uint32_t addr, uint32_t value);
+    uint16_t loadHalf(uint32_t addr) const
+    {
+        const uint32_t off = addr - denseBase;
+        if (off < dense.size() && dense.size() - off >= 2) {
+            const uint8_t *p = dense.data() + off;
+            return static_cast<uint16_t>(p[0] |
+                                         (uint32_t{p[1]} << 8));
+        }
+        return static_cast<uint16_t>(loadByte(addr)) |
+            static_cast<uint16_t>(loadByte(addr + 1) << 8);
+    }
+
+    uint32_t loadWord(uint32_t addr) const
+    {
+        const uint32_t off = addr - denseBase;
+        if (off < dense.size() && dense.size() - off >= 4) {
+            const uint8_t *p = dense.data() + off;
+            return p[0] | (uint32_t{p[1]} << 8) |
+                (uint32_t{p[2]} << 16) | (uint32_t{p[3]} << 24);
+        }
+        return static_cast<uint32_t>(loadHalf(addr)) |
+            (static_cast<uint32_t>(loadHalf(addr + 2)) << 16);
+    }
+
+    void storeByte(uint32_t addr, uint8_t value)
+    {
+        const uint32_t off = addr - denseBase;
+        if (off < dense.size()) {
+            dense[off] = value;
+            return;
+        }
+        storeByteSparse(addr, value);
+    }
+
+    void storeHalf(uint32_t addr, uint16_t value)
+    {
+        const uint32_t off = addr - denseBase;
+        if (off < dense.size() && dense.size() - off >= 2) {
+            dense[off] = static_cast<uint8_t>(value);
+            dense[off + 1] = static_cast<uint8_t>(value >> 8);
+            return;
+        }
+        storeByte(addr, static_cast<uint8_t>(value));
+        storeByte(addr + 1, static_cast<uint8_t>(value >> 8));
+    }
+
+    void storeWord(uint32_t addr, uint32_t value)
+    {
+        const uint32_t off = addr - denseBase;
+        if (off < dense.size() && dense.size() - off >= 4) {
+            dense[off] = static_cast<uint8_t>(value);
+            dense[off + 1] = static_cast<uint8_t>(value >> 8);
+            dense[off + 2] = static_cast<uint8_t>(value >> 16);
+            dense[off + 3] = static_cast<uint8_t>(value >> 24);
+            return;
+        }
+        storeHalf(addr, static_cast<uint16_t>(value));
+        storeHalf(addr + 2, static_cast<uint16_t>(value >> 16));
+    }
 
     /** Copy a block of bytes into memory. */
     void storeBlock(uint32_t addr, const uint8_t *data, size_t len);
@@ -38,18 +110,43 @@ class Memory
     /** Copy a block of bytes out of memory. */
     std::vector<uint8_t> loadBlock(uint32_t addr, size_t len) const;
 
-    /** Drop all pages. */
-    void clear() { pages.clear(); }
+    /**
+     * Back [base, base+size) with a zero-initialized dense arena.
+     * Bytes already stored in the span through the page map are
+     * migrated, so reserving over a populated memory is safe. Only
+     * one span exists at a time; reserving replaces the previous one
+     * (its contents are dropped — callers reserve right after
+     * clear()).
+     */
+    void reserveSpan(uint32_t base, uint32_t size);
 
-    /** Number of touched pages (for tests). */
+    /** Drop all pages and the dense span. */
+    void clear()
+    {
+        pages.clear();
+        dense.clear();
+        denseBase = 0;
+    }
+
+    /** Number of touched pages (for tests; the dense span is not a
+     *  page). */
     size_t touchedPages() const { return pages.size(); }
+
+    /** Dense span geometry (for tests). */
+    uint32_t spanBase() const { return denseBase; }
+    size_t spanSize() const { return dense.size(); }
 
   private:
     using Page = std::array<uint8_t, kPageBytes>;
 
+    uint8_t loadByteSparse(uint32_t addr) const;
+    void storeByteSparse(uint32_t addr, uint8_t value);
+
     const Page *findPage(uint32_t addr) const;
     Page &touchPage(uint32_t addr);
 
+    uint32_t denseBase = 0;
+    std::vector<uint8_t> dense;
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/program.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace rissp
@@ -10,6 +12,32 @@ Program::load(Memory &mem) const
 {
     for (const Segment &seg : segments)
         mem.storeBlock(seg.base, seg.bytes.data(), seg.bytes.size());
+}
+
+AddrSpan
+Program::denseSpan() const
+{
+    // crt0 sets sp = 0x80000 (top of RAM); covering up to there keeps
+    // the stack and heap of ordinary programs on the dense path.
+    constexpr uint64_t kStackTop = 0x80000;
+    constexpr uint64_t kMaxDenseBytes = 8u << 20;
+
+    if (segments.empty())
+        return {};
+    uint64_t lo = UINT64_MAX, hi = 0;
+    for (const Segment &seg : segments) {
+        lo = std::min<uint64_t>(lo, seg.base);
+        hi = std::max<uint64_t>(hi, seg.base + seg.bytes.size());
+    }
+    uint64_t stretched = hi;
+    if (lo < kStackTop)
+        stretched = std::max(hi, kStackTop);
+    if (stretched - lo <= kMaxDenseBytes)
+        hi = stretched;
+    if (hi - lo > kMaxDenseBytes)
+        return {};
+    return {static_cast<uint32_t>(lo),
+            static_cast<uint32_t>(hi - lo)};
 }
 
 size_t

@@ -25,6 +25,13 @@ struct Segment
     std::vector<uint8_t> bytes;   ///< contents
 };
 
+/** A contiguous address range, for Memory::reserveSpan. */
+struct AddrSpan
+{
+    uint32_t base = 0;
+    uint32_t size = 0;
+};
+
 /** An assembled/linked program. */
 struct Program
 {
@@ -36,6 +43,14 @@ struct Program
 
     /** Copy all segments into @p mem. */
     void load(Memory &mem) const;
+
+    /**
+     * Address span worth backing with a dense arena when simulating
+     * this program: the segments, extended up to the crt0 stack top
+     * when the image lives below it, capped so a pathological layout
+     * cannot demand a huge allocation (size 0 then: pure sparse).
+     */
+    AddrSpan denseSpan() const;
 
     /** Total bytes across segments (paper's "codesize" metric uses
      *  textSize; this is the whole image). */

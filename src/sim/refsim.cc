@@ -17,7 +17,10 @@ RefSim::reset(const Program &program)
     pcReg = program.entry;
     regs.fill(0);
     mem.clear();
+    const AddrSpan span = program.denseSpan();
+    mem.reserveSpan(span.base, span.size);
     program.load(mem);
+    dec.build(program, mem);
     stopped = StopReason::Running;
     retired = 0;
     outWords.clear();
@@ -40,9 +43,22 @@ RefSim::step()
     ev.order = retired;
     ev.pc = pcReg;
 
-    const uint32_t raw = mem.loadWord(pcReg);
-    ev.raw = raw;
-    const Instr in = decode(raw);
+    // Fetch: pre-decoded text words by index; decode-on-fetch only
+    // for pcs outside the cached span (or after self-modification,
+    // which re-decodes in place — see DecodedProgram).
+    const Instr *fetched = dec.fetch(pcReg);
+    Instr slow;
+    if (!fetched) {
+        if (accessWraps(pcReg, 4)) {
+            ev.trap = true;
+            stopped = StopReason::Trapped;
+            return ev;
+        }
+        slow = decode(mem.loadWord(pcReg));
+        fetched = &slow;
+    }
+    const Instr &in = *fetched;
+    ev.raw = in.raw;
     ev.op = in.op;
 
     if (!in.valid()) {
@@ -100,26 +116,28 @@ RefSim::step()
         const uint32_t addr = rs1 + imm;
         ev.memRead = true;
         ev.memAddr = addr;
+        ev.memBytes = in.op == Op::Lw ? 4
+            : (in.op == Op::Lh || in.op == Op::Lhu) ? 2 : 1;
+        if (accessWraps(addr, ev.memBytes)) {
+            ev.trap = true;
+            stopped = StopReason::Trapped;
+            return ev;
+        }
         switch (in.op) {
           case Op::Lb:
             rd_val = asUnsigned(sext(mem.loadByte(addr), 8));
-            ev.memBytes = 1;
             break;
           case Op::Lbu:
             rd_val = mem.loadByte(addr);
-            ev.memBytes = 1;
             break;
           case Op::Lh:
             rd_val = asUnsigned(sext(mem.loadHalf(addr), 16));
-            ev.memBytes = 2;
             break;
           case Op::Lhu:
             rd_val = mem.loadHalf(addr);
-            ev.memBytes = 2;
             break;
           default:
             rd_val = mem.loadWord(addr);
-            ev.memBytes = 4;
             break;
         }
         ev.memData = rd_val;
@@ -133,27 +151,30 @@ RefSim::step()
         ev.memWrite = true;
         ev.memAddr = addr;
         ev.memData = rs2;
+        ev.memBytes = in.op == Op::Sb ? 1 : in.op == Op::Sh ? 2 : 4;
+        if (accessWraps(addr, ev.memBytes)) {
+            ev.trap = true;
+            stopped = StopReason::Trapped;
+            return ev;
+        }
         if (addr == mmio::kPutWord && in.op == Op::Sw) {
             outWords.push_back(rs2);
-            ev.memBytes = 4;
         } else if (addr == mmio::kPutChar) {
             outText.push_back(static_cast<char>(rs2 & 0xFF));
-            ev.memBytes = in.op == Op::Sb ? 1 : in.op == Op::Sh ? 2 : 4;
         } else {
             switch (in.op) {
               case Op::Sb:
                 mem.storeByte(addr, static_cast<uint8_t>(rs2));
-                ev.memBytes = 1;
                 break;
               case Op::Sh:
                 mem.storeHalf(addr, static_cast<uint16_t>(rs2));
-                ev.memBytes = 2;
                 break;
               default:
                 mem.storeWord(addr, rs2);
-                ev.memBytes = 4;
                 break;
             }
+            if (dec.overlaps(addr, ev.memBytes))
+                dec.invalidate(mem, addr, ev.memBytes);
         }
         break;
       }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "isa/reg.hh"
+#include "sim/decoded_program.hh"
 #include "sim/memory.hh"
 #include "sim/program.hh"
 #include "sim/trace.hh"
@@ -41,6 +42,16 @@ enum class StopReason : uint8_t
     Trapped,       ///< invalid or unsupported instruction, bad access
     StepLimit,     ///< ran out of the per-run step budget
 };
+
+/** True when a @p bytes wide access at @p addr would wrap past the
+ *  2^32 address-space boundary. Both simulators trap such accesses
+ *  (like an access fault) instead of silently wrapping to address 0;
+ *  see the Memory header for the contract. */
+constexpr bool
+accessWraps(uint32_t addr, unsigned bytes)
+{
+    return bytes > 1 && addr > UINT32_MAX - (bytes - 1);
+}
 
 /** Result of a run. */
 struct RunResult
@@ -76,6 +87,9 @@ class RefSim
     uint32_t reg(unsigned idx) const { return regs.at(idx); }
     void setReg(unsigned idx, uint32_t value);
 
+    /** Direct memory access. Writing into the text span through this
+     *  handle bypasses the decoded-instruction cache; call reset()
+     *  again before executing such a change (icache semantics). */
     Memory &memory() { return mem; }
     const Memory &memory() const { return mem; }
 
@@ -93,6 +107,7 @@ class RefSim
     uint32_t pcReg = 0;
     std::array<uint32_t, kNumRegsE> regs{};
     Memory mem;
+    DecodedProgram dec;
     StopReason stopped = StopReason::Running;
     uint64_t retired = 0;
     std::vector<uint32_t> outWords;

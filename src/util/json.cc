@@ -1,5 +1,6 @@
 #include "util/json.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -28,6 +29,10 @@ jsonEscape(const std::string &s)
 std::string
 jsonNum(double value)
 {
+    // JSON has no nan/inf literals; a degenerate metric must still
+    // produce a parseable document.
+    if (!std::isfinite(value))
+        return "null";
     std::ostringstream out;
     out.precision(17);
     out << value;

@@ -19,7 +19,8 @@ namespace rissp
 std::string jsonEscape(const std::string &s);
 
 /** Shortest round-trip form of a double, so emitted files compare
- *  byte-for-byte across runs and thread counts. */
+ *  byte-for-byte across runs and thread counts. Non-finite values
+ *  emit "null" — JSON has no nan/inf literals. */
 std::string jsonNum(double value);
 
 /** "true"/"false". */

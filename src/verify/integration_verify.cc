@@ -9,36 +9,53 @@
 namespace rissp
 {
 
+void
+RvfiStreamChecker::push(const RetireEvent &ev)
+{
+    // Chaining checks between the previous event and this one are
+    // flagged on the previous event's index, matching the batch
+    // checker's report text exactly.
+    if (hasPrev) {
+        auto flag_prev = [&](const char *what) {
+            rpt.violations.push_back(strFormat(
+                "event %zu (pc=0x%08x): %s", index - 1, prev.pc,
+                what));
+        };
+        if (prev.halt || prev.trap)
+            flag_prev("retirement after halt/trap");
+        else if (ev.pc != prev.nextPc)
+            flag_prev("pc chain broken");
+    }
+
+    ++rpt.eventsChecked;
+    auto flag = [&](const char *what) {
+        rpt.violations.push_back(strFormat(
+            "event %zu (pc=0x%08x): %s", index, ev.pc, what));
+    };
+    if (ev.order != index)
+        flag("retirement order not monotone");
+    if (ev.rd == 0 && ev.rdData != 0)
+        flag("x0 written with a non-zero value");
+    if (ev.memRead && ev.memWrite)
+        flag("simultaneous load and store");
+    if ((ev.memRead || ev.memWrite) &&
+        ev.memBytes != 1 && ev.memBytes != 2 && ev.memBytes != 4)
+        flag("illegal memory access width");
+    if (!ev.trap && !ev.halt && (ev.nextPc & 3))
+        flag("misaligned next pc");
+
+    prev = ev;
+    hasPrev = true;
+    ++index;
+}
+
 MonitorReport
 checkRvfiStream(const std::vector<RetireEvent> &events)
 {
-    MonitorReport rpt;
-    for (size_t i = 0; i < events.size(); ++i) {
-        const RetireEvent &ev = events[i];
-        ++rpt.eventsChecked;
-        auto flag = [&](const char *what) {
-            rpt.violations.push_back(strFormat(
-                "event %zu (pc=0x%08x): %s", i, ev.pc, what));
-        };
-        if (ev.order != i)
-            flag("retirement order not monotone");
-        if (ev.rd == 0 && ev.rdData != 0)
-            flag("x0 written with a non-zero value");
-        if (ev.memRead && ev.memWrite)
-            flag("simultaneous load and store");
-        if ((ev.memRead || ev.memWrite) &&
-            ev.memBytes != 1 && ev.memBytes != 2 && ev.memBytes != 4)
-            flag("illegal memory access width");
-        if (!ev.trap && !ev.halt && (ev.nextPc & 3))
-            flag("misaligned next pc");
-        if (i + 1 < events.size()) {
-            if (ev.halt || ev.trap)
-                flag("retirement after halt/trap");
-            else if (events[i + 1].pc != ev.nextPc)
-                flag("pc chain broken");
-        }
-    }
-    return rpt;
+    RvfiStreamChecker checker;
+    for (const RetireEvent &ev : events)
+        checker.push(ev);
+    return checker.report();
 }
 
 namespace
@@ -68,11 +85,40 @@ eventsMatch(const RetireEvent &a, const RetireEvent &b)
         a.halt == b.halt && a.trap == b.trap;
 }
 
+/** Fixed-capacity ring of the most recent retirements. */
+class EventRing
+{
+  public:
+    explicit EventRing(unsigned capacity) : ring(capacity) {}
+
+    void push(const RetireEvent &ev)
+    {
+        if (ring.empty())
+            return;
+        ring[count++ % ring.size()] = ev;
+    }
+
+    /** Contents, oldest first. */
+    std::vector<RetireEvent> unrolled() const
+    {
+        const size_t n = count < ring.size() ? count : ring.size();
+        std::vector<RetireEvent> out;
+        out.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            out.push_back(ring[(count - n + i) % ring.size()]);
+        return out;
+    }
+
+  private:
+    std::vector<RetireEvent> ring;
+    size_t count = 0;
+};
+
 } // namespace
 
 CosimReport
 cosimulate(const Program &program, const InstrSubset &subset,
-           uint64_t max_steps, const Mutation *fault)
+           const CosimOptions &options)
 {
     CosimReport rpt;
     RefSim ref;
@@ -80,27 +126,40 @@ cosimulate(const Program &program, const InstrSubset &subset,
     Rissp dut(subset, "cosim-dut");
     dut.reset(program);
 
-    std::vector<RetireEvent> dut_events;
-    for (uint64_t i = 0; i < max_steps; ++i) {
+    // Streaming: RVFI invariants are checked per step and only the
+    // context rings retain events, so memory does not scale with the
+    // step budget.
+    RvfiStreamChecker monitor;
+    EventRing refRing(options.contextEvents);
+    EventRing dutRing(options.contextEvents);
+    auto divergence_context = [&]() {
+        rpt.recentRef = refRing.unrolled();
+        rpt.recentDut = dutRing.unrolled();
+    };
+    for (uint64_t i = 0; i < options.maxSteps; ++i) {
         RetireEvent re = ref.step();
-        RetireEvent de = dut.step(fault);
-        dut_events.push_back(de);
+        RetireEvent de = dut.step(options.fault);
+        monitor.push(de);
+        refRing.push(re);
+        dutRing.push(de);
         if (!eventsMatch(re, de)) {
             rpt.firstDivergence = strFormat(
                 "step %llu:\n  ref: %s\n  dut: %s",
                 static_cast<unsigned long long>(i),
                 describeEvent(re).c_str(),
                 describeEvent(de).c_str());
-            rpt.monitor = checkRvfiStream(dut_events);
+            rpt.monitor = monitor.report();
+            divergence_context();
             return rpt;
         }
         if (re.halt || re.trap) {
             rpt.instret = i + 1;
             break;
         }
-        if (i + 1 == max_steps) {
+        if (i + 1 == options.maxSteps) {
             rpt.firstDivergence = "step limit reached";
-            rpt.monitor = checkRvfiStream(dut_events);
+            rpt.monitor = monitor.report();
+            divergence_context();
             return rpt;
         }
     }
@@ -111,6 +170,7 @@ cosimulate(const Program &program, const InstrSubset &subset,
             rpt.firstDivergence = strFormat(
                 "final x%u: ref=0x%08x dut=0x%08x", r, ref.reg(r),
                 dut.reg(r));
+            divergence_context();
             return rpt;
         }
     }
@@ -123,15 +183,28 @@ cosimulate(const Program &program, const InstrSubset &subset,
                 rpt.firstDivergence = strFormat(
                     "signature+%u: ref=0x%08x dut=0x%08x", off, rv,
                     dv);
+                divergence_context();
                 return rpt;
             }
         }
     }
-    rpt.monitor = checkRvfiStream(dut_events);
+    rpt.monitor = monitor.report();
     rpt.passed = rpt.monitor.passed();
-    if (!rpt.passed)
+    if (!rpt.passed) {
         rpt.firstDivergence = rpt.monitor.violations.front();
+        divergence_context();
+    }
     return rpt;
+}
+
+CosimReport
+cosimulate(const Program &program, const InstrSubset &subset,
+           uint64_t max_steps, const Mutation *fault)
+{
+    CosimOptions options;
+    options.maxSteps = max_steps;
+    options.fault = fault;
+    return cosimulate(program, subset, options);
 }
 
 Program

@@ -29,6 +29,31 @@ struct MonitorReport
     bool passed() const { return violations.empty(); }
 };
 
+/**
+ * Incremental RVFI monitor: push() one retirement event at a time and
+ * the same per-event and chaining invariants as checkRvfiStream() are
+ * applied as the stream flows, holding only the previous event —
+ * O(violations) memory instead of O(instret). For any event sequence,
+ * pushing all events then calling report() yields a MonitorReport
+ * identical to checkRvfiStream() on the equivalent vector (covered by
+ * test_verify).
+ */
+class RvfiStreamChecker
+{
+  public:
+    /** Check @p ev as the next retirement in the stream. */
+    void push(const RetireEvent &ev);
+
+    /** Verdict over everything pushed so far. */
+    const MonitorReport &report() const { return rpt; }
+
+  private:
+    MonitorReport rpt;
+    RetireEvent prev;
+    bool hasPrev = false;
+    size_t index = 0;
+};
+
 /** Check an RVFI stream for per-event and chaining invariants. */
 MonitorReport checkRvfiStream(const std::vector<RetireEvent> &events);
 
@@ -39,20 +64,40 @@ struct CosimReport
     uint64_t instret = 0;
     std::string firstDivergence;
     MonitorReport monitor;   ///< RVFI checks on the RISSP's stream
+
+    /** Divergence context: the last few retirements before the stop
+     *  (oldest first, the divergent step last), bounded by
+     *  CosimOptions::contextEvents. Empty on a clean pass. */
+    std::vector<RetireEvent> recentRef;
+    std::vector<RetireEvent> recentDut;
+};
+
+/** Knobs for cosimulate(). */
+struct CosimOptions
+{
+    uint64_t maxSteps = 10'000'000;
+    /** Optional netlist fault injected into the RISSP's execution
+     *  (mutation testing at the integration level): a non-equivalent
+     *  fault must surface as a divergence, which is how the mismatch
+     *  path of the verification flow is exercised end-to-end. */
+    const Mutation *fault = nullptr;
+    /** Ring-buffer depth for CosimReport::recentRef/recentDut. */
+    unsigned contextEvents = 8;
 };
 
 /**
  * Run @p program on a RISSP built for @p subset and on the reference
  * ISS, comparing every retirement event, the final register file and
  * the final memory signature region (symbol "signature", when the
- * program defines it).
- *
- * @param fault optional netlist fault injected into the RISSP's
- *        execution (mutation testing at the integration level): a
- *        non-equivalent fault must surface as a divergence, which is
- *        how the mismatch path of the verification flow is exercised
- *        end-to-end.
+ * program defines it). RVFI invariants are checked incrementally per
+ * step (RvfiStreamChecker) and only a small ring of recent events is
+ * retained for context, so memory stays O(1) in instret.
  */
+CosimReport cosimulate(const Program &program,
+                       const InstrSubset &subset,
+                       const CosimOptions &options);
+
+/** Convenience overload with the historical signature. */
 CosimReport cosimulate(const Program &program,
                        const InstrSubset &subset,
                        uint64_t max_steps = 10'000'000,

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 
 #include "explore/explorer.hh"
 #include "explore/fingerprint.hh"
@@ -199,6 +200,58 @@ TEST(Memo, ExactlyOnceAndCounted)
     EXPECT_EQ(cache.misses(), 4u);
     EXPECT_EQ(cache.hits(), 36u);
     EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(Memo, ThrowingComputeDoesNotPoisonTheKey)
+{
+    // Regression: a throwing fn() used to leave an unfulfilled
+    // promise behind, so every later lookup of the key died with
+    // broken_promise instead of retrying.
+    MemoCache<uint64_t, int> cache;
+    int attempts = 0;
+    auto flaky = [&]() -> int {
+        if (++attempts == 1)
+            throw std::runtime_error("transient failure");
+        return 42;
+    };
+    EXPECT_THROW(cache.getOrCompute(7, flaky), std::runtime_error);
+    EXPECT_EQ(cache.size(), 0u); // entry erased, not poisoned
+    EXPECT_EQ(cache.getOrCompute(7, flaky), 42);
+    EXPECT_EQ(cache.getOrCompute(7, flaky), 42); // cached now
+    EXPECT_EQ(attempts, 2);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Memo, ConcurrentWaitersSeeTheExceptionThenRecover)
+{
+    MemoCache<uint64_t, int> cache;
+    std::atomic<int> attempts{0};
+    std::atomic<int> failures{0};
+    {
+        // Round 1: every computation throws; each task either owns a
+        // failing compute or waits on one — all must observe the
+        // exception, none may hang.
+        WorkStealingPool pool(4);
+        std::vector<WorkStealingPool::Task> tasks;
+        for (int i = 0; i < 16; ++i)
+            tasks.push_back([&] {
+                try {
+                    cache.getOrCompute(9, [&]() -> int {
+                        ++attempts;
+                        throw std::runtime_error("boom");
+                    });
+                } catch (const std::runtime_error &) {
+                    ++failures;
+                }
+            });
+        pool.run(std::move(tasks));
+    }
+    EXPECT_EQ(failures.load(), 16);
+    EXPECT_EQ(cache.size(), 0u);
+    // Round 2: the key recomputes cleanly.
+    EXPECT_EQ(cache.getOrCompute(9, [] { return 5; }), 5);
+    EXPECT_GE(attempts.load(), 1);
 }
 
 // ------------------------------------------------------------- explorer

@@ -278,5 +278,188 @@ TEST(Memory, SparsePagesAndEndianness)
     EXPECT_EQ(mem.touchedPages(), 2u);
 }
 
+TEST(Memory, DenseSpanFastPath)
+{
+    Memory mem;
+    mem.reserveSpan(0x1000, 0x1000);
+    EXPECT_EQ(mem.spanBase(), 0x1000u);
+    EXPECT_EQ(mem.spanSize(), 0x1000u);
+
+    // Accesses inside the span never touch the page map.
+    mem.storeWord(0x1000, 0xA1B2C3D4);
+    mem.storeHalf(0x1800, 0xBEEF);
+    mem.storeByte(0x1FFF, 0x7E);
+    EXPECT_EQ(mem.touchedPages(), 0u);
+    EXPECT_EQ(mem.loadWord(0x1000), 0xA1B2C3D4u);
+    EXPECT_EQ(mem.loadByte(0x1000), 0xD4);
+    EXPECT_EQ(mem.loadByte(0x1003), 0xA1);
+    EXPECT_EQ(mem.loadHalf(0x1800), 0xBEEFu);
+    EXPECT_EQ(mem.loadByte(0x1FFF), 0x7Eu);
+
+    // Outside the span falls back to sparse pages.
+    mem.storeWord(0x4000, 0x01020304);
+    EXPECT_EQ(mem.loadWord(0x4000), 0x01020304u);
+    EXPECT_EQ(mem.touchedPages(), 1u);
+    // Below the span too (addr - base wraps around).
+    mem.storeByte(0x0FFF, 0x55);
+    EXPECT_EQ(mem.loadByte(0x0FFF), 0x55u);
+}
+
+TEST(Memory, DenseSparseBoundaryAccessesCompose)
+{
+    Memory mem;
+    mem.reserveSpan(0x1000, 0x1000); // span = [0x1000, 0x2000)
+
+    // A word write straddling the end of the span: two bytes land in
+    // the arena, two in a page, and the read stitches them back.
+    mem.storeWord(0x1FFE, 0x11223344);
+    EXPECT_EQ(mem.loadWord(0x1FFE), 0x11223344u);
+    EXPECT_EQ(mem.loadByte(0x1FFF), 0x33u);
+    EXPECT_EQ(mem.loadByte(0x2000), 0x22u);
+    EXPECT_EQ(mem.touchedPages(), 1u);
+
+    // Same at the low edge.
+    mem.storeHalf(0x0FFF, 0xA5C3);
+    EXPECT_EQ(mem.loadHalf(0x0FFF), 0xA5C3u);
+    EXPECT_EQ(mem.loadByte(0x0FFF), 0xC3u);
+    EXPECT_EQ(mem.loadByte(0x1000), 0xA5u);
+
+    // Block copies across the boundary round-trip too.
+    const uint8_t blob[] = {1, 2, 3, 4, 5, 6, 7, 8};
+    mem.storeBlock(0x1FFC, blob, sizeof blob);
+    std::vector<uint8_t> back = mem.loadBlock(0x1FFC, sizeof blob);
+    EXPECT_EQ(back, std::vector<uint8_t>(blob, blob + sizeof blob));
+}
+
+TEST(Memory, ReserveSpanMigratesPageContents)
+{
+    Memory mem;
+    mem.storeWord(0x1000, 0xCAFEBABE);
+    mem.storeByte(0x1FFF, 0x99);
+    mem.storeWord(0x8000, 0x12345678); // outside the future span
+    mem.reserveSpan(0x1000, 0x1000);
+    EXPECT_EQ(mem.loadWord(0x1000), 0xCAFEBABEu);
+    EXPECT_EQ(mem.loadByte(0x1FFF), 0x99u);
+    EXPECT_EQ(mem.loadWord(0x8000), 0x12345678u);
+    // The fully-covered page was absorbed into the arena, not kept
+    // as an unreachable shadow; the out-of-span page survives.
+    EXPECT_EQ(mem.touchedPages(), 1u);
+
+    // clear() drops the span along with the pages.
+    mem.clear();
+    EXPECT_EQ(mem.spanSize(), 0u);
+    EXPECT_EQ(mem.loadWord(0x1000), 0u);
+}
+
+TEST(RefSim, DenseSpanCoversProgramAndStack)
+{
+    // Sims back [0, stack top) densely for ordinary programs; deep
+    // stack use and data traffic must not allocate pages.
+    RefSim sim = runSnippet(R"(
+        lui sp, 0x80       # crt0's stack top
+        addi sp, sp, -16
+        li a0, 7
+        sw a0, 0(sp)
+        lw a1, 0(sp)
+        ecall
+    )", StopReason::Halted);
+    EXPECT_EQ(sim.reg(11), 7u);
+    EXPECT_GE(sim.memory().spanSize(), 0x80000u);
+    EXPECT_EQ(sim.memory().touchedPages(), 0u);
+}
+
+TEST(RefSim, SelfModifyingCodeSeesItsOwnStores)
+{
+    // The program overwrites the `addi a2, zero, 1` ahead of it with
+    // `addi a2, zero, 99` before executing it: the pre-decoded fetch
+    // cache must invalidate on the store into the text span.
+    const uint32_t patched = encodeI(Op::Addi, 12, 0, 99);
+    RefSim sim = runSnippet(strFormat(R"(
+        la a0, patch
+        li a1, %d
+        sw a1, 0(a0)
+    patch:
+        addi a2, zero, 1
+        ecall
+    )", static_cast<int32_t>(patched)), StopReason::Halted);
+    EXPECT_EQ(sim.reg(12), 99u);
+}
+
+TEST(RefSim, SelfModifyingSubWordStoresInvalidate)
+{
+    // A byte store into the immediate field of the next instruction
+    // must also re-decode (partial-word invalidation). Byte 3 of an
+    // I-type word is imm[11:4], so storing 42 there turns
+    // `addi a2, zero, 0` into `addi a2, zero, 672`.
+    RefSim sim = runSnippet(R"(
+        la a0, patch
+        li a1, 42
+        sb a1, 3(a0)
+    patch:
+        addi a2, zero, 0
+        ecall
+    )", StopReason::Halted);
+    EXPECT_EQ(sim.reg(12), 672u);
+}
+
+TEST(RefSim, FetchOutsideTextSpanFallsBackToDecode)
+{
+    // Hand-built image: text at 0 jumps to a far segment that is NOT
+    // part of the declared text span; execution there goes through
+    // decode-on-fetch.
+    constexpr uint32_t kFar = 0x100000;
+    Program p;
+    Segment text;
+    text.base = 0;
+    auto push_word = [](Segment &seg, uint32_t w) {
+        for (unsigned b = 0; b < 4; ++b)
+            seg.bytes.push_back(static_cast<uint8_t>(w >> (8 * b)));
+    };
+    push_word(text, encodeU(Op::Lui, 11, kFar >> 12)); // x11 = kFar
+    push_word(text, encodeI(Op::Jalr, 0, 11, 0));      // jump far
+    Segment far;
+    far.base = kFar;
+    push_word(far, encodeI(Op::Addi, 12, 0, 77));      // a2 = 77
+    push_word(far, encodeSys(Op::Ecall));
+    p.segments = {text, far};
+    p.entry = 0;
+    p.textBase = 0;
+    p.textSize = static_cast<uint32_t>(text.bytes.size());
+
+    RefSim sim;
+    sim.reset(p);
+    RunResult r = sim.run(100);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(sim.reg(12), 77u);
+}
+
+TEST(RefSim, WrappingDataAccessTraps)
+{
+    // lw at 0xFFFFFFFE would wrap to address 0 — that is a trap, not
+    // a silent wrap (and both simulators agree; see test_verify).
+    RefSim sim = runSnippet(R"(
+        li a0, -2
+        lw a1, 0(a0)
+        ecall
+    )", StopReason::Trapped);
+    EXPECT_EQ(sim.reg(11), 0u); // the load never completed
+
+    runSnippet(R"(
+        li a0, -1
+        sh a0, 0(a0)
+        ecall
+    )", StopReason::Trapped);
+
+    // A byte access at the top of memory is legal: no wrap occurs.
+    RefSim sim3 = runSnippet(R"(
+        li a0, -1
+        li a1, 0x5A
+        sb a1, 0(a0)
+        lbu a2, 0(a0)
+        ecall
+    )", StopReason::Halted);
+    EXPECT_EQ(sim3.reg(12), 0x5Au);
+}
+
 } // namespace
 } // namespace rissp

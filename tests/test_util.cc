@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tests for the shared utility layer: JSON emission helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/json.hh"
+
+namespace rissp
+{
+namespace
+{
+
+TEST(JsonNum, FiniteValuesRoundTrip)
+{
+    EXPECT_EQ(jsonNum(0.0), "0");
+    EXPECT_EQ(jsonNum(1.5), "1.5");
+    EXPECT_EQ(jsonNum(-2.0), "-2");
+    // 17 significant digits round-trip any double.
+    EXPECT_EQ(jsonNum(0.1), "0.10000000000000001");
+}
+
+TEST(JsonNum, NonFiniteValuesEmitNull)
+{
+    // JSON has no nan/inf literals: `nan` in a report file makes the
+    // whole document unparseable. Degenerate synthesis metrics must
+    // still produce valid JSON.
+    EXPECT_EQ(jsonNum(std::nan("")), "null");
+    EXPECT_EQ(jsonNum(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNum(-std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNum(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+}
+
+TEST(JsonEscape, ControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape(std::string("a\nb")), "a\\u000ab");
+}
+
+TEST(JsonBool, Literals)
+{
+    EXPECT_STREQ(jsonBool(true), "true");
+    EXPECT_STREQ(jsonBool(false), "false");
+}
+
+} // namespace
+} // namespace rissp

@@ -16,3 +16,7 @@ cmake -B "$BUILD_DIR" -S . "$@"
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
 cd "$BUILD_DIR"
 ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
+
+# Sim-throughput trajectory: emit BENCH_simspeed.json next to the
+# build so CI can upload it as an artifact (docs/BENCHMARKS.md).
+./bench_micro --quick --json BENCH_simspeed.json
