@@ -30,7 +30,7 @@ main()
         return 1;
 
     SynthesisModel model;
-    const FlexIcTech &tech = FlexIcTech::defaults();
+    const Technology &tech = model.tech();
     std::printf("\n%-14s | %10s %10s %8s | %10s %10s %8s | %7s\n",
                 "workload", "base cyc", "base GE", "base nJ",
                 "cmul cyc", "cmul GE", "cmul nJ", "E ratio");

@@ -49,7 +49,7 @@ main()
 {
     bench::banner("Ablation: two-stage pipelined RISSPs (§6)");
     SynthesisModel model;
-    const FlexIcTech &tech = FlexIcTech::defaults();
+    const Technology &tech = model.tech();
 
     std::printf("%-14s | %8s %8s | %8s %8s %6s | %8s %8s | %7s\n",
                 "workload", "1c fmax", "1c MIPS", "2s fmax",

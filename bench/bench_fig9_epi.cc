@@ -18,7 +18,7 @@ int
 main()
 {
     bench::banner("Figure 9: energy per instruction (nJ) at fmax");
-    const FlexIcTech &tech = FlexIcTech::defaults();
+    const Technology tech; // registry default: flexic-0.6um
 
     explore::ExplorerOptions options;
     options.simulate = false;

@@ -2,8 +2,9 @@
  * @file
  * Sim-throughput microbenchmarks for the toolchain itself: decoder,
  * reference ISS, RISSP cycle simulator, lock-step cosimulation,
- * assembler, MiniC compiler and the synthesis model. These are
- * repo-health numbers (simulation throughput), not paper figures.
+ * assembler, MiniC compiler, the synthesis model (whole runs and
+ * frequency-sweep points/s) and the P&R model. These are repo-health
+ * numbers (simulation throughput), not paper figures.
  *
  * Self-contained timing harness (no google-benchmark dependency) so
  * every CI configuration can run it. Besides the human-readable
@@ -26,6 +27,7 @@
 #include "compiler/driver.hh"
 #include "core/rissp.hh"
 #include "core/subset.hh"
+#include "physimpl/physical.hh"
 #include "sim/refsim.hh"
 #include "synth/synthesis.hh"
 #include "util/json.hh"
@@ -206,6 +208,33 @@ main(int argc, char **argv)
             SynthReport rpt = model.synthesize(
                 InstrSubset::fullRv32e(), "RISSP-RV32E");
             return rpt.fmaxKhz > 0 ? 1 : 0;
+        });
+    }
+
+    // Frequency-sweep throughput in points/s, isolated from netlist
+    // construction: re-runs the sweep on a prepared report, which is
+    // exactly the loop the incremental-sweep change optimized (the
+    // old per-point report copy was ~9x slower here).
+    {
+        SynthesisModel model;
+        SynthReport rpt = model.synthesize(
+            InstrSubset::fullRv32e(), "RISSP-RV32E");
+        bench("synth_sweep", "point", [&] {
+            runFrequencySweep(rpt, model.tech());
+            return rpt.sweep.size();
+        });
+    }
+
+    // P&R model throughput on a pre-synthesized design.
+    {
+        SynthesisModel model;
+        PhysicalModel phys;
+        const SynthReport full_rpt =
+            model.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E");
+        bench("pnr_impl", "impl", [&] {
+            PhysReport rpt =
+                phys.implement(full_rpt, RfStyle::LatchArray);
+            return rpt.totalGe > 0 ? 1 : 0;
         });
     }
 

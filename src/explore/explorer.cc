@@ -18,11 +18,11 @@ namespace rissp::explore
 namespace
 {
 
-/** Tech used when a plan names none. */
+/** Tech used when a plan names none: the registry default. */
 const TechSpec &
 defaultTechSpec()
 {
-    static const TechSpec spec;
+    static const TechSpec spec{};
     return spec;
 }
 
@@ -114,7 +114,7 @@ Explorer::simulatePoint(const InstrSubset &subset,
 flow::SynthOutcome
 Explorer::synthesizePoint(const InstrSubset &subset,
                           const std::string &name,
-                          const FlexIcTech &tech)
+                          const Technology &tech)
 {
     flow::SynthOutcome out;
     const SynthesisModel model(tech);
@@ -149,7 +149,7 @@ Explorer::explore(const ExplorationPlan &plan)
         row.index = pt.index;
         row.subsetName = sspec.name;
         row.workloadName = wlName;
-        row.techName = tech.name;
+        row.techName = tech.tech.name;
         row.subset = resolveSubset(sspec, plan.opt);
         row.subsetSize = row.subset.size();
         const uint64_t subsetFp = subsetFingerprint(row.subset);

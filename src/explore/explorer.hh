@@ -103,7 +103,7 @@ class Explorer
                   const minic::CompileResult &compiled);
     flow::SynthOutcome synthesizePoint(const InstrSubset &subset,
                                        const std::string &name,
-                                       const FlexIcTech &tech);
+                                       const Technology &tech);
 
     ExplorerOptions opts;
     std::shared_ptr<flow::StageCaches> caches;

@@ -18,7 +18,7 @@
 #include <string>
 
 #include "core/subset.hh"
-#include "synth/flexic_tech.hh"
+#include "tech/technology.hh"
 
 namespace rissp::explore
 {
@@ -71,14 +71,17 @@ workloadFingerprint(const std::string &name, const std::string &source,
     return fnv1a(&opt_level, 1, hash);
 }
 
-/** Technology fingerprint over every model constant. */
+/** Technology fingerprint over every model constant. Identity
+ *  (name, description) is deliberately excluded: two names for the
+ *  same constants produce the same results and may share cache
+ *  entries, so the fingerprint hashes only the `TechParams` slice. */
 inline uint64_t
-techFingerprint(const FlexIcTech &tech)
+techFingerprint(const TechParams &tech)
 {
-    // FlexIcTech is a plain aggregate of doubles; hashing the object
-    // representation captures any constant a TechSpec override set.
-    static_assert(std::is_trivially_copyable_v<FlexIcTech>);
-    unsigned char bytes[sizeof(FlexIcTech)];
+    // TechParams is a plain aggregate of doubles; hashing the object
+    // representation captures any constant an override set.
+    static_assert(std::is_trivially_copyable_v<TechParams>);
+    unsigned char bytes[sizeof(TechParams)];
     std::memcpy(bytes, &tech, sizeof bytes);
     return fnv1a(bytes, sizeof bytes);
 }

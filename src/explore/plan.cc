@@ -10,6 +10,7 @@
 #include <optional>
 #include <sstream>
 
+#include "tech/registry.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 #include "workloads/workloads.hh"
@@ -48,56 +49,31 @@ SubsetSpec::fromNames(const std::string &name,
     return spec;
 }
 
+Result<TechSpec>
+TechSpec::fromSpec(const std::string &spec)
+{
+    Result<Technology> tech = TechRegistry::builtins().parse(spec);
+    if (!tech)
+        return tech.status();
+    TechSpec out;
+    out.tech = tech.take();
+    return out;
+}
+
 Status
 TechSpec::trySet(const std::string &key, double value)
 {
-    if (key == "gateDelayNs")
-        tech.gateDelayNs = value;
-    else if (key == "ffClkToQPlusSetupNs")
-        tech.ffClkToQPlusSetupNs = value;
-    else if (key == "fetchDepthLevels")
-        tech.fetchDepthLevels = value;
-    else if (key == "switchLevelDelay")
-        tech.switchLevelDelay = value;
-    else if (key == "ffAreaGe")
-        tech.ffAreaGe = value;
-    else if (key == "rfLatchAreaGe")
-        tech.rfLatchAreaGe = value;
-    else if (key == "nand2AreaUm2")
-        tech.nand2AreaUm2 = value;
-    else if (key == "placementUtilization")
-        tech.placementUtilization = value;
-    else if (key == "dynUwPerGeMhz")
-        tech.dynUwPerGeMhz = value;
-    else if (key == "ffPowerMultiplier")
-        tech.ffPowerMultiplier = value;
-    else if (key == "staticUwPerGe")
-        tech.staticUwPerGe = value;
-    else if (key == "risspCombActivity")
-        tech.risspCombActivity = value;
-    else if (key == "risspFfActivity")
-        tech.risspFfActivity = value;
-    else if (key == "sweepStartKhz")
-        tech.sweepStartKhz = value;
-    else if (key == "sweepEndKhz")
-        tech.sweepEndKhz = value;
-    else if (key == "sweepStepKhz")
-        tech.sweepStepKhz = value;
-    else if (key == "areaEffortAlpha")
-        tech.areaEffortAlpha = value;
-    else if (key == "routingOverhead")
-        tech.routingOverhead = value;
-    else if (key == "ctsGePerFf")
-        tech.ctsGePerFf = value;
-    else if (key == "ctsActivity")
-        tech.ctsActivity = value;
-    else if (key == "implKhz")
-        tech.implKhz = value;
-    else
+    const Status status = applyTechOverride(tech, key, value);
+    if (!status)
         return Status::errorf(
-            ErrorCode::InvalidArgument,
-            "tech '%s': unknown constant '%s'", name.c_str(),
-            key.c_str());
+            ErrorCode::InvalidArgument, "tech '%s': %s",
+            tech.name.c_str(), status.message().c_str());
+    // A modified corner is its own technology: extend the name the
+    // same way a registry spec would (the value rendered %g-style,
+    // since only the registry path has verbatim override text), so
+    // hand-built corners never report under their base label.
+    tech.name = appendSpecOverride(
+        std::move(tech.name), strFormat("%s=%g", key.c_str(), value));
     return Status::ok();
 }
 
@@ -251,24 +227,6 @@ parseUnsigned(const std::string &word, int lineno, ParseErrors &errs)
     return static_cast<unsigned>(value);
 }
 
-/** Parse a floating-point value; nullopt + diagnostic on junk. */
-std::optional<double>
-parseDouble(const std::string &word, int lineno, ParseErrors &errs)
-{
-    size_t used = 0;
-    double value = 0;
-    try {
-        value = std::stod(word, &used);
-    } catch (const std::exception &) {
-        used = 0;
-    }
-    if (used != word.size()) {
-        errs.addf(lineno, "bad number '%s'", word.c_str());
-        return std::nullopt;
-    }
-    return value;
-}
-
 std::optional<minic::OptLevel>
 parseOptLevel(const std::string &word, int lineno, ParseErrors &errs)
 {
@@ -351,26 +309,22 @@ ExplorationPlan::parse(const std::string &text)
                     SubsetSpec::fromNames(name, std::move(ops)));
             }
         } else if (kw == "tech" && words.size() >= 2) {
-            TechSpec spec;
-            spec.name = words[1];
-            for (size_t i = 2; i < words.size(); ++i) {
-                const size_t eq = words[i].find('=');
-                if (eq == std::string::npos) {
-                    errs.addf(lineno,
-                              "tech override '%s' is not key=value",
-                              words[i].c_str());
-                    continue;
-                }
-                const auto value = parseDouble(
-                    words[i].substr(eq + 1), lineno, errs);
-                if (!value)
-                    continue;
-                const Status set =
-                    spec.trySet(words[i].substr(0, eq), *value);
-                if (!set)
-                    errs.add(lineno, set.message());
+            // `tech <name>[:key=value,...] [key=value ...]` —
+            // word-form overrides are folded into the colon spec so
+            // one grammar implementation (TechRegistry::parse) owns
+            // all validation, error collection and the composed-
+            // spec naming that keeps an overridden corner's rows
+            // distinguishable from its base technology's.
+            std::string techSpec = words[1];
+            for (size_t i = 2; i < words.size(); ++i)
+                techSpec = appendSpecOverride(std::move(techSpec),
+                                              words[i]);
+            Result<TechSpec> parsed = TechSpec::fromSpec(techSpec);
+            if (!parsed) {
+                errs.add(lineno, parsed.status().message());
+                continue;
             }
-            plan.techs.push_back(std::move(spec));
+            plan.techs.push_back(parsed.take());
         } else {
             errs.addf(lineno, "cannot parse '%s'", line.c_str());
         }

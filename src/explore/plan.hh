@@ -22,7 +22,7 @@
 
 #include "compiler/driver.hh"
 #include "core/subset.hh"
-#include "synth/flexic_tech.hh"
+#include "tech/technology.hh"
 #include "util/status.hh"
 
 namespace rissp::explore
@@ -51,14 +51,22 @@ struct SubsetSpec
                                 std::vector<std::string> mnemonics);
 };
 
-/** A named technology configuration. */
+/** One technology axis entry: a `Technology` value (identity +
+ *  model constants), usually resolved from the registry by name. */
 struct TechSpec
 {
-    std::string name = "flexic";
-    FlexIcTech tech = FlexIcTech::defaults();
+    /** The resolved technology; `tech.name` labels result rows. */
+    Technology tech;
 
-    /** Override one model constant by name, e.g. "gateDelayNs".
-     *  Tech overrides are user input: an unknown key comes back as
+    /** Resolve a registry spec string `name[:key=value,...]`
+     *  (tech/registry.hh grammar) against the built-in registry. */
+    static Result<TechSpec> fromSpec(const std::string &spec);
+
+    /** Override one model constant by name, e.g. "gateDelayNs", or
+     *  a derived key ("voltage", "ffPowerRatio"), extending
+     *  `tech.name` spec-style so the modified corner never reports
+     *  under its base technology's label. Tech overrides are user
+     *  input: an unknown key or out-of-range value comes back as
      *  InvalidArgument. */
     Status trySet(const std::string &key, double value);
 
@@ -119,8 +127,17 @@ class ExplorationPlan
      *   subset tiny = addi add lw sw jal beq
      *   subset full = @full         # the RV32E baseline
      *   subset fit  = @crc32        # extracted from a workload
-     *   tech flexic
-     *   tech slow gateDelayNs=20 ffPowerMultiplier=12
+     *   tech flexic-0.6um           # a registered technology name
+     *   tech silicon-65nm
+     *   tech flexic-0.6um:voltage=2.4,ffPowerRatio=8
+     *   tech flexic-0.6um gateDelayNs=20   # overrides also as words
+     *
+     * `tech` lines are validated through `TechRegistry::builtins()`:
+     * the name must be registered (`risspgen techs` lists them) and
+     * every key/value is checked. A spec with overrides — colon or
+     * word form — names its result rows after the full composed
+     * spec, so an overridden corner never shares a label with its
+     * base technology.
      *
      * Plan files are user input: malformed lines are reported as a
      * ParseError carrying every offending line ("plan line N: ...",

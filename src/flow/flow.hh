@@ -122,6 +122,7 @@ struct CosimStage
 struct SynthStage
 {
     bool run = false;
+    std::string tech;           ///< technology the numbers belong to
     SynthReport app;            ///< the requested design
     bool baselinesRun = false;
     SynthReport fullIsa;        ///< RISSP-RV32E baseline
@@ -208,7 +209,11 @@ struct SynthRequest
     minic::OptLevel opt = minic::OptLevel::O2;
     std::optional<InstrSubset> subsetOverride;
     std::string name = "RISSP-app";
-    explore::TechSpec tech;  ///< user-tunable process corner
+    /** Technology to cost the design on: a registry entry resolved
+     *  via `TechSpec::fromSpec` (the `risspgen --tech` path) or any
+     *  hand-built corner. Held by value — the models copy it, so a
+     *  temporary is safe. */
+    explore::TechSpec tech;
     bool baselines = true;   ///< also synthesize RV32E + Serv
     bool physical = true;    ///< P&R the app design
     RfStyle rfStyle = RfStyle::LatchArray;

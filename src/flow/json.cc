@@ -131,7 +131,8 @@ synthJson(const SynthStage &stage)
     std::ostringstream out;
     out << "\"synth\": {\"run\": " << jsonBool(stage.run);
     if (stage.run) {
-        out << ", " << synthReportJson("app", stage.app)
+        out << ", \"tech\": \"" << jsonEscape(stage.tech) << "\""
+            << ", " << synthReportJson("app", stage.app)
             << ", \"baselines_run\": "
             << jsonBool(stage.baselinesRun);
         if (stage.baselinesRun)

@@ -174,7 +174,7 @@ FlowService::synth(const SynthRequest &request) const
             InstrSubset::fromProgram(compiled.value().program);
     }
 
-    const FlexIcTech &tech = request.tech.tech;
+    const Technology &tech = request.tech.tech;
     const SynthesisModel model(tech);
     Result<SynthReport> app = model.trySynthesize(
         response.subset.subset, request.name);
@@ -183,6 +183,7 @@ FlowService::synth(const SynthRequest &request) const
         return response;
     }
     response.synth.run = true;
+    response.synth.tech = tech.name;
     response.synth.app = app.take();
 
     if (request.baselines) {

@@ -1,6 +1,7 @@
 #include "physimpl/physical.hh"
 
 #include <cmath>
+#include <utility>
 
 namespace rissp
 {
@@ -19,7 +20,7 @@ constexpr double kRfActivity = 0.06;
 
 } // namespace
 
-PhysicalModel::PhysicalModel(const FlexIcTech &t) : tech(t)
+PhysicalModel::PhysicalModel(Technology t) : tech(std::move(t))
 {
 }
 
@@ -61,6 +62,7 @@ PhysicalModel::implement(const SynthReport &synth,
     // Sign-off power at tech.implKhz: logic at the design's
     // activities, clock buffers toggling every cycle, the RF at read
     // activity, plus leakage over the whole die.
+    rpt.implKhz = tech.implKhz;
     const double mhz = tech.implKhz / 1000.0;
     const double units = rpt.combGe * synth.combActivity +
         synth.ffCount * tech.ffPowerMultiplier * synth.ffActivity +

@@ -43,6 +43,7 @@ struct PhysReport
     double dieXUm = 0;        ///< die X dimension
     double dieYUm = 0;        ///< die Y dimension
     double ffAreaFraction = 0;///< FF share of placed area
+    double implKhz = 0;       ///< sign-off frequency (tech.implKhz)
     double powerMw = 0;       ///< total power at the sign-off point
 };
 
@@ -50,15 +51,16 @@ struct PhysReport
 class PhysicalModel
 {
   public:
-    explicit PhysicalModel(
-        const FlexIcTech &tech = FlexIcTech::defaults());
+    /** The model owns its technology by value: passing a temporary
+     *  (a parsed spec, a derived corner) is safe. */
+    explicit PhysicalModel(Technology tech = {});
 
     /** Implement a synthesized design at tech.implKhz. */
     PhysReport implement(const SynthReport &synth,
                          RfStyle rf_style) const;
 
   private:
-    const FlexIcTech &tech;
+    Technology tech;
 };
 
 } // namespace rissp

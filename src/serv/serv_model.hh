@@ -43,7 +43,9 @@ struct ServRunStats
 class ServModel
 {
   public:
-    explicit ServModel(const FlexIcTech &tech = FlexIcTech::defaults());
+    /** The model owns its technology by value: passing a temporary
+     *  (a parsed spec, a derived corner) is safe. */
+    explicit ServModel(Technology tech = {});
 
     /** Cycle cost of one retired instruction (bit-serial schedule). */
     static uint64_t cyclesFor(const RetireEvent &ev);
@@ -60,7 +62,7 @@ class ServModel
     static constexpr double kNominalCpi = 32.0;
 
   private:
-    const FlexIcTech &tech;
+    Technology tech;
 };
 
 } // namespace rissp

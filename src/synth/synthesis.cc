@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/bits.hh"
 #include "util/logging.hh"
@@ -10,14 +11,14 @@ namespace rissp
 {
 
 double
-SynthReport::ffAreaFraction(const FlexIcTech &tech) const
+SynthReport::ffAreaFraction(const TechParams &tech) const
 {
     const double ff_area = ffCount * tech.ffAreaGe;
     return ff_area / (combGates + ff_area);
 }
 
 double
-SynthReport::powerAtKhz(double khz, const FlexIcTech &tech) const
+SynthReport::powerAtKhz(double khz, const TechParams &tech) const
 {
     const double mhz = khz / 1000.0;
     const double comb_act =
@@ -32,16 +33,74 @@ SynthReport::powerAtKhz(double khz, const FlexIcTech &tech) const
 }
 
 double
-SynthReport::epiNanojoules(double cpi, const FlexIcTech &tech) const
+SynthReport::epiNanojoules(double cpi, const TechParams &tech) const
 {
     // EPI = P(fmax) / fmax * CPI (§4.2.4). mW / MHz = nJ.
     const double p_mw = powerAtKhz(fmaxKhz, tech);
     return p_mw / (fmaxKhz / 1000.0) * cpi;
 }
 
-SynthesisModel::SynthesisModel(const FlexIcTech &tech,
+size_t
+runFrequencySweep(SynthReport &rpt, const TechParams &tech)
+{
+    rpt.sweep.clear();
+    rpt.fmaxKhz = 0.0;
+
+    // Per-design invariants, hoisted out of the per-point loop: the
+    // resolved activities, the flop term of the power model, and the
+    // unconstrained-fmax effort normalizer.
+    const double comb_act =
+        rpt.combActivity > 0 ? rpt.combActivity
+                             : tech.risspCombActivity;
+    const double ff_act =
+        rpt.ffActivity > 0 ? rpt.ffActivity : tech.risspFfActivity;
+    const double ff_units =
+        rpt.ffCount * tech.ffPowerMultiplier * ff_act;
+    const double fmax_raw = 1.0e6 / rpt.criticalPathNs; // kHz
+    const double base_area = rpt.baseAreaGe;
+
+    // Defensive clamp: callers bound the point count (kMaxSweepPoints)
+    // before sweeping, but reserve() must never see a hostile cast.
+    rpt.sweep.reserve(static_cast<size_t>(
+        std::min(sweepPointCount(tech), kMaxSweepPoints)));
+
+    double sum_area = 0.0;
+    double sum_power = 0.0;
+    size_t met = 0;
+    for (double f = tech.sweepStartKhz; f <= tech.sweepEndKhz;
+         f += tech.sweepStepKhz) {
+        FreqPoint pt;
+        pt.targetKhz = f;
+        pt.slackNs = 1.0e6 / f - rpt.criticalPathNs;
+        // The tool upsizes and buffers as the constraint tightens.
+        const double effort = f / fmax_raw;
+        pt.areaGe = base_area *
+            (1.0 + tech.areaEffortAlpha * effort * effort * effort);
+        const double mhz = f / 1000.0;
+        const double comb_scaled =
+            rpt.combGates * pt.areaGe / base_area;
+        const double units = comb_scaled * comb_act + ff_units;
+        const double dyn_uw = units * tech.dynUwPerGeMhz * mhz;
+        const double static_uw = pt.areaGe * tech.staticUwPerGe;
+        pt.powerMw = (dyn_uw + static_uw) / 1000.0;
+        if (pt.met()) {
+            rpt.fmaxKhz = f;
+            sum_area += pt.areaGe;
+            sum_power += pt.powerMw;
+            ++met;
+        }
+        rpt.sweep.push_back(pt);
+    }
+    if (met != 0) {
+        rpt.avgAreaGe = sum_area / static_cast<double>(met);
+        rpt.avgPowerMw = sum_power / static_cast<double>(met);
+    }
+    return met;
+}
+
+SynthesisModel::SynthesisModel(Technology tech,
                                const HwLibrary &library)
-    : techRef(tech), lib(library)
+    : technology(std::move(tech)), lib(library)
 {
 }
 
@@ -144,56 +203,38 @@ SynthesisModel::synthesizeInternal(const InstrSubset &subset,
     rpt.subsetSize = subset.size();
     rpt.combGates = combGatesFor(subset, share);
     rpt.ffCount = fixedunits::kFfCount;
-    rpt.baseAreaGe = rpt.combGates + rpt.ffCount * techRef.ffAreaGe;
-    rpt.combActivity = techRef.risspCombActivity;
-    rpt.ffActivity = techRef.risspFfActivity;
+    rpt.baseAreaGe =
+        rpt.combGates + rpt.ffCount * technology.ffAreaGe;
+    rpt.combActivity = technology.risspCombActivity;
+    rpt.ffActivity = technology.risspFfActivity;
 
     // Timing: deepest stitched block + the ModularEX switch (select
     // depth grows with the number of blocks) + fetch, then the flop
     // sequencing overhead.
     const double switch_levels =
         ceilLog2(static_cast<uint32_t>(subset.size() + 2)) *
-        techRef.switchLevelDelay;
+        technology.switchLevelDelay;
     const double logic_levels = maxBlockDepth(subset) +
-        switch_levels + techRef.fetchDepthLevels;
-    rpt.criticalPathNs = logic_levels * techRef.gateDelayNs +
-        techRef.ffClkToQPlusSetupNs;
+        switch_levels + technology.fetchDepthLevels;
+    rpt.criticalPathNs = logic_levels * technology.gateDelayNs +
+        technology.ffClkToQPlusSetupNs;
 
-    // Frequency sweep, §4.2.1: 100 kHz start, +25 kHz steps, stop at
-    // 3 MHz. fmax = highest target with positive slack.
-    double sum_area = 0.0;
-    double sum_power = 0.0;
-    size_t met_points = 0;
-    const double fmax_raw = 1.0e6 / rpt.criticalPathNs; // kHz
-    for (double f = techRef.sweepStartKhz; f <= techRef.sweepEndKhz;
-         f += techRef.sweepStepKhz) {
-        FreqPoint pt;
-        pt.targetKhz = f;
-        pt.slackNs = 1.0e6 / f - rpt.criticalPathNs;
-        // The tool upsizes and buffers as the constraint tightens.
-        const double effort = f / fmax_raw;
-        pt.areaGe = rpt.baseAreaGe *
-            (1.0 + techRef.areaEffortAlpha * effort * effort * effort);
-        SynthReport at_effort = rpt;
-        at_effort.combGates =
-            rpt.combGates * pt.areaGe / rpt.baseAreaGe;
-        at_effort.baseAreaGe = pt.areaGe;
-        pt.powerMw = at_effort.powerAtKhz(f, techRef);
-        if (pt.met()) {
-            rpt.fmaxKhz = f;
-            sum_area += pt.areaGe;
-            sum_power += pt.powerMw;
-            ++met_points;
-        }
-        rpt.sweep.push_back(pt);
-    }
-    if (met_points == 0)
+    // The technology's frequency sweep (§4.2.1 for FlexIC): fmax =
+    // highest target with positive slack. Specs are bounded at
+    // validation (setTechParam), but a hand-built Technology can
+    // bypass that — re-check here so a hostile parameter set comes
+    // back as a value instead of an unbounded loop.
+    if (sweepPointCount(technology) > kMaxSweepPoints)
+        return Status::errorf(
+            ErrorCode::SynthError,
+            "technology '%s' sweeps %.3g points (limit %.0f)",
+            technology.name.c_str(), sweepPointCount(technology),
+            kMaxSweepPoints);
+    if (runFrequencySweep(rpt, technology) == 0)
         return Status::errorf(
             ErrorCode::SynthError,
             "design '%s' meets no sweep point (path %.0f ns)",
             name.c_str(), rpt.criticalPathNs);
-    rpt.avgAreaGe = sum_area / static_cast<double>(met_points);
-    rpt.avgPowerMw = sum_power / static_cast<double>(met_points);
     return rpt;
 }
 
@@ -210,47 +251,22 @@ SynthesisModel::synthesizePipelined(const InstrSubset &subset,
     constexpr double kFlushCtlGe = 45.0;
     rpt.ffCount += kPipelineFfs;
     rpt.combGates += kFlushCtlGe;
-    rpt.baseAreaGe = rpt.combGates + rpt.ffCount * techRef.ffAreaGe;
+    rpt.baseAreaGe =
+        rpt.combGates + rpt.ffCount * technology.ffAreaGe;
 
     const double switch_levels =
         ceilLog2(static_cast<uint32_t>(subset.size() + 2)) *
-        techRef.switchLevelDelay;
+        technology.switchLevelDelay;
     const double logic_levels =
         maxBlockDepth(subset) + switch_levels + 1.0; // flush mux
-    rpt.criticalPathNs = logic_levels * techRef.gateDelayNs +
-        techRef.ffClkToQPlusSetupNs;
+    rpt.criticalPathNs = logic_levels * technology.gateDelayNs +
+        technology.ffClkToQPlusSetupNs;
 
     // Redo the sweep with the shorter path and the heavier netlist.
-    rpt.sweep.clear();
-    rpt.fmaxKhz = 0.0;
-    double sum_area = 0.0;
-    double sum_power = 0.0;
-    size_t met = 0;
-    const double fmax_raw = 1.0e6 / rpt.criticalPathNs;
-    for (double f = techRef.sweepStartKhz; f <= techRef.sweepEndKhz;
-         f += techRef.sweepStepKhz) {
-        FreqPoint pt;
-        pt.targetKhz = f;
-        pt.slackNs = 1.0e6 / f - rpt.criticalPathNs;
-        const double effort = f / fmax_raw;
-        pt.areaGe = rpt.baseAreaGe *
-            (1.0 + techRef.areaEffortAlpha * effort * effort *
-             effort);
-        SynthReport at_effort = rpt;
-        at_effort.combGates =
-            rpt.combGates * pt.areaGe / rpt.baseAreaGe;
-        at_effort.baseAreaGe = pt.areaGe;
-        pt.powerMw = at_effort.powerAtKhz(f, techRef);
-        if (pt.met()) {
-            rpt.fmaxKhz = f;
-            sum_area += pt.areaGe;
-            sum_power += pt.powerMw;
-            ++met;
-        }
-        rpt.sweep.push_back(pt);
-    }
-    rpt.avgAreaGe = sum_area / static_cast<double>(met);
-    rpt.avgPowerMw = sum_power / static_cast<double>(met);
+    if (runFrequencySweep(rpt, technology) == 0)
+        panic("synthesizePipelined: design '%s' meets no sweep "
+              "point (path %.0f ns)", name.c_str(),
+              rpt.criticalPathNs);
     return rpt;
 }
 

@@ -1,14 +1,17 @@
 /**
  * @file
- * Analytical synthesis model for RISSPs on the FlexIC process.
+ * Analytical synthesis model for RISSPs, parameterized on a
+ * `Technology` (tech/technology.hh; the default is the paper's
+ * FlexIC process).
  *
  * Reproduces the §4.2 flow: the unoptimised RISSP (ModularEX stitched
  * to the fixed units) goes through "synthesis", which here means
  * resource sharing across instruction hardware blocks, a logic-depth
- * timing model, and the 100 kHz - 3 MHz / 25 kHz-step frequency sweep
- * whose positive-slack points produce the averaged area and power the
- * paper reports (Figures 6-8). The register file is excluded, as in
- * §4.2 ("Each RISSP is synthesized without the RF").
+ * timing model, and the technology's frequency sweep (FlexIC:
+ * 100 kHz - 3 MHz in 25 kHz steps) whose positive-slack points
+ * produce the averaged area and power the paper reports
+ * (Figures 6-8). The register file is excluded, as in §4.2 ("Each
+ * RISSP is synthesized without the RF").
  */
 
 #ifndef RISSP_SYNTH_SYNTHESIS_HH
@@ -20,7 +23,7 @@
 
 #include "blocks/library.hh"
 #include "core/subset.hh"
-#include "synth/flexic_tech.hh"
+#include "tech/technology.hh"
 #include "util/status.hh"
 
 namespace rissp
@@ -61,21 +64,38 @@ struct SynthReport
     double ffActivity = 0;
 
     /** FF share of placed area (Figure 10 annotates this). */
-    double ffAreaFraction(const FlexIcTech &tech) const;
+    double ffAreaFraction(const TechParams &tech) const;
 
     /** Power at an arbitrary operating point (mW). */
-    double powerAtKhz(double khz, const FlexIcTech &tech) const;
+    double powerAtKhz(double khz, const TechParams &tech) const;
 
     /** Energy per instruction at fmax (nJ), given a CPI (§4.2.4). */
-    double epiNanojoules(double cpi, const FlexIcTech &tech) const;
+    double epiNanojoules(double cpi, const TechParams &tech) const;
 };
+
+/**
+ * Run the §4.2.1 frequency sweep for a design whose netlist
+ * (combGates, ffCount, baseAreaGe, activities) and criticalPathNs
+ * are already filled in: rebuilds `sweep`, sets fmaxKhz and the
+ * positive-slack averages, and returns the number of met points
+ * (0 = the design meets nothing under this technology, averages
+ * untouched). One implementation serves the single-cycle, unshared,
+ * pipelined and Serv models. Incremental on purpose: the per-design
+ * invariants (activity resolution, the flop power term, the raw
+ * fmax) are hoisted out of the ~117-point loop, which previously
+ * re-derived them — and copied the whole growing report — at every
+ * point.
+ */
+size_t runFrequencySweep(SynthReport &rpt, const TechParams &tech);
 
 /** The synthesis engine. */
 class SynthesisModel
 {
   public:
+    /** The model owns its technology by value: passing a temporary
+     *  (a parsed spec, a derived corner) is safe. */
     explicit SynthesisModel(
-        const FlexIcTech &tech = FlexIcTech::defaults(),
+        Technology tech = {},
         const HwLibrary &library = HwLibrary::instance());
 
     /** Synthesize a RISSP for @p subset. The subset must be
@@ -124,7 +144,7 @@ class SynthesisModel
     std::map<std::string, double>
     resourceBreakdown(const InstrSubset &subset) const;
 
-    const FlexIcTech &tech() const { return techRef; }
+    const Technology &tech() const { return technology; }
 
   private:
     double combGatesFor(const InstrSubset &subset,
@@ -134,7 +154,7 @@ class SynthesisModel
     synthesizeInternal(const InstrSubset &subset,
                        const std::string &name, bool share) const;
 
-    const FlexIcTech &techRef;
+    Technology technology;
     const HwLibrary &lib;
 };
 

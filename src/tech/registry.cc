@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Built-in technologies and the tech-spec parser.
+ */
+
+#include "tech/registry.hh"
+
+#include <exception>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace rissp
+{
+
+namespace
+{
+
+Technology
+flexic()
+{
+    return Technology{};
+}
+
+Technology
+flexicSlow()
+{
+    Technology tech = flexic().atVoltage(2.4);
+    tech.name = "flexic-0.6um-slow";
+    tech.description =
+        "Pragmatic 0.6um IGZO FlexIC, 2.4 V slow corner";
+    return tech;
+}
+
+Technology
+flexicFast()
+{
+    Technology tech = flexic().atVoltage(3.6);
+    tech.name = "flexic-0.6um-fast";
+    tech.description =
+        "Pragmatic 0.6um IGZO FlexIC, 3.6 V fast corner";
+    return tech;
+}
+
+/**
+ * A generic bulk-CMOS node with plausibly scaled constants (order-of-
+ * magnitude literature values, not a PDK): gates three orders of
+ * magnitude faster than IGZO, a far smaller FF/NAND2 power ratio,
+ * cheap clock trees, and a frequency sweep re-centered on the
+ * hundreds-of-MHz range the node actually reaches.
+ */
+Technology
+silicon65()
+{
+    Technology tech;
+    tech.name = "silicon-65nm";
+    tech.description =
+        "Generic 65nm silicon CMOS, 1.2 V typical corner "
+        "(scaled constants, not a PDK)";
+    tech.supplyVoltageV = 1.2;
+    tech.gateDelayNs = 0.05;
+    tech.ffClkToQPlusSetupNs = 0.12;
+    tech.ffAreaGe = 6.0;
+    tech.rfLatchAreaGe = 1.8;
+    tech.nand2AreaUm2 = 1.4;
+    tech.placementUtilization = 0.70;
+    tech.dynUwPerGeMhz = 0.002;
+    tech.ffPowerMultiplier = 4.0;
+    tech.staticUwPerGe = 0.0015;
+    tech.sweepStartKhz = 10'000.0;
+    tech.sweepEndKhz = 800'000.0;
+    tech.sweepStepKhz = 10'000.0;
+    tech.routingOverhead = 1.18;
+    tech.ctsGePerFf = 2.0;
+    tech.implKhz = 100'000.0;
+    return tech;
+}
+
+} // namespace
+
+const TechRegistry &
+TechRegistry::builtins()
+{
+    static const TechRegistry registry = [] {
+        TechRegistry r;
+        for (Technology tech : {flexic(), flexicSlow(), flexicFast(),
+                                silicon65()}) {
+            const Status added = r.add(std::move(tech));
+            if (!added)
+                panic("TechRegistry::builtins: %s",
+                      added.message().c_str());
+        }
+        return r;
+    }();
+    return registry;
+}
+
+Status
+TechRegistry::add(Technology tech)
+{
+    if (tech.name.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "technology has no name");
+    if (find(tech.name))
+        return Status::errorf(ErrorCode::InvalidArgument,
+                              "technology '%s' already registered",
+                              tech.name.c_str());
+    entries.push_back(std::move(tech));
+    return Status::ok();
+}
+
+const Technology *
+TechRegistry::find(const std::string &name) const
+{
+    for (const Technology &tech : entries)
+        if (tech.name == name)
+            return &tech;
+    return nullptr;
+}
+
+Result<Technology>
+TechRegistry::parse(const std::string &spec) const
+{
+    const size_t colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    std::vector<std::string> problems;
+    ErrorCode code = ErrorCode::InvalidArgument;
+
+    Technology tech; // overrides still validate on an unknown name
+    if (const Technology *found = find(name)) {
+        tech = *found;
+    } else {
+        std::vector<std::string> known;
+        for (const Technology &t : entries)
+            known.push_back(t.name);
+        problems.push_back(strFormat(
+            "unknown technology '%s' (known: %s)", name.c_str(),
+            join(known, ", ").c_str()));
+        code = ErrorCode::NotFound;
+    }
+
+    if (colon != std::string::npos) {
+        for (const std::string &field :
+             split(spec.substr(colon + 1), ',')) {
+            const size_t eq = field.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                problems.push_back(strFormat(
+                    "override '%s' is not key=value",
+                    field.c_str()));
+                continue;
+            }
+            const std::string key = field.substr(0, eq);
+            const std::string word = field.substr(eq + 1);
+            size_t used = 0;
+            double value = 0;
+            try {
+                value = std::stod(word, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != word.size() || word.empty()) {
+                problems.push_back(strFormat(
+                    "override '%s': bad number '%s'", key.c_str(),
+                    word.c_str()));
+                continue;
+            }
+            const Status set = applyTechOverride(tech, key, value);
+            if (!set)
+                problems.push_back(set.message());
+        }
+        // A modified corner is its own technology: keep the full
+        // spec as its name so reports never conflate it with the
+        // unmodified base entry.
+        tech.name = spec;
+    }
+
+    if (!problems.empty())
+        return Status::errorf(code, "tech spec '%s': %s",
+                              spec.c_str(),
+                              join(problems, "; ").c_str());
+    return tech;
+}
+
+} // namespace rissp

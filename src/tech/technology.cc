@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Technology parameter access: named overrides with per-field
+ * validation, and voltage-corner derivation.
+ */
+
+#include "tech/technology.hh"
+
+#include <cmath>
+
+namespace rissp
+{
+
+namespace
+{
+
+/** Accepted range of one parameter. */
+struct ParamRange
+{
+    double min;
+    double max;
+};
+
+/** One settable constant. */
+struct ParamEntry
+{
+    const char *key;
+    double TechParams::*field;
+    ParamRange range;
+};
+
+// Activities, utilization and the routing factor have physical
+// bounds; everything else just has to be a positive, finite number.
+constexpr ParamRange kPositive{1e-9, 1e12};
+constexpr ParamRange kFraction{1e-9, 1.0};
+constexpr ParamRange kGrowth{1.0, 100.0};
+
+constexpr ParamEntry kParams[] = {
+    {"gateDelayNs", &TechParams::gateDelayNs, kPositive},
+    {"ffClkToQPlusSetupNs", &TechParams::ffClkToQPlusSetupNs,
+     kPositive},
+    {"fetchDepthLevels", &TechParams::fetchDepthLevels, kPositive},
+    {"switchLevelDelay", &TechParams::switchLevelDelay, kPositive},
+    {"ffAreaGe", &TechParams::ffAreaGe, kPositive},
+    {"rfLatchAreaGe", &TechParams::rfLatchAreaGe, kPositive},
+    {"nand2AreaUm2", &TechParams::nand2AreaUm2, kPositive},
+    {"placementUtilization", &TechParams::placementUtilization,
+     kFraction},
+    {"dynUwPerGeMhz", &TechParams::dynUwPerGeMhz, kPositive},
+    {"ffPowerMultiplier", &TechParams::ffPowerMultiplier, kPositive},
+    {"staticUwPerGe", &TechParams::staticUwPerGe, kPositive},
+    {"risspCombActivity", &TechParams::risspCombActivity, kFraction},
+    {"risspFfActivity", &TechParams::risspFfActivity, kFraction},
+    {"sweepStartKhz", &TechParams::sweepStartKhz, kPositive},
+    {"sweepEndKhz", &TechParams::sweepEndKhz, kPositive},
+    {"sweepStepKhz", &TechParams::sweepStepKhz, kPositive},
+    {"areaEffortAlpha", &TechParams::areaEffortAlpha, kPositive},
+    {"routingOverhead", &TechParams::routingOverhead, kGrowth},
+    {"ctsGePerFf", &TechParams::ctsGePerFf, kPositive},
+    {"ctsActivity", &TechParams::ctsActivity, kFraction},
+    {"implKhz", &TechParams::implKhz, kPositive},
+};
+
+constexpr ParamRange kVoltageRange{0.5, 12.0};
+
+Status
+outOfRange(const std::string &key, double value,
+           const ParamRange &range)
+{
+    return Status::errorf(
+        ErrorCode::InvalidArgument,
+        "tech constant '%s': value %g out of range [%g, %g]",
+        key.c_str(), value, range.min, range.max);
+}
+
+const ParamEntry *
+findEntry(const std::string &key)
+{
+    for (const ParamEntry &entry : kParams)
+        if (key == entry.key)
+            return &entry;
+    return nullptr;
+}
+
+/** Validate and commit one field. @p report_key is the key the
+ *  caller actually wrote (an alias may differ from the field), so
+ *  diagnostics always match the offending override. */
+Status
+setEntry(TechParams &params, const ParamEntry &entry,
+         const std::string &report_key, double value)
+{
+    if (!std::isfinite(value) || value < entry.range.min ||
+        value > entry.range.max)
+        return outOfRange(report_key, value, entry.range);
+    // Commit on a copy: derived bounds (the sweep point count)
+    // must hold before the caller's parameters change.
+    TechParams updated = params;
+    updated.*entry.field = value;
+    if (sweepPointCount(updated) > kMaxSweepPoints)
+        return Status::errorf(
+            ErrorCode::InvalidArgument,
+            "tech constant '%s': value %g makes the frequency "
+            "sweep %.3g points (limit %.0f); raise sweepStepKhz "
+            "before widening the window",
+            report_key.c_str(), value, sweepPointCount(updated),
+            kMaxSweepPoints);
+    params = updated;
+    return Status::ok();
+}
+
+} // namespace
+
+Technology
+Technology::atVoltage(double volts) const
+{
+    Technology corner = *this;
+    const double delay = (supplyVoltageV / volts) *
+        (supplyVoltageV / volts);
+    const double dyn = (volts / supplyVoltageV) *
+        (volts / supplyVoltageV);
+    corner.gateDelayNs *= delay;
+    corner.ffClkToQPlusSetupNs *= delay;
+    corner.dynUwPerGeMhz *= dyn;
+    corner.staticUwPerGe *= volts / supplyVoltageV;
+    corner.supplyVoltageV = volts;
+    return corner;
+}
+
+Status
+setTechParam(TechParams &params, const std::string &key,
+             double value)
+{
+    const ParamEntry *entry = findEntry(key);
+    if (!entry)
+        return Status::errorf(ErrorCode::InvalidArgument,
+                              "unknown tech constant '%s'",
+                              key.c_str());
+    return setEntry(params, *entry, key, value);
+}
+
+Status
+applyTechOverride(Technology &tech, const std::string &key,
+                  double value)
+{
+    if (key == "voltage") {
+        if (!std::isfinite(value) || value < kVoltageRange.min ||
+            value > kVoltageRange.max)
+            return outOfRange(key, value, kVoltageRange);
+        tech = tech.atVoltage(value);
+        return Status::ok();
+    }
+    if (key == "ffPowerRatio") // diagnostics under the typed key
+        return setEntry(tech, *findEntry("ffPowerMultiplier"), key,
+                        value);
+    return setTechParam(tech, key, value);
+}
+
+std::string
+appendSpecOverride(std::string spec, const std::string &field)
+{
+    spec += spec.find(':') == std::string::npos ? ':' : ',';
+    spec += field;
+    return spec;
+}
+
+const std::vector<std::string> &
+techParamKeys()
+{
+    static const std::vector<std::string> keys = [] {
+        std::vector<std::string> out;
+        for (const ParamEntry &entry : kParams)
+            out.emplace_back(entry.key);
+        return out;
+    }();
+    return keys;
+}
+
+} // namespace rissp

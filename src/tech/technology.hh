@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The technology value type: analytical model parameters + identity.
+ *
+ * The paper's numbers come from one process — Pragmatic's 0.6 µm
+ * IGZO-based FlexIC at 3 V — but the cost models themselves are
+ * technology-agnostic: timing is logic levels times a gate delay,
+ * area is NAND2-equivalents times a footprint, power is capacitance
+ * coefficients times activity. `TechParams` is that parameter set;
+ * `Technology` adds identity (name, description, supply voltage) so
+ * reports can say *which* process a number belongs to, and the
+ * registry (tech/registry.hh) can hold several side by side — the
+ * cross-technology comparison ("what would this RISSP cost on a
+ * silicon node?") the paper motivates but never runs.
+ *
+ * Models (`SynthesisModel`, `ServModel`, `PhysicalModel`) own their
+ * `Technology` **by value**: a caller may pass a temporary corner
+ * without creating a dangling reference.
+ */
+
+#ifndef RISSP_TECH_TECHNOLOGY_HH
+#define RISSP_TECH_TECHNOLOGY_HH
+
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace rissp
+{
+
+/**
+ * Analytical model constants of one process corner. Trivially
+ * copyable on purpose: the exploration engine fingerprints the
+ * object representation (explore/fingerprint.hh), so every constant
+ * an override sets lands in the memo key automatically.
+ *
+ * Defaults are the FlexIC process at 3 V, typical corner, calibrated
+ * so the full-ISA RISSP-RV32E baseline lands near the paper's
+ * reported operating point (fmax about 1.7 MHz, average area in the
+ * low-thousands of NAND2-equivalents, average power around 1 mW) and
+ * so the three FlexIC-specific facts the paper leans on hold:
+ *
+ *  1. a flip-flop burns ~10x the power of a NAND2 (§4.2.3);
+ *  2. IGZO gates at 3 V are slow (kHz-MHz, not GHz);
+ *  3. clock-tree buffering for FF-heavy designs is expensive enough
+ *     to invert synthesis-area orderings at P&R (§4.3, Figure 10).
+ */
+struct TechParams
+{
+    // ---- timing ----
+    double gateDelayNs = 15.4;      ///< NAND2 propagation delay
+    double ffClkToQPlusSetupNs = 30.0; ///< sequencing overhead per cycle
+    double fetchDepthLevels = 6.0;  ///< pc mux + IMEM interface levels
+    double switchLevelDelay = 1.2;  ///< ModularEX switch, per select level
+
+    // ---- area ----
+    double ffAreaGe = 4.5;          ///< FF area in NAND2-equivalents
+    double rfLatchAreaGe = 2.2;     ///< register-file bit cell
+    double nand2AreaUm2 = 420.0;    ///< placed NAND2 footprint
+    double placementUtilization = 0.60; ///< core-area utilization
+
+    // ---- power ----
+    /** Dynamic power per NAND2-equivalent per MHz at activity 1. */
+    double dynUwPerGeMhz = 1.0;
+    /** FF power relative to a NAND2 gate (paper §4.2.3: 10x). */
+    double ffPowerMultiplier = 10.0;
+    /** Static (leakage) power per NAND2-equivalent. */
+    double staticUwPerGe = 0.004;
+    /** Switching activity of single-cycle RISSP combinational logic. */
+    double risspCombActivity = 0.28;
+    /** Switching activity of RISSP state flops (pc mostly). */
+    double risspFfActivity = 0.41;
+
+    // ---- synthesis behaviour ----
+    double sweepStartKhz = 100.0;   ///< §4.2.1 frequency sweep start
+    double sweepEndKhz = 3000.0;    ///< sweep end (over-constrained)
+    double sweepStepKhz = 25.0;     ///< sweep step
+    /** Area inflation as the target frequency approaches fmax (the
+     *  synthesis tool upsizing/buffering under tighter constraints). */
+    double areaEffortAlpha = 0.12;
+
+    // ---- physical implementation (Figure 10) ----
+    double routingOverhead = 1.12;  ///< post-route comb area growth
+    double ctsGePerFf = 10.0;       ///< clock-tree buffer GE per FF
+    double ctsActivity = 0.55;      ///< clock buffers toggle each cycle
+    double implKhz = 300.0;         ///< §4.3 sign-off frequency
+};
+
+/** A named technology: model constants plus identity. The default
+ *  instance is the registry's `flexic-0.6um` entry, bit-identical to
+ *  the constants the repo has always used. */
+struct Technology : TechParams
+{
+    std::string name = "flexic-0.6um";
+    std::string description =
+        "Pragmatic 0.6um IGZO FlexIC, 3.0 V typical corner";
+    /** Nominal supply. Identity only — the timing/power effect of a
+     *  different voltage is applied by atVoltage(). */
+    double supplyVoltageV = 3.0;
+
+    /**
+     * Derive a voltage corner: delays scale with (v0/v)^2 (IGZO
+     * drive current roughly quadratic in overdrive), the dynamic
+     * power coefficient with (v/v0)^2 (CV^2 f) and leakage linearly
+     * with v. Name and description are kept; callers rename.
+     */
+    Technology atVoltage(double volts) const;
+};
+
+/** Most frequency-sweep points any technology may specify: bounds
+ *  the synthesis cost of a single validated spec (the FlexIC sweep
+ *  has 117 points; silicon-65nm 80). */
+constexpr double kMaxSweepPoints = 1.0e6;
+
+/** Points the technology's sweep will visit (0 when the window is
+ *  empty). A double on purpose: hostile parameters can push the
+ *  count beyond size_t. */
+inline double
+sweepPointCount(const TechParams &params)
+{
+    if (params.sweepEndKhz < params.sweepStartKhz)
+        return 0.0;
+    return (params.sweepEndKhz - params.sweepStartKhz) /
+        params.sweepStepKhz + 1.0;
+}
+
+/**
+ * Set one raw model constant by name, e.g. "gateDelayNs". Keys are
+ * user input: an unknown key is InvalidArgument, a non-finite,
+ * non-positive or otherwise out-of-range value is InvalidArgument
+ * naming the field and the accepted range — including derived
+ * ranges: a sweep window/step combination exceeding kMaxSweepPoints
+ * is rejected (raise sweepStepKhz before widening the window), and
+ * the parameter set is left unchanged on any error.
+ */
+Status setTechParam(TechParams &params, const std::string &key,
+                    double value);
+
+/**
+ * Apply one `key=value` override to a technology. Accepts every
+ * setTechParam() key plus the derived keys:
+ *
+ *  - `voltage`: re-derive the corner at this supply (atVoltage);
+ *  - `ffPowerRatio`: alias for ffPowerMultiplier.
+ */
+Status applyTechOverride(Technology &tech, const std::string &key,
+                         double value);
+
+/** Every key setTechParam() accepts, in declaration order. */
+const std::vector<std::string> &techParamKeys();
+
+/** Append one `key=value` override to a spec string (or a name that
+ *  is one): first override after the bare name joins with ':',
+ *  later ones with ','. The one composition rule behind registry
+ *  specs, plan-file word overrides and TechSpec labels. */
+std::string appendSpecOverride(std::string spec,
+                               const std::string &field);
+
+} // namespace rissp
+
+#endif // RISSP_TECH_TECHNOLOGY_HH

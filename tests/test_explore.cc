@@ -104,8 +104,9 @@ TEST(Plan, ParseRoundTrip)
         "subset tiny = addi add lw sw   # trailing comment\n"
         "subset fit  = @crc32\n"
         "subset full = @full\n"
-        "tech flexic\n"
-        "tech slow gateDelayNs=20 ffPowerMultiplier=12\n")
+        "tech flexic-0.6um\n"
+        "tech flexic-0.6um gateDelayNs=20 ffPowerMultiplier=12\n"
+        "tech silicon-65nm:ffPowerRatio=8\n")
         .take();
     EXPECT_EQ(plan.opt, minic::OptLevel::O1);
     EXPECT_EQ(plan.threads, 3u);
@@ -116,10 +117,16 @@ TEST(Plan, ParseRoundTrip)
     EXPECT_EQ(plan.subsets[1].kind, SubsetSpec::Kind::FromWorkload);
     EXPECT_EQ(plan.subsets[1].workload, "crc32");
     EXPECT_EQ(plan.subsets[2].kind, SubsetSpec::Kind::Full);
-    ASSERT_EQ(plan.techs.size(), 2u);
+    ASSERT_EQ(plan.techs.size(), 3u);
     EXPECT_DOUBLE_EQ(plan.techs[1].tech.gateDelayNs, 20.0);
     EXPECT_DOUBLE_EQ(plan.techs[1].tech.ffPowerMultiplier, 12.0);
-    EXPECT_EQ(plan.pointCount(), 12u);
+    // Overridden specs — colon or word form — are named after the
+    // full spec so their rows never share a label with the base.
+    EXPECT_EQ(plan.techs[1].tech.name,
+              "flexic-0.6um:gateDelayNs=20,ffPowerMultiplier=12");
+    EXPECT_EQ(plan.techs[2].tech.name, "silicon-65nm:ffPowerRatio=8");
+    EXPECT_DOUBLE_EQ(plan.techs[2].tech.ffPowerMultiplier, 8.0);
+    EXPECT_EQ(plan.pointCount(), 18u);
 }
 
 TEST(Plan, ParseRejectsGarbage)
@@ -138,8 +145,24 @@ TEST(Plan, ParseRejectsGarbage)
     EXPECT_NE(errorOf("workload not-a-workload\n")
                   .find("unknown workload"),
               std::string::npos);
-    EXPECT_NE(errorOf("tech t nosuchknob=1\n")
-                  .find("unknown constant"),
+    // Tech names resolve through the registry; unknown names list
+    // the known ones.
+    EXPECT_NE(errorOf("tech not-a-tech\n")
+                  .find("unknown technology 'not-a-tech'"),
+              std::string::npos);
+    EXPECT_NE(errorOf("tech not-a-tech\n").find("flexic-0.6um"),
+              std::string::npos);
+    EXPECT_NE(errorOf("tech flexic-0.6um nosuchknob=1\n")
+                  .find("unknown tech constant"),
+              std::string::npos);
+    EXPECT_NE(errorOf("tech flexic-0.6um:gateDelayNs=-4\n")
+                  .find("out of range"),
+              std::string::npos);
+    // One pass surfaces every problem of a spec, not just the first.
+    const std::string multi =
+        errorOf("tech flexic-0.6um:nosuchknob=1,voltage=99\n");
+    EXPECT_NE(multi.find("nosuchknob"), std::string::npos);
+    EXPECT_NE(multi.find("'voltage': value 99 out of range"),
               std::string::npos);
 }
 

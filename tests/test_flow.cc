@@ -244,6 +244,44 @@ TEST(FlowSynth, BaselinesAndPhysicalRide)
     EXPECT_GT(response.phys.report.dieAreaMm2, 0.0);
 }
 
+TEST(FlowSynth, RegistryTechSelectsTheCostModel)
+{
+    FlowService service;
+    SynthRequest request;
+    request.source = SourceRef::inlineText(kSumSource, "sum");
+
+    const SynthResponse flexic = service.synth(request);
+    ASSERT_TRUE(flexic.status.isOk());
+    EXPECT_EQ(flexic.synth.tech, "flexic-0.6um");
+
+    Result<explore::TechSpec> silicon =
+        explore::TechSpec::fromSpec("silicon-65nm");
+    ASSERT_TRUE(silicon.isOk());
+    request.tech = silicon.take();
+    const SynthResponse si = service.synth(request);
+    ASSERT_TRUE(si.status.isOk());
+    EXPECT_EQ(si.synth.tech, "silicon-65nm");
+    // Same netlist, different process: the silicon node clocks far
+    // higher than IGZO, and so does its full-ISA baseline.
+    EXPECT_GT(si.synth.app.fmaxKhz,
+              100.0 * flexic.synth.app.fmaxKhz);
+    EXPECT_DOUBLE_EQ(si.synth.app.combGates,
+                     flexic.synth.app.combGates);
+    ASSERT_TRUE(si.synth.baselinesRun);
+    EXPECT_GT(si.synth.fullIsa.fmaxKhz,
+              flexic.synth.fullIsa.fmaxKhz);
+}
+
+TEST(FlowSynth, UnknownRegistryTechIsNotFound)
+{
+    const Result<explore::TechSpec> spec =
+        explore::TechSpec::fromSpec("not-a-tech");
+    ASSERT_FALSE(spec.isOk());
+    EXPECT_EQ(spec.code(), ErrorCode::NotFound);
+    EXPECT_NE(spec.status().message().find("flexic-0.6um"),
+              std::string::npos);
+}
+
 // ------------------------------------------------------ retarget
 
 TEST(FlowRetarget, TargetWithoutKernelOpsIsInvalidArgument)
@@ -320,6 +358,47 @@ TEST(FlowExplore, ValidPlanSweeps)
     ASSERT_EQ(response.table.size(), 2u);
     EXPECT_TRUE(response.table.row(0).cosimPassed);
     EXPECT_EQ(response.stats.points, 2u);
+}
+
+TEST(FlowExplore, MultiTechPlanTagsEveryRow)
+{
+    FlowService service;
+    ExploreRequest request;
+    request.planText =
+        "mode cartesian\n"
+        "workload crc32\n"
+        "subset fit  = @crc32\n"
+        "subset full = @full\n"
+        "tech flexic-0.6um\n"
+        "tech silicon-65nm\n";
+    // Serial: the memo-hit assertions below depend on plan order.
+    request.options.threads = 1;
+    const ExploreResponse response = service.explore(request);
+    ASSERT_TRUE(response.status.isOk());
+    ASSERT_EQ(response.table.size(), 4u);
+    for (const explore::ExplorationResult &row :
+         response.table.rows()) {
+        EXPECT_TRUE(row.simRun && row.synthRun);
+        EXPECT_FALSE(row.techName.empty());
+        EXPECT_TRUE(row.techName == "flexic-0.6um" ||
+                    row.techName == "silicon-65nm")
+            << row.techName;
+    }
+    // Tech is the outer axis; the second corner reuses every
+    // simulation (the workload result is tech-independent) but
+    // synthesizes fresh.
+    EXPECT_EQ(response.table.row(0).techName, "flexic-0.6um");
+    EXPECT_EQ(response.table.row(2).techName, "silicon-65nm");
+    EXPECT_TRUE(response.table.row(2).simMemoHit);
+    EXPECT_FALSE(response.table.row(2).synthMemoHit);
+    EXPECT_GT(response.table.row(2).fmaxKhz,
+              response.table.row(0).fmaxKhz);
+    // The CSV/JSON emitters carry the tech name on every row.
+    const std::string csv = response.table.csv();
+    EXPECT_NE(csv.find(",silicon-65nm,"), std::string::npos);
+    const std::string json = response.table.json();
+    EXPECT_NE(json.find("\"tech\": \"silicon-65nm\""),
+              std::string::npos);
 }
 
 // ------------------------------------- shared caches & reentrancy

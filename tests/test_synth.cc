@@ -20,7 +20,7 @@ namespace rissp
 namespace
 {
 
-const FlexIcTech &kTech = FlexIcTech::defaults();
+const Technology kTech{}; // registry default: flexic-0.6um
 
 SynthReport
 synthOf(const std::string &workload_name)

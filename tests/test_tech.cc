@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the technology layer: the registry and its built-ins,
+ * the spec parser's per-field error collection, value ownership of
+ * the cost models (the dangling-reference regression), a golden test
+ * pinning the default `flexic-0.6um` numbers to the pre-registry
+ * constants, and cross-technology sanity (silicon vs IGZO).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/subset.hh"
+#include "explore/fingerprint.hh"
+#include "explore/plan.hh"
+#include "physimpl/physical.hh"
+#include "serv/serv_model.hh"
+#include "synth/synthesis.hh"
+#include "tech/registry.hh"
+
+namespace rissp
+{
+namespace
+{
+
+InstrSubset
+smallSubset()
+{
+    return InstrSubset::fromNames(
+        {"addi", "add", "lw", "sw", "jal", "beq"});
+}
+
+// ------------------------------------------------------- registry
+
+TEST(TechRegistry, BuiltinsListAtLeastFourTechnologies)
+{
+    const TechRegistry &reg = TechRegistry::builtins();
+    EXPECT_GE(reg.list().size(), 4u);
+    // The canonical names every CLI/plan references.
+    for (const char *name :
+         {"flexic-0.6um", "flexic-0.6um-slow", "flexic-0.6um-fast",
+          "silicon-65nm"}) {
+        const Technology *tech = reg.find(name);
+        ASSERT_NE(tech, nullptr) << name;
+        EXPECT_EQ(tech->name, name);
+        EXPECT_FALSE(tech->description.empty()) << name;
+    }
+    EXPECT_EQ(reg.find("not-a-tech"), nullptr);
+}
+
+TEST(TechRegistry, DefaultEntryIsTheDefaultTechnology)
+{
+    // The registry's flexic-0.6um and a default-constructed
+    // Technology must stay interchangeable — models default to the
+    // latter, specs resolve to the former.
+    const Technology *flexic =
+        TechRegistry::builtins().find("flexic-0.6um");
+    ASSERT_NE(flexic, nullptr);
+    EXPECT_EQ(explore::techFingerprint(*flexic),
+              explore::techFingerprint(Technology{}));
+}
+
+TEST(TechRegistry, DuplicateAndUnnamedEntriesAreRejected)
+{
+    TechRegistry reg;
+    EXPECT_TRUE(reg.add(Technology{}).isOk());
+    const Status dup = reg.add(Technology{});
+    EXPECT_EQ(dup.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(dup.message().find("already registered"),
+              std::string::npos);
+    Technology unnamed;
+    unnamed.name.clear();
+    EXPECT_EQ(reg.add(unnamed).code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(reg.list().size(), 1u);
+}
+
+// ---------------------------------------------------- spec parser
+
+TEST(TechSpec, PlainNameRoundTrips)
+{
+    const Result<Technology> parsed =
+        TechRegistry::builtins().parse("flexic-0.6um");
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().name, "flexic-0.6um");
+    EXPECT_EQ(explore::techFingerprint(parsed.value()),
+              explore::techFingerprint(Technology{}));
+}
+
+TEST(TechSpec, OverridesApplyAndRenameTheResult)
+{
+    const Result<Technology> parsed = TechRegistry::builtins().parse(
+        "flexic-0.6um:gateDelayNs=20,ffPowerRatio=8");
+    ASSERT_TRUE(parsed.isOk());
+    const Technology &tech = parsed.value();
+    EXPECT_DOUBLE_EQ(tech.gateDelayNs, 20.0);
+    EXPECT_DOUBLE_EQ(tech.ffPowerMultiplier, 8.0); // via the alias
+    // A modified corner is named after the full spec so result rows
+    // never conflate it with the unmodified base entry.
+    EXPECT_EQ(tech.name, "flexic-0.6um:gateDelayNs=20,ffPowerRatio=8");
+}
+
+TEST(TechSpec, VoltageDerivesAConsistentCorner)
+{
+    const TechRegistry &reg = TechRegistry::builtins();
+    const Technology slow =
+        reg.parse("flexic-0.6um:voltage=2.4").take();
+    const Technology base = Technology{};
+    EXPECT_DOUBLE_EQ(slow.supplyVoltageV, 2.4);
+    EXPECT_GT(slow.gateDelayNs, base.gateDelayNs);
+    EXPECT_LT(slow.dynUwPerGeMhz, base.dynUwPerGeMhz);
+    // The built-in slow corner is exactly this derivation.
+    EXPECT_EQ(explore::techFingerprint(slow),
+              explore::techFingerprint(
+                  *reg.find("flexic-0.6um-slow")));
+    // Re-deriving the nominal voltage is the identity.
+    EXPECT_EQ(explore::techFingerprint(
+                  reg.parse("flexic-0.6um:voltage=3").take()),
+              explore::techFingerprint(base));
+}
+
+TEST(TechSpec, UnknownNameListsTheKnownOnes)
+{
+    const Result<Technology> parsed =
+        TechRegistry::builtins().parse("tsmc-n3");
+    ASSERT_FALSE(parsed.isOk());
+    EXPECT_EQ(parsed.code(), ErrorCode::NotFound);
+    EXPECT_NE(parsed.status().message().find("unknown technology"),
+              std::string::npos);
+    EXPECT_NE(parsed.status().message().find("flexic-0.6um"),
+              std::string::npos);
+}
+
+TEST(TechSpec, EveryBadFieldOfASpecIsReported)
+{
+    const Result<Technology> parsed = TechRegistry::builtins().parse(
+        "flexic-0.6um:nosuchknob=1,gateDelayNs=abc,voltage=99,"
+        "placementUtilization=1.5");
+    ASSERT_FALSE(parsed.isOk());
+    const std::string &msg = parsed.status().message();
+    EXPECT_NE(msg.find("unknown tech constant 'nosuchknob'"),
+              std::string::npos);
+    EXPECT_NE(msg.find("bad number 'abc'"), std::string::npos);
+    EXPECT_NE(msg.find("'voltage': value 99 out of range"),
+              std::string::npos);
+    EXPECT_NE(msg.find("'placementUtilization': value 1.5"),
+              std::string::npos);
+}
+
+TEST(TechParams, EveryListedKeyIsSettable)
+{
+    EXPECT_GE(techParamKeys().size(), 20u);
+    TechParams params;
+    for (const std::string &key : techParamKeys())
+        EXPECT_TRUE(setTechParam(params, key, 1.0).isOk()) << key;
+    EXPECT_EQ(setTechParam(params, "frobnication", 1.0).code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(setTechParam(params, "gateDelayNs", -1.0).code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST(TechParams, SweepPointCountIsBounded)
+{
+    // A validated spec can never demand an unbounded synthesis
+    // sweep: the derived point count is checked, not just each
+    // field, and a rejected override leaves the params unchanged.
+    TechParams params;
+    const double step_before = params.sweepStepKhz;
+    const Status tiny_step =
+        setTechParam(params, "sweepStepKhz", 1e-6);
+    ASSERT_FALSE(tiny_step.isOk());
+    EXPECT_NE(tiny_step.message().find("raise sweepStepKhz"),
+              std::string::npos);
+    EXPECT_DOUBLE_EQ(params.sweepStepKhz, step_before);
+    EXPECT_FALSE(TechRegistry::builtins()
+                     .parse("flexic-0.6um:sweepStepKhz=0.000001")
+                     .isOk());
+
+    // A hand-built Technology bypasses spec validation; the model
+    // layer still refuses to sweep it — as a value, not a hang.
+    Technology hostile;
+    hostile.sweepStepKhz = 1e-6; // ~3e9 points
+    const Result<SynthReport> r = SynthesisModel(hostile)
+        .trySynthesize(smallSubset(), "hostile");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.code(), ErrorCode::SynthError);
+    EXPECT_NE(r.status().message().find("limit"),
+              std::string::npos);
+}
+
+TEST(TechSpec, HandBuiltCornersRenameLikeSpecs)
+{
+    explore::TechSpec corner;
+    ASSERT_TRUE(corner.trySet("gateDelayNs", 20.0).isOk());
+    ASSERT_TRUE(corner.trySet("ffPowerRatio", 8.0).isOk());
+    EXPECT_EQ(corner.tech.name,
+              "flexic-0.6um:gateDelayNs=20,ffPowerRatio=8");
+    // A failed override leaves the label untouched.
+    ASSERT_FALSE(corner.trySet("nosuchknob", 1.0).isOk());
+    EXPECT_EQ(corner.tech.name,
+              "flexic-0.6um:gateDelayNs=20,ffPowerRatio=8");
+}
+
+TEST(TechFingerprint, IdentityIsExcludedConstantsAreNot)
+{
+    Technology a;
+    Technology b;
+    b.name = "renamed";
+    b.description = "same constants, different label";
+    EXPECT_EQ(explore::techFingerprint(a),
+              explore::techFingerprint(b));
+    b.gateDelayNs += 0.1;
+    EXPECT_NE(explore::techFingerprint(a),
+              explore::techFingerprint(b));
+}
+
+// ------------------------------------- value ownership (bugfix)
+
+/** Builds a corner as a prvalue; under the old const-reference
+ *  members, binding this to a model dangled as soon as the full
+ *  expression ended. ASan (the CI sanitize job runs this test)
+ *  flags the stale reads; with value ownership there are none. */
+Technology
+temporaryCorner()
+{
+    return TechRegistry::builtins()
+        .parse("flexic-0.6um:voltage=2.4")
+        .take();
+}
+
+TEST(TechOwnership, ModelsSurviveTheirTemporaryTechnology)
+{
+    const SynthesisModel synth(temporaryCorner());
+    const ServModel serv(temporaryCorner());
+    const PhysicalModel phys(temporaryCorner());
+
+    // All three models read their technology after the temporaries
+    // died; every number must match a model built from a live value.
+    const Technology kept = temporaryCorner();
+    const SynthReport got = synth.synthesize(smallSubset(), "x");
+    const SynthReport want =
+        SynthesisModel(kept).synthesize(smallSubset(), "x");
+    EXPECT_DOUBLE_EQ(got.fmaxKhz, want.fmaxKhz);
+    EXPECT_DOUBLE_EQ(got.avgPowerMw, want.avgPowerMw);
+
+    EXPECT_DOUBLE_EQ(serv.synthReport().fmaxKhz,
+                     ServModel(kept).synthReport().fmaxKhz);
+    EXPECT_DOUBLE_EQ(
+        phys.implement(got, RfStyle::LatchArray).powerMw,
+        PhysicalModel(kept).implement(want, RfStyle::LatchArray)
+            .powerMw);
+    EXPECT_EQ(synth.tech().name, kept.name);
+}
+
+// ------------------------------------------------- golden pinning
+
+TEST(TechGolden, FlexicDefaultsMatchPreRegistryConstants)
+{
+    // Exact doubles captured from the pre-refactor implementation
+    // (PR 3 HEAD): the registry default must reproduce them
+    // bit-for-bit, which is what keeps every default-tech bench
+    // binary byte-identical.
+    const SynthesisModel model;
+    const SynthReport full =
+        model.synthesize(InstrSubset::fullRv32e(), "RISSP-RV32E");
+    EXPECT_DOUBLE_EQ(full.fmaxKhz, 1650.0);
+    EXPECT_DOUBLE_EQ(full.combGates, 4002.0);
+    EXPECT_DOUBLE_EQ(full.criticalPathNs, 602.88000000000011);
+    EXPECT_DOUBLE_EQ(full.avgAreaGe, 4287.4642448406357);
+    EXPECT_DOUBLE_EQ(full.avgPowerMw, 1.167124820001382);
+
+    const SynthReport small =
+        model.synthesize(smallSubset(), "small");
+    EXPECT_DOUBLE_EQ(small.fmaxKhz, 1925.0);
+    EXPECT_DOUBLE_EQ(small.avgAreaGe, 1942.332532535564);
+    EXPECT_DOUBLE_EQ(small.avgPowerMw, 0.66302362762240408);
+    EXPECT_DOUBLE_EQ(small.epiNanojoules(1.0, model.tech()),
+                     0.62771272727272731);
+
+    const SynthReport serv = ServModel().synthReport();
+    EXPECT_DOUBLE_EQ(serv.fmaxKhz, 2050.0);
+    EXPECT_DOUBLE_EQ(serv.avgAreaGe, 1944.1062354158905);
+    EXPECT_DOUBLE_EQ(serv.avgPowerMw, 1.6574302924261317);
+
+    const PhysReport impl =
+        PhysicalModel().implement(full, RfStyle::LatchArray);
+    EXPECT_DOUBLE_EQ(impl.totalGe, 6221.6400000000012);
+    EXPECT_DOUBLE_EQ(impl.dieAreaMm2, 4.3551480000000016);
+    EXPECT_DOUBLE_EQ(impl.powerMw, 0.52174992000000009);
+    EXPECT_DOUBLE_EQ(impl.implKhz, 300.0);
+}
+
+// ---------------------------------------------- cross-technology
+
+TEST(TechCrossNode, SiliconOutpacesIgzoAtEqualSubsets)
+{
+    const Technology silicon =
+        *TechRegistry::builtins().find("silicon-65nm");
+    for (const InstrSubset &subset :
+         {smallSubset(), InstrSubset::fullRv32e()}) {
+        const SynthReport igzo =
+            SynthesisModel().synthesize(subset, "igzo");
+        const SynthReport si =
+            SynthesisModel(silicon).synthesize(subset, "si");
+        // Same netlist (GE counts are process-neutral)…
+        EXPECT_DOUBLE_EQ(si.combGates, igzo.combGates);
+        // …but silicon clocks orders of magnitude higher and lands
+        // far below IGZO on energy per instruction.
+        EXPECT_GT(si.fmaxKhz, 100.0 * igzo.fmaxKhz);
+        EXPECT_LT(si.epiNanojoules(1.0, silicon),
+                  0.1 * igzo.epiNanojoules(1.0, Technology{}));
+    }
+    // Serv's bit-serial path rescales with the node too.
+    EXPECT_GT(ServModel(silicon).synthReport().fmaxKhz,
+              ServModel().synthReport().fmaxKhz);
+}
+
+TEST(TechCrossNode, VoltageCornersOrderFmax)
+{
+    const TechRegistry &reg = TechRegistry::builtins();
+    const InstrSubset subset = smallSubset();
+    const double slow =
+        SynthesisModel(*reg.find("flexic-0.6um-slow"))
+            .synthesize(subset, "slow").fmaxKhz;
+    const double typ =
+        SynthesisModel().synthesize(subset, "typ").fmaxKhz;
+    const double fast =
+        SynthesisModel(*reg.find("flexic-0.6um-fast"))
+            .synthesize(subset, "fast").fmaxKhz;
+    EXPECT_LT(slow, typ);
+    EXPECT_LT(typ, fast);
+}
+
+} // namespace
+} // namespace rissp
