@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Work-stealing stage scheduler — the one execution engine under both
+ * the design-space `Explorer` and the `FlowService` request verbs.
+ *
+ * Before this layer existed the repo had two execution models:
+ * `Explorer` ran whole plan cells on a batch-only work-stealing pool,
+ * and `FlowService` executed every request synchronously on the
+ * caller's thread. The `Scheduler` unifies them: the unit of work is
+ * a pipeline *stage* (compile, sim, cosim, synth, pnr), stages carry
+ * dependency edges, and one instance serves both a blocking
+ * whole-graph sweep (`runToCompletion`) and dynamic request traffic
+ * (`submit`). Identical in-flight stages are deduplicated one layer
+ * up, by the promise-backed entries of `flow::StageCaches`: the first
+ * stage to ask for a key computes it on its own worker, racers block
+ * on the shared future — so the scheduler never queues the same
+ * computation twice, it just runs whatever stage got there first.
+ *
+ * Execution rules:
+ *  - Workers pop their own deque LIFO (cache-warm) and steal FIFO
+ *    from victims, like the exploration pool this class absorbed.
+ *  - A scheduler constructed with 1 thread runs `runToCompletion`
+ *    inline on the caller, always executing the lowest-id ready node
+ *    next — the deterministic depth-first schedule the
+ *    byte-identical `--threads 1` outputs are pinned against.
+ *  - A stage that throws completes exceptionally; its dependents
+ *    never run and complete with the *same* exception, transitively.
+ *    `runToCompletion` rethrows the failure of the lowest-id failed
+ *    node after the whole graph has settled (independent stages
+ *    still run). `Handle::wait` rethrows for dynamic tasks.
+ *  - `cancel` stops a not-yet-started task; its waiters and
+ *    dependents observe `TaskCancelled`. Running tasks finish.
+ *
+ * Thread-safety: every method is safe to call from any thread,
+ * including from inside a running task (but a task must not wait on
+ * its own scheduler's unstarted work — block only on work that is
+ * computing on some thread, which is exactly what the StageCaches
+ * dedup guarantees).
+ */
+
+#ifndef RISSP_EXEC_SCHEDULER_HH
+#define RISSP_EXEC_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/task_graph.hh"
+
+namespace rissp::exec
+{
+
+/** Delivered to waiters and dependents of a cancelled task. */
+class TaskCancelled : public std::runtime_error
+{
+  public:
+    explicit TaskCancelled(const std::string &label)
+        : std::runtime_error(label.empty()
+                                 ? "task cancelled"
+                                 : "task cancelled: " + label)
+    {
+    }
+};
+
+/** The work-stealing stage scheduler. */
+class Scheduler
+{
+  public:
+    /** @p threads 0 picks std::thread::hardware_concurrency().
+     *  Worker threads start lazily on first use. */
+    explicit Scheduler(unsigned threads = 0);
+
+    /** Blocks until every submitted task has settled, then joins. */
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** A reference to one dynamically submitted task. */
+    class Handle
+    {
+      public:
+        struct Task; ///< opaque; defined by the scheduler
+
+        Handle() = default;
+
+        /** Block until the task settles; rethrows the task's
+         *  exception (or `TaskCancelled`, or a failed dependency's
+         *  exception) if it did not complete cleanly. */
+        void wait() const;
+
+        bool valid() const { return task != nullptr; }
+
+      private:
+        friend class Scheduler;
+        std::shared_ptr<Task> task;
+    };
+
+    /**
+     * Submit one task to run after every task in @p deps has
+     * completed cleanly. Returns immediately. If a dependency has
+     * already failed (or gets cancelled), the task never runs and
+     * completes with that dependency's exception.
+     */
+    Handle submit(TaskFn fn, const std::vector<Handle> &deps = {},
+                  std::string label = {});
+
+    /**
+     * Cancel a submitted task that has not started. Returns true if
+     * the task was cancelled (waiters and dependents observe
+     * `TaskCancelled`); false if it already started, settled, or the
+     * handle is empty. Never interrupts a running task.
+     */
+    bool cancel(const Handle &handle);
+
+    /**
+     * Execute every node of @p graph, respecting its edges; blocks
+     * until the graph has settled. With 1 thread, runs inline on the
+     * caller (lowest ready id first); otherwise the worker pool
+     * executes ready nodes concurrently, stealing as needed.
+     * Reentrant: concurrent graphs (and dynamic tasks) share the
+     * workers. If any node threw, rethrows the exception of the
+     * lowest-id failed node after the graph settles.
+     */
+    void runToCompletion(TaskGraph graph);
+
+    unsigned threadCount() const { return numThreads; }
+
+    /** Tasks obtained by stealing rather than from the executing
+     *  worker's own deque, over the scheduler's lifetime. */
+    uint64_t stealCount() const;
+
+    /** Task bodies actually executed (cancelled and dependency-
+     *  failed tasks are not counted). */
+    uint64_t tasksRun() const;
+
+  private:
+    using TaskPtr = std::shared_ptr<Handle::Task>;
+
+    /** Completion accounting for one runToCompletion call. */
+    struct Group;
+
+    void ensureWorkersLocked();
+    void workerLoop(unsigned self);
+    TaskPtr popLocked(unsigned self);
+    void enqueueReadyLocked(const TaskPtr &task, unsigned hint);
+    void completeLocked(const TaskPtr &task,
+                        std::exception_ptr error);
+    void failDependentsLocked(const TaskPtr &task,
+                              const std::exception_ptr &error);
+    void runSerial(TaskGraph &graph);
+
+    unsigned numThreads;
+
+    mutable std::mutex mu;
+    std::condition_variable workCv;  ///< workers: work or stop
+    std::condition_variable doneCv;  ///< waiters: a task settled
+    std::vector<std::deque<TaskPtr>> queues; ///< one per worker
+    std::vector<std::thread> workers;
+    bool stopping = false;
+    unsigned nextQueue = 0; ///< round-robin slot for external pushes
+    uint64_t steals = 0;
+    uint64_t executed = 0;
+};
+
+} // namespace rissp::exec
+
+#endif // RISSP_EXEC_SCHEDULER_HH

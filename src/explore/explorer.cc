@@ -6,8 +6,8 @@
 #include "explore/explorer.hh"
 
 #include "core/rissp.hh"
+#include "exec/scheduler.hh"
 #include "explore/fingerprint.hh"
-#include "explore/workpool.hh"
 #include "util/logging.hh"
 #include "verify/integration_verify.hh"
 #include "workloads/workloads.hh"
@@ -139,67 +139,117 @@ Explorer::explore(const ExplorationPlan &plan)
     const std::vector<PlanPoint> points = plan.expand();
     ResultTable table(points.size());
 
-    auto runPoint = [this, &plan, &table](const PlanPoint &pt) {
+    // Per-point state shared between that point's stage nodes. The
+    // sim and synth stages write disjoint members of the same row,
+    // so the two can run on different workers without a lock.
+    struct PointState
+    {
+        ExplorationResult row;
+        minic::CompileResult compiled; ///< filled when simulating
+        uint64_t subsetFp = 0;
+    };
+    std::vector<PointState> states(points.size());
+
+    // One subgraph per point, at pipeline-stage granularity:
+    //
+    //      prepare ──► sim ────┐
+    //         │    └──► synth ─┴─► row
+    //
+    // so one point's synthesis overlaps another's co-simulation and
+    // the scheduler steals whichever stage is ready. Nodes are added
+    // in plan order; with one thread the scheduler always runs the
+    // lowest-id ready node next, which finishes each point before
+    // starting the next — the old fully-serial schedule the per-row
+    // memo-hit flags are pinned against.
+    exec::TaskGraph graph;
+    for (const PlanPoint &pt : points) {
         const SubsetSpec &sspec = plan.subsets[pt.subsetIdx];
         const std::string &wlName = plan.workloads[pt.workloadIdx];
         const TechSpec &tech = plan.techs.empty()
             ? defaultTechSpec() : plan.techs[pt.techIdx];
+        PointState &state = states[pt.index];
 
-        ExplorationResult row;
-        row.index = pt.index;
-        row.subsetName = sspec.name;
-        row.workloadName = wlName;
-        row.techName = tech.tech.name;
-        row.subset = resolveSubset(sspec, plan.opt);
-        row.subsetSize = row.subset.size();
-        const uint64_t subsetFp = subsetFingerprint(row.subset);
+        const exec::TaskId prepare = graph.add(
+            [this, &plan, &sspec, &wlName, &tech, &state, pt] {
+                ExplorationResult &row = state.row;
+                row.index = pt.index;
+                row.subsetName = sspec.name;
+                row.workloadName = wlName;
+                row.techName = tech.tech.name;
+                row.subset = resolveSubset(sspec, plan.opt);
+                row.subsetSize = row.subset.size();
+                state.subsetFp = subsetFingerprint(row.subset);
+                if (opts.simulate)
+                    state.compiled =
+                        compileWorkload(wlName, plan.opt);
+            },
+            {}, "prepare");
 
+        std::vector<exec::TaskId> rowDeps{prepare};
         if (opts.simulate) {
-            const minic::CompileResult compiled =
-                compileWorkload(wlName, plan.opt);
-            const flow::SimOutcome sim = caches->sim.getOrCompute(
-                {subsetFp, workloadKey(wlName, plan.opt)},
-                [&] { return simulatePoint(row.subset, compiled); },
-                &row.simMemoHit);
-            row.simRun = true;
-            row.trapped = sim.trapped;
-            row.cosimPassed = sim.cosimPassed;
-            row.cycles = sim.cycles;
-            row.exitCode = sim.exitCode;
-            row.signature = sim.signature;
-        }
-
-        if (opts.synthesize) {
-            const flow::SynthOutcome synth =
-                caches->synth.getOrCompute(
-                {subsetFp, techFingerprint(tech.tech)},
-                [&] {
-                    return synthesizePoint(row.subset, sspec.name,
-                                           tech.tech);
+            rowDeps.push_back(graph.add(
+                [this, &plan, &wlName, &state] {
+                    ExplorationResult &row = state.row;
+                    const flow::SimOutcome sim =
+                        caches->sim.getOrCompute(
+                            {state.subsetFp,
+                             workloadKey(wlName, plan.opt)},
+                            [&] {
+                                return simulatePoint(row.subset,
+                                                     state.compiled);
+                            },
+                            &row.simMemoHit);
+                    row.simRun = true;
+                    row.trapped = sim.trapped;
+                    row.cosimPassed = sim.cosimPassed;
+                    row.cycles = sim.cycles;
+                    row.exitCode = sim.exitCode;
+                    row.signature = sim.signature;
+                    // The sim stage is the compiled image's only
+                    // consumer; release it so a large plan holds
+                    // at most the in-flight images, not one per
+                    // point for the whole sweep.
+                    state.compiled = {};
                 },
-                &row.synthMemoHit);
-            row.synthRun = true;
-            row.fmaxKhz = synth.fmaxKhz;
-            row.avgAreaGe = synth.avgAreaGe;
-            row.avgPowerMw = synth.avgPowerMw;
-            row.epiNj = synth.epiNj;
-            row.physRun = synth.physRun;
-            row.dieAreaMm2 = synth.dieAreaMm2;
-            row.physPowerMw = synth.physPowerMw;
+                {prepare}, "sim"));
         }
-
-        pointCount.fetch_add(1, std::memory_order_relaxed);
-        table.set(std::move(row));
-    };
+        if (opts.synthesize) {
+            rowDeps.push_back(graph.add(
+                [this, &sspec, &tech, &state] {
+                    ExplorationResult &row = state.row;
+                    const flow::SynthOutcome synth =
+                        caches->synth.getOrCompute(
+                            {state.subsetFp,
+                             techFingerprint(tech.tech)},
+                            [&] {
+                                return synthesizePoint(
+                                    row.subset, sspec.name,
+                                    tech.tech);
+                            },
+                            &row.synthMemoHit);
+                    row.synthRun = true;
+                    row.fmaxKhz = synth.fmaxKhz;
+                    row.avgAreaGe = synth.avgAreaGe;
+                    row.avgPowerMw = synth.avgPowerMw;
+                    row.epiNj = synth.epiNj;
+                    row.physRun = synth.physRun;
+                    row.dieAreaMm2 = synth.dieAreaMm2;
+                    row.physPowerMw = synth.physPowerMw;
+                },
+                {prepare}, "synth"));
+        }
+        graph.add(
+            [this, &table, &state] {
+                pointCount.fetch_add(1, std::memory_order_relaxed);
+                table.set(std::move(state.row));
+            },
+            rowDeps, "row");
+    }
 
     const unsigned threads =
         opts.threads != 0 ? opts.threads : plan.threads;
-    WorkStealingPool pool(threads);
-    std::vector<WorkStealingPool::Task> tasks;
-    tasks.reserve(points.size());
-    for (const PlanPoint &pt : points)
-        tasks.push_back([&runPoint, pt] { runPoint(pt); });
-    pool.run(std::move(tasks));
+    exec::Scheduler scheduler(threads);
+    scheduler.runToCompletion(std::move(graph));
     return table;
 }
 

@@ -6,7 +6,10 @@
  * subset (Step 1), builds the RISSP and runs the workload on it,
  * lock-step co-simulates against the reference ISS (§3.4.2), and
  * pushes the subset through the synthesis and physical-implementation
- * models (§4.2-4.3). Points run on a work-stealing thread pool;
+ * models (§4.2-4.3). Each point expands into a small stage subgraph
+ * (prepare → sim/synth → row) on an `exec::TaskGraph`, and the whole
+ * plan runs on a work-stealing `exec::Scheduler`, so one point's
+ * synthesis overlaps another's co-simulation;
  * simulation results are memoized on (subset fingerprint, workload
  * fingerprint) and synthesis results on (subset fingerprint, tech
  * fingerprint), so cartesian plans — where the same subset meets many

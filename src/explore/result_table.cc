@@ -43,12 +43,15 @@ num(double value)
     return jsonNum(value);
 }
 
-/** RFC 4180: quote a field when it contains a comma, quote or
- *  newline (names from plan files can legally contain commas). */
+/** RFC 4180: quote a field when it contains a comma, quote, CR or
+ *  newline, doubling embedded quotes. Overridden-corner technology
+ *  names (`flexic-0.6um:voltage=2.8,ffPowerRatio=8`) contain commas
+ *  on every row they label, so an unquoted emitter would silently
+ *  shift every later column. */
 std::string
 csvField(const std::string &s)
 {
-    if (s.find_first_of(",\"\n") == std::string::npos)
+    if (s.find_first_of(",\"\r\n") == std::string::npos)
         return s;
     std::string out = "\"";
     for (char c : s) {

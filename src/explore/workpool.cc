@@ -1,11 +1,13 @@
 /**
  * @file
- * Work-stealing pool implementation.
+ * WorkStealingPool: a flat batch is a dependency-free task graph.
  */
 
 #include "explore/workpool.hh"
 
 #include <thread>
+
+#include "exec/scheduler.hh"
 
 namespace rissp::explore
 {
@@ -26,64 +28,12 @@ WorkStealingPool::run(std::vector<Task> tasks)
     steals = 0;
     if (tasks.empty())
         return;
-    if (numThreads == 1) {
-        for (Task &t : tasks)
-            t();
-        return;
-    }
-
-    std::vector<WorkerQueue> queues(numThreads);
-    for (size_t i = 0; i < tasks.size(); ++i)
-        queues[i % numThreads].tasks.push_back(std::move(tasks[i]));
-
-    std::vector<std::thread> workers;
-    workers.reserve(numThreads);
-    for (unsigned w = 0; w < numThreads; ++w)
-        workers.emplace_back(&WorkStealingPool::workerLoop, this,
-                             std::ref(queues), w);
-    for (std::thread &t : workers)
-        t.join();
-}
-
-void
-WorkStealingPool::workerLoop(std::vector<WorkerQueue> &queues,
-                             unsigned self)
-{
-    uint64_t localSteals = 0;
-    for (;;) {
-        Task task;
-        // Own deque first, newest task (LIFO keeps caches warm).
-        {
-            WorkerQueue &own = queues[self];
-            std::lock_guard<std::mutex> lock(own.mu);
-            if (!own.tasks.empty()) {
-                task = std::move(own.tasks.back());
-                own.tasks.pop_back();
-            }
-        }
-        // Then steal the oldest task from another worker.
-        if (!task) {
-            for (unsigned off = 1; off < numThreads && !task; ++off) {
-                WorkerQueue &victim =
-                    queues[(self + off) % numThreads];
-                std::lock_guard<std::mutex> lock(victim.mu);
-                if (!victim.tasks.empty()) {
-                    task = std::move(victim.tasks.front());
-                    victim.tasks.pop_front();
-                    ++localSteals;
-                }
-            }
-        }
-        // Tasks never enqueue new tasks: every deque empty means the
-        // batch is drained (running tasks add nothing).
-        if (!task)
-            break;
-        task();
-    }
-    if (localSteals) {
-        std::lock_guard<std::mutex> lock(stealMu);
-        steals += localSteals;
-    }
+    exec::TaskGraph graph;
+    for (Task &task : tasks)
+        graph.add(std::move(task));
+    exec::Scheduler scheduler(numThreads);
+    scheduler.runToCompletion(std::move(graph));
+    steals = scheduler.stealCount();
 }
 
 } // namespace rissp::explore

@@ -1,28 +1,28 @@
 /**
  * @file
- * Work-stealing thread pool for exploration points.
+ * Batch adapter over the unified execution layer.
  *
- * Design-space points are wildly uneven — a 7-op subset cosimulates in
- * microseconds while the full-ISA synthesis sweep grinds through 117
- * frequency points — so static partitioning leaves threads idle.
- * Each worker owns a deque seeded round-robin; it pops from the back
- * of its own deque (hot cache) and steals from the front of a
- * victim's (oldest, likely biggest remaining chunk). Tasks never
- * spawn tasks, so a worker may exit once every deque reads empty.
+ * `WorkStealingPool` predates `exec::Scheduler` and used to own the
+ * work-stealing loop itself; the scheduler absorbed that loop when
+ * the unit of work moved from whole exploration points to pipeline
+ * stages. The class survives as a two-line convenience for "run this
+ * flat batch of independent tasks and block": it builds a dependency-
+ * free `TaskGraph` and hands it to a scheduler. New code with any
+ * structure to express should use `exec::Scheduler` directly.
  */
 
 #ifndef RISSP_EXPLORE_WORKPOOL_HH
 #define RISSP_EXPLORE_WORKPOOL_HH
 
-#include <deque>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 namespace rissp::explore
 {
 
-/** Run a fixed batch of tasks on a work-stealing pool. */
+/** Run a fixed batch of independent tasks on a work-stealing
+ *  scheduler. */
 class WorkStealingPool
 {
   public:
@@ -31,8 +31,9 @@ class WorkStealingPool
     /** @p threads 0 picks std::thread::hardware_concurrency(). */
     explicit WorkStealingPool(unsigned threads = 0);
 
-    /** Execute every task; blocks until all complete. Runs inline
-     *  when constructed with one thread. */
+    /** Execute every task; blocks until all complete. Runs inline,
+     *  in order, when constructed with one thread. A task exception
+     *  propagates to the caller after the batch settles. */
     void run(std::vector<Task> tasks);
 
     unsigned threadCount() const { return numThreads; }
@@ -42,17 +43,8 @@ class WorkStealingPool
     uint64_t stealCount() const { return steals; }
 
   private:
-    struct WorkerQueue
-    {
-        std::mutex mu;
-        std::deque<Task> tasks;
-    };
-
-    void workerLoop(std::vector<WorkerQueue> &queues, unsigned self);
-
     unsigned numThreads;
     uint64_t steals = 0;
-    std::mutex stealMu;
 };
 
 } // namespace rissp::explore

@@ -29,6 +29,7 @@
 #include "compiler/driver.hh"
 #include "explore/fingerprint.hh"
 #include "explore/memo.hh"
+#include "synth/synthesis.hh"
 #include "util/status.hh"
 
 namespace rissp::flow
@@ -74,7 +75,30 @@ struct StageCaches
     explore::MemoCache<explore::FingerprintPair, SynthOutcome,
                        explore::FingerprintPairHash>
         synth;
+
+    /** Key: `synthReportKey` (design name + subset, tech). The
+     *  *full* frequency-sweep report a request verb returns, where
+     *  the explore `synth` cache keeps only the tabulated summary.
+     *  Because the entries are promise-backed, the cache memoizes
+     *  in-flight *work*, not just finished results: ten concurrent
+     *  synth requests for the same subset sweep it once, the other
+     *  nine block on the first one's future. Impossible corners are
+     *  cached as error values like failed compiles. */
+    explore::MemoCache<explore::FingerprintPair, Result<SynthReport>,
+                       explore::FingerprintPairHash>
+        synthReport;
 };
+
+/** The one derivation of the full-report synthesis cache key: the
+ *  report embeds the design name, so the name is part of the key —
+ *  two names for the same subset are distinct entries (unlike the
+ *  summary cache, which is name-blind by design). */
+inline explore::FingerprintPair
+synthReportKey(const std::string &name, uint64_t subset_fp,
+               uint64_t tech_fp)
+{
+    return {explore::fnv1a(name, subset_fp), tech_fp};
+}
 
 /** The one place the source cache key is derived from: the same key
  *  must be produced for a workload compiled by an explore plan and

@@ -29,14 +29,18 @@
 #ifndef RISSP_FLOW_FLOW_HH
 #define RISSP_FLOW_FLOW_HH
 
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "blocks/structural.hh"
 #include "compiler/driver.hh"
 #include "core/subset.hh"
+#include "exec/scheduler.hh"
 #include "explore/explorer.hh"
 #include "flow/caches.hh"
 #include "physimpl/physical.hh"
@@ -272,14 +276,46 @@ struct ExploreResponse
 
 // -------------------------------------------------------- service
 
-/** The facade. One instance serves any number of clients. */
+/** Any request the service accepts — the batch/async currency. */
+using Request = std::variant<CharacterizeRequest, RunRequest,
+                             SynthRequest, RetargetRequest,
+                             ExploreRequest>;
+
+/** The response matching each Request alternative. */
+using Response = std::variant<CharacterizeResponse, RunResponse,
+                              SynthResponse, RetargetResponse,
+                              ExploreResponse>;
+
+/** The overall status of any response alternative. */
+const Status &responseStatus(const Response &response);
+
+/** The facade. One instance serves any number of clients.
+ *
+ *  Requests can be served three ways, all against the same shared
+ *  `StageCaches`:
+ *   - the synchronous verbs below, on the caller's thread;
+ *   - `submitAsync`, which decomposes the request into pipeline
+ *     stages (compile → exec → cosim; compile → app synth ∥
+ *     baselines → P&R; ...) on the service's work-stealing
+ *     `exec::Scheduler` and returns a future;
+ *   - `runBatch`, which submits a mixed batch and collects the
+ *     responses in request order.
+ *  Both paths run the *same* stage functions, so a batched response
+ *  is byte-identical to its synchronous twin; identical in-flight
+ *  work is deduplicated by the promise-backed cache entries (ten
+ *  concurrent requests for the same subset compile — and sweep — it
+ *  once). */
 class FlowService
 {
   public:
     /** @param caches stage caches to adopt; by default the service
-     *  creates its own set. */
+     *  creates its own set.
+     *  @param scheduler_threads worker threads for the async/batch
+     *  scheduler (0 = hardware concurrency); the scheduler starts
+     *  lazily on the first submitAsync/runBatch call. */
     explicit FlowService(
-        std::shared_ptr<StageCaches> caches = nullptr);
+        std::shared_ptr<StageCaches> caches = nullptr,
+        unsigned scheduler_threads = 0);
 
     CharacterizeResponse
     characterize(const CharacterizeRequest &request) const;
@@ -292,6 +328,21 @@ class FlowService
 
     ExploreResponse explore(const ExploreRequest &request) const;
 
+    /** Serve any request synchronously on the caller's thread. */
+    Response dispatch(const Request &request) const;
+
+    /** Submit a request onto the shared scheduler, decomposed into
+     *  its pipeline stages; returns immediately. The future carries
+     *  the same response the synchronous verb would produce (errors
+     *  stay values — the future only throws on an internal stage
+     *  panic-equivalent exception). */
+    std::future<Response> submitAsync(Request request) const;
+
+    /** Serve a mixed batch concurrently; blocks until every request
+     *  has settled and returns responses in request order. */
+    std::vector<Response>
+    runBatch(const std::vector<Request> &requests) const;
+
     /** Cumulative cache statistics across all requests served
      *  (`points` stays 0 — it is a per-Explorer counter). */
     explore::ExplorerStats stats() const;
@@ -301,13 +352,39 @@ class FlowService
         return stageCaches;
     }
 
+    /** The service's stage scheduler (started on first use). */
+    exec::Scheduler &scheduler() const;
+
   private:
+    // Per-verb pipeline state shared by a verb's stage functions;
+    // the synchronous verbs call the stages in order, submitAsync
+    // wires the same stages into a scheduler dependency graph.
+    struct RunJob;
+    struct SynthJob;
+    struct RetargetJob;
+
+    void runCompileStage(RunJob &job) const;
+    void runExecStage(RunJob &job) const;
+    void runCosimStage(RunJob &job) const;
+
+    void synthSubsetStage(SynthJob &job) const;
+    void synthAppStage(SynthJob &job) const;
+    void synthBaselineStage(SynthJob &job) const;
+    void synthFinishStage(SynthJob &job) const;
+
+    void retargetCompileStage(RetargetJob &job) const;
+    void retargetRewriteStage(RetargetJob &job) const;
+    void retargetEquivalenceStage(RetargetJob &job) const;
+
     /** Resolve + compile a source, memoized in the shared cache. */
     Result<minic::CompileResult>
     compileSource(const SourceRef &source, minic::OptLevel opt,
                   const minic::MachineOptions &machine = {}) const;
 
     std::shared_ptr<StageCaches> stageCaches;
+    unsigned schedulerThreads;
+    mutable std::once_flag schedulerOnce;
+    mutable std::unique_ptr<exec::Scheduler> stageScheduler;
 };
 
 } // namespace rissp::flow

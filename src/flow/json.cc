@@ -255,6 +255,38 @@ toJson(const RetargetResponse &response)
 }
 
 std::string
+toJson(const ExploreResponse &response)
+{
+    std::ostringstream out;
+    out << '{' << statusJson(response.status)
+        << ", \"points\": " << response.table.size()
+        << ", \"stats\": {\"compile_hits\": "
+        << response.stats.compileHits << ", \"compile_misses\": "
+        << response.stats.compileMisses << ", \"sim_hits\": "
+        << response.stats.simHits << ", \"sim_misses\": "
+        << response.stats.simMisses << ", \"synth_hits\": "
+        << response.stats.synthHits << ", \"synth_misses\": "
+        << response.stats.synthMisses << "}, \"table\": ";
+    if (response.table.size() == 0)
+        out << "[]\n";
+    else
+        out << response.table.json(); // ends with its own newline
+    // table.json() terminates with '\n'; close the object after it.
+    std::string text = out.str();
+    if (!text.empty() && text.back() == '\n')
+        text.pop_back();
+    text += "}\n";
+    return text;
+}
+
+std::string
+toJson(const Response &response)
+{
+    return std::visit(
+        [](const auto &r) { return toJson(r); }, response);
+}
+
+std::string
 toJson(const Status &status)
 {
     return "{" + statusJson(status) + "}\n";

@@ -26,6 +26,13 @@ std::string toJson(const RunResponse &response);
 std::string toJson(const SynthResponse &response);
 std::string toJson(const RetargetResponse &response);
 
+/** Status + cache statistics + the full result table (the table
+ *  rows use the ResultTable::json row schema). */
+std::string toJson(const ExploreResponse &response);
+
+/** Any batch/async response, dispatched to the emitter above. */
+std::string toJson(const Response &response);
+
 /** A bare status (e.g. a CLI-edge error) as a response-shaped
  *  object: {"status": {...}}. */
 std::string toJson(const Status &status);

@@ -1,11 +1,21 @@
 /**
  * @file
- * FlowService implementation: each verb walks the pipeline stages,
- * recording every stage it completes before a failure can cut the
- * walk short.
+ * FlowService implementation.
+ *
+ * Every multi-step verb is decomposed into *stage functions* over a
+ * per-request job struct: the synchronous verb calls its stages in
+ * order on the caller's thread, and `submitAsync` submits the same
+ * stages to the shared `exec::Scheduler` with dependency edges — one
+ * implementation, two execution disciplines, provably identical
+ * responses. Each stage guards on the job's accumulated status, so a
+ * failure short-circuits the remaining stages exactly like the old
+ * early returns did, while every stage that did complete stays in
+ * the response.
  */
 
 #include "flow/flow.hh"
+
+#include <atomic>
 
 #include "core/rissp.hh"
 #include "serv/serv_model.hh"
@@ -32,10 +42,30 @@ fillCompileStage(CompileStage &stage,
 
 } // namespace
 
-FlowService::FlowService(std::shared_ptr<StageCaches> caches)
-    : stageCaches(caches ? std::move(caches)
-                         : std::make_shared<StageCaches>())
+const Status &
+responseStatus(const Response &response)
 {
+    return std::visit(
+        [](const auto &r) -> const Status & { return r.status; },
+        response);
+}
+
+FlowService::FlowService(std::shared_ptr<StageCaches> caches,
+                         unsigned scheduler_threads)
+    : stageCaches(caches ? std::move(caches)
+                         : std::make_shared<StageCaches>()),
+      schedulerThreads(scheduler_threads)
+{
+}
+
+exec::Scheduler &
+FlowService::scheduler() const
+{
+    std::call_once(schedulerOnce, [this] {
+        stageScheduler =
+            std::make_unique<exec::Scheduler>(schedulerThreads);
+    });
+    return *stageScheduler;
 }
 
 Result<minic::CompileResult>
@@ -61,6 +91,8 @@ FlowService::compileSource(const SourceRef &source,
     });
 }
 
+// --------------------------------------------------- characterize
+
 CharacterizeResponse
 FlowService::characterize(const CharacterizeRequest &request) const
 {
@@ -79,194 +111,329 @@ FlowService::characterize(const CharacterizeRequest &request) const
     return response;
 }
 
-RunResponse
-FlowService::run(const RunRequest &request) const
+// ------------------------------------------------------------ run
+
+struct FlowService::RunJob
 {
+    RunRequest request;
     RunResponse response;
-    const Result<minic::CompileResult> compiled =
-        compileSource(request.source, request.opt);
-    if (!compiled) {
-        response.status = compiled.status();
-        return response;
+    std::optional<Result<minic::CompileResult>> compiled;
+};
+
+void
+FlowService::runCompileStage(RunJob &job) const
+{
+    job.compiled.emplace(
+        compileSource(job.request.source, job.request.opt));
+    if (!*job.compiled) {
+        job.response.status = job.compiled->status();
+        return;
     }
-    const Program &program = compiled.value().program;
-    fillCompileStage(response.compile, compiled.value(),
-                     request.opt);
+    fillCompileStage(job.response.compile, job.compiled->value(),
+                     job.request.opt);
+    job.response.subset.run = true;
+    job.response.subset.subset = job.request.subsetOverride
+        ? *job.request.subsetOverride
+        : InstrSubset::fromProgram(job.compiled->value().program);
+}
 
-    response.subset.run = true;
-    response.subset.subset = request.subsetOverride
-        ? *request.subsetOverride
-        : InstrSubset::fromProgram(program);
-
-    Rissp chip(response.subset.subset, "RISSP");
+void
+FlowService::runExecStage(RunJob &job) const
+{
+    if (!job.response.status.isOk())
+        return;
+    const Program &program = job.compiled->value().program;
+    Rissp chip(job.response.subset.subset, "RISSP");
     chip.reset(program);
-    const RunResult run = chip.run(request.maxSteps);
-    response.exec.run = true;
-    response.exec.reason = run.reason;
-    response.exec.stopPc = run.stopPc;
-    response.exec.cycles = run.instret;
-    response.exec.exitCode = run.exitCode;
-    response.exec.outputWords = chip.outputWords();
-    response.exec.outputText = chip.outputText();
+    const RunResult run = chip.run(job.request.maxSteps);
+    ExecStage &exec = job.response.exec;
+    exec.run = true;
+    exec.reason = run.reason;
+    exec.stopPc = run.stopPc;
+    exec.cycles = run.instret;
+    exec.exitCode = run.exitCode;
+    exec.outputWords = chip.outputWords();
+    exec.outputText = chip.outputText();
 
     switch (run.reason) {
       case StopReason::Trapped:
-        response.status = Status::errorf(
+        job.response.status = Status::errorf(
             ErrorCode::Trap,
             "trapped at pc=0x%x: instruction outside the subset",
             run.stopPc);
-        return response;
+        break;
       case StopReason::StepLimit:
-        response.status = Status::errorf(
+        job.response.status = Status::errorf(
             ErrorCode::StepLimit,
             "step limit of %llu cycles reached at pc=0x%x",
-            static_cast<unsigned long long>(request.maxSteps),
+            static_cast<unsigned long long>(job.request.maxSteps),
             run.stopPc);
-        return response;
+        break;
       default:
         break;
     }
+}
 
-    if (request.verify) {
-        // cosimulate() re-executes DUT and reference lock-step from
-        // reset; a verified run therefore executes the program
-        // twice, like the Figure 4 flow it mirrors. Deriving the
-        // exec stage from the cosim pass would halve that.
-        CosimOptions options;
-        options.maxSteps = request.maxSteps;
-        options.fault =
-            request.injectFault ? &*request.injectFault : nullptr;
-        const CosimReport cosim =
-            cosimulate(program, response.subset.subset, options);
-        response.cosim.run = true;
-        response.cosim.passed = cosim.passed;
-        response.cosim.instret = cosim.instret;
-        response.cosim.rvfiEventsChecked =
-            cosim.monitor.eventsChecked;
-        response.cosim.firstDivergence = cosim.firstDivergence;
-        if (!cosim.passed) {
-            response.status = Status::error(
-                ErrorCode::CosimMismatch,
-                "co-simulation diverged: " + cosim.firstDivergence);
-            return response;
-        }
+void
+FlowService::runCosimStage(RunJob &job) const
+{
+    // Skips after any upstream failure (including a trap or a step
+    // limit in the exec stage) and when verification wasn't asked
+    // for — the same paths the synchronous early returns took.
+    if (!job.response.status.isOk() || !job.request.verify)
+        return;
+    // cosimulate() re-executes DUT and reference lock-step from
+    // reset; a verified run therefore executes the program twice,
+    // like the Figure 4 flow it mirrors. Deriving the exec stage
+    // from the cosim pass would halve that.
+    CosimOptions options;
+    options.maxSteps = job.request.maxSteps;
+    options.fault = job.request.injectFault
+        ? &*job.request.injectFault : nullptr;
+    const CosimReport cosim =
+        cosimulate(job.compiled->value().program,
+                   job.response.subset.subset, options);
+    CosimStage &stage = job.response.cosim;
+    stage.run = true;
+    stage.passed = cosim.passed;
+    stage.instret = cosim.instret;
+    stage.rvfiEventsChecked = cosim.monitor.eventsChecked;
+    stage.firstDivergence = cosim.firstDivergence;
+    if (!cosim.passed) {
+        job.response.status = Status::error(
+            ErrorCode::CosimMismatch,
+            "co-simulation diverged: " + cosim.firstDivergence);
     }
-    return response;
+}
+
+RunResponse
+FlowService::run(const RunRequest &request) const
+{
+    RunJob job;
+    job.request = request;
+    runCompileStage(job);
+    runExecStage(job);
+    runCosimStage(job);
+    return std::move(job.response);
+}
+
+// ---------------------------------------------------------- synth
+
+struct FlowService::SynthJob
+{
+    SynthRequest request;
+    SynthResponse response;
+    /** Raw sweep results; applied to the response in deterministic
+     *  order by the finish stage, so the app and baseline sweeps
+     *  may run on different workers. */
+    std::optional<Result<SynthReport>> app;
+    std::optional<Result<SynthReport>> fullIsa;
+    std::optional<SynthReport> serv;
+};
+
+void
+FlowService::synthSubsetStage(SynthJob &job) const
+{
+    job.response.subset.run = true;
+    if (job.request.subsetOverride) {
+        job.response.subset.subset = *job.request.subsetOverride;
+        return;
+    }
+    const Result<minic::CompileResult> compiled =
+        compileSource(job.request.source, job.request.opt);
+    if (!compiled) {
+        job.response.status = compiled.status();
+        return;
+    }
+    fillCompileStage(job.response.compile, compiled.value(),
+                     job.request.opt);
+    job.response.subset.subset =
+        InstrSubset::fromProgram(compiled.value().program);
+}
+
+void
+FlowService::synthAppStage(SynthJob &job) const
+{
+    if (!job.response.status.isOk())
+        return;
+    const Technology &tech = job.request.tech.tech;
+    const InstrSubset &subset = job.response.subset.subset;
+    job.app = stageCaches->synthReport.getOrCompute(
+        synthReportKey(job.request.name,
+                       explore::subsetFingerprint(subset),
+                       explore::techFingerprint(tech)),
+        [&] {
+            return SynthesisModel(tech).trySynthesize(
+                subset, job.request.name);
+        });
+}
+
+void
+FlowService::synthBaselineStage(SynthJob &job) const
+{
+    // Runs concurrently with the app sweep under submitAsync; it
+    // only reads the tech and writes its own job slots, and the
+    // finish stage discards its results if the app sweep failed —
+    // matching the synchronous "baselines only after the app"
+    // response shape exactly.
+    if (!job.response.status.isOk() || !job.request.baselines)
+        return;
+    const Technology &tech = job.request.tech.tech;
+    const InstrSubset full = InstrSubset::fullRv32e();
+    job.fullIsa = stageCaches->synthReport.getOrCompute(
+        synthReportKey("RISSP-RV32E",
+                       explore::subsetFingerprint(full),
+                       explore::techFingerprint(tech)),
+        [&] {
+            return SynthesisModel(tech).trySynthesize(full,
+                                                      "RISSP-RV32E");
+        });
+    if (*job.fullIsa)
+        job.serv = ServModel(tech).synthReport();
+}
+
+void
+FlowService::synthFinishStage(SynthJob &job) const
+{
+    if (!job.response.status.isOk())
+        return;
+    if (!*job.app) {
+        job.response.status = job.app->status();
+        return;
+    }
+    SynthStage &synth = job.response.synth;
+    synth.run = true;
+    synth.tech = job.request.tech.tech.name;
+    // The job's results are detached copies of the cache entries
+    // and dead after this stage: move the sweep vectors out.
+    synth.app = job.app->take();
+
+    if (job.request.baselines) {
+        if (!*job.fullIsa) {
+            // The corner is so hostile even the baseline fails; the
+            // app numbers above still stand.
+            job.response.status = job.fullIsa->status();
+            return;
+        }
+        synth.baselinesRun = true;
+        synth.fullIsa = job.fullIsa->take();
+        synth.serv = std::move(*job.serv);
+    }
+
+    if (job.request.physical) {
+        const PhysicalModel phys(job.request.tech.tech);
+        job.response.phys.run = true;
+        job.response.phys.report =
+            phys.implement(synth.app, job.request.rfStyle);
+    }
 }
 
 SynthResponse
 FlowService::synth(const SynthRequest &request) const
 {
-    SynthResponse response;
-    response.subset.run = true;
-    if (request.subsetOverride) {
-        response.subset.subset = *request.subsetOverride;
-    } else {
-        const Result<minic::CompileResult> compiled =
-            compileSource(request.source, request.opt);
-        if (!compiled) {
-            response.status = compiled.status();
-            return response;
-        }
-        fillCompileStage(response.compile, compiled.value(),
-                         request.opt);
-        response.subset.subset =
-            InstrSubset::fromProgram(compiled.value().program);
-    }
+    SynthJob job;
+    job.request = request;
+    synthSubsetStage(job);
+    synthAppStage(job);
+    // The async graph runs the baseline sweep concurrently with the
+    // app sweep and lets the finish stage discard it on app failure;
+    // here the app outcome is already known, so a failed app skips
+    // the baselines entirely (the old early-return behavior).
+    if (!job.app || job.app->isOk())
+        synthBaselineStage(job);
+    synthFinishStage(job);
+    return std::move(job.response);
+}
 
-    const Technology &tech = request.tech.tech;
-    const SynthesisModel model(tech);
-    Result<SynthReport> app = model.trySynthesize(
-        response.subset.subset, request.name);
-    if (!app) {
-        response.status = app.status();
-        return response;
-    }
-    response.synth.run = true;
-    response.synth.tech = tech.name;
-    response.synth.app = app.take();
+// ------------------------------------------------------- retarget
 
-    if (request.baselines) {
-        Result<SynthReport> full = model.trySynthesize(
-            InstrSubset::fullRv32e(), "RISSP-RV32E");
-        if (!full) {
-            // The corner is so hostile even the baseline fails; the
-            // app numbers above still stand.
-            response.status = full.status();
-            return response;
-        }
-        response.synth.baselinesRun = true;
-        response.synth.fullIsa = full.take();
-        response.synth.serv = ServModel(tech).synthReport();
-    }
+struct FlowService::RetargetJob
+{
+    RetargetRequest request;
+    RetargetResponse response;
+    std::optional<Result<minic::CompileResult>> compiled;
+    InstrSubset target;
+};
 
-    if (request.physical) {
-        const PhysicalModel phys(tech);
-        response.phys.run = true;
-        response.phys.report =
-            phys.implement(response.synth.app, request.rfStyle);
+void
+FlowService::retargetCompileStage(RetargetJob &job) const
+{
+    job.compiled.emplace(
+        compileSource(job.request.source, job.request.opt));
+    if (!*job.compiled) {
+        job.response.status = job.compiled->status();
+        return;
     }
-    return response;
+    fillCompileStage(job.response.compile, job.compiled->value(),
+                     job.request.opt);
+}
+
+void
+FlowService::retargetRewriteStage(RetargetJob &job) const
+{
+    if (!job.response.status.isOk())
+        return;
+    job.target = job.request.target
+        ? *job.request.target : Retargeter::minimalSubset();
+    const Status valid = Retargeter::validateTarget(job.target);
+    if (!valid) {
+        job.response.status = valid;
+        return;
+    }
+    Retargeter tool(job.target);
+    job.response.retarget.run = true;
+    job.response.retarget.result =
+        tool.retarget(job.compiled->value().program);
+    const RetargetResult &result = job.response.retarget.result;
+    if (!result.ok) {
+        job.response.status = Status::error(ErrorCode::RetargetError,
+                                            result.error);
+    }
+}
+
+void
+FlowService::retargetEquivalenceStage(RetargetJob &job) const
+{
+    if (!job.response.status.isOk() ||
+        !job.request.verifyEquivalence) {
+        return;
+    }
+    const Program &program = job.compiled->value().program;
+    RefSim golden;
+    golden.reset(program);
+    const RunResult want = golden.run(job.request.maxSteps);
+    Rissp chip(job.target, "retarget-dut");
+    chip.reset(job.response.retarget.result.program);
+    const RunResult got = chip.run(job.request.maxSteps);
+
+    EquivalenceStage &eq = job.response.equivalence;
+    eq.run = true;
+    eq.refReason = want.reason;
+    eq.dutReason = got.reason;
+    eq.refExit = want.exitCode;
+    eq.dutExit = got.exitCode;
+    eq.matched = want.reason == got.reason &&
+        want.exitCode == got.exitCode &&
+        golden.outputWords() == chip.outputWords();
+    if (!eq.matched) {
+        job.response.status = Status::error(
+            ErrorCode::CosimMismatch,
+            "retargeted program diverges from the original");
+    }
 }
 
 RetargetResponse
 FlowService::retarget(const RetargetRequest &request) const
 {
-    RetargetResponse response;
-    const Result<minic::CompileResult> compiled =
-        compileSource(request.source, request.opt);
-    if (!compiled) {
-        response.status = compiled.status();
-        return response;
-    }
-    const Program &program = compiled.value().program;
-    fillCompileStage(response.compile, compiled.value(),
-                     request.opt);
-
-    const InstrSubset target = request.target
-        ? *request.target : Retargeter::minimalSubset();
-    const Status valid = Retargeter::validateTarget(target);
-    if (!valid) {
-        response.status = valid;
-        return response;
-    }
-
-    Retargeter tool(target);
-    response.retarget.run = true;
-    response.retarget.result = tool.retarget(program);
-    const RetargetResult &result = response.retarget.result;
-    if (!result.ok) {
-        response.status = Status::error(ErrorCode::RetargetError,
-                                        result.error);
-        return response;
-    }
-
-    if (request.verifyEquivalence) {
-        RefSim golden;
-        golden.reset(program);
-        const RunResult want = golden.run(request.maxSteps);
-        Rissp chip(target, "retarget-dut");
-        chip.reset(result.program);
-        const RunResult got = chip.run(request.maxSteps);
-
-        EquivalenceStage &eq = response.equivalence;
-        eq.run = true;
-        eq.refReason = want.reason;
-        eq.dutReason = got.reason;
-        eq.refExit = want.exitCode;
-        eq.dutExit = got.exitCode;
-        eq.matched = want.reason == got.reason &&
-            want.exitCode == got.exitCode &&
-            golden.outputWords() == chip.outputWords();
-        if (!eq.matched) {
-            response.status = Status::error(
-                ErrorCode::CosimMismatch,
-                "retargeted program diverges from the original");
-            return response;
-        }
-    }
-    return response;
+    RetargetJob job;
+    job.request = request;
+    retargetCompileStage(job);
+    retargetRewriteStage(job);
+    retargetEquivalenceStage(job);
+    return std::move(job.response);
 }
+
+// -------------------------------------------------------- explore
 
 ExploreResponse
 FlowService::explore(const ExploreRequest &request) const
@@ -293,6 +460,207 @@ FlowService::explore(const ExploreRequest &request) const
     response.table = explorer.explore(response.plan);
     response.stats = explorer.stats();
     return response;
+}
+
+// -------------------------------------------------- async / batch
+
+Response
+FlowService::dispatch(const Request &request) const
+{
+    return std::visit(
+        [this](const auto &r) -> Response {
+            using R = std::decay_t<decltype(r)>;
+            if constexpr (std::is_same_v<R, CharacterizeRequest>)
+                return characterize(r);
+            else if constexpr (std::is_same_v<R, RunRequest>)
+                return run(r);
+            else if constexpr (std::is_same_v<R, SynthRequest>)
+                return synth(r);
+            else if constexpr (std::is_same_v<R, RetargetRequest>)
+                return retarget(r);
+            else
+                return explore(r);
+        },
+        request);
+}
+
+namespace
+{
+
+/** Shared state of one in-flight async request: the job, the
+ *  response promise, and a once-latch so that whichever stage
+ *  settles the request first — the finish stage or a throwing
+ *  stage — is the only writer of the promise. */
+template <typename Job>
+struct AsyncState
+{
+    Job job;
+    std::promise<Response> promise;
+    std::atomic<bool> settled{false};
+
+    void
+    finish()
+    {
+        if (!settled.exchange(true))
+            promise.set_value(Response(std::move(job.response)));
+    }
+
+    /** Called from a stage's catch block; the exception also
+     *  propagates to the scheduler so dependent stages are
+     *  skipped. */
+    void
+    fail()
+    {
+        if (!settled.exchange(true))
+            promise.set_exception(std::current_exception());
+    }
+};
+
+/** Wrap a stage so an escaping exception settles the request's
+ *  future (errors-as-values never throw; this guards internal
+ *  bugs from turning into a never-ready future). */
+template <typename Job>
+exec::TaskFn
+guarded(std::shared_ptr<AsyncState<Job>> state,
+        void (FlowService::*stage)(Job &) const,
+        const FlowService *service)
+{
+    return [state, stage, service] {
+        try {
+            (service->*stage)(state->job);
+        } catch (...) {
+            state->fail();
+            throw;
+        }
+    };
+}
+
+} // namespace
+
+std::future<Response>
+FlowService::submitAsync(Request request) const
+{
+    exec::Scheduler &sched = scheduler();
+
+    // Single-stage requests (characterize resolves in one step;
+    // explore parallelizes internally through its own graph) run as
+    // one task; the multi-stage verbs decompose so the scheduler can
+    // interleave their stages with other requests' — and so two
+    // requests hitting the same promise-backed cache entry share the
+    // computation instead of queueing it twice.
+    return std::visit(
+        [this, &sched](auto &&req) -> std::future<Response> {
+            using R = std::decay_t<decltype(req)>;
+            if constexpr (std::is_same_v<R, RunRequest>) {
+                auto state = std::make_shared<AsyncState<RunJob>>();
+                state->job.request = std::move(req);
+                auto compile = sched.submit(
+                    guarded(state, &FlowService::runCompileStage,
+                            this),
+                    {}, "run:compile");
+                auto exec = sched.submit(
+                    guarded(state, &FlowService::runExecStage, this),
+                    {compile}, "run:exec");
+                sched.submit(
+                    [this, state] {
+                        try {
+                            runCosimStage(state->job);
+                            state->finish();
+                        } catch (...) {
+                            state->fail();
+                            throw;
+                        }
+                    },
+                    {exec}, "run:cosim");
+                return state->promise.get_future();
+            } else if constexpr (std::is_same_v<R, SynthRequest>) {
+                auto state =
+                    std::make_shared<AsyncState<SynthJob>>();
+                state->job.request = std::move(req);
+                auto subset = sched.submit(
+                    guarded(state, &FlowService::synthSubsetStage,
+                            this),
+                    {}, "synth:subset");
+                auto app = sched.submit(
+                    guarded(state, &FlowService::synthAppStage,
+                            this),
+                    {subset}, "synth:app");
+                auto baselines = sched.submit(
+                    guarded(state, &FlowService::synthBaselineStage,
+                            this),
+                    {subset}, "synth:baselines");
+                sched.submit(
+                    [this, state] {
+                        try {
+                            synthFinishStage(state->job);
+                            state->finish();
+                        } catch (...) {
+                            state->fail();
+                            throw;
+                        }
+                    },
+                    {app, baselines}, "synth:finish");
+                return state->promise.get_future();
+            } else if constexpr (std::is_same_v<R,
+                                                RetargetRequest>) {
+                auto state =
+                    std::make_shared<AsyncState<RetargetJob>>();
+                state->job.request = std::move(req);
+                auto compile = sched.submit(
+                    guarded(state, &FlowService::retargetCompileStage,
+                            this),
+                    {}, "retarget:compile");
+                auto rewrite = sched.submit(
+                    guarded(state, &FlowService::retargetRewriteStage,
+                            this),
+                    {compile}, "retarget:rewrite");
+                sched.submit(
+                    [this, state] {
+                        try {
+                            retargetEquivalenceStage(state->job);
+                            state->finish();
+                        } catch (...) {
+                            state->fail();
+                            throw;
+                        }
+                    },
+                    {rewrite}, "retarget:equivalence");
+                return state->promise.get_future();
+            } else {
+                // Characterize / Explore: one task.
+                auto promise =
+                    std::make_shared<std::promise<Response>>();
+                std::future<Response> future =
+                    promise->get_future();
+                sched.submit(
+                    [this, promise, req = std::move(req)] {
+                        try {
+                            promise->set_value(dispatch(req));
+                        } catch (...) {
+                            promise->set_exception(
+                                std::current_exception());
+                            throw;
+                        }
+                    },
+                    {}, "flow:request");
+                return future;
+            }
+        },
+        std::move(request));
+}
+
+std::vector<Response>
+FlowService::runBatch(const std::vector<Request> &requests) const
+{
+    std::vector<std::future<Response>> futures;
+    futures.reserve(requests.size());
+    for (const Request &request : requests)
+        futures.push_back(submitAsync(request));
+    std::vector<Response> responses;
+    responses.reserve(futures.size());
+    for (std::future<Response> &future : futures)
+        responses.push_back(future.get());
+    return responses;
 }
 
 explore::ExplorerStats

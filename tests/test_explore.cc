@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
 #include <stdexcept>
 
 #include "explore/explorer.hh"
@@ -391,6 +392,66 @@ TEST(Explorer, CharacterizeOnlySkipsSimAndSynth)
     EXPECT_EQ(r.subsetSize, r.subset.size());
     // Nothing qualifies for the frontier without sim + synth data.
     EXPECT_TRUE(table.paretoFrontier().empty());
+}
+
+// ------------------------------------------------------------ csv
+
+/** Count the columns of one RFC-4180 record (quote-aware). */
+size_t
+csvColumns(const std::string &line)
+{
+    size_t columns = 1;
+    bool quoted = false;
+    for (char c : line) {
+        if (c == '"')
+            quoted = !quoted;
+        else if (c == ',' && !quoted)
+            ++columns;
+    }
+    return columns;
+}
+
+TEST(ResultTableCsv, CommaBearingTechNamesAreQuoted)
+{
+    // Overridden-corner tech names carry the full spec — commas
+    // included — on every row they label; the emitter must quote
+    // them or every later column silently shifts.
+    ExplorationPlan plan;
+    plan.subsets = {SubsetSpec::fromWorkload("crc32", "fit")};
+    plan.workloads = {"crc32"};
+    plan.techs = {TechSpec::fromSpec(
+                      "flexic-0.6um:voltage=2.8,ffPowerRatio=8")
+                      .take()};
+    ExplorerOptions options;
+    options.threads = 1;
+    Explorer engine(options);
+    const ResultTable table = engine.explore(plan);
+    const std::string csv = table.csv();
+    EXPECT_NE(
+        csv.find("\"flexic-0.6um:voltage=2.8,ffPowerRatio=8\""),
+        std::string::npos)
+        << csv;
+
+    std::istringstream lines(csv);
+    std::string header;
+    ASSERT_TRUE(std::getline(lines, header));
+    for (std::string line; std::getline(lines, line);)
+        EXPECT_EQ(csvColumns(line), csvColumns(header)) << line;
+}
+
+TEST(ResultTableCsv, QuotesCrLfAndEmbeddedQuotesAreEscaped)
+{
+    ResultTable table(1);
+    ExplorationResult row;
+    row.index = 0;
+    row.subsetName = "a\"b";
+    row.workloadName = "w\r1";
+    row.techName = "t,x\ny";
+    table.set(row);
+    const std::string csv = table.csv();
+    EXPECT_NE(csv.find("\"a\"\"b\""), std::string::npos) << csv;
+    EXPECT_NE(csv.find("\"w\r1\""), std::string::npos) << csv;
+    EXPECT_NE(csv.find("\"t,x\ny\""), std::string::npos) << csv;
 }
 
 // --------------------------------------------------------------- pareto

@@ -471,6 +471,103 @@ TEST(FlowService, ConcurrentMixedRequestsAreSafe)
     EXPECT_EQ(service.stats().compileMisses, 2u);
 }
 
+// ------------------------------------------------- async & batch
+
+TEST(FlowBatch, MixedBatchMatchesSynchronousResponses)
+{
+    FlowService service;
+    std::vector<Request> requests;
+    CharacterizeRequest characterize;
+    characterize.source = SourceRef::bundled("crc32");
+    requests.push_back(characterize);
+    RunRequest run;
+    run.source = SourceRef::inlineText(kSumSource, "sum");
+    run.verify = true;
+    requests.push_back(run);
+    SynthRequest synth;
+    synth.source = SourceRef::bundled("crc32");
+    requests.push_back(synth);
+    RetargetRequest retarget;
+    retarget.source = SourceRef::bundled("crc32");
+    requests.push_back(retarget);
+    RunRequest bad;
+    bad.source = SourceRef::bundled("not-a-workload");
+    requests.push_back(bad);
+    ExploreRequest explore;
+    explore.planText = "workload crc32\nsubset fit = @crc32\n";
+    requests.push_back(explore);
+
+    const std::vector<Response> responses =
+        service.runBatch(requests);
+    ASSERT_EQ(responses.size(), requests.size());
+
+    // A failing request doesn't disturb its neighbours, and
+    // responses come back in request order.
+    EXPECT_TRUE(responseStatus(responses[0]).isOk());
+    EXPECT_TRUE(responseStatus(responses[3]).isOk());
+    EXPECT_EQ(responseStatus(responses[4]).code(),
+              ErrorCode::NotFound);
+    EXPECT_TRUE(responseStatus(responses[5]).isOk());
+
+    // Every batched response is byte-identical (JSON) to its
+    // synchronous twin from a fresh service. (The explore response
+    // embeds service-cumulative cache statistics, so only its table
+    // is compared.)
+    FlowService fresh;
+    for (size_t i = 0; i + 1 < requests.size(); ++i)
+        EXPECT_EQ(toJson(responses[i]),
+                  toJson(fresh.dispatch(requests[i])))
+            << "request " << i;
+    const auto *swept =
+        std::get_if<ExploreResponse>(&responses.back());
+    ASSERT_NE(swept, nullptr);
+    const Response syncExplore = fresh.dispatch(requests.back());
+    EXPECT_EQ(swept->table.csv(),
+              std::get<ExploreResponse>(syncExplore).table.csv());
+}
+
+TEST(FlowAsync, TenIdenticalSynthRequestsSweepOnce)
+{
+    // The promise-backed synthReport entries memoize in-flight
+    // *work*: ten concurrent requests for the same subset run the
+    // app sweep and the full-ISA baseline sweep once each, and the
+    // source compiles once.
+    FlowService service;
+    SynthRequest request;
+    request.source = SourceRef::bundled("crc32");
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 10; ++i)
+        futures.push_back(service.submitAsync(Request(request)));
+    std::string first;
+    for (std::future<Response> &future : futures) {
+        const Response response = future.get();
+        EXPECT_TRUE(responseStatus(response).isOk());
+        if (first.empty())
+            first = toJson(response);
+        else
+            EXPECT_EQ(toJson(response), first);
+    }
+    EXPECT_EQ(service.caches()->synthReport.misses(), 2u);
+    EXPECT_EQ(service.caches()->synthReport.hits(), 18u);
+    EXPECT_EQ(service.stats().compileMisses, 1u);
+}
+
+TEST(FlowAsync, FutureCarriesErrorsAsValues)
+{
+    FlowService service;
+    RunRequest request;
+    request.source = SourceRef::inlineText("}{", "broken");
+    std::future<Response> future =
+        service.submitAsync(Request(request));
+    const Response response = future.get(); // does not throw
+    EXPECT_EQ(responseStatus(response).code(),
+              ErrorCode::CompileError);
+    const auto *run = std::get_if<RunResponse>(&response);
+    ASSERT_NE(run, nullptr);
+    EXPECT_FALSE(run->compile.run);
+    EXPECT_FALSE(run->exec.run);
+}
+
 // ---------------------------------------------------------- json
 
 TEST(FlowJson, ResponsesRenderStatusAndStages)

@@ -13,9 +13,29 @@
  *                                           the bundled workloads
  *   risspgen techs                          list the registered
  *                                           technologies
+ *   risspgen batch <file|-> [--threads N]   serve many requests
+ *                                           concurrently (one per
+ *                                           line; see batch grammar
+ *                                           below)
  *
  * Every verb accepts --json: the machine-readable response from the
  * Flow API, verbatim (see flow/json.hh), instead of the human table.
+ *
+ * Batch files are line-oriented; '#' starts a comment. Each line is
+ * a request in the familiar verb syntax:
+ *
+ *   characterize @crc32 -O1
+ *   run @armpit --verify
+ *   synth @crc32 --tech silicon-65nm
+ *   retarget bench.c
+ *   explore sweep.plan
+ *
+ * The whole batch is handed to `FlowService::runBatch`, which
+ * decomposes every request into pipeline stages on one shared
+ * work-stealing scheduler — identical in-flight work (the same
+ * source compiled, the same subset swept) is computed once for the
+ * whole batch. Responses print in request order with a per-request
+ * status; the exit code is 0 only if every request succeeded.
  *
  * `synth` accepts --tech <spec> to cost the design on a registered
  * technology (tech/registry.hh grammar), e.g. --tech silicon-65nm or
@@ -32,6 +52,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -56,18 +77,28 @@ struct CliOptions
     bool json = false;
 };
 
+/** Map an `-Ox` word to its level; false when it is not one. */
+bool
+optLevelFromWord(const std::string &word, minic::OptLevel &out)
+{
+    if (word == "-O0") out = minic::OptLevel::O0;
+    else if (word == "-O1") out = minic::OptLevel::O1;
+    else if (word == "-O2") out = minic::OptLevel::O2;
+    else if (word == "-O3") out = minic::OptLevel::O3;
+    else if (word == "-Oz") out = minic::OptLevel::Oz;
+    else return false;
+    return true;
+}
+
 minic::OptLevel
 parseLevel(int argc, char **argv, int first)
 {
+    minic::OptLevel level = minic::OptLevel::O2;
     for (int i = first; i < argc; ++i) {
-        const std::string a = argv[i];
-        if (a == "-O0") return minic::OptLevel::O0;
-        if (a == "-O1") return minic::OptLevel::O1;
-        if (a == "-O2") return minic::OptLevel::O2;
-        if (a == "-O3") return minic::OptLevel::O3;
-        if (a == "-Oz") return minic::OptLevel::Oz;
+        if (optLevelFromWord(argv[i], level))
+            return level;
     }
-    return minic::OptLevel::O2;
+    return level;
 }
 
 /** Report a failed request and pick the exit code. */
@@ -82,21 +113,58 @@ reportError(const Status &status, bool json)
     return 1;
 }
 
+/** Read a whole file (MiniC sources, batch files, plan files — all
+ *  IO happens here, at the CLI edge; the service never opens
+ *  paths). */
+Result<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status::errorf(ErrorCode::NotFound,
+                              "cannot open '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
 /** Resolve a CLI source argument: `@name` stays a workload
  *  reference (the service validates it); anything else is a file
- *  read here, at the edge — the service never does IO. */
+ *  read at the edge. */
 Result<flow::SourceRef>
 resolveSource(const std::string &arg)
 {
     if (!arg.empty() && arg[0] == '@')
         return flow::SourceRef::bundled(arg.substr(1));
-    std::ifstream in(arg);
-    if (!in)
-        return Status::errorf(ErrorCode::NotFound,
-                              "cannot open '%s'", arg.c_str());
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    return flow::SourceRef::inlineText(buf.str(), arg);
+    Result<std::string> text = readFile(arg);
+    if (!text)
+        return text.status();
+    return flow::SourceRef::inlineText(text.take(), arg);
+}
+
+// Human-readable response printers, shared by the one-shot verbs
+// and the batch verb; each returns the verb's exit code.
+
+int
+printCharacterize(const flow::CharacterizeResponse &response,
+                  minic::OptLevel level)
+{
+    const InstrSubset &subset = response.subset.subset;
+    std::printf("optimization   : %s\n",
+                minic::optLevelName(level).c_str());
+    std::printf("code size      : %zu instructions (%zu bytes)\n",
+                response.compile.staticInstructions,
+                response.compile.textBytes);
+    std::printf("runtime helpers:");
+    for (const std::string &h : response.compile.helpers)
+        std::printf(" %s", h.c_str());
+    std::printf("%s\n",
+                response.compile.helpers.empty() ? " (none)" : "");
+    std::printf("subset         : %zu of %zu base instructions "
+                "(%.0f%%)\n", subset.size(), kFullIsaSize,
+                subset.fractionOfFullIsa() * 100.0);
+    std::printf("instructions   : %s\n", subset.describe().c_str());
+    return 0;
 }
 
 int
@@ -114,41 +182,12 @@ cmdCharacterize(const flow::FlowService &service,
         std::fputs(flow::toJson(response).c_str(), stdout);
         return 0;
     }
-    const InstrSubset &subset = response.subset.subset;
-    std::printf("optimization   : %s\n",
-                minic::optLevelName(cli.level).c_str());
-    std::printf("code size      : %zu instructions (%zu bytes)\n",
-                response.compile.staticInstructions,
-                response.compile.textBytes);
-    std::printf("runtime helpers:");
-    for (const std::string &h : response.compile.helpers)
-        std::printf(" %s", h.c_str());
-    std::printf("%s\n",
-                response.compile.helpers.empty() ? " (none)" : "");
-    std::printf("subset         : %zu of %zu base instructions "
-                "(%.0f%%)\n", subset.size(), kFullIsaSize,
-                subset.fractionOfFullIsa() * 100.0);
-    std::printf("instructions   : %s\n", subset.describe().c_str());
-    return 0;
+    return printCharacterize(response, cli.level);
 }
 
 int
-cmdRun(const flow::FlowService &service, const flow::SourceRef &src,
-       const CliOptions &cli)
+printRun(const flow::RunResponse &response)
 {
-    flow::RunRequest request;
-    request.source = src;
-    request.opt = cli.level;
-    const flow::RunResponse response = service.run(request);
-    // Trap and step-limit are valid outcomes of a valid request:
-    // the exec stage ran, so report it; only a request that never
-    // reached execution is an error.
-    if (!response.exec.run)
-        return reportError(response.status, cli.json);
-    if (cli.json) {
-        std::fputs(flow::toJson(response).c_str(), stdout);
-        return response.exec.reason == StopReason::Halted ? 0 : 1;
-    }
     const flow::ExecStage &exec = response.exec;
     const char *why = exec.reason == StopReason::Halted ? "halted"
         : exec.reason == StopReason::Trapped ? "TRAPPED"
@@ -169,26 +208,28 @@ cmdRun(const flow::FlowService &service, const flow::SourceRef &src,
 }
 
 int
-cmdSynth(const flow::FlowService &service, const flow::SourceRef &src,
-         const CliOptions &cli)
+cmdRun(const flow::FlowService &service, const flow::SourceRef &src,
+       const CliOptions &cli)
 {
-    flow::SynthRequest request;
+    flow::RunRequest request;
     request.source = src;
     request.opt = cli.level;
-    if (!cli.techSpec.empty()) {
-        Result<explore::TechSpec> tech =
-            explore::TechSpec::fromSpec(cli.techSpec);
-        if (!tech)
-            return reportError(tech.status(), cli.json);
-        request.tech = tech.take();
-    }
-    const flow::SynthResponse response = service.synth(request);
-    if (!response.status.isOk())
+    const flow::RunResponse response = service.run(request);
+    // Trap and step-limit are valid outcomes of a valid request:
+    // the exec stage ran, so report it; only a request that never
+    // reached execution is an error.
+    if (!response.exec.run)
         return reportError(response.status, cli.json);
     if (cli.json) {
         std::fputs(flow::toJson(response).c_str(), stdout);
-        return 0;
+        return response.exec.reason == StopReason::Halted ? 0 : 1;
     }
+    return printRun(response);
+}
+
+int
+printSynth(const flow::SynthResponse &response)
+{
     const SynthReport &mine = response.synth.app;
     const SynthReport &full = response.synth.fullIsa;
     const SynthReport &serv = response.synth.serv;
@@ -219,6 +260,30 @@ cmdSynth(const flow::FlowService &service, const flow::SourceRef &src,
                 impl.dieAreaMm2, impl.ffAreaFraction * 100.0,
                 impl.powerMw);
     return 0;
+}
+
+int
+cmdSynth(const flow::FlowService &service, const flow::SourceRef &src,
+         const CliOptions &cli)
+{
+    flow::SynthRequest request;
+    request.source = src;
+    request.opt = cli.level;
+    if (!cli.techSpec.empty()) {
+        Result<explore::TechSpec> tech =
+            explore::TechSpec::fromSpec(cli.techSpec);
+        if (!tech)
+            return reportError(tech.status(), cli.json);
+        request.tech = tech.take();
+    }
+    const flow::SynthResponse response = service.synth(request);
+    if (!response.status.isOk())
+        return reportError(response.status, cli.json);
+    if (cli.json) {
+        std::fputs(flow::toJson(response).c_str(), stdout);
+        return 0;
+    }
+    return printSynth(response);
 }
 
 int
@@ -256,20 +321,8 @@ cmdTechs(const CliOptions &cli)
 }
 
 int
-cmdRetarget(const flow::FlowService &service,
-            const flow::SourceRef &src, const CliOptions &cli)
+printRetarget(const flow::RetargetResponse &response)
 {
-    flow::RetargetRequest request;
-    request.source = src;
-    request.opt = cli.level;
-    const flow::RetargetResponse response =
-        service.retarget(request);
-    if (!response.retarget.run)
-        return reportError(response.status, cli.json);
-    if (cli.json) {
-        std::fputs(flow::toJson(response).c_str(), stdout);
-        return response.status.isOk() ? 0 : 1;
-    }
     const RetargetResult &res = response.retarget.result;
     if (!res.ok) {
         std::printf("retargeting failed: %s\n", res.error.c_str());
@@ -287,6 +340,24 @@ cmdRetarget(const flow::FlowService &service,
                 eq.matched ? "verified" : "MISMATCH", eq.refExit,
                 eq.dutExit);
     return eq.matched ? 0 : 1;
+}
+
+int
+cmdRetarget(const flow::FlowService &service,
+            const flow::SourceRef &src, const CliOptions &cli)
+{
+    flow::RetargetRequest request;
+    request.source = src;
+    request.opt = cli.level;
+    const flow::RetargetResponse response =
+        service.retarget(request);
+    if (!response.retarget.run)
+        return reportError(response.status, cli.json);
+    if (cli.json) {
+        std::fputs(flow::toJson(response).c_str(), stdout);
+        return response.status.isOk() ? 0 : 1;
+    }
+    return printRetarget(response);
 }
 
 int
@@ -318,6 +389,256 @@ cmdTable3(const flow::FlowService &service, const CliOptions &cli)
     return 0;
 }
 
+// ---------------------------------------------------------- batch
+
+/** One parsed batch-file line. */
+struct BatchEntry
+{
+    int line = 0;
+    std::string text; ///< the request line, verbatim, for reports
+    flow::Request request;
+};
+
+/**
+ * Parse one batch line: `<verb> <source> [flags...]` where source
+ * is `@workload`, a MiniC file, or (for explore) a plan file. File
+ * IO happens here, at the edge — the requests handed to the service
+ * are self-contained.
+ */
+Result<flow::Request>
+parseBatchLine(const std::string &line)
+{
+    std::istringstream in(line);
+    std::vector<std::string> words;
+    for (std::string word; in >> word;)
+        words.push_back(word);
+    if (words.size() < 2)
+        return Status::error(ErrorCode::ParseError,
+                             "expected '<verb> <source> [flags]'");
+    const std::string &verb = words[0];
+    const std::string &sourceArg = words[1];
+
+    if (verb == "explore") {
+        Result<std::string> plan = readFile(sourceArg);
+        if (!plan)
+            return plan.status();
+        flow::ExploreRequest request;
+        request.planText = plan.take();
+        if (words.size() > 2)
+            return Status::errorf(ErrorCode::ParseError,
+                                  "unknown explore flag '%s'",
+                                  words[2].c_str());
+        return flow::Request(std::move(request));
+    }
+
+    Result<flow::SourceRef> source = resolveSource(sourceArg);
+    if (!source)
+        return source.status();
+
+    minic::OptLevel level = minic::OptLevel::O2;
+    bool verify = false;
+    std::string techSpec;
+    for (size_t i = 2; i < words.size(); ++i) {
+        const std::string &word = words[i];
+        if (optLevelFromWord(word, level))
+            continue;
+        if (word == "--verify" && verb == "run") {
+            verify = true;
+            continue;
+        }
+        if (word == "--tech" && verb == "synth") {
+            if (i + 1 >= words.size())
+                return Status::error(ErrorCode::ParseError,
+                                     "--tech needs a value");
+            techSpec = words[++i];
+            continue;
+        }
+        return Status::errorf(ErrorCode::ParseError,
+                              "unknown flag '%s' for '%s'",
+                              word.c_str(), verb.c_str());
+    }
+
+    if (verb == "characterize") {
+        flow::CharacterizeRequest request;
+        request.source = source.take();
+        request.opt = level;
+        return flow::Request(std::move(request));
+    }
+    if (verb == "run") {
+        flow::RunRequest request;
+        request.source = source.take();
+        request.opt = level;
+        request.verify = verify;
+        return flow::Request(std::move(request));
+    }
+    if (verb == "synth") {
+        flow::SynthRequest request;
+        request.source = source.take();
+        request.opt = level;
+        if (!techSpec.empty()) {
+            Result<explore::TechSpec> tech =
+                explore::TechSpec::fromSpec(techSpec);
+            if (!tech)
+                return tech.status();
+            request.tech = tech.take();
+        }
+        return flow::Request(std::move(request));
+    }
+    if (verb == "retarget") {
+        flow::RetargetRequest request;
+        request.source = source.take();
+        request.opt = level;
+        return flow::Request(std::move(request));
+    }
+    return Status::errorf(ErrorCode::ParseError,
+                          "unknown verb '%s' (characterize, run, "
+                          "synth, retarget, explore)",
+                          verb.c_str());
+}
+
+/** The opt level a request was parsed with (for the human report
+ *  of a characterize response). */
+minic::OptLevel
+requestOptLevel(const flow::Request &request)
+{
+    if (const auto *c =
+            std::get_if<flow::CharacterizeRequest>(&request))
+        return c->opt;
+    return minic::OptLevel::O2;
+}
+
+/** Print one batch response body (human mode); mirrors what the
+ *  one-shot verbs print when their primary stage ran. */
+void
+printBatchBody(const flow::Request &request,
+               const flow::Response &response)
+{
+    if (const auto *r =
+            std::get_if<flow::CharacterizeResponse>(&response)) {
+        if (r->status.isOk())
+            printCharacterize(*r, requestOptLevel(request));
+    } else if (const auto *r =
+                   std::get_if<flow::RunResponse>(&response)) {
+        if (r->exec.run)
+            printRun(*r);
+    } else if (const auto *r =
+                   std::get_if<flow::SynthResponse>(&response)) {
+        if (r->status.isOk())
+            printSynth(*r);
+    } else if (const auto *r =
+                   std::get_if<flow::RetargetResponse>(&response)) {
+        if (r->retarget.run)
+            printRetarget(*r);
+    } else if (const auto *r =
+                   std::get_if<flow::ExploreResponse>(&response)) {
+        if (r->status.isOk())
+            std::printf("%zu points swept, %zu on the Pareto "
+                        "frontier\n",
+                        r->table.size(),
+                        r->table.paretoFrontier().size());
+    }
+}
+
+int
+cmdBatch(const CliOptions &cli, const std::string &fileArg,
+         unsigned threads)
+{
+    std::string text;
+    if (fileArg == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+    } else {
+        Result<std::string> file = readFile(fileArg);
+        if (!file)
+            return reportError(file.status(), cli.json);
+        text = file.take();
+    }
+
+    // Parse every line first; like plan files, one pass reports
+    // every malformed line, not just the first.
+    std::vector<BatchEntry> entries;
+    std::vector<std::string> errors;
+    std::istringstream lines(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(lines, line)) {
+        ++lineNo;
+        // A comment '#' must start a word, so paths containing '#'
+        // (e.g. my#file.c) survive.
+        for (size_t hash = line.find('#');
+             hash != std::string::npos;
+             hash = line.find('#', hash + 1)) {
+            if (hash == 0 || line[hash - 1] == ' ' ||
+                line[hash - 1] == '\t') {
+                line.erase(hash);
+                break;
+            }
+        }
+        const size_t last = line.find_last_not_of(" \t\r");
+        if (last == std::string::npos)
+            continue; // blank or comment-only
+        line.erase(last + 1);
+        Result<flow::Request> request = parseBatchLine(line);
+        if (!request) {
+            errors.push_back(
+                "batch line " + std::to_string(lineNo) + ": " +
+                request.status().message());
+            continue;
+        }
+        BatchEntry entry;
+        entry.line = lineNo;
+        entry.text = line;
+        entry.request = request.take();
+        entries.push_back(std::move(entry));
+    }
+    if (!errors.empty()) {
+        for (const std::string &message : errors)
+            std::fprintf(stderr, "risspgen: error: %s\n",
+                         message.c_str());
+        return 2;
+    }
+    if (entries.empty()) {
+        std::fprintf(stderr, "risspgen: error: batch file has no "
+                             "requests\n");
+        return 2;
+    }
+
+    const flow::FlowService service(nullptr, threads);
+    std::vector<flow::Request> requests;
+    requests.reserve(entries.size());
+    for (const BatchEntry &entry : entries)
+        requests.push_back(entry.request);
+    const std::vector<flow::Response> responses =
+        service.runBatch(requests);
+
+    size_t failed = 0;
+    if (cli.json)
+        std::printf("[\n");
+    for (size_t i = 0; i < responses.size(); ++i) {
+        const Status &status = flow::responseStatus(responses[i]);
+        if (!status.isOk())
+            ++failed;
+        if (cli.json) {
+            std::string row = flow::toJson(responses[i]);
+            row.pop_back(); // the emitter's trailing newline
+            std::printf("%s%s\n", row.c_str(),
+                        i + 1 < responses.size() ? "," : "");
+            continue;
+        }
+        std::printf("%s=== request %zu: %s\n    status: %s\n",
+                    i ? "\n" : "", i + 1, entries[i].text.c_str(),
+                    status.toString().c_str());
+        printBatchBody(entries[i].request, responses[i]);
+    }
+    if (cli.json)
+        std::printf("]\n");
+    else
+        std::printf("\n%zu/%zu requests succeeded\n",
+                    responses.size() - failed, responses.size());
+    return failed == 0 ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -329,7 +650,11 @@ usage()
         "               [--tech <name[:key=value,...]>]\n"
         "  retarget     <src.c|@workload> [-O0..-Oz] [--json]\n"
         "  table3 [--json]\n"
-        "  techs  [--json]            list registered technologies\n");
+        "  techs  [--json]            list registered technologies\n"
+        "  batch <file|-> [--threads N] [--json]\n"
+        "         serve one request per line concurrently; lines\n"
+        "         use the verb syntax above, plus 'run ... --verify'\n"
+        "         and 'explore <plan-file>'\n");
 }
 
 } // namespace
@@ -365,6 +690,49 @@ main(int argc, char **argv)
         std::fprintf(stderr, "risspgen: --tech only applies to "
                              "'synth'\n");
         return 2;
+    }
+
+    if (cli.command == "batch") {
+        if (argc < 3) {
+            usage();
+            return 2;
+        }
+        unsigned threads = 0;
+        for (int i = 3; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--json")
+                continue; // parsed by the global flag loop above
+            if (arg == "--threads") {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "risspgen: --threads "
+                                         "needs a value\n");
+                    return 2;
+                }
+                const std::string word = argv[++i];
+                size_t used = 0;
+                unsigned long n = 0;
+                try {
+                    n = std::stoul(word, &used);
+                } catch (const std::exception &) {
+                    used = 0;
+                }
+                if (word.empty() || used != word.size() ||
+                    word[0] == '-' || n > 4096) {
+                    std::fprintf(stderr,
+                                 "risspgen: bad --threads value "
+                                 "'%s'\n",
+                                 word.c_str());
+                    return 2;
+                }
+                threads = static_cast<unsigned>(n);
+                continue;
+            }
+            std::fprintf(stderr,
+                         "risspgen: unknown batch flag '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+        return cmdBatch(cli, argv[2], threads);
     }
 
     const flow::FlowService service;
