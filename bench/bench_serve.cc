@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Load generator for `risspgen serve`: an in-process HttpServer on a
+ * loopback port, hammered by real client threads over real sockets —
+ * the same tests/http_client.hh the black-box tests use, so the
+ * measured path is byte-for-byte the production path (accept thread,
+ * scheduler handoff, JSON parse, dispatch, flow::toJson, framing).
+ *
+ * Each scenario runs N concurrent clients (default 16) for a fixed
+ * wall-clock window and reports throughput plus p50/p95/p99 request
+ * latency. Results go to BENCH_serve.json so CI tracks the serving
+ * overhead trajectory the same way BENCH_simspeed.json tracks sim
+ * throughput.
+ *
+ * The serving FlowService gets one scheduler thread per client: a
+ * connection handler occupies its worker while the connection is
+ * open (see docs/SERVE.md), so a keep-alive load of N connections
+ * needs N workers to make progress on all of them.
+ *
+ *   bench_serve [--json <path>] [--clients <n>] [--min-time <s>]
+ *               [--quick]
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/flow.hh"
+#include "net/server.hh"
+#include "tests/http_client.hh"
+#include "util/json.hh"
+
+namespace
+{
+
+using namespace rissp;
+using Clock = std::chrono::steady_clock;
+
+struct Scenario
+{
+    std::string name;
+    std::string method;
+    std::string target;
+    std::string body;
+    bool keepAlive = true; ///< false: fresh connection per request
+};
+
+struct LoadResult
+{
+    std::string name;
+    unsigned clients = 0;
+    uint64_t requests = 0;
+    uint64_t errors = 0;
+    double seconds = 0;
+    double p50Ms = 0, p95Ms = 0, p99Ms = 0;
+
+    double rate() const
+    {
+        return seconds > 0 ? requests / seconds : 0;
+    }
+};
+
+double
+percentile(const std::vector<double> &sorted_ms, double q)
+{
+    if (sorted_ms.empty())
+        return 0;
+    const size_t rank = std::min(
+        sorted_ms.size() - 1,
+        static_cast<size_t>(q * (sorted_ms.size() - 1) + 0.5));
+    return sorted_ms[rank];
+}
+
+/** Run one scenario: @p clients threads, each looping requests on
+ *  its own connection until the deadline. */
+LoadResult
+runScenario(uint16_t port, const Scenario &scenario,
+            unsigned clients, double seconds)
+{
+    LoadResult result;
+    result.name = scenario.name;
+    result.clients = clients;
+
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<uint64_t> errors(clients, 0);
+    std::atomic<bool> go{false};
+
+    std::vector<std::thread> workers;
+    for (unsigned c = 0; c < clients; ++c)
+        workers.emplace_back([&, c] {
+            testutil::HttpClient client;
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            const auto deadline =
+                Clock::now() +
+                std::chrono::duration<double>(seconds);
+            while (Clock::now() < deadline) {
+                if (!client.connected() &&
+                    !client.connect(port)) {
+                    ++errors[c];
+                    continue;
+                }
+                const auto start = Clock::now();
+                const auto response = client.request(
+                    scenario.method, scenario.target,
+                    scenario.body, scenario.keepAlive);
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - start)
+                        .count();
+                if (!response || response->status != 200) {
+                    ++errors[c];
+                    client.disconnect();
+                    continue;
+                }
+                latencies[c].push_back(ms);
+                if (!scenario.keepAlive)
+                    client.disconnect();
+            }
+        });
+
+    const auto start = Clock::now();
+    go.store(true, std::memory_order_release);
+    for (std::thread &worker : workers)
+        worker.join();
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - start)
+            .count();
+
+    std::vector<double> merged;
+    for (unsigned c = 0; c < clients; ++c) {
+        merged.insert(merged.end(), latencies[c].begin(),
+                      latencies[c].end());
+        result.errors += errors[c];
+    }
+    result.requests = merged.size();
+    std::sort(merged.begin(), merged.end());
+    result.p50Ms = percentile(merged, 0.50);
+    result.p95Ms = percentile(merged, 0.95);
+    result.p99Ms = percentile(merged, 0.99);
+    return result;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<LoadResult> &results)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    out << "{\n  \"schema\": \"rissp-serve-v1\",\n"
+        << "  \"benchmarks\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const LoadResult &r = results[i];
+        out << "    {\"name\": \"" << jsonEscape(r.name)
+            << "\", \"clients\": " << r.clients
+            << ", \"requests\": " << r.requests
+            << ", \"errors\": " << r.errors
+            << ", \"seconds\": " << jsonNum(r.seconds)
+            << ", \"requests_per_second\": " << jsonNum(r.rate())
+            << ", \"p50_ms\": " << jsonNum(r.p50Ms)
+            << ", \"p95_ms\": " << jsonNum(r.p95Ms)
+            << ", \"p99_ms\": " << jsonNum(r.p99Ms)
+            << (i + 1 < results.size() ? "},\n" : "}\n");
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_serve.json";
+    unsigned clients = 16;
+    double min_time = 2.0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--clients") &&
+                   i + 1 < argc) {
+            clients = static_cast<unsigned>(
+                std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--min-time") &&
+                   i + 1 < argc) {
+            min_time = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            min_time = 0.4;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json <path>] "
+                         "[--clients <n>] [--min-time <seconds>] "
+                         "[--quick]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (clients == 0)
+        clients = 1;
+
+    // One worker per client so every keep-alive connection makes
+    // progress; headroom in the admission queue on top.
+    const flow::FlowService service(nullptr, clients);
+    net::ServeOptions options;
+    options.maxQueue = clients * 4;
+    net::HttpServer server(service, options);
+    const Status status = server.start();
+    if (!status.isOk()) {
+        std::fprintf(stderr, "bench_serve: %s\n",
+                     status.toString().c_str());
+        return 1;
+    }
+
+    const Scenario scenarios[] = {
+        // Pure serving overhead: no dispatch behind the endpoint.
+        {"serve_healthz", "GET", "/healthz", "", true},
+        // Cache-hot verb dispatch: the steady state of a daemon.
+        {"serve_characterize_hot", "POST", "/api/v1/characterize",
+         R"({"workload": "crc32"})", true},
+        {"serve_run_hot", "POST", "/api/v1/run",
+         R"({"workload": "crc32"})", true},
+        // Connection churn: accept + admission + teardown included.
+        {"serve_connect_per_request", "POST",
+         "/api/v1/characterize", R"({"workload": "crc32"})",
+         false},
+    };
+
+    // Warm the stage caches so "hot" scenarios measure serving, not
+    // one cold compile in one unlucky client.
+    for (const Scenario &scenario : scenarios)
+        if (scenario.method == "POST")
+            testutil::httpRequest(server.port(), "POST",
+                                  scenario.target, scenario.body);
+
+    std::vector<LoadResult> results;
+    uint64_t total_errors = 0;
+    for (const Scenario &scenario : scenarios) {
+        results.push_back(runScenario(server.port(), scenario,
+                                      clients, min_time));
+        const LoadResult &r = results.back();
+        total_errors += r.errors;
+        std::printf("%-26s %9.0f req/s  p50 %7.3fms  p95 %7.3fms"
+                    "  p99 %7.3fms  (%llu reqs, %u clients"
+                    ", %llu errors)\n",
+                    r.name.c_str(), r.rate(), r.p50Ms, r.p95Ms,
+                    r.p99Ms,
+                    static_cast<unsigned long long>(r.requests),
+                    r.clients,
+                    static_cast<unsigned long long>(r.errors));
+        std::fflush(stdout);
+    }
+
+    server.requestShutdown();
+    server.waitUntilStopped();
+
+    writeJson(json_path, results);
+    std::printf("wrote %s\n", json_path.c_str());
+    return total_errors == 0 ? 0 : 1;
+}

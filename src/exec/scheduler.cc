@@ -222,6 +222,7 @@ Scheduler::workerLoop(unsigned self)
         if (task->state != State::Ready)
             continue;
         task->state = State::Running;
+        ++running;
         lock.unlock();
         std::exception_ptr error;
         try {
@@ -231,6 +232,7 @@ Scheduler::workerLoop(unsigned self)
             error = std::current_exception();
         }
         lock.lock();
+        --running;
         ++executed;
         completeLocked(task, error);
     }
@@ -428,6 +430,25 @@ Scheduler::tasksRun() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return executed;
+}
+
+size_t
+Scheduler::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    size_t depth = 0;
+    for (const std::deque<TaskPtr> &queue : queues)
+        for (const TaskPtr &task : queue)
+            if (task->state == State::Ready)
+                ++depth; // stale (cancelled) entries don't count
+    return depth;
+}
+
+size_t
+Scheduler::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return running;
 }
 
 } // namespace rissp::exec

@@ -141,6 +141,14 @@ class Scheduler
      *  failed tasks are not counted). */
     uint64_t tasksRun() const;
 
+    /** Ready tasks sitting in worker deques right now — the queue
+     *  depth a /metrics endpoint reports. Snapshot only: the value
+     *  is stale the moment the lock drops. */
+    size_t queueDepth() const;
+
+    /** Task bodies executing on a worker right now (snapshot). */
+    size_t inFlight() const;
+
   private:
     using TaskPtr = std::shared_ptr<Handle::Task>;
 
@@ -168,6 +176,7 @@ class Scheduler
     unsigned nextQueue = 0; ///< round-robin slot for external pushes
     uint64_t steals = 0;
     uint64_t executed = 0;
+    size_t running = 0; ///< task bodies currently executing
 };
 
 } // namespace rissp::exec

@@ -1,0 +1,547 @@
+/**
+ * @file
+ * HttpServer implementation. Socket plumbing only — everything
+ * schema-shaped lives in net/rest.cc, everything byte-framing-shaped
+ * in util/http.cc.
+ *
+ * Thread model: the accept thread owns the listener and is the only
+ * admitter; each admitted connection runs as one task on the
+ * FlowService's scheduler and owns its fd until it closes it. The
+ * admission count is the number of admitted-but-unfinished
+ * connections, so a client that stalls mid-request occupies its slot
+ * (bounded by the socket IO timeout) — that is the point: slots
+ * bound server memory, and a stalled client is load.
+ */
+
+#include "net/server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+
+#include "flow/json.hh"
+#include "util/http.hh"
+#include "util/json.hh"
+
+namespace rissp::net
+{
+
+namespace
+{
+
+/** Append whatever is readable right now (bounded by the socket's
+ *  SO_RCVTIMEO). >0 bytes appended, 0 orderly close, -1 error or
+ *  timeout. */
+ssize_t
+recvSome(int fd, std::string &buffer)
+{
+    char chunk[16384];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n > 0)
+            buffer.append(chunk, static_cast<size_t>(n));
+        return n;
+    }
+}
+
+/** Send the whole buffer (bounded by SO_SNDTIMEO); false when the
+ *  peer went away or stopped reading. */
+bool
+sendAll(int fd, const std::string &data)
+{
+    size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+std::string
+toJson(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+    out << "{\"server\": {\"accepted\": " << snapshot.accepted
+        << ", \"active\": " << snapshot.activeConnections
+        << ", \"queue_capacity\": " << snapshot.queueCapacity
+        << ", \"rejected_shed_load\": " << snapshot.rejectedShedLoad
+        << ", \"http_errors\": " << snapshot.httpErrors
+        << ", \"draining\": " << jsonBool(snapshot.draining)
+        << "}, \"requests\": {";
+    for (size_t i = 0; i < kVerbCount; ++i)
+        out << (i ? ", " : "") << '"'
+            << verbName(static_cast<Verb>(i)) << "\": {\"total\": "
+            << snapshot.verbTotals[i] << ", \"errors\": "
+            << snapshot.verbErrors[i] << '}';
+    out << "}, \"scheduler\": {\"threads\": "
+        << snapshot.schedulerThreads << ", \"queue_depth\": "
+        << snapshot.schedulerQueueDepth << ", \"in_flight\": "
+        << snapshot.schedulerInFlight << ", \"executed\": "
+        << snapshot.schedulerExecuted << ", \"steals\": "
+        << snapshot.schedulerSteals << "}, \"caches\": {"
+        << "\"compile\": {\"hits\": " << snapshot.compileHits
+        << ", \"misses\": " << snapshot.compileMisses
+        << "}, \"sim\": {\"hits\": " << snapshot.simHits
+        << ", \"misses\": " << snapshot.simMisses
+        << "}, \"synth\": {\"hits\": " << snapshot.synthHits
+        << ", \"misses\": " << snapshot.synthMisses
+        << "}, \"synth_report\": {\"hits\": "
+        << snapshot.synthReportHits << ", \"misses\": "
+        << snapshot.synthReportMisses << "}}}\n";
+    return out.str();
+}
+
+HttpServer::HttpServer(const flow::FlowService &service,
+                       ServeOptions options)
+    : service(service), options(std::move(options))
+{
+}
+
+HttpServer::~HttpServer()
+{
+    if (started) {
+        requestShutdown();
+        waitUntilStopped();
+    }
+    closeFd(wakeReadFd);
+    closeFd(wakeWriteFd);
+    closeFd(listenFd);
+}
+
+Status
+HttpServer::start()
+{
+    if (started)
+        return Status::error(ErrorCode::Internal,
+                             "server already started");
+
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0)
+        return Status::errorf(ErrorCode::Internal, "pipe: %s",
+                              std::strerror(errno));
+    wakeReadFd = pipeFds[0];
+    wakeWriteFd = pipeFds[1];
+
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0) {
+        closeFd(wakeReadFd);
+        closeFd(wakeWriteFd);
+        return Status::errorf(ErrorCode::Internal, "socket: %s",
+                              std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (::inet_pton(AF_INET, options.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        closeFd(listenFd);
+        closeFd(wakeReadFd);
+        closeFd(wakeWriteFd);
+        return Status::errorf(ErrorCode::InvalidArgument,
+                              "bad bind address '%s'",
+                              options.bindAddress.c_str());
+    }
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listenFd, options.backlog) != 0) {
+        const Status status = Status::errorf(
+            ErrorCode::Unavailable, "cannot listen on %s:%u: %s",
+            options.bindAddress.c_str(), options.port,
+            std::strerror(errno));
+        closeFd(listenFd);
+        closeFd(wakeReadFd);
+        closeFd(wakeWriteFd);
+        return status;
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    boundPort = ntohs(addr.sin_port);
+
+    // Start the scheduler's workers before the first connection so
+    // admission never races lazy worker creation.
+    service.scheduler();
+
+    started = true;
+    acceptThread = std::thread(&HttpServer::acceptLoop, this);
+    return Status::ok();
+}
+
+void
+HttpServer::requestShutdown()
+{
+    // Async-signal-safe on purpose: one write(2) on a fd that was
+    // opened before the accept thread existed and is never
+    // reassigned while it runs. No locks, no allocation.
+    if (wakeWriteFd >= 0) {
+        const char byte = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(wakeWriteFd, &byte, 1);
+    }
+}
+
+void
+HttpServer::waitUntilStopped()
+{
+    if (acceptThread.joinable())
+        acceptThread.join();
+}
+
+void
+HttpServer::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {{listenFd, POLLIN, 0},
+                         {wakeReadFd, POLLIN, 0}};
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents != 0)
+            break; // shutdown requested
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+
+        sockaddr_in peer{};
+        socklen_t len = sizeof peer;
+        const int fd = ::accept(
+            listenFd, reinterpret_cast<sockaddr *>(&peer), &len);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break;
+        }
+        timeval tv{};
+        tv.tv_sec = options.ioTimeoutMs / 1000;
+        tv.tv_usec = (options.ioTimeoutMs % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+        bool admit = false;
+        {
+            std::lock_guard<std::mutex> lock(stateMu);
+            if (activeCount < options.maxQueue) {
+                ++activeCount;
+                admit = true;
+            }
+        }
+        if (!admit) {
+            // Shed load at the door: a bounded structured refusal
+            // instead of an unbounded queue. The client can retry.
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            const std::string body = flow::toJson(Status::errorf(
+                ErrorCode::Unavailable,
+                "server at capacity (%zu connections in flight); "
+                "retry later",
+                options.maxQueue));
+            sendAll(fd, http::buildResponse(429, body));
+            ::close(fd);
+            continue;
+        }
+        accepted.fetch_add(1, std::memory_order_relaxed);
+        service.scheduler().submit(
+            [this, fd] { handleConnection(fd); }, {}, "http:conn");
+    }
+
+    // Drain: stop accepting (closing the listener makes the kernel
+    // refuse new connections), then wait for every admitted
+    // connection to finish and flush.
+    drainFlag.store(true, std::memory_order_release);
+    closeFd(listenFd);
+    std::unique_lock<std::mutex> lock(stateMu);
+    idleCv.wait(lock, [&] { return activeCount == 0; });
+}
+
+std::string
+HttpServer::errorResponse(int http_status, Status status,
+                          bool keep_alive)
+{
+    noteResponse(http_status);
+    return http::buildResponse(http_status,
+                               flow::toJson(std::move(status)),
+                               "application/json", keep_alive);
+}
+
+void
+HttpServer::noteResponse(int http_status)
+{
+    if (http_status >= 400)
+        httpErrors.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+HttpServer::handleConnection(int fd)
+{
+    std::string buffer;
+    for (;;) {
+        // ---- read one request head
+        size_t headEnd;
+        bool peerGone = false;
+        while ((headEnd = http::findHeadEnd(buffer)) ==
+               std::string::npos) {
+            if (buffer.size() > http::kMaxHeadBytes) {
+                sendAll(fd, errorResponse(
+                                400,
+                                Status::error(
+                                    ErrorCode::InvalidArgument,
+                                    "request head too large"),
+                                false));
+                peerGone = true;
+                break;
+            }
+            if (recvSome(fd, buffer) <= 0) {
+                // Orderly close between requests is a clean end;
+                // anything else (timeout, reset, bytes then EOF)
+                // just drops the connection — there is nobody to
+                // answer.
+                peerGone = true;
+                break;
+            }
+        }
+        if (peerGone)
+            break;
+
+        Result<http::RequestHead> head =
+            http::parseRequestHead(buffer.substr(0, headEnd));
+        if (!head) {
+            sendAll(fd, errorResponse(400, head.status(), false));
+            break;
+        }
+
+        // ---- read the body
+        Result<size_t> bodyLen = head.value().contentLength();
+        if (!bodyLen) {
+            sendAll(fd,
+                    errorResponse(400, bodyLen.status(), false));
+            break;
+        }
+        if (bodyLen.value() > options.maxBodyBytes) {
+            sendAll(fd, errorResponse(
+                            413,
+                            Status::errorf(
+                                ErrorCode::InvalidArgument,
+                                "request body of %zu bytes exceeds "
+                                "the %zu-byte limit",
+                                bodyLen.value(),
+                                options.maxBodyBytes),
+                            false));
+            break;
+        }
+        bool truncated = false;
+        while (buffer.size() < headEnd + bodyLen.value()) {
+            if (recvSome(fd, buffer) <= 0) {
+                truncated = true;
+                break;
+            }
+        }
+        if (truncated)
+            break; // peer vanished mid-body; nothing to answer
+        const std::string body =
+            buffer.substr(headEnd, bodyLen.value());
+        buffer.erase(0, headEnd + bodyLen.value());
+
+        // ---- route and respond
+        bool keepAlive = false;
+        const std::string response =
+            routeRequest(head.value(), body, keepAlive);
+        if (!sendAll(fd, response) || !keepAlive)
+            break;
+    }
+    ::close(fd);
+    {
+        // Notify under the lock: the drain waiter may destroy this
+        // condvar the moment it observes activeCount == 0, so the
+        // notify must complete before the mutex is released.
+        std::lock_guard<std::mutex> lock(stateMu);
+        --activeCount;
+        idleCv.notify_all();
+    }
+}
+
+std::string
+HttpServer::routeRequest(const http::RequestHead &head,
+                         const std::string &body, bool &keep_alive)
+{
+    // Keep-alive survives routed errors (framing stayed intact) but
+    // not a drain: once draining, every response closes so the
+    // accept thread's wait can settle.
+    keep_alive = head.keepAlive() && !draining();
+    std::string target = head.target;
+    const size_t query = target.find('?');
+    if (query != std::string::npos)
+        target.erase(query);
+
+    if (target == "/healthz") {
+        if (head.method != "GET") {
+            keep_alive = false;
+            return errorResponse(
+                405,
+                Status::error(ErrorCode::InvalidArgument,
+                              "use GET on /healthz"),
+                false);
+        }
+        noteResponse(200);
+        return http::buildResponse(200, flow::toJson(Status::ok()),
+                                   "application/json", keep_alive);
+    }
+
+    if (target == "/metrics") {
+        if (head.method != "GET") {
+            keep_alive = false;
+            return errorResponse(
+                405,
+                Status::error(ErrorCode::InvalidArgument,
+                              "use GET on /metrics"),
+                false);
+        }
+        noteResponse(200);
+        return http::buildResponse(200, toJson(metrics()),
+                                   "application/json", keep_alive);
+    }
+
+    if (target == "/shutdown") {
+        if (head.method != "POST") {
+            keep_alive = false;
+            return errorResponse(
+                405,
+                Status::error(ErrorCode::InvalidArgument,
+                              "use POST on /shutdown"),
+                false);
+        }
+        // Flush the acknowledgement on a closing connection, then
+        // trip the drain: the accept thread stops listening and
+        // waits for the in-flight requests (including this one).
+        requestShutdown();
+        keep_alive = false;
+        noteResponse(200);
+        return http::buildResponse(
+            200,
+            flow::toJson(Status::error(ErrorCode::Ok, "draining")),
+            "application/json", false);
+    }
+
+    const std::string apiPrefix = "/api/v1/";
+    if (target.rfind(apiPrefix, 0) != 0)
+        return errorResponse(
+            404,
+            Status::errorf(ErrorCode::NotFound,
+                           "no endpoint '%s' (POST /api/v1/<verb>, "
+                           "GET /metrics, GET /healthz, "
+                           "POST /shutdown)",
+                           target.c_str()),
+            keep_alive);
+
+    Result<Verb> verb =
+        verbFromName(target.substr(apiPrefix.size()));
+    if (!verb)
+        return errorResponse(
+            404,
+            Status::error(ErrorCode::NotFound,
+                          verb.status().message()),
+            keep_alive);
+    if (head.method != "POST") {
+        keep_alive = false;
+        return errorResponse(
+            405,
+            Status::errorf(ErrorCode::InvalidArgument,
+                           "use POST on /api/v1/%s",
+                           verbName(verb.value())),
+            false);
+    }
+
+    Result<flow::Request> request =
+        requestFromBody(verb.value(), body);
+    if (!request)
+        return errorResponse(httpStatusFor(request.status()),
+                             request.status(), keep_alive);
+
+    verbTotals[static_cast<size_t>(verb.value())].fetch_add(
+        1, std::memory_order_relaxed);
+    const flow::Response response =
+        service.dispatch(request.value());
+    const Status &status = flow::responseStatus(response);
+    if (!status.isOk())
+        verbErrors[static_cast<size_t>(verb.value())].fetch_add(
+            1, std::memory_order_relaxed);
+    const int httpStatus = httpStatusFor(status);
+    noteResponse(httpStatus);
+    // The body is flow::toJson(...) verbatim: byte-identical to
+    // `risspgen <verb> --json` for the same request. The server
+    // adds framing, never schema.
+    return http::buildResponse(httpStatus, flow::toJson(response),
+                               "application/json", keep_alive);
+}
+
+MetricsSnapshot
+HttpServer::metrics() const
+{
+    MetricsSnapshot snapshot;
+    snapshot.accepted = accepted.load(std::memory_order_relaxed);
+    snapshot.rejectedShedLoad =
+        rejected.load(std::memory_order_relaxed);
+    snapshot.httpErrors =
+        httpErrors.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(stateMu);
+        snapshot.activeConnections = activeCount;
+    }
+    snapshot.queueCapacity = options.maxQueue;
+    snapshot.draining = draining();
+    for (size_t i = 0; i < kVerbCount; ++i) {
+        snapshot.verbTotals[i] =
+            verbTotals[i].load(std::memory_order_relaxed);
+        snapshot.verbErrors[i] =
+            verbErrors[i].load(std::memory_order_relaxed);
+    }
+
+    const exec::Scheduler &scheduler = service.scheduler();
+    snapshot.schedulerThreads = scheduler.threadCount();
+    snapshot.schedulerQueueDepth = scheduler.queueDepth();
+    snapshot.schedulerInFlight = scheduler.inFlight();
+    snapshot.schedulerExecuted = scheduler.tasksRun();
+    snapshot.schedulerSteals = scheduler.stealCount();
+
+    const flow::StageCaches &caches = *service.caches();
+    snapshot.compileHits = caches.compile.hits();
+    snapshot.compileMisses = caches.compile.misses();
+    snapshot.simHits = caches.sim.hits();
+    snapshot.simMisses = caches.sim.misses();
+    snapshot.synthHits = caches.synth.hits();
+    snapshot.synthMisses = caches.synth.misses();
+    snapshot.synthReportHits = caches.synthReport.hits();
+    snapshot.synthReportMisses = caches.synthReport.misses();
+    return snapshot;
+}
+
+} // namespace rissp::net

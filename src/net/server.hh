@@ -1,0 +1,180 @@
+/**
+ * @file
+ * `risspgen serve` — the HTTP/JSON daemon over FlowService.
+ *
+ * The PR 5 engine made the pipeline a reentrant request/response
+ * service; this layer puts a socket in front of it. Self-contained
+ * HTTP/1.1 over plain POSIX sockets (no external dependencies): an
+ * accept thread owns the listener, and every accepted connection
+ * becomes a task on the FlowService's work-stealing scheduler — the
+ * same scheduler that runs batch and async requests, so server
+ * traffic shares the promise-backed in-flight dedup of the stage
+ * caches (a thousand clients asking for the same synth sweep compile
+ * and sweep it once).
+ *
+ * Operational semantics, in order of importance:
+ *
+ *  - **Admission control.** The number of connections admitted but
+ *    not yet finished is bounded by `ServeOptions::maxQueue`. Over
+ *    capacity, the accept thread answers immediately with a
+ *    structured 429 JSON status (`unavailable`) and closes — load is
+ *    shed at the door instead of growing an unbounded queue.
+ *  - **Graceful drain.** `requestShutdown()` (wired to SIGTERM by
+ *    the CLI, and to the POST /shutdown endpoint) is one
+ *    async-signal-safe write to a wake pipe: the accept thread stops
+ *    listening (new connections are refused by the kernel), every
+ *    in-flight request runs to completion and flushes its response,
+ *    keep-alive connections are closed after their current request,
+ *    and `waitUntilStopped()` returns.
+ *  - **Observability.** GET /metrics reports the StageCaches
+ *    hit/miss counters, scheduler queue depth and in-flight count,
+ *    per-verb request totals and the admission counters.
+ *
+ * Endpoints (see docs/SERVE.md):
+ *
+ *   POST /api/v1/{characterize,run,synth,retarget,explore}
+ *                       body: net/rest.hh JSON schema; response:
+ *                       flow::toJson(...) verbatim — byte-identical
+ *                       to `risspgen <verb> --json`
+ *   GET  /metrics       counters (JSON)
+ *   GET  /healthz       liveness probe
+ *   POST /shutdown      begin graceful drain
+ */
+
+#ifndef RISSP_NET_SERVER_HH
+#define RISSP_NET_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "flow/flow.hh"
+#include "net/rest.hh"
+#include "util/http.hh"
+#include "util/status.hh"
+
+namespace rissp::net
+{
+
+struct ServeOptions
+{
+    /** Loopback by default: exposing the daemon beyond the host is
+     *  a deployment decision, not a default. */
+    std::string bindAddress = "127.0.0.1";
+    uint16_t port = 0;      ///< 0 picks an ephemeral port
+    size_t maxQueue = 64;   ///< admitted-but-unfinished connection cap
+    size_t maxBodyBytes = 4u << 20; ///< request bodies over this: 413
+    int ioTimeoutMs = 10'000; ///< per-recv/send socket timeout
+    int backlog = 128;      ///< listen(2) backlog
+};
+
+/** One consistent read of every server counter (plus the cache and
+ *  scheduler counters of the FlowService behind it). */
+struct MetricsSnapshot
+{
+    uint64_t accepted = 0;         ///< connections admitted
+    uint64_t rejectedShedLoad = 0; ///< connections answered 429
+    uint64_t httpErrors = 0;       ///< non-2xx responses sent
+    size_t activeConnections = 0;  ///< admitted, not yet finished
+    size_t queueCapacity = 0;
+    bool draining = false;
+
+    uint64_t verbTotals[kVerbCount] = {}; ///< requests dispatched
+    uint64_t verbErrors[kVerbCount] = {}; ///< ...with error status
+
+    unsigned schedulerThreads = 0;
+    size_t schedulerQueueDepth = 0;
+    size_t schedulerInFlight = 0;
+    uint64_t schedulerExecuted = 0;
+    uint64_t schedulerSteals = 0;
+
+    uint64_t compileHits = 0, compileMisses = 0;
+    uint64_t simHits = 0, simMisses = 0;
+    uint64_t synthHits = 0, synthMisses = 0;
+    uint64_t synthReportHits = 0, synthReportMisses = 0;
+};
+
+/** Render a snapshot as the GET /metrics JSON document. */
+std::string toJson(const MetricsSnapshot &snapshot);
+
+/** The daemon. One instance fronts one FlowService. */
+class HttpServer
+{
+  public:
+    /** @p service must outlive the server. The service's scheduler
+     *  runs the connection handlers, so its thread count is the
+     *  request-handling parallelism. */
+    explicit HttpServer(const flow::FlowService &service,
+                        ServeOptions options = {});
+
+    /** Drains (requestShutdown + waitUntilStopped) if running. */
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind, listen, start the accept thread. Fails as a value on
+     *  an unusable address or an occupied port. */
+    Status start();
+
+    /** The bound port (the ephemeral one when options.port was 0).
+     *  Valid after start(). */
+    uint16_t port() const { return boundPort; }
+
+    /** Begin graceful drain. Async-signal-safe (one write(2) on a
+     *  pre-opened pipe) so the CLI can call it from a SIGTERM
+     *  handler; also idempotent. */
+    void requestShutdown();
+
+    /** Block until the drain completes: listener closed, every
+     *  admitted connection finished and flushed. */
+    void waitUntilStopped();
+
+    bool draining() const
+    {
+        return drainFlag.load(std::memory_order_acquire);
+    }
+
+    MetricsSnapshot metrics() const;
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+    /** Route one parsed request; returns the full response bytes
+     *  and whether the connection may stay open. */
+    std::string routeRequest(const http::RequestHead &head,
+                             const std::string &body,
+                             bool &keep_alive);
+    std::string errorResponse(int http_status, Status status,
+                              bool keep_alive);
+    void noteResponse(int http_status);
+
+    const flow::FlowService &service;
+    ServeOptions options;
+
+    int listenFd = -1;
+    int wakeReadFd = -1;
+    int wakeWriteFd = -1;
+    uint16_t boundPort = 0;
+    std::thread acceptThread;
+    bool started = false;
+
+    std::atomic<bool> drainFlag{false};
+
+    mutable std::mutex stateMu;
+    std::condition_variable idleCv; ///< activeCount dropped to 0
+    size_t activeCount = 0;
+
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> httpErrors{0};
+    std::atomic<uint64_t> verbTotals[kVerbCount] = {};
+    std::atomic<uint64_t> verbErrors[kVerbCount] = {};
+};
+
+} // namespace rissp::net
+
+#endif // RISSP_NET_SERVER_HH

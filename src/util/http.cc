@@ -1,0 +1,193 @@
+#include "util/http.hh"
+
+#include <cctype>
+
+namespace rissp::http
+{
+
+namespace
+{
+
+bool
+iequals(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    return true;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t first = s.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return "";
+    size_t last = s.find_last_not_of(" \t");
+    return s.substr(first, last - first + 1);
+}
+
+} // namespace
+
+const std::string *
+RequestHead::header(const std::string &name) const
+{
+    for (const auto &[key, value] : headers)
+        if (iequals(key, name))
+            return &value;
+    return nullptr;
+}
+
+Result<size_t>
+RequestHead::contentLength() const
+{
+    if (header("Transfer-Encoding"))
+        return Status::error(
+            ErrorCode::InvalidArgument,
+            "Transfer-Encoding is not supported; send a "
+            "Content-Length body");
+    const std::string *raw = nullptr;
+    for (const auto &[key, value] : headers) {
+        if (!iequals(key, "Content-Length"))
+            continue;
+        if (raw && *raw != value)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "conflicting Content-Length "
+                                 "headers");
+        raw = &value;
+    }
+    if (!raw)
+        return size_t{0};
+    if (raw->empty() || raw->size() > 15)
+        return Status::errorf(ErrorCode::InvalidArgument,
+                              "bad Content-Length '%s'",
+                              raw->c_str());
+    size_t length = 0;
+    for (char c : *raw) {
+        if (c < '0' || c > '9')
+            return Status::errorf(ErrorCode::InvalidArgument,
+                                  "bad Content-Length '%s'",
+                                  raw->c_str());
+        length = length * 10 + static_cast<size_t>(c - '0');
+    }
+    return length;
+}
+
+bool
+RequestHead::keepAlive() const
+{
+    const std::string *connection = header("Connection");
+    if (version == "HTTP/1.1")
+        return !connection || !iequals(trim(*connection), "close");
+    return connection && iequals(trim(*connection), "keep-alive");
+}
+
+size_t
+findHeadEnd(const std::string &buffer)
+{
+    const size_t end = buffer.find("\r\n\r\n");
+    return end == std::string::npos ? std::string::npos : end + 4;
+}
+
+Result<RequestHead>
+parseRequestHead(const std::string &head)
+{
+    if (head.size() > kMaxHeadBytes)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "request head too large");
+    const size_t lineEnd = head.find("\r\n");
+    if (lineEnd == std::string::npos)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "missing request line");
+    const std::string line = head.substr(0, lineEnd);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.find(' ', sp2 + 1) != std::string::npos)
+        return Status::errorf(ErrorCode::InvalidArgument,
+                              "malformed request line '%s'",
+                              line.c_str());
+    RequestHead parsed;
+    parsed.method = line.substr(0, sp1);
+    parsed.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    parsed.version = line.substr(sp2 + 1);
+    if (parsed.method.empty() || parsed.target.empty() ||
+        parsed.target[0] != '/')
+        return Status::errorf(ErrorCode::InvalidArgument,
+                              "malformed request line '%s'",
+                              line.c_str());
+    if (parsed.version != "HTTP/1.1" && parsed.version != "HTTP/1.0")
+        return Status::errorf(ErrorCode::InvalidArgument,
+                              "unsupported protocol '%s'",
+                              parsed.version.c_str());
+
+    size_t cursor = lineEnd + 2;
+    while (cursor < head.size()) {
+        const size_t end = head.find("\r\n", cursor);
+        if (end == std::string::npos)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "header line not CRLF-terminated");
+        if (end == cursor)
+            break; // the blank line closing the head
+        const std::string headerLine =
+            head.substr(cursor, end - cursor);
+        const size_t colon = headerLine.find(':');
+        if (colon == std::string::npos || colon == 0)
+            return Status::errorf(ErrorCode::InvalidArgument,
+                                  "malformed header '%s'",
+                                  headerLine.c_str());
+        const std::string name = headerLine.substr(0, colon);
+        if (name.find(' ') != std::string::npos ||
+            name.find('\t') != std::string::npos)
+            return Status::errorf(ErrorCode::InvalidArgument,
+                                  "malformed header '%s'",
+                                  headerLine.c_str());
+        parsed.headers.emplace_back(
+            name, trim(headerLine.substr(colon + 1)));
+        cursor = end + 2;
+    }
+    return parsed;
+}
+
+const char *
+reasonPhrase(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 413: return "Payload Too Large";
+      case 422: return "Unprocessable Entity";
+      case 429: return "Too Many Requests";
+      case 500: return "Internal Server Error";
+      case 501: return "Not Implemented";
+      case 503: return "Service Unavailable";
+    }
+    return "Unknown";
+}
+
+std::string
+buildResponse(int status, const std::string &body,
+              const std::string &content_type, bool keep_alive,
+              const std::vector<std::string> &extra_headers)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                      reasonPhrase(status) + "\r\n";
+    out += "Content-Type: " + content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n"
+                      : "Connection: close\r\n";
+    for (const std::string &header : extra_headers)
+        out += header + "\r\n";
+    out += "\r\n";
+    out += body;
+    return out;
+}
+
+} // namespace rissp::http

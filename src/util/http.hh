@@ -1,0 +1,82 @@
+/**
+ * @file
+ * HTTP/1.1 framing helpers for the serve front end.
+ *
+ * Pure string-in/string-out parsing and serialization — no sockets,
+ * no IO — so the framing layer is unit-testable byte by byte and the
+ * server code (net/server.cc) only moves buffers. The subset of
+ * HTTP/1.1 implemented is deliberately small and strict: one request
+ * head per parse, Content-Length bodies only (a chunked
+ * Transfer-Encoding is rejected as unsupported rather than
+ * mis-framed), and hard caps on head size enforced by the caller.
+ * Every malformed input comes back as a Status value; nothing here
+ * throws or aborts on wire bytes.
+ */
+
+#ifndef RISSP_UTIL_HTTP_HH
+#define RISSP_UTIL_HTTP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace rissp::http
+{
+
+/** A parsed request head (everything before the body). */
+struct RequestHead
+{
+    std::string method;  ///< e.g. "GET", "POST" (case-sensitive)
+    std::string target;  ///< e.g. "/api/v1/run" (query not split)
+    std::string version; ///< "HTTP/1.0" or "HTTP/1.1"
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    /** Header value by case-insensitive name; nullptr when absent. */
+    const std::string *header(const std::string &name) const;
+
+    /** Body length from Content-Length (0 when absent). Rejects
+     *  non-numeric, negative, duplicate-conflicting values and any
+     *  Transfer-Encoding header. */
+    Result<size_t> contentLength() const;
+
+    /** True when the peer asked for the connection to stay open:
+     *  HTTP/1.1 without "Connection: close", or HTTP/1.0 with an
+     *  explicit keep-alive. */
+    bool keepAlive() const;
+};
+
+/** Largest request head (request line + headers) the parser will
+ *  accept; longer heads are a malformed request, not a buffer. */
+constexpr size_t kMaxHeadBytes = 16 * 1024;
+
+/** Offset just past the "\r\n\r\n" head terminator in @p buffer, or
+ *  npos while the head is still incomplete. */
+size_t findHeadEnd(const std::string &buffer);
+
+/** Parse a request head (the bytes up to and including the blank
+ *  line). Strict: CRLF line endings, single-space request line,
+ *  ':'-separated headers with optional surrounding whitespace in the
+ *  value. */
+Result<RequestHead> parseRequestHead(const std::string &head);
+
+/** Reason phrase for the status codes the server emits. */
+const char *reasonPhrase(int status);
+
+/**
+ * Serialize a complete response: status line, Content-Type,
+ * Content-Length, Connection (close unless @p keep_alive), any
+ * @p extra_headers ("Name: value" strings, no CRLF), then the body.
+ */
+std::string buildResponse(
+    int status, const std::string &body,
+    const std::string &content_type = "application/json",
+    bool keep_alive = false,
+    const std::vector<std::string> &extra_headers = {});
+
+} // namespace rissp::http
+
+#endif // RISSP_UTIL_HTTP_HH

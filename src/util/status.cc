@@ -20,6 +20,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::CosimMismatch: return "cosim_mismatch";
       case ErrorCode::RetargetError: return "retarget_error";
       case ErrorCode::SynthError: return "synth_error";
+      case ErrorCode::Unavailable: return "unavailable";
       case ErrorCode::Internal: return "internal";
     }
     return "unknown";

@@ -44,6 +44,7 @@ enum class ErrorCode : uint8_t
     CosimMismatch,   ///< RISSP diverged from the reference ISS
     RetargetError,   ///< retargeting could not rewrite the program
     SynthError,      ///< synthesis met no sweep point
+    Unavailable,     ///< service shedding load or draining (retry)
     Internal,        ///< invariant violation surfaced as a value
 };
 

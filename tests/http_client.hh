@@ -1,0 +1,252 @@
+/**
+ * @file
+ * A minimal blocking HTTP/1.1 client for the black-box server tests
+ * and the serve benchmark. Loopback only, Content-Length bodies
+ * only — just enough protocol to exercise the daemon end to end
+ * without pulling in curl or any other dependency.
+ *
+ * Two layers on purpose:
+ *
+ *  - `HttpClient` is a raw connection: connect, send arbitrary bytes
+ *    (including *partial* requests — the 429 and drain tests need to
+ *    stall mid-request on purpose), read one framed response.
+ *  - `httpRequest()` is the one-shot convenience most tests want.
+ *
+ * Header-only so tests/ and bench/ can share it without a library
+ * target.
+ */
+
+#ifndef RISSP_TESTS_HTTP_CLIENT_HH
+#define RISSP_TESTS_HTTP_CLIENT_HH
+
+#include <arpa/inet.h>
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <optional>
+#include <string>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+namespace rissp::testutil
+{
+
+/** One parsed HTTP response. */
+struct HttpResponse
+{
+    int status = 0;
+    std::string reason;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Header value by case-insensitive name; nullptr when absent. */
+    const std::string *header(const std::string &name) const
+    {
+        for (const auto &entry : headers) {
+            if (entry.first.size() != name.size())
+                continue;
+            bool equal = true;
+            for (size_t i = 0; i < name.size() && equal; ++i)
+                equal = std::tolower(static_cast<unsigned char>(
+                            entry.first[i])) ==
+                        std::tolower(
+                            static_cast<unsigned char>(name[i]));
+            if (equal)
+                return &entry.second;
+        }
+        return nullptr;
+    }
+};
+
+/** A blocking loopback HTTP connection. */
+class HttpClient
+{
+  public:
+    HttpClient() = default;
+    ~HttpClient() { disconnect(); }
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    /** Connect to 127.0.0.1:@p port; false on refusal/failure. */
+    bool connect(uint16_t port, int timeout_ms = 10'000)
+    {
+        disconnect();
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return false;
+        timeval tv{};
+        tv.tv_sec = timeout_ms / 1000;
+        tv.tv_usec = (timeout_ms % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            disconnect();
+            return false;
+        }
+        return true;
+    }
+
+    bool connected() const { return fd >= 0; }
+
+    void disconnect()
+    {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+        buffer.clear();
+    }
+
+    /** Send raw bytes as-is — the door to half-requests. */
+    bool sendRaw(const std::string &bytes)
+    {
+        size_t sent = 0;
+        while (sent < bytes.size()) {
+            const ssize_t n =
+                ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                return false;
+            sent += static_cast<size_t>(n);
+        }
+        return true;
+    }
+
+    /** Frame and send one request. */
+    bool sendRequest(const std::string &method,
+                     const std::string &target,
+                     const std::string &body = "",
+                     bool keep_alive = false)
+    {
+        std::string request = method + " " + target + " HTTP/1.1\r\n";
+        request += "Host: 127.0.0.1\r\n";
+        request +=
+            "Content-Length: " + std::to_string(body.size()) + "\r\n";
+        if (!keep_alive)
+            request += "Connection: close\r\n";
+        request += "\r\n";
+        request += body;
+        return sendRaw(request);
+    }
+
+    /** Read one complete response (status line + headers +
+     *  Content-Length body). nullopt on malformed bytes, timeout or
+     *  a peer that closed before a full response arrived. */
+    std::optional<HttpResponse> readResponse()
+    {
+        size_t headEnd;
+        while ((headEnd = buffer.find("\r\n\r\n")) ==
+               std::string::npos) {
+            if (!fill())
+                return std::nullopt;
+        }
+        headEnd += 4;
+
+        HttpResponse response;
+        size_t lineEnd = buffer.find("\r\n");
+        const std::string statusLine = buffer.substr(0, lineEnd);
+        // "HTTP/1.1 200 OK"
+        const size_t firstSpace = statusLine.find(' ');
+        if (firstSpace == std::string::npos)
+            return std::nullopt;
+        const size_t secondSpace =
+            statusLine.find(' ', firstSpace + 1);
+        const std::string code = statusLine.substr(
+            firstSpace + 1, secondSpace == std::string::npos
+                                ? std::string::npos
+                                : secondSpace - firstSpace - 1);
+        if (code.empty())
+            return std::nullopt;
+        response.status = std::atoi(code.c_str());
+        if (secondSpace != std::string::npos)
+            response.reason = statusLine.substr(secondSpace + 1);
+
+        size_t cursor = lineEnd + 2;
+        size_t contentLength = 0;
+        while (cursor < headEnd - 2) {
+            const size_t end = buffer.find("\r\n", cursor);
+            const std::string line =
+                buffer.substr(cursor, end - cursor);
+            cursor = end + 2;
+            if (line.empty())
+                break;
+            const size_t colon = line.find(':');
+            if (colon == std::string::npos)
+                return std::nullopt;
+            std::string name = line.substr(0, colon);
+            std::string value = line.substr(colon + 1);
+            while (!value.empty() && (value.front() == ' ' ||
+                                      value.front() == '\t'))
+                value.erase(value.begin());
+            response.headers.emplace_back(std::move(name),
+                                          std::move(value));
+        }
+        if (const std::string *length =
+                response.header("Content-Length"))
+            contentLength =
+                static_cast<size_t>(std::atoll(length->c_str()));
+
+        while (buffer.size() < headEnd + contentLength)
+            if (!fill())
+                return std::nullopt;
+        response.body = buffer.substr(headEnd, contentLength);
+        buffer.erase(0, headEnd + contentLength);
+        return response;
+    }
+
+    /** sendRequest + readResponse in one step. */
+    std::optional<HttpResponse>
+    request(const std::string &method, const std::string &target,
+            const std::string &body = "", bool keep_alive = false)
+    {
+        if (!sendRequest(method, target, body, keep_alive))
+            return std::nullopt;
+        return readResponse();
+    }
+
+  private:
+    bool fill()
+    {
+        char chunk[16384];
+        for (;;) {
+            const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                return false;
+            buffer.append(chunk, static_cast<size_t>(n));
+            return true;
+        }
+    }
+
+    int fd = -1;
+    std::string buffer;
+};
+
+/** One-shot: connect, request, read, close. */
+inline std::optional<HttpResponse>
+httpRequest(uint16_t port, const std::string &method,
+            const std::string &target, const std::string &body = "")
+{
+    HttpClient client;
+    if (!client.connect(port))
+        return std::nullopt;
+    return client.request(method, target, body);
+}
+
+} // namespace rissp::testutil
+
+#endif // RISSP_TESTS_HTTP_CLIENT_HH

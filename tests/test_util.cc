@@ -1,12 +1,14 @@
 /**
  * @file
- * Tests for the shared utility layer: JSON emission helpers.
+ * Tests for the shared utility layer: JSON emission helpers and the
+ * JSON parser behind the serve front end.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "util/json.hh"
 
@@ -50,6 +52,96 @@ TEST(JsonBool, Literals)
 {
     EXPECT_STREQ(jsonBool(true), "true");
     EXPECT_STREQ(jsonBool(false), "false");
+}
+
+// ------------------------------------------------------ JSON parser
+
+TEST(JsonParse, ScalarsAndContainers)
+{
+    const Result<JsonValue> parsed = parseJson(
+        R"({"n": null, "t": true, "f": false, "x": -1.5e2,)"
+        R"( "s": "hi", "a": [1, 2, 3], "o": {"k": "v"}})");
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    const JsonValue &root = parsed.value();
+    ASSERT_TRUE(root.isObject());
+    EXPECT_TRUE(root.find("n")->isNull());
+    EXPECT_TRUE(root.find("t")->asBool());
+    EXPECT_FALSE(root.find("f")->asBool());
+    EXPECT_DOUBLE_EQ(root.find("x")->asNumber(), -150.0);
+    EXPECT_EQ(root.find("s")->asString(), "hi");
+    ASSERT_TRUE(root.find("a")->isArray());
+    EXPECT_EQ(root.find("a")->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(root.find("a")->items()[1].asNumber(), 2.0);
+    EXPECT_EQ(root.find("o")->find("k")->asString(), "v");
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapesIncludingSurrogatePairs)
+{
+    const Result<JsonValue> parsed = parseJson(
+        R"(["a\"b", "tab\there", "A", "😀"])");
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    const auto &items = parsed.value().items();
+    EXPECT_EQ(items[0].asString(), "a\"b");
+    EXPECT_EQ(items[1].asString(), "tab\there");
+    EXPECT_EQ(items[2].asString(), "A");
+    EXPECT_EQ(items[3].asString(), "\xF0\x9F\x98\x80"); // U+1F600
+}
+
+TEST(JsonParse, ErrorsAreValuesWithByteOffsets)
+{
+    auto errorOf = [](const std::string &text) {
+        const Result<JsonValue> parsed = parseJson(text);
+        EXPECT_FALSE(parsed.isOk()) << text;
+        EXPECT_EQ(parsed.status().code(), ErrorCode::ParseError)
+            << text;
+        return parsed.status().message();
+    };
+    EXPECT_NE(errorOf("").find("byte"), std::string::npos);
+    errorOf("{");
+    errorOf("[1, 2");
+    errorOf(R"({"a": })");
+    errorOf(R"({"a": 1,})");
+    errorOf("[1, 2] trailing");
+    errorOf("01");      // leading zero
+    errorOf("1.");      // digits required after the point
+    errorOf("nul");     // truncated literal
+    errorOf("'single'");
+    errorOf("\"unterminated");
+    errorOf(R"("\q")"); // unknown escape
+    errorOf(R"("\ud83d")"); // lone high surrogate
+}
+
+TEST(JsonParse, DuplicateKeysAreRejected)
+{
+    const Result<JsonValue> parsed =
+        parseJson(R"({"a": 1, "a": 2})");
+    ASSERT_FALSE(parsed.isOk());
+    EXPECT_NE(parsed.status().message().find("duplicate"),
+              std::string::npos);
+}
+
+TEST(JsonParse, DepthIsBounded)
+{
+    // 100 nested arrays exceed the 64-level cap: a parse error, not
+    // a stack overflow — this parser faces network input.
+    const std::string deep(100, '[');
+    const Result<JsonValue> parsed = parseJson(deep);
+    ASSERT_FALSE(parsed.isOk());
+    EXPECT_NE(parsed.status().message().find("deep"),
+              std::string::npos);
+}
+
+TEST(JsonParse, RoundTripsEmitterOutput)
+{
+    // The parser must accept what the emitters produce.
+    const std::string document = "{\"x\": " + jsonNum(0.1) +
+                                 ", \"s\": \"" +
+                                 jsonEscape("a\nb\"c") + "\"}";
+    const Result<JsonValue> parsed = parseJson(document);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    EXPECT_DOUBLE_EQ(parsed.value().find("x")->asNumber(), 0.1);
+    EXPECT_EQ(parsed.value().find("s")->asString(), "a\nb\"c");
 }
 
 } // namespace

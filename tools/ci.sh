@@ -20,3 +20,7 @@ ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
 # Sim-throughput trajectory: emit BENCH_simspeed.json next to the
 # build so CI can upload it as an artifact (docs/BENCHMARKS.md).
 ./bench_micro --quick --json BENCH_simspeed.json
+
+# Serving-layer trajectory: 16 concurrent clients against a live
+# daemon, p50/p95/p99 latency + throughput (docs/SERVE.md).
+./bench_serve --quick --json BENCH_serve.json

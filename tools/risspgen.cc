@@ -17,6 +17,9 @@
  *                                           concurrently (one per
  *                                           line; see batch grammar
  *                                           below)
+ *   risspgen serve [--port N] [--threads N] long-lived HTTP/JSON
+ *            [--max-queue N] [--bind ADDR]  daemon over the Flow API
+ *                                           (see docs/SERVE.md)
  *
  * Every verb accepts --json: the machine-readable response from the
  * Flow API, verbatim (see flow/json.hh), instead of the human table.
@@ -50,6 +53,8 @@
  * malformed request exits with a structured error, never an abort.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -58,6 +63,7 @@
 
 #include "flow/flow.hh"
 #include "flow/json.hh"
+#include "net/server.hh"
 #include "tech/registry.hh"
 #include "util/json.hh"
 #include "workloads/workloads.hh"
@@ -99,6 +105,22 @@ parseLevel(int argc, char **argv, int first)
             return level;
     }
     return level;
+}
+
+/** Parse a non-negative integer CLI value (no sign, no suffix, at
+ *  most @p max); false on anything else. */
+bool
+parseCount(const std::string &word, unsigned long max,
+           unsigned long &out)
+{
+    size_t used = 0;
+    try {
+        out = std::stoul(word, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    return !word.empty() && used == word.size() && word[0] != '-' &&
+           out <= max;
 }
 
 /** Report a failed request and pick the exit code. */
@@ -639,6 +661,79 @@ cmdBatch(const CliOptions &cli, const std::string &fileArg,
     return failed == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------- serve
+
+/** The running daemon, for the signal handler. The handler only
+ *  calls requestShutdown(), which is one write(2) on a pre-opened
+ *  pipe — async-signal-safe by construction. */
+std::atomic<rissp::net::HttpServer *> g_server{nullptr};
+
+extern "C" void
+onTerminate(int)
+{
+    if (rissp::net::HttpServer *server =
+            g_server.load(std::memory_order_acquire))
+        server->requestShutdown();
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    net::ServeOptions options;
+    unsigned threads = 0;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        unsigned long n = 0;
+        if (arg == "--port" && hasValue &&
+            parseCount(argv[i + 1], 65535, n)) {
+            options.port = static_cast<uint16_t>(n);
+            ++i;
+        } else if (arg == "--threads" && hasValue &&
+                   parseCount(argv[i + 1], 4096, n)) {
+            threads = static_cast<unsigned>(n);
+            ++i;
+        } else if (arg == "--max-queue" && hasValue &&
+                   parseCount(argv[i + 1], 1'000'000, n) && n > 0) {
+            options.maxQueue = static_cast<size_t>(n);
+            ++i;
+        } else if (arg == "--bind" && hasValue) {
+            options.bindAddress = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "risspgen: bad serve flag or value at "
+                         "'%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    const flow::FlowService service(nullptr, threads);
+    net::HttpServer server(service, options);
+    const Status status = server.start();
+    if (!status.isOk()) {
+        std::fprintf(stderr, "risspgen: error: %s\n",
+                     status.toString().c_str());
+        return 1;
+    }
+    g_server.store(&server, std::memory_order_release);
+    std::signal(SIGTERM, onTerminate);
+    std::signal(SIGINT, onTerminate);
+
+    std::printf("risspgen: serving on %s:%u (scheduler threads=%u, "
+                "queue=%zu)\n",
+                options.bindAddress.c_str(), server.port(),
+                service.scheduler().threadCount(),
+                options.maxQueue);
+    std::fflush(stdout);
+
+    server.waitUntilStopped();
+    g_server.store(nullptr, std::memory_order_release);
+    std::printf("risspgen: drained, all in-flight requests "
+                "completed\n");
+    return 0;
+}
+
 void
 usage()
 {
@@ -654,7 +749,13 @@ usage()
         "  batch <file|-> [--threads N] [--json]\n"
         "         serve one request per line concurrently; lines\n"
         "         use the verb syntax above, plus 'run ... --verify'\n"
-        "         and 'explore <plan-file>'\n");
+        "         and 'explore <plan-file>'\n"
+        "  serve [--port N] [--bind ADDR] [--threads N]\n"
+        "        [--max-queue N]\n"
+        "         long-lived HTTP/JSON daemon over the Flow API:\n"
+        "         POST /api/v1/<verb>, GET /metrics, GET /healthz,\n"
+        "         POST /shutdown; drains gracefully on SIGTERM\n"
+        "         (endpoint + schema reference: docs/SERVE.md)\n");
 }
 
 } // namespace
@@ -709,15 +810,8 @@ main(int argc, char **argv)
                     return 2;
                 }
                 const std::string word = argv[++i];
-                size_t used = 0;
                 unsigned long n = 0;
-                try {
-                    n = std::stoul(word, &used);
-                } catch (const std::exception &) {
-                    used = 0;
-                }
-                if (word.empty() || used != word.size() ||
-                    word[0] == '-' || n > 4096) {
+                if (!parseCount(word, 4096, n)) {
                     std::fprintf(stderr,
                                  "risspgen: bad --threads value "
                                  "'%s'\n",
@@ -734,6 +828,8 @@ main(int argc, char **argv)
         }
         return cmdBatch(cli, argv[2], threads);
     }
+    if (cli.command == "serve")
+        return cmdServe(argc, argv);
 
     const flow::FlowService service;
     if (cli.command == "techs")
