@@ -35,24 +35,26 @@
  * including from inside a running task (but a task must not wait on
  * its own scheduler's unstarted work — block only on work that is
  * computing on some thread, which is exactly what the StageCaches
- * dedup guarantees).
+ * dedup guarantees). The locking discipline is compiler-checked on
+ * Clang: all mutable state is `RISSP_GUARDED_BY(mu)` and every
+ * `*Locked` helper statically `RISSP_REQUIRES(mu)` (see
+ * util/thread_annotations.hh and docs/STATIC_ANALYSIS.md).
  */
 
 #ifndef RISSP_EXEC_SCHEDULER_HH
 #define RISSP_EXEC_SCHEDULER_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "exec/task_graph.hh"
+#include "util/mutex.hh"
 
 namespace rissp::exec
 {
@@ -155,28 +157,38 @@ class Scheduler
     /** Completion accounting for one runToCompletion call. */
     struct Group;
 
-    void ensureWorkersLocked();
+    void ensureWorkersLocked() RISSP_REQUIRES(mu);
     void workerLoop(unsigned self);
-    TaskPtr popLocked(unsigned self);
-    void enqueueReadyLocked(const TaskPtr &task, unsigned hint);
+    TaskPtr popLocked(unsigned self) RISSP_REQUIRES(mu);
+    void enqueueReadyLocked(const TaskPtr &task, unsigned hint)
+        RISSP_REQUIRES(mu);
     void completeLocked(const TaskPtr &task,
-                        std::exception_ptr error);
+                        std::exception_ptr error) RISSP_REQUIRES(mu);
     void failDependentsLocked(const TaskPtr &task,
-                              const std::exception_ptr &error);
-    void runSerial(TaskGraph &graph);
+                              const std::exception_ptr &error)
+        RISSP_REQUIRES(mu);
+    void runSerial(TaskGraph &graph) RISSP_EXCLUDES(mu);
 
-    unsigned numThreads;
+    unsigned numThreads; ///< immutable after construction
 
-    mutable std::mutex mu;
-    std::condition_variable workCv;  ///< workers: work or stop
-    std::condition_variable doneCv;  ///< waiters: a task settled
-    std::vector<std::deque<TaskPtr>> queues; ///< one per worker
-    std::vector<std::thread> workers;
-    bool stopping = false;
-    unsigned nextQueue = 0; ///< round-robin slot for external pushes
-    uint64_t steals = 0;
-    uint64_t executed = 0;
-    size_t running = 0; ///< task bodies currently executing
+    mutable Mutex mu;
+    CondVar workCv;  ///< workers: work or stop
+    CondVar doneCv;  ///< waiters: a task settled
+    /** One deque per worker. Task structs popped from a deque are
+     *  also guarded by `mu` (state transitions, dependents, group
+     *  accounting all happen under it); only `fn` runs unlocked. */
+    std::vector<std::deque<TaskPtr>> queues RISSP_GUARDED_BY(mu);
+    /** Created once by ensureWorkersLocked() under `mu`; joined by
+     *  the destructor after `stopping` is set (no lock: workers need
+     *  `mu` to observe the stop and exit). */
+    std::vector<std::thread> workers RISSP_GUARDED_BY(mu);
+    bool stopping RISSP_GUARDED_BY(mu) = false;
+    /** Round-robin slot for external pushes. */
+    unsigned nextQueue RISSP_GUARDED_BY(mu) = 0;
+    uint64_t steals RISSP_GUARDED_BY(mu) = 0;
+    uint64_t executed RISSP_GUARDED_BY(mu) = 0;
+    /** Task bodies currently executing. */
+    size_t running RISSP_GUARDED_BY(mu) = 0;
 };
 
 } // namespace rissp::exec

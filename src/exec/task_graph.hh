@@ -15,6 +15,13 @@
  * also what makes the single-threaded execution order well-defined
  * (ready nodes run in id order), which the Explorer's byte-identical
  * `--threads 1` guarantee leans on.
+ *
+ * Thread-safety: a TaskGraph is deliberately lock-free and
+ * *single-builder* — it is plain description, built on one thread and
+ * then moved into `Scheduler::runToCompletion`, which takes it by
+ * value. After the move the scheduler guards every derived task under
+ * its own annotated mutex (exec/scheduler.hh); nothing here needs a
+ * capability because nothing here is ever shared.
  */
 
 #ifndef RISSP_EXEC_TASK_GRAPH_HH

@@ -16,9 +16,10 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "util/mutex.hh"
 
 namespace rissp::explore
 {
@@ -73,7 +74,7 @@ class MemoCache
         std::shared_future<Value> future;
         bool owner = false;
         {
-            std::lock_guard<std::mutex> lock(mu);
+            LockGuard lock(mu);
             auto it = entries.find(key);
             if (it == entries.end()) {
                 future = promise.get_future().share();
@@ -94,7 +95,7 @@ class MemoCache
                 // blocked on it. A later lookup recomputes instead
                 // of receiving broken_promise forever.
                 {
-                    std::lock_guard<std::mutex> lock(mu);
+                    LockGuard lock(mu);
                     entries.erase(key);
                 }
                 promise.set_exception(std::current_exception());
@@ -122,13 +123,17 @@ class MemoCache
 
     size_t size() const
     {
-        std::lock_guard<std::mutex> lock(mu);
+        LockGuard lock(mu);
         return entries.size();
     }
 
   private:
-    mutable std::mutex mu;
-    std::unordered_map<Key, std::shared_future<Value>, Hash> entries;
+    mutable rissp::Mutex mu;
+    /** Only the entry *map* is guarded; the shared futures it hands
+     *  out synchronize on their own (value published by set_value,
+     *  consumed by get). */
+    std::unordered_map<Key, std::shared_future<Value>, Hash> entries
+        RISSP_GUARDED_BY(mu);
     std::atomic<uint64_t> hitCount{0};
     std::atomic<uint64_t> missCount{0};
 };

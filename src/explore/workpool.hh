@@ -44,6 +44,11 @@ class WorkStealingPool
 
   private:
     unsigned numThreads;
+    /** Written only by run() after its scheduler has joined; a pool
+     *  is driven from one thread (run() blocks), so no lock — and
+     *  therefore no capability annotation — applies. Concurrent
+     *  run() calls on one pool were never supported; use a shared
+     *  `exec::Scheduler` for that. */
     uint64_t steals = 0;
 };
 

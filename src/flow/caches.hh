@@ -12,8 +12,10 @@
  * were originally private to the Explorer; lifting them here is what
  * makes the facade cheap to call repeatedly.
  *
- * All three caches are thread-safe (see explore/memo.hh); a
- * StageCaches can be shared freely across concurrent requests.
+ * All caches are thread-safe (see explore/memo.hh — their internal
+ * locking is capability-annotated, so misuse is a compile error on
+ * Clang); a StageCaches can be shared freely across concurrent
+ * requests.
  *
  * Layering: this header is the *leaf* of the flow package — the
  * Explorer includes it, and flow/flow.hh includes the Explorer, so

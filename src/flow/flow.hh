@@ -23,7 +23,12 @@
  * The service owns the shared `StageCaches` and is reentrant: all
  * verbs are `const`, all mutable state lives in the thread-safe
  * caches, so one instance can serve concurrent requests — the shape
- * a daemon or a sharded backend needs.
+ * a daemon or a sharded backend needs. The caches' internal locking
+ * is capability-annotated (explore/memo.hh), so holding their locks
+ * wrongly is a compile error on Clang; the service itself keeps no
+ * mutex — its only lazily written member is `stageScheduler`,
+ * published by `std::call_once` (the one concurrency primitive here
+ * the analysis cannot model; see the member comment).
  */
 
 #ifndef RISSP_FLOW_FLOW_HH
@@ -383,6 +388,12 @@ class FlowService
 
     std::shared_ptr<StageCaches> stageCaches;
     unsigned schedulerThreads;
+    /** stageScheduler is written exactly once, inside
+     *  std::call_once(schedulerOnce), and only read afterwards —
+     *  call_once publishes the write, so no mutex guards it and no
+     *  capability annotation applies. The service must outlive its
+     *  async futures; these members are declared after the caches so
+     *  the scheduler joins (destructor order) before the caches die. */
     mutable std::once_flag schedulerOnce;
     mutable std::unique_ptr<exec::Scheduler> stageScheduler;
 };

@@ -45,15 +45,14 @@
 #define RISSP_NET_SERVER_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "flow/flow.hh"
 #include "net/rest.hh"
 #include "util/http.hh"
+#include "util/mutex.hh"
 #include "util/status.hh"
 
 namespace rissp::net
@@ -151,6 +150,12 @@ class HttpServer
     std::string errorResponse(int http_status, Status status,
                               bool keep_alive);
     void noteResponse(int http_status);
+    /** Release one admission slot and wake the drain waiter. The
+     *  notify MUST happen under `stateMu`: the waiter may destroy
+     *  the condvar the moment it observes `activeCount == 0`
+     *  (TSan-caught in PR 6) — the annotation makes that prose
+     *  invariant a compile-time contract. */
+    void finishConnectionLocked() RISSP_REQUIRES(stateMu);
 
     const flow::FlowService &service;
     ServeOptions options;
@@ -164,9 +169,12 @@ class HttpServer
 
     std::atomic<bool> drainFlag{false};
 
-    mutable std::mutex stateMu;
-    std::condition_variable idleCv; ///< activeCount dropped to 0
-    size_t activeCount = 0;
+    mutable Mutex stateMu;
+    /** Signalled when activeCount drops to 0. Notified only from
+     *  finishConnectionLocked (i.e. under stateMu — see there). */
+    CondVar idleCv;
+    /** Admitted-but-unfinished connections. */
+    size_t activeCount RISSP_GUARDED_BY(stateMu) = 0;
 
     std::atomic<uint64_t> accepted{0};
     std::atomic<uint64_t> rejected{0};

@@ -1,6 +1,8 @@
 #include "util/strings.hh"
 
 #include <cctype>
+#include <cstdio>
+#include <cstring>
 
 namespace rissp
 {
@@ -72,6 +74,23 @@ toLower(std::string_view s)
         c = static_cast<char>(
             std::tolower(static_cast<unsigned char>(c)));
     return out;
+}
+
+std::string
+errnoString(int errnum)
+{
+    char buf[256];
+    buf[0] = '\0';
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+    // GNU variant: returns the message pointer (maybe static, maybe
+    // buf) and never fails.
+    return std::string(strerror_r(errnum, buf, sizeof buf));
+#else
+    // POSIX variant: fills buf, returns 0 on success.
+    if (strerror_r(errnum, buf, sizeof buf) != 0)
+        std::snprintf(buf, sizeof buf, "errno %d", errnum);
+    return std::string(buf);
+#endif
 }
 
 std::string

@@ -35,6 +35,12 @@ std::string toLower(std::string_view s);
 std::string join(const std::vector<std::string> &items,
                  std::string_view sep);
 
+/** Thread-safe strerror: the message for @p errnum via strerror_r.
+ *  `std::strerror` returns a pointer into shared static storage and
+ *  is flagged by clang-tidy's concurrency-mt-unsafe — concurrent
+ *  code (the server, scheduler tasks) must use this instead. */
+std::string errnoString(int errnum);
+
 } // namespace rissp
 
 #endif // RISSP_UTIL_STRINGS_HH

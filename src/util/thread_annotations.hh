@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Clang thread-safety (capability) analysis macros.
+ *
+ * The repo's locking invariants — "`queues` is only touched under
+ * `mu`", "the drain condvar must be notified under `stateMu`", "a
+ * `*Locked` helper runs with the scheduler lock held" — used to live
+ * in comments and be enforced only dynamically, by the TSan CI job.
+ * These macros turn them into compiler-checked contracts: on Clang,
+ * `-Wthread-safety` (promoted to an error by the
+ * `RISSP_WERROR_THREAD_SAFETY` CMake option and the CI
+ * `static-analysis` job) rejects any access to a `RISSP_GUARDED_BY`
+ * member without its mutex and any call to a `RISSP_REQUIRES`
+ * function from a context that does not hold the lock. On every
+ * other compiler the macros expand to nothing, so GCC builds are
+ * unchanged.
+ *
+ * Use the annotated wrappers in util/mutex.hh (`Mutex`, `LockGuard`,
+ * `UniqueLock`, `CondVar`) rather than raw `std::mutex`: the
+ * analysis only understands lock objects whose acquire/release
+ * functions are themselves annotated, and the in-repo linter
+ * (`tools/lint/`, check `raw-mutex`) flags raw `std::mutex` in
+ * library code for exactly that reason.
+ *
+ * `RISSP_NO_THREAD_SAFETY_ANALYSIS` is the escape hatch for the rare
+ * function whose locking the analysis cannot follow (lock handoff
+ * across threads, intentionally unbalanced acquire/release). Every
+ * use must carry a comment explaining why the invariant holds anyway
+ * — see docs/STATIC_ANALYSIS.md.
+ *
+ * Macro names and semantics follow the Clang documentation
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed
+ * to keep the repo's namespace.
+ */
+
+#ifndef RISSP_UTIL_THREAD_ANNOTATIONS_HH
+#define RISSP_UTIL_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RISSP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RISSP_THREAD_ANNOTATION
+#define RISSP_THREAD_ANNOTATION(x) // no-op on non-Clang compilers
+#endif
+
+/** Marks a class as a lockable capability (e.g. a mutex wrapper). */
+#define RISSP_CAPABILITY(x) RISSP_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class that acquires in its constructor and releases
+ *  in its destructor (LockGuard, UniqueLock). */
+#define RISSP_SCOPED_CAPABILITY RISSP_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define RISSP_GUARDED_BY(x) RISSP_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by @p x. */
+#define RISSP_PT_GUARDED_BY(x) RISSP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function callable only while holding every listed capability —
+ *  the static form of a `*Locked` helper's contract. */
+#define RISSP_REQUIRES(...) \
+    RISSP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function callable only while holding the listed capabilities in
+ *  shared (reader) mode. */
+#define RISSP_REQUIRES_SHARED(...) \
+    RISSP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function that acquires the capability and holds it on return. */
+#define RISSP_ACQUIRE(...) \
+    RISSP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define RISSP_ACQUIRE_SHARED(...) \
+    RISSP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function that releases the capability it was called holding. */
+#define RISSP_RELEASE(...) \
+    RISSP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RISSP_RELEASE_SHARED(...) \
+    RISSP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/** Function that acquires the capability only when it returns the
+ *  given value (try_lock). */
+#define RISSP_TRY_ACQUIRE(...) \
+    RISSP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must NOT be called while holding the capability —
+ *  documents (and rejects) self-deadlock. */
+#define RISSP_EXCLUDES(...) \
+    RISSP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the calling thread holds the capability;
+ *  tells the analysis to assume it from here on. */
+#define RISSP_ASSERT_CAPABILITY(x) \
+    RISSP_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returning a reference to the named capability. */
+#define RISSP_RETURN_CAPABILITY(x) \
+    RISSP_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: skip the analysis for one function. Every use needs
+ *  a justifying comment (docs/STATIC_ANALYSIS.md § escape hatch). */
+#define RISSP_NO_THREAD_SAFETY_ANALYSIS \
+    RISSP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // RISSP_UTIL_THREAD_ANNOTATIONS_HH

@@ -73,8 +73,18 @@ class HttpClient
     HttpClient(const HttpClient &) = delete;
     HttpClient &operator=(const HttpClient &) = delete;
 
-    /** Connect to 127.0.0.1:@p port; false on refusal/failure. */
-    bool connect(uint16_t port, int timeout_ms = 10'000)
+    /** Connect to 127.0.0.1:@p port; false on refusal/failure.
+     *  The default socket timeout is sized up under TSan: the
+     *  instrumented flow stages run an order of magnitude slower,
+     *  and a retarget that answers in ~300ms natively can blow a
+     *  10s receive window there. */
+#ifdef RISSP_TSAN
+    static constexpr int kDefaultTimeoutMs = 120'000;
+#else
+    static constexpr int kDefaultTimeoutMs = 10'000;
+#endif
+
+    bool connect(uint16_t port, int timeout_ms = kDefaultTimeoutMs)
     {
         disconnect();
         fd = ::socket(AF_INET, SOCK_STREAM, 0);

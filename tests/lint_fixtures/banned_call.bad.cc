@@ -1,0 +1,22 @@
+// Fixture: non-reentrant and UB-prone calls — every line marked
+// below is a banned-call finding.
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+namespace rissp
+{
+
+void
+sketchy(char *dst, const char *src, std::time_t t)
+{
+    strcpy(dst, src);              // finding: unbounded copy
+    std::tm *parts = gmtime(&t);   // finding: static buffer
+    (void)parts;
+    int jitter = rand();           // finding: hidden shared state
+    (void)jitter;
+    const char *msg = strerror(0); // finding: static buffer
+    (void)msg;
+}
+
+} // namespace rissp

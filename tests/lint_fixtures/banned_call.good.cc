@@ -1,0 +1,39 @@
+// Fixture: the sanctioned alternatives to every banned call — clean
+// under the banned-call check. Mentions of strcpy or rand in
+// comments and strings are invisible to the token scan, as are
+// identifiers that merely contain a banned name (strandify).
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "util/strings.hh"
+
+namespace rissp
+{
+
+int strandify(int x); // 'rand' inside an identifier is not a call
+
+std::string
+timestamp(std::time_t t)
+{
+    std::tm parts{};
+    gmtime_r(&t, &parts); // the _r variant, not gmtime()
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%d", &parts);
+    return buf; // "use strcpy" — only as words in a string
+}
+
+std::string
+copyName(const std::string &name)
+{
+    return name; // std::string instead of strcpy/strcat
+}
+
+std::string
+lastError(int err)
+{
+    return errnoString(err); // not strerror()
+}
+
+} // namespace rissp

@@ -1,0 +1,16 @@
+// Fixture: a header with no guard at all — double inclusion is a
+// compile error waiting for its second include. One include-guard
+// finding.
+
+#include <cstdint>
+
+namespace rissp
+{
+
+inline uint32_t
+answer()
+{
+    return 42;
+}
+
+} // namespace rissp

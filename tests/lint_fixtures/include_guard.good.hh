@@ -1,0 +1,14 @@
+// Fixture: a header with a matched #ifndef/#define guard (the repo
+// idiom) — clean under the include-guard check. A license banner
+// before the guard is fine; comments are scrubbed first.
+#ifndef RISSP_TESTS_LINT_FIXTURES_INCLUDE_GUARD_GOOD_HH
+#define RISSP_TESTS_LINT_FIXTURES_INCLUDE_GUARD_GOOD_HH
+
+namespace rissp
+{
+
+int answer();
+
+} // namespace rissp
+
+#endif // RISSP_TESTS_LINT_FIXTURES_INCLUDE_GUARD_GOOD_HH

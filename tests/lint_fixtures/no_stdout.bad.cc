@@ -1,0 +1,16 @@
+// Fixture: library code writing to stdout — both the stream and the
+// stdio call are no-stdout findings.
+#include <cstdio>
+#include <iostream>
+
+namespace rissp
+{
+
+void
+report(int n)
+{
+    std::cout << "n = " << n << "\n"; // finding: std::cout
+    std::printf("n = %d\n", n);       // finding: printf()
+}
+
+} // namespace rissp

@@ -1,0 +1,20 @@
+// Fixture: library code that reports through values and stderr —
+// clean under the no-stdout check (fprintf to stderr and snprintf
+// are fine; the word printf inside strings or comments is invisible).
+#include <cstdio>
+#include <string>
+
+namespace rissp
+{
+
+std::string
+describe(int n)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "n=%d", n);
+    if (n < 0)
+        std::fprintf(stderr, "warn: negative (%s)\n", buf);
+    return std::string(buf) + " via printf-style formatting";
+}
+
+} // namespace rissp

@@ -1,0 +1,21 @@
+// Fixture: library code that terminates the process on user input —
+// each call below is a no-terminate finding.
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace rissp
+{
+
+void
+loadPlan(int n)
+{
+    if (n < 0)
+        fatal("bad plan line %d", n); // finding: fatal()
+    if (n == 0)
+        std::abort(); // finding: abort()
+    if (n > 99)
+        exit(1); // finding: exit()
+}
+
+} // namespace rissp

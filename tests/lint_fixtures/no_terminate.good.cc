@@ -1,0 +1,27 @@
+// Fixture: library code reporting errors as values — clean under
+// the no-terminate check. panic() is sanctioned (internal invariant,
+// documented trusted-input path).
+#include "util/logging.hh"
+#include "util/status.hh"
+
+namespace rissp
+{
+
+Status
+parseCount(int n)
+{
+    if (n < 0)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "count must be >= 0");
+    if (n > 1 << 20)
+        panic("parseCount: validated bound %d escaped", n);
+    return Status::ok();
+}
+
+// Words like exit or abort in comments (or in "exit strings") must
+// not trip the token-level check; nor may identifiers that merely
+// contain them:
+int exitCode = 0;
+void aborted();
+
+} // namespace rissp

@@ -1,0 +1,31 @@
+// Fixture: a raw std::mutex member (plus a raw condition variable)
+// in library code — invisible to -Wthread-safety, so the raw-mutex
+// check flags both.
+#ifndef RISSP_TESTS_LINT_FIXTURES_RAW_MUTEX_BAD_HH
+#define RISSP_TESTS_LINT_FIXTURES_RAW_MUTEX_BAD_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace rissp
+{
+
+class Counter
+{
+  public:
+    void bump()
+    {
+        std::lock_guard<std::mutex> lock(mu); // finding: raw mutex
+        ++value;
+    }
+
+  private:
+    mutable std::mutex mu;       // finding: raw mutex member
+    std::condition_variable cv;  // finding: raw condvar member
+    uint64_t value = 0;
+};
+
+} // namespace rissp
+
+#endif // RISSP_TESTS_LINT_FIXTURES_RAW_MUTEX_BAD_HH

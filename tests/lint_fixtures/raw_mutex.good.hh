@@ -1,0 +1,35 @@
+// Fixture: the annotated-mutex idiom — a rissp::Mutex capability
+// with RISSP_GUARDED_BY members passes the raw-mutex check.
+#ifndef RISSP_TESTS_LINT_FIXTURES_RAW_MUTEX_GOOD_HH
+#define RISSP_TESTS_LINT_FIXTURES_RAW_MUTEX_GOOD_HH
+
+#include <cstdint>
+
+#include "util/mutex.hh"
+
+namespace rissp
+{
+
+class Counter
+{
+  public:
+    void bump()
+    {
+        LockGuard lock(mu);
+        ++value;
+    }
+
+    uint64_t read() const
+    {
+        LockGuard lock(mu);
+        return value;
+    }
+
+  private:
+    mutable Mutex mu;
+    uint64_t value RISSP_GUARDED_BY(mu) = 0;
+};
+
+} // namespace rissp
+
+#endif // RISSP_TESTS_LINT_FIXTURES_RAW_MUTEX_GOOD_HH

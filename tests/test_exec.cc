@@ -219,13 +219,19 @@ TEST(Scheduler, CancelPreventsExecutionAndPropagates)
 
 TEST(SchedulerDedup, ExactlyOnceUnder32WayContention)
 {
-    // 32 workers race 256 stages onto 8 distinct cache keys; the
+    // 32 workers race the stages onto 8 distinct cache keys; the
     // promise-backed entries must compute each key exactly once and
-    // give every racer the same value.
+    // give every racer the same value. TSan runs at a fraction of
+    // the load — same contention shape, ~10x slower interleavings.
+#ifdef RISSP_TSAN
+    constexpr int kStages = 128;
+#else
+    constexpr int kStages = 256;
+#endif
     explore::MemoCache<uint64_t, int> cache;
     std::atomic<int> computations{0};
     TaskGraph graph;
-    for (int i = 0; i < 256; ++i) {
+    for (int i = 0; i < kStages; ++i) {
         graph.add([&cache, &computations, i] {
             const uint64_t key = i % 8;
             const int value = cache.getOrCompute(key, [&] {
@@ -239,7 +245,7 @@ TEST(SchedulerDedup, ExactlyOnceUnder32WayContention)
     scheduler.runToCompletion(std::move(graph));
     EXPECT_EQ(computations.load(), 8);
     EXPECT_EQ(cache.misses(), 8u);
-    EXPECT_EQ(cache.hits(), 248u);
+    EXPECT_EQ(cache.hits(), uint64_t(kStages - 8));
     EXPECT_EQ(cache.size(), 8u);
 }
 

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the in-repo project linter (tools/lint).
+ *
+ * The linter is self-testing: every registered check is pinned by a
+ * good/bad fixture pair under tests/lint_fixtures/. A check without
+ * fixtures fails here, as does a fixture whose findings drift — so
+ * the registry and the fixtures cannot rot apart.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.hh"
+
+#ifndef RISSP_LINT_FIXTURE_DIR
+#error "build must define RISSP_LINT_FIXTURE_DIR"
+#endif
+
+namespace rissp::lint
+{
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open fixture " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Fixture file names use '_' where check names use '-'. */
+std::string
+fixtureStem(const std::string &check)
+{
+    std::string stem = check;
+    std::replace(stem.begin(), stem.end(), '-', '_');
+    return stem;
+}
+
+/**
+ * Load a fixture classified as library code (src/<name>), the same
+ * reclassification `rissp_lint --as-library` performs, so src/-only
+ * checks apply to it.
+ */
+SourceFile
+loadFixture(const std::string &name)
+{
+    std::string path = std::string(RISSP_LINT_FIXTURE_DIR) + "/" + name;
+    return makeSourceFile("src/" + name, readFile(path));
+}
+
+bool
+fixtureExists(const std::string &name)
+{
+    std::ifstream in(std::string(RISSP_LINT_FIXTURE_DIR) + "/" + name);
+    return in.good();
+}
+
+/** Resolve <stem>.{good,bad}.{cc,hh} — each check picks one ext. */
+std::string
+fixtureName(const std::string &check, const std::string &kind)
+{
+    for (const char *ext : {".cc", ".hh"}) {
+        std::string name = fixtureStem(check) + "." + kind + ext;
+        if (fixtureExists(name))
+            return name;
+    }
+    return {};
+}
+
+TEST(LintRegistry, EveryCheckHasAFixturePair)
+{
+    ASSERT_FALSE(checkRegistry().empty());
+    for (const Check &check : checkRegistry()) {
+        EXPECT_FALSE(fixtureName(check.name, "good").empty())
+            << "check '" << check.name << "' lacks a .good fixture";
+        EXPECT_FALSE(fixtureName(check.name, "bad").empty())
+            << "check '" << check.name << "' lacks a .bad fixture";
+    }
+}
+
+TEST(LintRegistry, BadFixturesTripTheirCheck)
+{
+    for (const Check &check : checkRegistry()) {
+        SourceFile file = loadFixture(fixtureName(check.name, "bad"));
+        std::vector<Finding> findings = lintFile(file, check.name);
+        EXPECT_FALSE(findings.empty())
+            << "bad fixture for '" << check.name
+            << "' produced no findings";
+        for (const Finding &f : findings) {
+            EXPECT_EQ(f.check, check.name);
+            EXPECT_GT(f.line, 0u);
+            EXPECT_FALSE(f.message.empty());
+        }
+    }
+}
+
+TEST(LintRegistry, GoodFixturesPassEveryCheck)
+{
+    // Good fixtures must be clean under ALL checks, not just their
+    // own — otherwise "the good raw-mutex fixture" could smuggle a
+    // banned call past review.
+    for (const Check &check : checkRegistry()) {
+        SourceFile file = loadFixture(fixtureName(check.name, "good"));
+        std::vector<Finding> findings = lintFile(file);
+        EXPECT_TRUE(findings.empty())
+            << "good fixture " << file.path << " tripped '"
+            << findings.front().check
+            << "': " << findings.front().message;
+    }
+}
+
+TEST(LintRegistry, AnnotatedMutexPassesRawMutexFails)
+{
+    // The acceptance pair for the thread-safety layer, spelled out:
+    // the rissp::Mutex idiom is clean, a raw std::mutex member is a
+    // finding.
+    SourceFile good = loadFixture("raw_mutex.good.hh");
+    EXPECT_TRUE(lintFile(good, "raw-mutex").empty());
+
+    SourceFile bad = loadFixture("raw_mutex.bad.hh");
+    std::vector<Finding> findings = lintFile(bad, "raw-mutex");
+    ASSERT_FALSE(findings.empty());
+    EXPECT_EQ(findings.front().check, "raw-mutex");
+}
+
+TEST(LintScrub, LiteralsAndCommentsAreBlanked)
+{
+    SourceFile file = makeSourceFile("src/x.cc",
+        "int a; // strcpy in a comment\n"
+        "const char *s = \"strcpy in a string\";\n"
+        "/* strcpy\n   across lines */ char c = 'x';\n"
+        "auto r = R\"(strcpy raw)\";\n");
+    EXPECT_EQ(file.scrubbed.find("strcpy"), std::string::npos);
+    // Newlines survive so findings keep correct line numbers.
+    EXPECT_EQ(std::count(file.scrubbed.begin(), file.scrubbed.end(),
+                         '\n'),
+              std::count(file.content.begin(), file.content.end(),
+                         '\n'));
+    EXPECT_TRUE(lintFile(file).empty());
+}
+
+TEST(LintScrub, DigitSeparatorIsNotACharLiteral)
+{
+    // 1'000 must not open a char literal that swallows the rest of
+    // the file (hiding real violations after it).
+    SourceFile file = makeSourceFile("src/x.cc",
+        "int n = 1'000;\n"
+        "void f(char *d, const char *s) { strcpy(d, s); }\n");
+    std::vector<Finding> findings = lintFile(file, "banned-call");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings.front().line, 2u);
+}
+
+TEST(LintAllow, SuppressionIsPerLineAndPerCheck)
+{
+    SourceFile file = makeSourceFile("src/x.cc",
+        "void f(char *d) {\n"
+        "    strcpy(d, d); // rissp-lint: allow(banned-call)\n"
+        "    strcpy(d, d);\n"
+        "}\n");
+    std::vector<Finding> findings = lintFile(file, "banned-call");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings.front().line, 3u);
+
+    // The allow names one check; others on that line still fire.
+    SourceFile other = makeSourceFile("src/y.cc",
+        "void g() { exit(1); } // rissp-lint: allow(banned-call)\n");
+    EXPECT_FALSE(lintFile(other, "no-terminate").empty());
+}
+
+TEST(LintPaths, ClassificationMatchesLayout)
+{
+    EXPECT_TRUE(isLibraryPath("src/exec/scheduler.cc"));
+    EXPECT_FALSE(isLibraryPath("tools/risspgen.cc"));
+    EXPECT_FALSE(isLibraryPath("tests/test_exec.cc"));
+    EXPECT_TRUE(isHeaderPath("src/exec/scheduler.hh"));
+    EXPECT_TRUE(isHeaderPath("tests/http_client.hh"));
+    EXPECT_FALSE(isHeaderPath("src/exec/scheduler.cc"));
+}
+
+TEST(LintChecks, PragmaOnceSatisfiesIncludeGuard)
+{
+    SourceFile file = makeSourceFile("src/x.hh",
+        "#pragma once\nint f();\n");
+    EXPECT_TRUE(lintFile(file, "include-guard").empty());
+}
+
+TEST(LintChecks, MismatchedGuardIsAFinding)
+{
+    SourceFile file = makeSourceFile("src/x.hh",
+        "#ifndef A_HH\n#define B_HH\n#endif\n");
+    EXPECT_FALSE(lintFile(file, "include-guard").empty());
+}
+
+TEST(LintChecks, LibraryOnlyChecksIgnoreToolCode)
+{
+    // printf and raw mutexes are fine outside src/ — the CLIs print
+    // and the tests may use std::mutex scaffolding directly.
+    SourceFile file = makeSourceFile("tools/x.cc",
+        "#include <mutex>\n"
+        "std::mutex mu;\n"
+        "int main() { printf(\"ok\\n\"); }\n");
+    EXPECT_TRUE(lintFile(file, "no-stdout").empty());
+    EXPECT_TRUE(lintFile(file, "raw-mutex").empty());
+    // ...but reentrancy rules still apply everywhere.
+    SourceFile banned = makeSourceFile("tools/y.cc",
+        "int main() { return rand(); }\n");
+    EXPECT_FALSE(lintFile(banned, "banned-call").empty());
+}
+
+} // namespace
+} // namespace rissp::lint

@@ -487,7 +487,13 @@ TEST(ServeConcurrency, ParallelIdenticalSynthsHitTheCacheOnce)
 TEST(ServeConcurrency, MixedHammerKeepsEveryCounterConsistent)
 {
     Harness harness({}, /*threads=*/4);
+    // TSan's ~10x slowdown makes the full hammer flirt with the test
+    // timeout; half the clients exercise the same interleavings.
+#ifdef RISSP_TSAN
+    constexpr int kClients = 8;
+#else
     constexpr int kClients = 16;
+#endif
 
     std::vector<int> failures(kClients, 0);
     std::vector<std::thread> clients;
@@ -587,6 +593,40 @@ TEST(ServeDrain, InFlightRequestsCompleteNewConnectionsRefused)
 
     harness.server.waitUntilStopped();
     EXPECT_EQ(harness.server.metrics().activeConnections, 0u);
+}
+
+TEST(ServeDrain, DrainRaceDestroyOnWakeRegression)
+{
+    // Regression pin for the PR 6 TSan finding: the drain waiter may
+    // destroy the server (and its condvar) the moment it observes
+    // `activeCount == 0`, so the handler's wake notify must happen
+    // under `stateMu` — now a compile-checked contract via
+    // finishConnectionLocked() RISSP_REQUIRES(stateMu). Hammer the
+    // destroy-on-wake window: each iteration races one in-flight
+    // request against shutdown + waitUntilStopped + destruction.
+#ifdef RISSP_TSAN
+    constexpr int kRounds = 6;
+#else
+    constexpr int kRounds = 12;
+#endif
+    for (int round = 0; round < kRounds; ++round) {
+        flow::FlowService service(nullptr, /*threads=*/2);
+        std::thread client;
+        {
+            HttpServer server(service);
+            ASSERT_TRUE(server.start().isOk());
+            const uint16_t port = server.port();
+            client = std::thread([port] {
+                // Response (or refusal) irrelevant: the race under
+                // test is handler-finish vs. drain-wake.
+                (void)httpRequest(port, "GET", "/metrics");
+            });
+            server.requestShutdown();
+            server.waitUntilStopped();
+            // Scope exit destroys the server right on the wake.
+        }
+        client.join();
+    }
 }
 
 // ------------------------------------------------ framing unit tests

@@ -6,16 +6,74 @@
 # Usage: tools/ci.sh [build-dir] [extra cmake args...]
 #   tools/ci.sh                      # plain tier-1
 #   tools/ci.sh build-asan -DRISSP_SANITIZE=ON   # ASan+UBSan job
+#   tools/ci.sh --lint [build-dir]   # static analysis (see below)
 set -eu
 
 cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# Static-analysis mode — the shared entry point for the CI
+# static-analysis job and local runs (docs/STATIC_ANALYSIS.md):
+#   1. build with clang and -Werror=thread-safety when clang is
+#      available (GCC compiles the annotations as no-ops, so the
+#      capability analysis only bites under clang);
+#   2. run rissp_lint over the tree (must be clean);
+#   3. run every lint fixture: each .bad must trip its check, each
+#      .good must be clean;
+#   4. run clang-tidy (pinned by .clang-tidy) over src/ when
+#      available.
+# Steps that need missing tools are skipped with a note, never
+# silently — so the script is useful in clang-less containers too.
+if [ "${1:-}" = "--lint" ]; then
+    shift
+    BUILD_DIR="${1:-build-lint}"
+
+    if command -v clang++ >/dev/null 2>&1; then
+        cmake -B "$BUILD_DIR" -S . \
+              -DCMAKE_C_COMPILER=clang \
+              -DCMAKE_CXX_COMPILER=clang++ \
+              -DRISSP_WERROR_THREAD_SAFETY=ON
+    else
+        echo "ci.sh --lint: clang++ not found;" \
+             "building without thread-safety analysis" >&2
+        cmake -B "$BUILD_DIR" -S .
+    fi
+    cmake --build "$BUILD_DIR" -j "$JOBS"
+
+    echo "ci.sh --lint: linting the tree"
+    "$BUILD_DIR/rissp_lint" --root .
+
+    echo "ci.sh --lint: checking fixtures"
+    for bad in tests/lint_fixtures/*.bad.*; do
+        if "$BUILD_DIR/rissp_lint" --as-library "$bad" \
+                > /dev/null 2>&1; then
+            echo "ci.sh --lint: $bad produced no findings" >&2
+            exit 1
+        fi
+    done
+    for good in tests/lint_fixtures/*.good.*; do
+        "$BUILD_DIR/rissp_lint" --as-library "$good"
+    done
+
+    if command -v clang-tidy >/dev/null 2>&1; then
+        echo "ci.sh --lint: clang-tidy over src/"
+        find src -name '*.cc' -print | sort |
+            xargs clang-tidy -p "$BUILD_DIR" --quiet
+    else
+        echo "ci.sh --lint: clang-tidy not found; skipping" >&2
+    fi
+
+    echo "ci.sh --lint: OK"
+    exit 0
+fi
+
 BUILD_DIR="${1:-build}"
 [ "$#" -gt 0 ] && shift
 
 cmake -B "$BUILD_DIR" -S . "$@"
-cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
+cmake --build "$BUILD_DIR" -j "$JOBS"
 cd "$BUILD_DIR"
-ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"
+ctest --output-on-failure -j "$JOBS"
 
 # Sim-throughput trajectory: emit BENCH_simspeed.json next to the
 # build so CI can upload it as an artifact (docs/BENCHMARKS.md).

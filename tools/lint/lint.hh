@@ -1,0 +1,106 @@
+/**
+ * @file
+ * rissp_lint — the in-repo project linter's check registry.
+ *
+ * A small token-level linter (no libclang, no external dependency)
+ * for the repo invariants the compiler cannot check:
+ *
+ *   no-terminate   no fatal()/abort()/exit() in library code (src/)
+ *                  outside the documented trusted-input panic()
+ *                  implementation in util/logging.*
+ *   raw-mutex      no raw std::mutex / std::condition_variable in
+ *                  library code — use the capability-annotated
+ *                  wrappers in util/mutex.hh so Clang's
+ *                  thread-safety analysis can see the locking
+ *   no-stdout      no std::cout / printf in library code (stdout
+ *                  belongs to the CLIs; only tools/, bench/ and
+ *                  examples/ may print)
+ *   banned-call    no non-reentrant / UB-prone calls anywhere
+ *                  (strcpy, sprintf, gmtime, rand, strtok, ...)
+ *   include-guard  every header carries #pragma once or a matched
+ *                  #ifndef/#define guard
+ *
+ * Each check is a pure function over one scrubbed source file
+ * (comments, string and char literals blanked so tokens inside them
+ * cannot trip a check) and is pinned by a good/bad fixture pair
+ * under tests/lint_fixtures/ — adding a check means adding a
+ * registry entry and its two fixtures (see docs/STATIC_ANALYSIS.md).
+ *
+ * Suppression is per-line and explicit:
+ *     legacy_call();  // rissp-lint: allow(banned-call)
+ * so every exception is greppable and reviewed.
+ */
+
+#ifndef RISSP_TOOLS_LINT_LINT_HH
+#define RISSP_TOOLS_LINT_LINT_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rissp::lint
+{
+
+/** One rule violation. */
+struct Finding
+{
+    std::string file; ///< repo-relative path
+    size_t line = 0;  ///< 1-based
+    std::string check;
+    std::string message;
+};
+
+/**
+ * One source file prepared for checking. `scrubbed` is `content`
+ * with comments, string literals (including raw strings) and char
+ * literals replaced by spaces, newlines preserved — so line numbers
+ * agree and tokens inside literals are invisible to checks.
+ * `allows[i]` holds the check names suppressed on 1-based line i+1
+ * via `// rissp-lint: allow(check-a, check-b)` comments.
+ */
+struct SourceFile
+{
+    std::string path;
+    std::string content;
+    std::string scrubbed;
+    std::vector<std::vector<std::string>> allows;
+
+    bool allowed(size_t line, std::string_view check) const;
+};
+
+/** Prepare @p content for checking. @p path is the repo-relative
+ *  path used for classification (src/ = library code) and reports. */
+SourceFile makeSourceFile(std::string path, std::string content);
+
+/** A registered check. */
+struct Check
+{
+    const char *name;
+    const char *description;
+    void (*fn)(const SourceFile &file, std::vector<Finding> &out);
+};
+
+/** Every check, in reporting order. */
+const std::vector<Check> &checkRegistry();
+
+/** Run @p only_check (or all checks when empty) over one file. */
+std::vector<Finding> lintFile(const SourceFile &file,
+                              std::string_view only_check = {});
+
+/**
+ * Lint the repo tree rooted at @p root: every .cc/.hh/.h/.cpp/.hpp
+ * under src/, tools/, bench/, examples/ and tests/, skipping
+ * tests/lint_fixtures/ (the bad fixtures violate rules on purpose).
+ * On an IO problem, sets @p error and returns what was gathered.
+ */
+std::vector<Finding> lintTree(const std::string &root,
+                              std::string &error,
+                              std::string_view only_check = {});
+
+/** Path classification helpers (repo-relative, '/'-separated). */
+bool isHeaderPath(std::string_view path);
+bool isLibraryPath(std::string_view path); ///< under src/
+
+} // namespace rissp::lint
+
+#endif // RISSP_TOOLS_LINT_LINT_HH
