@@ -54,18 +54,47 @@ Explorer::workloadKey(const std::string &name, minic::OptLevel level)
     return flow::sourceKey(name, workloadByName(name).source, level);
 }
 
+bool
+Explorer::noteCompileLookup(uint64_t key)
+{
+    LockGuard lock(statsMu);
+    const bool repeat = !seenCompile.insert(key).second;
+    ++(repeat ? tallies.compileHits : tallies.compileMisses);
+    return repeat;
+}
+
+bool
+Explorer::noteSimLookup(const FingerprintPair &key)
+{
+    LockGuard lock(statsMu);
+    const bool repeat = !seenSim.insert(key).second;
+    ++(repeat ? tallies.simHits : tallies.simMisses);
+    return repeat;
+}
+
+bool
+Explorer::noteSynthLookup(const FingerprintPair &key)
+{
+    LockGuard lock(statsMu);
+    const bool repeat = !seenSynth.insert(key).second;
+    ++(repeat ? tallies.synthHits : tallies.synthMisses);
+    return repeat;
+}
+
 minic::CompileResult
 Explorer::compileWorkload(const std::string &name,
                           minic::OptLevel level)
 {
+    const uint64_t key = workloadKey(name, level);
+    noteCompileLookup(key);
     // Bundled workloads always compile, so the cached Result is
     // always a value.
-    return caches->compile
-        .getOrCompute(workloadKey(name, level),
-                      [&]() -> Result<minic::CompileResult> {
-                          return minic::compile(
-                              workloadByName(name).source, level);
-                      })
+    return caches
+        ->compileLookup(key,
+                        [&]() -> Result<minic::CompileResult> {
+                            return minic::compile(
+                                workloadByName(name).source, level);
+                        })
         .value();
 }
 
@@ -190,15 +219,15 @@ Explorer::explore(const ExplorationPlan &plan)
             rowDeps.push_back(graph.add(
                 [this, &plan, &wlName, &state] {
                     ExplorationResult &row = state.row;
+                    const FingerprintPair simKey{
+                        state.subsetFp,
+                        workloadKey(wlName, plan.opt)};
+                    row.simMemoHit = noteSimLookup(simKey);
                     const flow::SimOutcome sim =
-                        caches->sim.getOrCompute(
-                            {state.subsetFp,
-                             workloadKey(wlName, plan.opt)},
-                            [&] {
-                                return simulatePoint(row.subset,
-                                                     state.compiled);
-                            },
-                            &row.simMemoHit);
+                        caches->simLookup(simKey, [&] {
+                            return simulatePoint(row.subset,
+                                                 state.compiled);
+                        });
                     row.simRun = true;
                     row.trapped = sim.trapped;
                     row.cosimPassed = sim.cosimPassed;
@@ -217,16 +246,16 @@ Explorer::explore(const ExplorationPlan &plan)
             rowDeps.push_back(graph.add(
                 [this, &sspec, &tech, &state] {
                     ExplorationResult &row = state.row;
+                    const FingerprintPair synthKey{
+                        state.subsetFp,
+                        techFingerprint(tech.tech)};
+                    row.synthMemoHit = noteSynthLookup(synthKey);
                     const flow::SynthOutcome synth =
-                        caches->synth.getOrCompute(
-                            {state.subsetFp,
-                             techFingerprint(tech.tech)},
-                            [&] {
-                                return synthesizePoint(
-                                    row.subset, sspec.name,
-                                    tech.tech);
-                            },
-                            &row.synthMemoHit);
+                        caches->synthLookup(synthKey, [&] {
+                            return synthesizePoint(row.subset,
+                                                   sspec.name,
+                                                   tech.tech);
+                        });
                     row.synthRun = true;
                     row.fmaxKhz = synth.fmaxKhz;
                     row.avgAreaGe = synth.avgAreaGe;
@@ -257,13 +286,11 @@ ExplorerStats
 Explorer::stats() const
 {
     ExplorerStats s;
+    {
+        LockGuard lock(statsMu);
+        s = tallies;
+    }
     s.points = pointCount.load(std::memory_order_relaxed);
-    s.compileHits = caches->compile.hits();
-    s.compileMisses = caches->compile.misses();
-    s.simHits = caches->sim.hits();
-    s.simMisses = caches->sim.misses();
-    s.synthHits = caches->synth.hits();
-    s.synthMisses = caches->synth.misses();
     return s;
 }
 

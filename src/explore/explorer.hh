@@ -30,12 +30,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 
 #include "compiler/driver.hh"
 #include "explore/plan.hh"
 #include "explore/result_table.hh"
 #include "flow/caches.hh"
 #include "physimpl/physical.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
 
 namespace rissp::explore
 {
@@ -52,7 +55,15 @@ struct ExplorerOptions
     RfStyle rfStyle = RfStyle::LatchArray;
 };
 
-/** Cumulative cache statistics (deterministic for a fixed plan). */
+/** Cache statistics over *this engine's* lookups: a miss is the
+ *  first time this Explorer asks for a key, a hit is a repeat — no
+ *  matter whether the shared caches (or a persistent store under
+ *  them) already held the value from another engine or an earlier
+ *  boot. That makes the numbers a pure function of the plans this
+ *  engine has swept: deterministic across thread counts, service
+ *  warmth and processes, which is what lets two services produce
+ *  byte-identical explore responses. (Service-cumulative cache
+ *  counters live on `FlowService::stats()`.) */
 struct ExplorerStats
 {
     uint64_t points = 0;       ///< points explored so far
@@ -108,9 +119,26 @@ class Explorer
                                        const std::string &name,
                                        const Technology &tech);
 
+    /** Record one lookup against this engine's seen-key set; true =
+     *  repeat (a hit in the ExplorerStats sense above). */
+    bool noteCompileLookup(uint64_t key);
+    bool noteSimLookup(const FingerprintPair &key);
+    bool noteSynthLookup(const FingerprintPair &key);
+
     ExplorerOptions opts;
     std::shared_ptr<flow::StageCaches> caches;
     std::atomic<uint64_t> pointCount{0};
+
+    mutable Mutex statsMu;
+    std::unordered_set<uint64_t> seenCompile
+        RISSP_GUARDED_BY(statsMu);
+    std::unordered_set<FingerprintPair, FingerprintPairHash> seenSim
+        RISSP_GUARDED_BY(statsMu);
+    std::unordered_set<FingerprintPair, FingerprintPairHash>
+        seenSynth RISSP_GUARDED_BY(statsMu);
+    /** The engine-local hit/miss tallies (points lives in
+     *  pointCount). */
+    ExplorerStats tallies RISSP_GUARDED_BY(statsMu);
 };
 
 } // namespace rissp::explore

@@ -17,20 +17,33 @@
  * Clang); a StageCaches can be shared freely across concurrent
  * requests.
  *
+ * Since PR 8 the in-memory tier can sit over a persistent
+ * `store::ArtifactStore` (the `artifacts` member): the `*Lookup`
+ * wrappers consult the store inside a memo miss — load before
+ * compute, publish after — so a warm on-disk cache turns a process
+ * restart into a read instead of a recompute, while exactly-once
+ * computation and in-flight dedup still come from the promise-backed
+ * memo layer. A null `artifacts` is a strict no-op: the wrappers
+ * then behave exactly like calling `getOrCompute` directly. The
+ * wrappers are defined in flow/persist.cc next to the payload codecs.
+ *
  * Layering: this header is the *leaf* of the flow package — the
  * Explorer includes it, and flow/flow.hh includes the Explorer, so
  * nothing from flow/flow.hh (or any facade-level type) may ever be
- * included here.
+ * included here. store/ sits *below* flow/ (it sees only bytes).
  */
 
 #ifndef RISSP_FLOW_CACHES_HH
 #define RISSP_FLOW_CACHES_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 #include "compiler/driver.hh"
 #include "explore/fingerprint.hh"
 #include "explore/memo.hh"
+#include "store/artifact_store.hh"
 #include "synth/synthesis.hh"
 #include "util/status.hh"
 
@@ -89,6 +102,40 @@ struct StageCaches
     explore::MemoCache<explore::FingerprintPair, Result<SynthReport>,
                        explore::FingerprintPairHash>
         synthReport;
+
+    /** Persistent tier under the memo caches; null = memory only.
+     *  Set once, before the caches serve traffic (FlowService does
+     *  this in its constructor) — the stores themselves are
+     *  thread-safe, the pointer is not re-published. */
+    std::shared_ptr<store::ArtifactStore> artifacts;
+
+    // Store-aware lookups (flow/persist.cc). Same contract as the
+    // underlying getOrCompute — @p compute runs at most once per key
+    // per process, errors are cached as values, @p was_hit reports
+    // memo-level reuse — plus persistence: a memo miss first tries
+    // the artifact store, and a computed value is published back.
+    // Corrupt or undecodable records degrade to a recompute, never
+    // an error.
+
+    Result<minic::CompileResult> compileLookup(
+        uint64_t key,
+        const std::function<Result<minic::CompileResult>()> &compute,
+        bool *was_hit = nullptr);
+
+    SimOutcome
+    simLookup(const explore::FingerprintPair &key,
+              const std::function<SimOutcome()> &compute,
+              bool *was_hit = nullptr);
+
+    SynthOutcome
+    synthLookup(const explore::FingerprintPair &key,
+                const std::function<SynthOutcome()> &compute,
+                bool *was_hit = nullptr);
+
+    Result<SynthReport> synthReportLookup(
+        const explore::FingerprintPair &key,
+        const std::function<Result<SynthReport>()> &compute,
+        bool *was_hit = nullptr);
 };
 
 /** The one derivation of the full-report synthesis cache key: the

@@ -273,9 +273,13 @@ struct ExploreResponse
     Status status;
     explore::ExplorationPlan plan; ///< the plan that was swept
     explore::ResultTable table;
-    /** `points` counts this sweep; the hit/miss counters read the
-     *  shared caches and are therefore service-cumulative on a
-     *  long-lived FlowService. */
+    /** Stats of the engine that swept *this* request: a miss is the
+     *  first lookup of a key within the sweep, a hit is a repeat —
+     *  regardless of how warm the service's shared caches (or the
+     *  persistent store under them) already were. The response,
+     *  including its toJson form, is therefore byte-identical across
+     *  services, boots and thread counts for the same request; the
+     *  service-cumulative view lives on `FlowService::stats()`. */
     explore::ExplorerStats stats;
 };
 
@@ -293,6 +297,25 @@ using Response = std::variant<CharacterizeResponse, RunResponse,
 
 /** The overall status of any response alternative. */
 const Status &responseStatus(const Response &response);
+
+/** Construction options beyond the caches themselves. */
+struct ServiceOptions
+{
+    /** Worker threads for the async/batch scheduler (0 = hardware
+     *  concurrency); the scheduler starts lazily on first use. */
+    unsigned schedulerThreads = 0;
+
+    /** Attach a persistent `store::DiskStore` at this directory
+     *  (created on first use); empty = in-memory caches only. An
+     *  unusable directory is reported with warn() and the service
+     *  runs without persistence — the store is an optimization, not
+     *  a dependency. CLIs that want a loud failure open the store
+     *  themselves and pass it via `artifacts`. */
+    std::string cacheDir;
+
+    /** Explicit store to attach; wins over cacheDir. */
+    std::shared_ptr<store::ArtifactStore> artifacts;
+};
 
 /** The facade. One instance serves any number of clients.
  *
@@ -321,6 +344,14 @@ class FlowService
     explicit FlowService(
         std::shared_ptr<StageCaches> caches = nullptr,
         unsigned scheduler_threads = 0);
+
+    /** Construct with service options (persistent store, scheduler
+     *  sizing); @p caches as above. When both the options and the
+     *  adopted caches carry a store, the caches' existing one wins —
+     *  an already-serving cache set is never re-pointed. */
+    explicit FlowService(const ServiceOptions &options,
+                         std::shared_ptr<StageCaches> caches =
+                             nullptr);
 
     CharacterizeResponse
     characterize(const CharacterizeRequest &request) const;

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Payload codecs between the flow-level artifact types and the byte
+ * payloads an `ArtifactStore` traffics in.
+ *
+ * The store layer (src/store/) is deliberately type-blind; this is
+ * where the pipeline's artifacts gain a durable byte format. Each
+ * codec leads with its own payload version, independent of the
+ * store's record-frame version: bumping a codec (say the compile
+ * payload grows a field) invalidates only that kind — old records
+ * fail to decode, the caller recomputes and republishes, and the
+ * other kinds stay warm.
+ *
+ * Decoders are total functions over arbitrary bytes: they return
+ * `nullopt` instead of crashing on anything unexpected (the reader
+ * is bounds-checked, trailing bytes are rejected, enums are
+ * range-checked). By the time a payload gets here it already passed
+ * the record checksum, so a decode failure means version skew, not
+ * corruption — either way the contract is "miss, recompute".
+ *
+ * Determinism contract: encode(decode(p)) == p and the decoded value
+ * is bit-identical to the encoded one (doubles travel as raw IEEE
+ * bits), so a result table served from the store is byte-identical
+ * to one computed fresh.
+ */
+
+#ifndef RISSP_FLOW_PERSIST_HH
+#define RISSP_FLOW_PERSIST_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "flow/caches.hh"
+
+namespace rissp::flow::persist
+{
+
+std::vector<uint8_t>
+encodeCompile(const Result<minic::CompileResult> &value);
+std::optional<Result<minic::CompileResult>>
+decodeCompile(const std::vector<uint8_t> &payload);
+
+std::vector<uint8_t> encodeSim(const SimOutcome &value);
+std::optional<SimOutcome>
+decodeSim(const std::vector<uint8_t> &payload);
+
+std::vector<uint8_t> encodeSynth(const SynthOutcome &value);
+std::optional<SynthOutcome>
+decodeSynth(const std::vector<uint8_t> &payload);
+
+std::vector<uint8_t>
+encodeSynthReport(const Result<SynthReport> &value);
+std::optional<Result<SynthReport>>
+decodeSynthReport(const std::vector<uint8_t> &payload);
+
+} // namespace rissp::flow::persist
+
+#endif // RISSP_FLOW_PERSIST_HH

@@ -19,6 +19,8 @@
 
 #include "core/rissp.hh"
 #include "serv/serv_model.hh"
+#include "store/disk_store.hh"
+#include "util/logging.hh"
 #include "workloads/workloads.hh"
 
 namespace rissp::flow
@@ -58,6 +60,25 @@ FlowService::FlowService(std::shared_ptr<StageCaches> caches,
 {
 }
 
+FlowService::FlowService(const ServiceOptions &options,
+                         std::shared_ptr<StageCaches> caches)
+    : FlowService(std::move(caches), options.schedulerThreads)
+{
+    std::shared_ptr<store::ArtifactStore> artifacts =
+        options.artifacts;
+    if (!artifacts && !options.cacheDir.empty()) {
+        Result<std::shared_ptr<store::DiskStore>> opened =
+            store::DiskStore::open(options.cacheDir);
+        if (opened.isOk())
+            artifacts = opened.take();
+        else
+            warn("flow: persistent cache disabled: %s",
+                 opened.status().toString().c_str());
+    }
+    if (artifacts && !stageCaches->artifacts)
+        stageCaches->artifacts = std::move(artifacts);
+}
+
 exec::Scheduler &
 FlowService::scheduler() const
 {
@@ -86,7 +107,7 @@ FlowService::compileSource(const SourceRef &source,
     }
     const uint64_t key =
         sourceKey(*label, *text, opt, machine.customMul);
-    return stageCaches->compile.getOrCompute(key, [&] {
+    return stageCaches->compileLookup(key, [&] {
         return minic::tryCompile(*text, opt, machine);
     });
 }
@@ -258,7 +279,7 @@ FlowService::synthAppStage(SynthJob &job) const
         return;
     const Technology &tech = job.request.tech.tech;
     const InstrSubset &subset = job.response.subset.subset;
-    job.app = stageCaches->synthReport.getOrCompute(
+    job.app = stageCaches->synthReportLookup(
         synthReportKey(job.request.name,
                        explore::subsetFingerprint(subset),
                        explore::techFingerprint(tech)),
@@ -280,7 +301,7 @@ FlowService::synthBaselineStage(SynthJob &job) const
         return;
     const Technology &tech = job.request.tech.tech;
     const InstrSubset full = InstrSubset::fullRv32e();
-    job.fullIsa = stageCaches->synthReport.getOrCompute(
+    job.fullIsa = stageCaches->synthReportLookup(
         synthReportKey("RISSP-RV32E",
                        explore::subsetFingerprint(full),
                        explore::techFingerprint(tech)),

@@ -113,7 +113,17 @@ toJson(const MetricsSnapshot &snapshot)
         << ", \"misses\": " << snapshot.synthMisses
         << "}, \"synth_report\": {\"hits\": "
         << snapshot.synthReportHits << ", \"misses\": "
-        << snapshot.synthReportMisses << "}}}\n";
+        << snapshot.synthReportMisses << "}}, \"store\": {"
+        << "\"attached\": " << jsonBool(snapshot.storeAttached)
+        << ", \"hits\": " << snapshot.storeHits
+        << ", \"misses\": " << snapshot.storeMisses
+        << ", \"writes\": " << snapshot.storeWrites
+        << ", \"write_errors\": " << snapshot.storeWriteErrors
+        << ", \"evictions\": " << snapshot.storeEvictions
+        << ", \"quarantined\": " << snapshot.storeQuarantined
+        << ", \"bytes_read\": " << snapshot.storeBytesRead
+        << ", \"bytes_written\": " << snapshot.storeBytesWritten
+        << "}}\n";
     return out.str();
 }
 
@@ -554,6 +564,19 @@ HttpServer::metrics() const
     snapshot.synthMisses = caches.synth.misses();
     snapshot.synthReportHits = caches.synthReport.hits();
     snapshot.synthReportMisses = caches.synthReport.misses();
+
+    if (caches.artifacts) {
+        const store::StoreStats stats = caches.artifacts->stats();
+        snapshot.storeAttached = true;
+        snapshot.storeHits = stats.hits;
+        snapshot.storeMisses = stats.misses;
+        snapshot.storeWrites = stats.writes;
+        snapshot.storeWriteErrors = stats.writeErrors;
+        snapshot.storeEvictions = stats.evictions;
+        snapshot.storeQuarantined = stats.quarantined;
+        snapshot.storeBytesRead = stats.bytesRead;
+        snapshot.storeBytesWritten = stats.bytesWritten;
+    }
     return snapshot;
 }
 

@@ -94,6 +94,14 @@ struct MetricsSnapshot
     uint64_t simHits = 0, simMisses = 0;
     uint64_t synthHits = 0, synthMisses = 0;
     uint64_t synthReportHits = 0, synthReportMisses = 0;
+
+    /** Persistent artifact-store counters; all zero (and
+     *  `storeAttached` false) when the service runs memory-only. */
+    bool storeAttached = false;
+    uint64_t storeHits = 0, storeMisses = 0;
+    uint64_t storeWrites = 0, storeWriteErrors = 0;
+    uint64_t storeEvictions = 0, storeQuarantined = 0;
+    uint64_t storeBytesRead = 0, storeBytesWritten = 0;
 };
 
 /** Render a snapshot as the GET /metrics JSON document. */

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared helpers of the store package.
+ */
+
+#include "store/artifact_store.hh"
+
+namespace rissp::store
+{
+
+const char *
+kindName(ArtifactKind kind)
+{
+    switch (kind) {
+      case ArtifactKind::Compile:
+        return "compile";
+      case ArtifactKind::Sim:
+        return "sim";
+      case ArtifactKind::Synth:
+        return "synth";
+      case ArtifactKind::SynthReport:
+        return "synthreport";
+    }
+    return "unknown";
+}
+
+} // namespace rissp::store

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The pluggable persistence layer under the stage caches.
+ *
+ * `StageCaches` (flow/caches.hh) memoizes the expensive pipeline
+ * stages in promise-backed in-memory caches; everything in them dies
+ * with the process. An `ArtifactStore` is the tier below: a
+ * content-addressed byte store keyed by the same fingerprints the
+ * caches already derive (subset fp × tech fp × options), so a second
+ * boot — or a sibling process sharing the directory — loads compiled
+ * images, synthesis reports and explore outcomes instead of
+ * recomputing them.
+ *
+ * The split keeps the hot path untouched: the in-memory layer still
+ * provides exactly-once computation and in-flight dedup; the store is
+ * only consulted *inside* a memo miss (load before compute, publish
+ * after), and a null/absent store degrades to exactly the old
+ * behavior. Stores traffic in opaque payload bytes — encoding the
+ * flow-level artifact types lives flow-side (flow/persist.hh), so
+ * this package depends on nothing above util/.
+ *
+ * Implementations must be thread-safe: one store instance backs all
+ * caches of a service and is hit from every scheduler worker.
+ */
+
+#ifndef RISSP_STORE_ARTIFACT_STORE_HH
+#define RISSP_STORE_ARTIFACT_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rissp::store
+{
+
+/** The artifact families a store shards by (one directory each). */
+enum class ArtifactKind : uint8_t
+{
+    Compile = 0,     ///< Result<minic::CompileResult>
+    Sim = 1,         ///< flow::SimOutcome
+    Synth = 2,       ///< flow::SynthOutcome
+    SynthReport = 3, ///< Result<SynthReport> (full sweep)
+};
+
+inline constexpr unsigned kArtifactKindCount = 4;
+
+/** Stable lower-case directory/display name, e.g. "synthreport". */
+const char *kindName(ArtifactKind kind);
+
+/** A 128-bit content address — the memo-cache key verbatim (the
+ *  compile cache's single 64-bit key uses b = 0). */
+struct ArtifactKey
+{
+    uint64_t a = 0;
+    uint64_t b = 0;
+};
+
+/** Cumulative counters of one store instance (process lifetime). */
+struct StoreStats
+{
+    uint64_t hits = 0;         ///< loads that returned a payload
+    uint64_t misses = 0;       ///< loads with no (valid) record
+    uint64_t writes = 0;       ///< records published
+    uint64_t writeErrors = 0;  ///< publishes that failed (kept going)
+    uint64_t quarantined = 0;  ///< corrupt records moved aside
+    uint64_t evictions = 0;    ///< records removed by gc()
+    uint64_t bytesRead = 0;    ///< payload bytes served from hits
+    uint64_t bytesWritten = 0; ///< payload bytes published
+};
+
+/**
+ * Abstract artifact store. Both operations are best-effort by
+ * contract: a failed load is a miss (the caller recomputes), a failed
+ * publish is dropped (the caller already has the value) — persistence
+ * is an optimization and must never turn into a crash or a wrong
+ * answer.
+ */
+class ArtifactStore
+{
+  public:
+    virtual ~ArtifactStore() = default;
+
+    /** Fetch the payload stored under (kind, key) into @p payload.
+     *  @return true on a valid record; false on any miss, including
+     *  corrupt or truncated records (which the store quarantines). */
+    virtual bool load(ArtifactKind kind, const ArtifactKey &key,
+                      std::vector<uint8_t> &payload) = 0;
+
+    /** Durably publish @p payload under (kind, key), atomically:
+     *  readers see the old record or the new one, never a partial
+     *  write. @return false if the record could not be published. */
+    virtual bool publish(ArtifactKind kind, const ArtifactKey &key,
+                         const std::vector<uint8_t> &payload) = 0;
+
+    virtual StoreStats stats() const = 0;
+};
+
+/** The no-op store: every load misses, every publish is dropped.
+ *  Behaviorally identical to having no store at all — exists so call
+ *  sites and tests can exercise the store seam without a disk. */
+class NullStore final : public ArtifactStore
+{
+  public:
+    bool load(ArtifactKind, const ArtifactKey &,
+              std::vector<uint8_t> &) override
+    {
+        return false;
+    }
+
+    bool publish(ArtifactKind, const ArtifactKey &,
+                 const std::vector<uint8_t> &) override
+    {
+        return true;
+    }
+
+    StoreStats stats() const override { return {}; }
+};
+
+} // namespace rissp::store
+
+#endif // RISSP_STORE_ARTIFACT_STORE_HH

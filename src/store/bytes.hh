@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Bounds-checked little-endian byte (de)serialization for store
+ * records, plus the FNV-1a checksum they carry.
+ *
+ * Artifact payloads and record frames are flat byte strings built
+ * with `ByteWriter` and decoded with `ByteReader`. The reader never
+ * throws and never reads out of bounds: any short read flips a sticky
+ * `ok()` flag and yields zero values, so a decoder can run to the end
+ * and check `ok()` once — exactly the discipline a store needs when
+ * the input may be a truncated or garbled file.
+ *
+ * Doubles travel as their IEEE-754 bit pattern, so a value read back
+ * is bit-identical to the one written — byte-identical result tables
+ * across a store round-trip depend on this.
+ *
+ * Everything is explicitly little-endian, so a store directory is
+ * portable across hosts of the same endianness family (and safely
+ * rejected, via checksums/versioning, otherwise).
+ */
+
+#ifndef RISSP_STORE_BYTES_HH
+#define RISSP_STORE_BYTES_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace rissp::store
+{
+
+/** 64-bit FNV-1a over a byte range (the record checksum). */
+inline uint64_t
+checksum64(const uint8_t *data, size_t size,
+           uint64_t seed = 1469598103934665603ull)
+{
+    uint64_t hash = seed;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+/** Append-only little-endian encoder. */
+class ByteWriter
+{
+  public:
+    void u8(uint8_t v) { out.push_back(v); }
+
+    void u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void f64(double v)
+    {
+        uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof v);
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void bytes(const uint8_t *data, size_t size)
+    {
+        out.insert(out.end(), data, data + size);
+    }
+
+    /** Length-prefixed string. */
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+    }
+
+    const std::vector<uint8_t> &data() const { return out; }
+    std::vector<uint8_t> take() { return std::move(out); }
+
+  private:
+    std::vector<uint8_t> out;
+};
+
+/** Bounds-checked little-endian decoder with a sticky error flag. */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t size)
+        : ptr(data), remaining(size)
+    {
+    }
+
+    explicit ByteReader(const std::vector<uint8_t> &buf)
+        : ByteReader(buf.data(), buf.size())
+    {
+    }
+
+    uint8_t u8()
+    {
+        uint8_t v = 0;
+        take(&v, 1);
+        return v;
+    }
+
+    uint32_t u32()
+    {
+        uint8_t raw[4] = {};
+        take(raw, sizeof raw);
+        uint32_t v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) | raw[i];
+        return v;
+    }
+
+    uint64_t u64()
+    {
+        uint8_t raw[8] = {};
+        take(raw, sizeof raw);
+        uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | raw[i];
+        return v;
+    }
+
+    double f64()
+    {
+        const uint64_t bits = u64();
+        double v = 0;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    std::string str()
+    {
+        const uint64_t size = u64();
+        if (size > remaining) {
+            good = false;
+            remaining = 0;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(ptr),
+                      static_cast<size_t>(size));
+        ptr += size;
+        remaining -= static_cast<size_t>(size);
+        return s;
+    }
+
+    std::vector<uint8_t> blob(size_t size)
+    {
+        if (size > remaining) {
+            good = false;
+            remaining = 0;
+            return {};
+        }
+        std::vector<uint8_t> v(ptr, ptr + size);
+        ptr += size;
+        remaining -= size;
+        return v;
+    }
+
+    /** True iff every read so far was in bounds. */
+    bool ok() const { return good; }
+
+    /** True iff the input was consumed exactly (trailing garbage in a
+     *  payload is a decode failure, not ignorable). */
+    bool atEnd() const { return good && remaining == 0; }
+
+    size_t left() const { return remaining; }
+
+  private:
+    void take(uint8_t *dst, size_t size)
+    {
+        if (size > remaining) {
+            good = false;
+            remaining = 0;
+            std::memset(dst, 0, size);
+            return;
+        }
+        std::memcpy(dst, ptr, size);
+        ptr += size;
+        remaining -= size;
+    }
+
+    const uint8_t *ptr;
+    size_t remaining;
+    bool good = true;
+};
+
+} // namespace rissp::store
+
+#endif // RISSP_STORE_BYTES_HH

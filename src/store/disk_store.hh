@@ -1,0 +1,192 @@
+/**
+ * @file
+ * DiskStore — the on-disk content-addressed artifact store.
+ *
+ * Layout under the store directory (created on open):
+ *
+ *     MANIFEST                   store format marker (text, atomic)
+ *     compile/<a>-<b>.art        one record per artifact, named by
+ *     sim/<a>-<b>.art            its 128-bit key (16 hex digits per
+ *     synth/<a>-<b>.art          half)
+ *     synthreport/<a>-<b>.art
+ *     tmp/                       publish staging (write → fsync →
+ *                                rename into the kind directory)
+ *     quarantine/                corrupt records moved aside
+ *
+ * Records are self-verifying: a fixed magic, the store format
+ *  version, the kind and the full key are framed around the payload
+ * and covered by a trailing FNV-1a checksum (see disk_store.cc for
+ * the exact frame). A load that finds anything wrong — short file,
+ * bad magic, version skew, key mismatch, checksum failure — reports a
+ * miss and moves the file into quarantine/; corruption can cost a
+ * recomputation, never a crash or a wrong answer. Publishes are
+ * atomic (temp file in tmp/, fsync, rename, directory fsync), so a
+ * process killed mid-write leaves either the old record, no record,
+ * or a stale tmp file — never a half-written record under a live
+ * name.
+ *
+ * Eviction runs on demand via gc(): stale tmp files and quarantined
+ * records are purged, then records are dropped oldest-first to meet
+ * an optional age bound and size budget. `Options::autoGcBytes`
+ * arms the same policy on the publish path, keeping a long-lived
+ * daemon's directory bounded without an operator.
+ *
+ * Thread-safety: counters are atomics; the tmp-name sequence, the
+ * approximate size accounting and the single-flight gc flag are
+ * guarded by `mu` (capability-annotated, so Clang checks the
+ * contracts). Cross-process safety comes from the publish protocol:
+ * concurrent publishers of the same key race benignly (last rename
+ * wins; both wrote identical bytes for a content-addressed key).
+ */
+
+#ifndef RISSP_STORE_DISK_STORE_HH
+#define RISSP_STORE_DISK_STORE_HH
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "store/artifact_store.hh"
+#include "util/mutex.hh"
+#include "util/status.hh"
+#include "util/thread_annotations.hh"
+
+namespace rissp::store
+{
+
+class DiskStore final : public ArtifactStore
+{
+  public:
+    /** Store format version; bumped on any frame/layout change.
+     *  Records from another version quarantine on load (self-heal by
+     *  recompute), they are never misread. */
+    static constexpr uint32_t kFormatVersion = 1;
+
+    struct Options
+    {
+        /** When non-zero, a publish that pushes the (approximate)
+         *  record total past this many bytes triggers a gc back down
+         *  to it. 0 = never collect automatically. */
+        uint64_t autoGcBytes = 0;
+    };
+
+    /** Open (creating if needed) the store at @p directory. Fails
+     *  with InvalidArgument when the layout cannot be created or the
+     *  path is not usable as a store. A garbled MANIFEST is not an
+     *  error: it is quarantined and rewritten, and the records —
+     *  each individually verified — speak for themselves. */
+    static Result<std::shared_ptr<DiskStore>>
+    open(const std::string &directory, Options options);
+
+    static Result<std::shared_ptr<DiskStore>>
+    open(const std::string &directory)
+    {
+        return open(directory, Options());
+    }
+
+    bool load(ArtifactKind kind, const ArtifactKey &key,
+              std::vector<uint8_t> &payload) override;
+
+    bool publish(ArtifactKind kind, const ArtifactKey &key,
+                 const std::vector<uint8_t> &payload) override;
+
+    StoreStats stats() const override;
+
+    // ------------------------------------------------ maintenance
+
+    struct GcPolicy
+    {
+        uint64_t maxTotalBytes = 0; ///< size budget (0 = unbounded)
+        int64_t maxAgeSeconds = 0;  ///< drop older records (0 = keep)
+        bool purgeQuarantine = true;
+        bool purgeTmp = true;
+    };
+
+    struct GcReport
+    {
+        uint64_t scannedRecords = 0;
+        uint64_t scannedBytes = 0;
+        uint64_t evictedRecords = 0;
+        uint64_t evictedBytes = 0;
+        uint64_t quarantinePurged = 0;
+        uint64_t tmpPurged = 0;
+        uint64_t remainingRecords = 0;
+        uint64_t remainingBytes = 0;
+    };
+
+    /** Run the eviction policy now. Safe concurrently with loads and
+     *  publishes (an evicted record simply misses next time). */
+    GcReport gc(const GcPolicy &policy);
+
+    // ----------------------------------------------- introspection
+
+    struct KindUsage
+    {
+        uint64_t records = 0;
+        uint64_t bytes = 0;
+    };
+
+    struct Usage
+    {
+        KindUsage kinds[kArtifactKindCount] = {};
+        uint64_t records = 0;
+        uint64_t bytes = 0;
+        uint64_t quarantineFiles = 0;
+        uint64_t quarantineBytes = 0;
+        uint64_t tmpFiles = 0;
+    };
+
+    /** Scan the directory (records, bytes, quarantine backlog). */
+    Usage usage() const;
+
+    const std::string &directory() const { return dir; }
+
+    /** The on-disk path a (kind, key) record lives at — exposed so
+     *  tests can corrupt records the way real crashes would. */
+    std::string recordPath(ArtifactKind kind,
+                           const ArtifactKey &key) const;
+
+  private:
+    DiskStore(std::string directory, const Options &options);
+
+    Status initLayout();
+
+    /** Move a bad file into quarantine/ (never deletes in-place —
+     *  evidence is kept for post-mortems until gc purges it). */
+    void quarantineFile(const std::string &path);
+
+    bool writeDurable(const std::string &tmp_path,
+                      const std::string &final_path,
+                      const std::vector<uint8_t> &bytes);
+
+    std::string nextTmpPath();
+
+    void noteBytesAdded(uint64_t bytes);
+
+    const std::string dir;
+    const Options opts;
+
+    std::atomic<uint64_t> hitCount{0};
+    std::atomic<uint64_t> missCount{0};
+    std::atomic<uint64_t> writeCount{0};
+    std::atomic<uint64_t> writeErrorCount{0};
+    std::atomic<uint64_t> quarantineCount{0};
+    std::atomic<uint64_t> evictionCount{0};
+    std::atomic<uint64_t> readBytes{0};
+    std::atomic<uint64_t> writtenBytes{0};
+
+    mutable Mutex mu;
+    /** Distinguishes concurrent publishers within one process; the
+     *  pid distinguishes processes (see nextTmpPath). */
+    uint64_t tmpSeq RISSP_GUARDED_BY(mu) = 0;
+    /** Running estimate of record bytes on disk, seeded by the open
+     *  scan and bumped per publish — what autoGcBytes compares
+     *  against without a directory walk per publish. */
+    uint64_t approxRecordBytes RISSP_GUARDED_BY(mu) = 0;
+    /** Single-flight latch for the automatic gc. */
+    bool gcInFlight RISSP_GUARDED_BY(mu) = false;
+};
+
+} // namespace rissp::store
+
+#endif // RISSP_STORE_DISK_STORE_HH

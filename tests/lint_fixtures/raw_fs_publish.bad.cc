@@ -1,0 +1,22 @@
+// Bad: library code writing and renaming files directly. A crash
+// between the write and the rename leaves a torn file with no
+// checksum and no quarantine path — exactly what the artifact
+// store's publish protocol exists to prevent.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace rissp
+{
+
+bool
+saveReport(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path + ".tmp", std::ios::binary);
+    out << text;
+    out.close();
+    return std::rename((path + ".tmp").c_str(), path.c_str()) == 0;
+}
+
+} // namespace rissp

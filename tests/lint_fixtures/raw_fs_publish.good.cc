@@ -1,0 +1,39 @@
+// Good: library code that persists artifacts through the store
+// interface and keeps its own file IO read-only. Reading with
+// std::ifstream is fine — raw-fs-publish only bans the write side
+// (rename / std::ofstream) outside src/store/.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rissp
+{
+
+struct ArtifactSink
+{
+    virtual ~ArtifactSink() = default;
+    virtual bool publish(const std::string &name,
+                         const std::vector<unsigned char> &bytes) = 0;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool
+persistReport(ArtifactSink &sink, const std::string &name,
+              const std::vector<unsigned char> &bytes)
+{
+    // All bytes that must survive a crash go through the sink; the
+    // store behind it owns the write-fsync-rename dance.
+    return sink.publish(name, bytes);
+}
+
+} // namespace rissp

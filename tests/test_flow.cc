@@ -401,6 +401,28 @@ TEST(FlowExplore, MultiTechPlanTagsEveryRow)
               std::string::npos);
 }
 
+TEST(FlowExplore, RepeatedRequestsGetByteIdenticalResponses)
+{
+    // The response stats are per-request engine stats, not the
+    // service-cumulative counters: a second identical request on a
+    // warm service must serialize byte-identically to the first
+    // (daemon clients diff responses; warmth must be invisible).
+    FlowService service;
+    ExploreRequest request;
+    request.planText =
+        "mode cartesian\n"
+        "workload crc32\n"
+        "subset fit  = @crc32\n"
+        "subset full = @full\n";
+    const ExploreResponse first = service.explore(request);
+    ASSERT_TRUE(first.status.isOk());
+    const ExploreResponse second = service.explore(request);
+    EXPECT_EQ(toJson(first), toJson(second));
+    // The service-cumulative view still moves — it lives on
+    // stats(), not on the response.
+    EXPECT_GT(service.stats().simHits, 0u);
+}
+
 // ------------------------------------- shared caches & reentrancy
 
 TEST(FlowService, VerbsShareTheCompileCache)

@@ -203,6 +203,41 @@ TEST(LintChecks, MismatchedGuardIsAFinding)
     EXPECT_FALSE(lintFile(file, "include-guard").empty());
 }
 
+TEST(LintChecks, RawFsPublishExemptsTheStore)
+{
+    // The same write-and-rename sequence is the violation outside
+    // src/store/ and the sanctioned implementation inside it.
+    const char *text =
+        "#include <cstdio>\n"
+        "#include <fstream>\n"
+        "void publish(const char *tmp, const char *dst) {\n"
+        "    std::ofstream out(tmp);\n"
+        "    std::rename(tmp, dst);\n"
+        "}\n";
+    SourceFile outside = makeSourceFile("src/flow/service.cc", text);
+    std::vector<Finding> findings =
+        lintFile(outside, "raw-fs-publish");
+    EXPECT_EQ(findings.size(), 2u); // the ofstream and the rename
+
+    SourceFile inside = makeSourceFile("src/store/disk_store.cc",
+                                       text);
+    EXPECT_TRUE(lintFile(inside, "raw-fs-publish").empty());
+}
+
+TEST(LintChecks, RawFsPublishIgnoresToolsAndReads)
+{
+    // The CLI edge may write files freely...
+    SourceFile tool = makeSourceFile("tools/x.cc",
+        "#include <fstream>\n"
+        "void dump() { std::ofstream out(\"t.csv\"); }\n");
+    EXPECT_TRUE(lintFile(tool, "raw-fs-publish").empty());
+    // ...and read-only IO in library code is not publishing.
+    SourceFile reader = makeSourceFile("src/x.cc",
+        "#include <fstream>\n"
+        "void load() { std::ifstream in(\"t.bin\"); }\n");
+    EXPECT_TRUE(lintFile(reader, "raw-fs-publish").empty());
+}
+
 TEST(LintChecks, LibraryOnlyChecksIgnoreToolCode)
 {
     // printf and raw mutexes are fine outside src/ — the CLIs print

@@ -82,3 +82,7 @@ ctest --output-on-failure -j "$JOBS"
 # Serving-layer trajectory: 16 concurrent clients against a live
 # daemon, p50/p95/p99 latency + throughput (docs/SERVE.md).
 ./bench_serve --quick --json BENCH_serve.json
+
+# Artifact-store trajectory: warm-boot speedup and raw store
+# throughput (docs/CACHE.md).
+./bench_cache --quick --json BENCH_cache.json

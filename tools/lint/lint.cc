@@ -285,6 +285,37 @@ checkBannedCall(const SourceFile &f, std::vector<Finding> &out)
 }
 
 void
+checkRawFsPublish(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (!isLibraryPath(f.path))
+        return;
+    // The artifact store is the sanctioned publisher: its
+    // write-fsync-rename sequence is the one place library code may
+    // put bytes on disk.
+    if (f.path.rfind("src/store/", 0) == 0)
+        return;
+    const std::vector<Token> tokens = tokenize(f.scrubbed);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const Token &t = tokens[i];
+        if (t.text == "rename" && isCall(f, t))
+            addFinding(
+                out, f, t, "raw-fs-publish",
+                "rename() in library code outside src/store/ — "
+                "publishing files belongs to the artifact store "
+                "(store/disk_store.hh), whose write-fsync-rename "
+                "protocol keeps crashes from leaving torn state");
+        else if (t.text == "ofstream" && stdQualified(tokens, i, f))
+            addFinding(
+                out, f, t, "raw-fs-publish",
+                "std::ofstream in library code outside src/store/ "
+                "— library code must not write files directly; "
+                "route persistent artifacts through the store "
+                "(store/disk_store.hh) and leave ad-hoc file IO to "
+                "the CLI edge (tools/, bench/)");
+    }
+}
+
+void
 checkIncludeGuard(const SourceFile &f, std::vector<Finding> &out)
 {
     if (!isHeaderPath(f.path))
@@ -495,6 +526,11 @@ checkRegistry()
          "no non-reentrant or UB-prone calls (strcpy, sprintf, "
          "gmtime, strerror, rand, ...) anywhere",
          checkBannedCall},
+        {"raw-fs-publish",
+         "no rename()/std::ofstream in src/ outside src/store/ — "
+         "persistent files go through the artifact store's atomic "
+         "publish protocol",
+         checkRawFsPublish},
         {"include-guard",
          "every header carries #pragma once or a matched "
          "#ifndef/#define guard",

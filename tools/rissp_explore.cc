@@ -14,6 +14,8 @@
  *   --no-verify    skip lock-step co-simulation (faster, unchecked)
  *   --physical     also run the P&R model per point
  *   --quiet        suppress the per-point table, print only summary
+ *   --cache-dir D  persist compile/sim/synth artifacts in D so a
+ *                  rerun of the same plan replays from disk
  *
  * The plan-file grammar is documented in explore/plan.hh; --demo runs
  * a built-in 3-subset x 3-workload cartesian plan (9 points). Results
@@ -31,6 +33,7 @@
 #include <sstream>
 
 #include "flow/flow.hh"
+#include "store/disk_store.hh"
 #include "util/logging.hh"
 
 namespace
@@ -118,7 +121,8 @@ usage()
         "  --json FILE   write result table as JSON\n"
         "  --no-verify   skip lock-step co-simulation\n"
         "  --physical    run the P&R model per point\n"
-        "  --quiet       only the frontier and summary\n");
+        "  --quiet       only the frontier and summary\n"
+        "  --cache-dir D persist stage artifacts across runs\n");
 }
 
 } // namespace
@@ -135,6 +139,7 @@ main(int argc, char **argv)
     ExplorerOptions options;
     std::string csvPath;
     std::string jsonPath;
+    std::string cacheDir;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -158,7 +163,9 @@ main(int argc, char **argv)
             if (used != word.size() || word[0] == '-' || n > 4096)
                 fatal("bad --threads value '%s'", word.c_str());
             options.threads = static_cast<unsigned>(n);
-        } else if (arg == "--csv")
+        } else if (arg == "--cache-dir")
+            cacheDir = value();
+        else if (arg == "--csv")
             csvPath = value();
         else if (arg == "--json")
             jsonPath = value();
@@ -181,7 +188,18 @@ main(int argc, char **argv)
     if (planText.empty())
         fatal("no plan given (file argument or --demo)");
 
-    flow::FlowService service;
+    flow::ServiceOptions serviceOptions;
+    if (!cacheDir.empty()) {
+        // Loud failure at the CLI edge: a user who typed --cache-dir
+        // wants to know the store did not attach.
+        Result<std::shared_ptr<store::DiskStore>> opened =
+            store::DiskStore::open(cacheDir);
+        if (!opened)
+            fatal("--cache-dir: %s",
+                  opened.status().toString().c_str());
+        serviceOptions.artifacts = opened.take();
+    }
+    flow::FlowService service(serviceOptions);
     flow::ExploreRequest request;
     request.planText = planText;
     request.options = options;

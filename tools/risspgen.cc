@@ -64,6 +64,7 @@
 #include "flow/flow.hh"
 #include "flow/json.hh"
 #include "net/server.hh"
+#include "store/disk_store.hh"
 #include "tech/registry.hh"
 #include "util/json.hh"
 #include "workloads/workloads.hh"
@@ -79,9 +80,27 @@ struct CliOptions
     std::string command;
     std::string sourceArg;
     std::string techSpec; ///< --tech value; empty = default tech
+    std::string cacheDir; ///< --cache-dir value; empty = no store
     minic::OptLevel level = minic::OptLevel::O2;
     bool json = false;
 };
+
+/** Open the persistent artifact store named by --cache-dir; a null
+ *  result with an ok status means no --cache-dir was given. Unlike
+ *  the in-service open (which degrades to memory-only with a
+ *  warning), the CLI fails loudly — a user who typed --cache-dir
+ *  wants to know it did not attach. */
+Result<std::shared_ptr<store::ArtifactStore>>
+openCliStore(const CliOptions &cli)
+{
+    if (cli.cacheDir.empty())
+        return std::shared_ptr<store::ArtifactStore>();
+    Result<std::shared_ptr<store::DiskStore>> opened =
+        store::DiskStore::open(cli.cacheDir);
+    if (!opened)
+        return opened.status();
+    return std::shared_ptr<store::ArtifactStore>(opened.take());
+}
 
 /** Map an `-Ox` word to its level; false when it is not one. */
 bool
@@ -626,7 +645,14 @@ cmdBatch(const CliOptions &cli, const std::string &fileArg,
         return 2;
     }
 
-    const flow::FlowService service(nullptr, threads);
+    Result<std::shared_ptr<store::ArtifactStore>> artifacts =
+        openCliStore(cli);
+    if (!artifacts)
+        return reportError(artifacts.status(), cli.json);
+    flow::ServiceOptions serviceOptions;
+    serviceOptions.schedulerThreads = threads;
+    serviceOptions.artifacts = artifacts.take();
+    const flow::FlowService service(serviceOptions);
     std::vector<flow::Request> requests;
     requests.reserve(entries.size());
     for (const BatchEntry &entry : entries)
@@ -661,6 +687,260 @@ cmdBatch(const CliOptions &cli, const std::string &fileArg,
     return failed == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------- cache
+
+int
+printCacheStats(const store::DiskStore &artifact_store, bool json)
+{
+    const store::DiskStore::Usage usage = artifact_store.usage();
+    if (json) {
+        std::printf("{\n  \"dir\": \"%s\",\n"
+                    "  \"format_version\": %u,\n  \"kinds\": {\n",
+                    jsonEscape(artifact_store.directory()).c_str(),
+                    store::DiskStore::kFormatVersion);
+        for (unsigned k = 0; k < store::kArtifactKindCount; ++k)
+            std::printf("    \"%s\": {\"records\": %llu, "
+                        "\"bytes\": %llu}%s\n",
+                        store::kindName(
+                            static_cast<store::ArtifactKind>(k)),
+                        static_cast<unsigned long long>(
+                            usage.kinds[k].records),
+                        static_cast<unsigned long long>(
+                            usage.kinds[k].bytes),
+                        k + 1 < store::kArtifactKindCount ? ","
+                                                          : "");
+        std::printf(
+            "  },\n  \"records\": %llu,\n  \"bytes\": %llu,\n"
+            "  \"quarantine\": {\"files\": %llu, \"bytes\": "
+            "%llu},\n  \"tmp_files\": %llu\n}\n",
+            static_cast<unsigned long long>(usage.records),
+            static_cast<unsigned long long>(usage.bytes),
+            static_cast<unsigned long long>(usage.quarantineFiles),
+            static_cast<unsigned long long>(usage.quarantineBytes),
+            static_cast<unsigned long long>(usage.tmpFiles));
+        return 0;
+    }
+    std::printf("store          : %s (format v%u)\n",
+                artifact_store.directory().c_str(),
+                store::DiskStore::kFormatVersion);
+    for (unsigned k = 0; k < store::kArtifactKindCount; ++k)
+        std::printf("%-15s: %llu records, %llu bytes\n",
+                    store::kindName(
+                        static_cast<store::ArtifactKind>(k)),
+                    static_cast<unsigned long long>(
+                        usage.kinds[k].records),
+                    static_cast<unsigned long long>(
+                        usage.kinds[k].bytes));
+    std::printf("total          : %llu records, %llu bytes\n",
+                static_cast<unsigned long long>(usage.records),
+                static_cast<unsigned long long>(usage.bytes));
+    std::printf("quarantine     : %llu files, %llu bytes\n",
+                static_cast<unsigned long long>(
+                    usage.quarantineFiles),
+                static_cast<unsigned long long>(
+                    usage.quarantineBytes));
+    std::printf("tmp            : %llu files\n",
+                static_cast<unsigned long long>(usage.tmpFiles));
+    return 0;
+}
+
+int
+printCacheGc(const store::DiskStore::GcReport &report, bool json)
+{
+    if (json) {
+        std::printf(
+            "{\n  \"scanned\": {\"records\": %llu, \"bytes\": "
+            "%llu},\n  \"evicted\": {\"records\": %llu, "
+            "\"bytes\": %llu},\n  \"quarantine_purged\": %llu,\n"
+            "  \"tmp_purged\": %llu,\n  \"remaining\": "
+            "{\"records\": %llu, \"bytes\": %llu}\n}\n",
+            static_cast<unsigned long long>(report.scannedRecords),
+            static_cast<unsigned long long>(report.scannedBytes),
+            static_cast<unsigned long long>(report.evictedRecords),
+            static_cast<unsigned long long>(report.evictedBytes),
+            static_cast<unsigned long long>(
+                report.quarantinePurged),
+            static_cast<unsigned long long>(report.tmpPurged),
+            static_cast<unsigned long long>(
+                report.remainingRecords),
+            static_cast<unsigned long long>(
+                report.remainingBytes));
+        return 0;
+    }
+    std::printf("scanned        : %llu records, %llu bytes\n",
+                static_cast<unsigned long long>(
+                    report.scannedRecords),
+                static_cast<unsigned long long>(
+                    report.scannedBytes));
+    std::printf("evicted        : %llu records, %llu bytes\n",
+                static_cast<unsigned long long>(
+                    report.evictedRecords),
+                static_cast<unsigned long long>(
+                    report.evictedBytes));
+    std::printf("purged         : %llu quarantined, %llu tmp\n",
+                static_cast<unsigned long long>(
+                    report.quarantinePurged),
+                static_cast<unsigned long long>(report.tmpPurged));
+    std::printf("remaining      : %llu records, %llu bytes\n",
+                static_cast<unsigned long long>(
+                    report.remainingRecords),
+                static_cast<unsigned long long>(
+                    report.remainingBytes));
+    return 0;
+}
+
+/** `cache warm`: run the expensive pipeline stages for the named
+ *  (default: all bundled) workloads against the store, so the next
+ *  boot — or a sibling process — starts hot. Explore requests fill
+ *  the compile/sim/synth caches, synth requests the full-report
+ *  cache plus the shared baselines. */
+int
+cmdCacheWarm(const CliOptions &cli,
+             std::shared_ptr<store::ArtifactStore> artifact_store,
+             const std::vector<std::string> &names, unsigned threads)
+{
+    std::vector<std::string> workloads;
+    if (names.empty()) {
+        for (const Workload &wl : allWorkloads())
+            workloads.push_back(wl.name);
+    } else {
+        for (const std::string &name : names)
+            workloads.push_back(name[0] == '@' ? name.substr(1)
+                                               : name);
+    }
+
+    const uint64_t writesBefore = artifact_store->stats().writes;
+    flow::ServiceOptions serviceOptions;
+    serviceOptions.schedulerThreads = threads;
+    serviceOptions.artifacts = std::move(artifact_store);
+    const flow::FlowService service(serviceOptions);
+
+    std::vector<flow::Request> requests;
+    for (const std::string &name : workloads) {
+        flow::ExploreRequest explore;
+        explore.planText = "workload " + name + "\nsubset fit = @" +
+                           name + "\n";
+        explore.options.threads = 1; // batch provides parallelism
+        requests.push_back(std::move(explore));
+
+        flow::SynthRequest synth;
+        synth.source = flow::SourceRef::bundled(name);
+        synth.name = "RISSP-" + name;
+        requests.push_back(std::move(synth));
+    }
+
+    const std::vector<flow::Response> responses =
+        service.runBatch(requests);
+    size_t failed = 0;
+    for (size_t i = 0; i < responses.size(); ++i) {
+        const Status &status = flow::responseStatus(responses[i]);
+        if (status.isOk())
+            continue;
+        ++failed;
+        std::fprintf(stderr,
+                     "risspgen: cache warm: request %zu (%s): %s\n",
+                     i + 1, workloads[i / 2].c_str(),
+                     status.toString().c_str());
+    }
+    const store::StoreStats after =
+        service.caches()->artifacts->stats();
+    if (cli.json) {
+        std::printf("{\n  \"workloads\": %zu,\n  \"requests\": "
+                    "%zu,\n  \"failed\": %zu,\n  \"published\": "
+                    "%llu,\n  \"store_hits\": %llu\n}\n",
+                    workloads.size(), responses.size(), failed,
+                    static_cast<unsigned long long>(after.writes -
+                                                    writesBefore),
+                    static_cast<unsigned long long>(after.hits));
+    } else {
+        std::printf("warmed %zu workloads (%zu requests, %zu "
+                    "failed): %llu records published, %llu "
+                    "already hot\n",
+                    workloads.size(), responses.size(), failed,
+                    static_cast<unsigned long long>(after.writes -
+                                                    writesBefore),
+                    static_cast<unsigned long long>(after.hits));
+    }
+    return failed == 0 ? 0 : 1;
+}
+
+int
+cmdCache(int argc, char **argv, const CliOptions &cli)
+{
+    if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(stderr, "usage: risspgen cache "
+                             "<stats|gc|warm> --cache-dir <dir> "
+                             "[flags]\n");
+        return 2;
+    }
+    const std::string sub = argv[2];
+
+    unsigned long maxMb = 0;
+    unsigned long maxAgeDays = 0;
+    unsigned threads = 0;
+    std::vector<std::string> names;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        unsigned long n = 0;
+        if (arg == "--json") {
+            continue; // parsed by the global flag loop
+        } else if (arg == "--cache-dir" && hasValue) {
+            ++i; // parsed by the global flag loop
+        } else if (sub == "gc" && arg == "--max-mb" && hasValue &&
+                   parseCount(argv[i + 1], 1'000'000'000ul, n)) {
+            maxMb = n;
+            ++i;
+        } else if (sub == "gc" && arg == "--max-age-days" &&
+                   hasValue &&
+                   parseCount(argv[i + 1], 100'000ul, n)) {
+            maxAgeDays = n;
+            ++i;
+        } else if (sub == "warm" && arg == "--threads" && hasValue &&
+                   parseCount(argv[i + 1], 4096, n)) {
+            threads = static_cast<unsigned>(n);
+            ++i;
+        } else if (sub == "warm" && arg[0] != '-') {
+            names.push_back(arg);
+        } else {
+            std::fprintf(stderr,
+                         "risspgen: bad cache %s flag or value at "
+                         "'%s'\n",
+                         sub.c_str(), arg.c_str());
+            return 2;
+        }
+    }
+
+    if (cli.cacheDir.empty()) {
+        std::fprintf(stderr, "risspgen: cache %s needs "
+                             "--cache-dir <dir>\n",
+                     sub.c_str());
+        return 2;
+    }
+    Result<std::shared_ptr<store::DiskStore>> opened =
+        store::DiskStore::open(cli.cacheDir);
+    if (!opened)
+        return reportError(opened.status(), cli.json);
+    std::shared_ptr<store::DiskStore> artifactStore = opened.take();
+
+    if (sub == "stats")
+        return printCacheStats(*artifactStore, cli.json);
+    if (sub == "gc") {
+        store::DiskStore::GcPolicy policy;
+        policy.maxTotalBytes = maxMb * 1024 * 1024;
+        policy.maxAgeSeconds =
+            static_cast<int64_t>(maxAgeDays) * 24 * 3600;
+        return printCacheGc(artifactStore->gc(policy), cli.json);
+    }
+    if (sub == "warm")
+        return cmdCacheWarm(cli, artifactStore, names, threads);
+    std::fprintf(stderr,
+                 "risspgen: unknown cache subcommand '%s' "
+                 "(stats, gc, warm)\n",
+                 sub.c_str());
+    return 2;
+}
+
 // ---------------------------------------------------------- serve
 
 /** The running daemon, for the signal handler. The handler only
@@ -677,7 +957,7 @@ onTerminate(int)
 }
 
 int
-cmdServe(int argc, char **argv)
+cmdServe(int argc, char **argv, const CliOptions &cli)
 {
     net::ServeOptions options;
     unsigned threads = 0;
@@ -699,6 +979,8 @@ cmdServe(int argc, char **argv)
             ++i;
         } else if (arg == "--bind" && hasValue) {
             options.bindAddress = argv[++i];
+        } else if (arg == "--cache-dir" && hasValue) {
+            ++i; // parsed by the global flag loop
         } else {
             std::fprintf(stderr,
                          "risspgen: bad serve flag or value at "
@@ -708,7 +990,17 @@ cmdServe(int argc, char **argv)
         }
     }
 
-    const flow::FlowService service(nullptr, threads);
+    Result<std::shared_ptr<store::ArtifactStore>> artifacts =
+        openCliStore(cli);
+    if (!artifacts) {
+        std::fprintf(stderr, "risspgen: error: %s\n",
+                     artifacts.status().toString().c_str());
+        return 1;
+    }
+    flow::ServiceOptions serviceOptions;
+    serviceOptions.schedulerThreads = threads;
+    serviceOptions.artifacts = artifacts.take();
+    const flow::FlowService service(serviceOptions);
     net::HttpServer server(service, options);
     const Status status = server.start();
     if (!status.isOk()) {
@@ -755,7 +1047,16 @@ usage()
         "         long-lived HTTP/JSON daemon over the Flow API:\n"
         "         POST /api/v1/<verb>, GET /metrics, GET /healthz,\n"
         "         POST /shutdown; drains gracefully on SIGTERM\n"
-        "         (endpoint + schema reference: docs/SERVE.md)\n");
+        "         (endpoint + schema reference: docs/SERVE.md)\n"
+        "  cache <stats|gc|warm> --cache-dir <dir> [--json]\n"
+        "         inspect, garbage-collect (gc: [--max-mb N]\n"
+        "         [--max-age-days N]) or pre-populate (warm:\n"
+        "         [--threads N] [@workload...]) a persistent\n"
+        "         artifact store (docs/CACHE.md)\n"
+        "\n"
+        "Every verb accepts --cache-dir <dir>: persist compile/sim/\n"
+        "synth artifacts across runs in a content-addressed store\n"
+        "(created on first use).\n");
 }
 
 } // namespace
@@ -780,6 +1081,13 @@ main(int argc, char **argv)
                 return 2;
             }
             cli.techSpec = argv[++i];
+        } else if (arg == "--cache-dir") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "risspgen: --cache-dir needs "
+                                     "a value\n");
+                return 2;
+            }
+            cli.cacheDir = argv[++i];
         }
     }
     cli.level = parseLevel(argc, argv, 3);
@@ -803,6 +1111,10 @@ main(int argc, char **argv)
             const std::string arg = argv[i];
             if (arg == "--json")
                 continue; // parsed by the global flag loop above
+            if (arg == "--cache-dir") {
+                ++i; // value parsed by the global flag loop above
+                continue;
+            }
             if (arg == "--threads") {
                 if (i + 1 >= argc) {
                     std::fprintf(stderr, "risspgen: --threads "
@@ -829,9 +1141,17 @@ main(int argc, char **argv)
         return cmdBatch(cli, argv[2], threads);
     }
     if (cli.command == "serve")
-        return cmdServe(argc, argv);
+        return cmdServe(argc, argv, cli);
+    if (cli.command == "cache")
+        return cmdCache(argc, argv, cli);
 
-    const flow::FlowService service;
+    Result<std::shared_ptr<store::ArtifactStore>> artifacts =
+        openCliStore(cli);
+    if (!artifacts)
+        return reportError(artifacts.status(), cli.json);
+    flow::ServiceOptions serviceOptions;
+    serviceOptions.artifacts = artifacts.take();
+    const flow::FlowService service(serviceOptions);
     if (cli.command == "techs")
         return cmdTechs(cli);
     if (cli.command == "table3")
