@@ -49,6 +49,25 @@ class ModularEx
 
     const InstrSubset &subset() const { return exSubset; }
 
+    /** Per-op stitched-block map, indexed by (size_t)Op — the
+     *  partial decoder's enable lines. The specialized dispatch
+     *  cores (sim/exec_core.inc) build their handler tables from
+     *  this, so an unstitched op traps exactly like it does through
+     *  execute(). */
+    const std::array<bool, kNumOps> &enabledOps() const
+    {
+        return enabled;
+    }
+
+    /** Charge one dynamic execution of @p op's block. execute()
+     *  accounts for itself; the specialized dispatch cores, which
+     *  bypass execute() on the no-mutation path, account here so
+     *  execCounts() stays engine-independent. */
+    void noteExec(Op op) const
+    {
+        ++counts[static_cast<size_t>(op)];
+    }
+
     /** Number of stitched blocks (incl. the halt block pair). */
     size_t blockCount() const { return numBlocks; }
 

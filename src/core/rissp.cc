@@ -1,5 +1,6 @@
 #include "core/rissp.hh"
 
+#include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace rissp
@@ -38,6 +39,28 @@ Rissp::reg(unsigned idx) const
 
 RetireEvent
 Rissp::step(const Mutation *mut)
+{
+    // The mutation contract (pinned by tests/test_dispatch.cc): any
+    // non-null Mutation, Kind::None included, drives the gate-level
+    // chains; only the plain no-fault step may take the fast core.
+    if (mut)
+        return stepGate(mut);
+    return stepFast();
+}
+
+RetireEvent
+Rissp::stepFast()
+{
+    // The specialized switch core with a one-instruction budget: the
+    // single-step API (cosim's lock-step loop) inherits the fast
+    // path without paying the threaded core's per-entry table build.
+    stepScratch.clear();
+    runCoreSwitch<true>(1, &stepScratch);
+    return stepScratch.front();
+}
+
+RetireEvent
+Rissp::stepGate(const Mutation *mut)
 {
     RetireEvent ev;
     ev.order = retired;
@@ -159,30 +182,75 @@ Rissp::step(const Mutation *mut)
     return ev;
 }
 
+// Stamp out the interpreter cores (see the header in exec_core.inc),
+// specialized to this RISSP's subset through the hooks above.
+#define RISSP_CORE_CLASS Rissp
+#define RISSP_CORE_NAME runCoreSwitch
+#define RISSP_CORE_THREADED 0
+#include "sim/exec_core.inc"
+#undef RISSP_CORE_NAME
+#undef RISSP_CORE_THREADED
+
+#if RISSP_HAS_COMPUTED_GOTO
+#define RISSP_CORE_NAME runCoreThreaded
+#define RISSP_CORE_THREADED 1
+#include "sim/exec_core.inc"
+#undef RISSP_CORE_NAME
+#undef RISSP_CORE_THREADED
+#endif
+#undef RISSP_CORE_CLASS
+
 RunResult
 Rissp::run(uint64_t maxSteps)
 {
-    RunResult result;
-    for (uint64_t i = 0; i < maxSteps; ++i) {
-        RetireEvent ev = step();
-        if (ev.halt) {
-            result.reason = StopReason::Halted;
-            result.exitCode = regs[reg::a0];
-            result.instret = retired;
-            result.stopPc = ev.pc;
-            return result;
+    RisspRunOptions options;
+    options.maxSteps = maxSteps;
+    return run(options);
+}
+
+RunResult
+Rissp::run(const RisspRunOptions &options)
+{
+    if (options.fault || options.gateLevel) {
+        // Gate-level engine: every instruction through the stitched
+        // structural chains, faults and all.
+        RunResult result;
+        for (uint64_t i = 0; i < options.maxSteps; ++i) {
+            RetireEvent ev = stepGate(options.fault);
+            if (options.trace)
+                options.trace->push_back(ev);
+            if (ev.halt) {
+                result.reason = StopReason::Halted;
+                result.exitCode = regs[reg::a0];
+                result.instret = retired;
+                result.stopPc = ev.pc;
+                return result;
+            }
+            if (ev.trap) {
+                result.reason = StopReason::Trapped;
+                result.instret = retired;
+                result.stopPc = ev.pc;
+                return result;
+            }
         }
-        if (ev.trap) {
-            result.reason = StopReason::Trapped;
-            result.instret = retired;
-            result.stopPc = ev.pc;
-            return result;
-        }
+        result.reason = StopReason::StepLimit;
+        result.instret = retired;
+        result.stopPc = pcReg;
+        return result;
     }
-    result.reason = StopReason::StepLimit;
-    result.instret = retired;
-    result.stopPc = pcReg;
-    return result;
+
+    const DispatchMode mode = resolveDispatchMode(options.dispatch);
+#if RISSP_HAS_COMPUTED_GOTO
+    if (mode == DispatchMode::Threaded)
+        return options.trace
+            ? runCoreThreaded<true>(options.maxSteps, options.trace)
+            : runCoreThreaded<false>(options.maxSteps, nullptr);
+#else
+    (void)mode;
+#endif
+    return options.trace
+        ? runCoreSwitch<true>(options.maxSteps, options.trace)
+        : runCoreSwitch<false>(options.maxSteps, nullptr);
 }
 
 } // namespace rissp

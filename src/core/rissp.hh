@@ -26,6 +26,30 @@
 namespace rissp
 {
 
+/** Options for Rissp::run(). */
+struct RisspRunOptions
+{
+    /** Stop after this many instructions (StopReason::StepLimit). */
+    uint64_t maxSteps = 100'000'000;
+
+    /** Interpreter core for the specialized engine (a pure
+     *  performance knob; all modes are bit-identical). */
+    DispatchMode dispatch = DispatchMode::Auto;
+
+    /** When set, every RetireEvent is appended here. */
+    std::vector<RetireEvent> *trace = nullptr;
+
+    /** Injected netlist fault. Any non-null Mutation — including
+     *  Kind::None — routes every instruction through the gate-level
+     *  structural engine, preserving the mutation-coverage surface
+     *  (the specialized cores never see faults). */
+    const Mutation *fault = nullptr;
+
+    /** Force the gate-level engine even with no fault (what run()
+     *  always did before the specialized cores existed). */
+    bool gateLevel = false;
+};
+
 /** A generated instruction-subset processor plus its simulator. */
 class Rissp
 {
@@ -46,11 +70,22 @@ class Rissp
     /** Reset the machine and load a program image. */
     void reset(const Program &program);
 
-    /** Execute one cycle (one instruction). */
+    /**
+     * Execute one cycle (one instruction). With @p mut == nullptr
+     * this drives the subset-specialized functional core (bit-
+     * identical to the gate-level engine, pinned by tests); any
+     * non-null @p mut — even Mutation{Kind::None} — forces the full
+     * structural gate-level chain.
+     */
     RetireEvent step(const Mutation *mut = nullptr);
 
     /** Run until halt/trap or @p maxSteps cycles. */
     RunResult run(uint64_t maxSteps = 100'000'000);
+
+    /** Run with explicit dispatch/trace/fault options. A fault (or
+     *  gateLevel) selects the gate-level engine; otherwise the
+     *  subset-specialized interpreter core runs. */
+    RunResult run(const RisspRunOptions &options);
 
     uint32_t pc() const { return pcReg; }
     uint32_t reg(unsigned idx) const;
@@ -66,6 +101,39 @@ class Rissp
     const std::string &outputText() const { return outText; }
 
   private:
+    /** One instruction through the gate-level structural engine —
+     *  ModularEX evaluates the stitched blocks, with @p mut (which
+     *  may be null) threaded into every primitive. This is the
+     *  pre-specialization step() body, kept whole as the mutation-
+     *  coverage surface and the off-span fallback. */
+    RetireEvent stepGate(const Mutation *mut);
+
+    /** One instruction through the specialized core (mut == null). */
+    RetireEvent stepFast();
+
+    // Interpreter cores over the pre-decoded text span, stamped out
+    // from sim/exec_core.inc — same statement of the semantics as
+    // RefSim's, specialized here to the generated subset.
+    template <bool kTrace>
+    RunResult runCoreSwitch(uint64_t maxSteps,
+                            std::vector<RetireEvent> *traceOut);
+    template <bool kTrace>
+    RunResult runCoreThreaded(uint64_t maxSteps,
+                              std::vector<RetireEvent> *traceOut);
+
+    // exec_core.inc hooks: only stitched blocks execute, every
+    // retire charges ModularEx's counters, and off-span execution
+    // goes through the gate-level engine.
+    bool coreTokenEnabled(uint8_t tok) const
+    {
+        return tok < kNumOps && ex.enabledOps()[tok];
+    }
+    void coreNoteExec(uint8_t tok) const
+    {
+        ex.noteExec(static_cast<Op>(tok));
+    }
+    RetireEvent coreSlowStep() { return stepGate(nullptr); }
+
     std::string risspName;
     ModularEx ex;
     uint32_t pcReg = 0;
@@ -76,6 +144,7 @@ class Rissp
     uint64_t retired = 0;
     std::vector<uint32_t> outWords;
     std::string outText;
+    std::vector<RetireEvent> stepScratch; ///< stepFast() staging
 };
 
 } // namespace rissp

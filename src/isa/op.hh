@@ -51,6 +51,44 @@ enum class Op : uint8_t
 /** Number of valid operations (excludes Invalid). */
 constexpr size_t kNumOps = static_cast<size_t>(Op::Invalid);
 
+/**
+ * X-macro over every valid Op, in exact enum order (checked below).
+ * Consumers that need one entry per operation — the interpreter
+ * cores in sim/exec_core.inc build their handler tables positionally
+ * from it — expand this instead of restating the list, so adding an
+ * Op here is the single point of change.
+ */
+#define RISSP_OP_LIST(X)                                               \
+    X(Add) X(Sub) X(Sll) X(Slt) X(Sltu) X(Xor) X(Srl) X(Sra)          \
+    X(Or) X(And)                                                      \
+    X(Addi) X(Slti) X(Sltiu) X(Xori) X(Ori) X(Andi)                   \
+    X(Slli) X(Srli) X(Srai)                                           \
+    X(Lb) X(Lh) X(Lw) X(Lbu) X(Lhu)                                   \
+    X(Jalr)                                                           \
+    X(Sb) X(Sh) X(Sw)                                                 \
+    X(Beq) X(Bne) X(Blt) X(Bge) X(Bltu) X(Bgeu)                       \
+    X(Lui) X(Auipc)                                                   \
+    X(Jal)                                                            \
+    X(Cmul)                                                           \
+    X(Ecall) X(Ebreak)
+
+namespace detail
+{
+constexpr bool
+opListMatchesEnum()
+{
+    size_t index = 0;
+#define RISSP_OP_CHECK_ORDER(NAME)                                     \
+    if (static_cast<size_t>(Op::NAME) != index++)                      \
+        return false;
+    RISSP_OP_LIST(RISSP_OP_CHECK_ORDER)
+#undef RISSP_OP_CHECK_ORDER
+    return index == kNumOps;
+}
+static_assert(opListMatchesEnum(),
+              "RISSP_OP_LIST must list every Op in enum order");
+} // namespace detail
+
 /** True for custom-extension operations (not part of base RV32E). */
 bool isCustom(Op op);
 

@@ -3,15 +3,47 @@
 namespace rissp
 {
 
+namespace
+{
+
+/** Straight-line runs never extend past a control transfer, a halt
+ *  or an invalid word: those always send the cores back to the
+ *  dispatch loop head. */
+bool
+endsRun(Op op)
+{
+    return op == Op::Invalid || isBranch(op) || isJump(op) ||
+        op == Op::Ecall || op == Op::Ebreak;
+}
+
+/** Run length of a word given its op and the run length after it. */
+uint16_t
+runFrom(Op op, uint16_t next)
+{
+    if (endsRun(op))
+        return 1;
+    return next == UINT16_MAX ? UINT16_MAX
+                              : static_cast<uint16_t>(next + 1);
+}
+
+} // namespace
+
 void
 DecodedProgram::build(const Program &program, const Memory &mem)
 {
     textBase = program.textBase;
     textSize = program.textSize & ~3u;
+    const uint32_t words = textSize / 4;
     instrs.clear();
-    instrs.reserve(textSize / 4);
-    for (uint32_t off = 0; off < textSize; off += 4)
+    instrs.reserve(words);
+    toks.clear();
+    toks.reserve(words);
+    for (uint32_t off = 0; off < textSize; off += 4) {
         instrs.push_back(decode(mem.loadWord(textBase + off)));
+        toks.push_back(static_cast<uint8_t>(instrs.back().op));
+    }
+    runs.assign(words, 1);
+    recomputeRuns(0, words);
 }
 
 void
@@ -20,6 +52,8 @@ DecodedProgram::clear()
     textBase = 0;
     textSize = 0;
     instrs.clear();
+    toks.clear();
+    runs.clear();
 }
 
 void
@@ -34,8 +68,30 @@ DecodedProgram::invalidate(const Memory &mem, uint32_t addr,
     const uint64_t limit = textBase + static_cast<uint64_t>(textSize);
     const uint32_t last = static_cast<uint32_t>(
         ((end < limit ? end : limit) - textBase + 3) / 4);
-    for (uint32_t w = first; w < last; ++w)
+    for (uint32_t w = first; w < last; ++w) {
         instrs[w] = decode(mem.loadWord(textBase + w * 4));
+        toks[w] = static_cast<uint8_t>(instrs[w].op);
+    }
+    recomputeRuns(first, last);
+}
+
+void
+DecodedProgram::recomputeRuns(uint32_t first, uint32_t last)
+{
+    const uint32_t words = static_cast<uint32_t>(runs.size());
+    for (uint32_t w = last; w-- > first;)
+        runs[w] = runFrom(instrs[w].op,
+                          w + 1 < words ? runs[w + 1] : 0);
+    // Ripple backwards: a rewritten word can lengthen or shorten the
+    // runs of every straight-line word leading into it. Stop at the
+    // first unchanged value (everything before it chains off it) or
+    // at a run-ending op (its run length is always 1).
+    for (uint32_t w = first; w-- > 0;) {
+        const uint16_t run = runFrom(instrs[w].op, runs[w + 1]);
+        if (run == runs[w])
+            break;
+        runs[w] = run;
+    }
 }
 
 } // namespace rissp

@@ -10,6 +10,21 @@
  * still observes its own writes; fetches outside the cached span fall
  * back to decode-on-fetch in the caller.
  *
+ * For the interpreter cores (sim/exec_core.inc) the cache also keeps
+ * two side arrays, maintained in lock-step with the decoded words:
+ *
+ *  - a handler token per word — the Op as a small integer, with
+ *    invalid encodings mapped to the trap token — which is what the
+ *    threaded core indexes its label table with;
+ *  - a superblock run length per word: how many instructions starting
+ *    there execute strictly straight-line (no branch/jump/halt/
+ *    invalid) before a control transfer can occur. The cores use it
+ *    to retire whole runs between budget/pc rechecks. Stores into the
+ *    text span repair both arrays together with the decoded words,
+ *    including the backward run-length ripple into preceding
+ *    straight-line code, so a patch that extends or splits a
+ *    superblock is visible before the next dispatch.
+ *
  * Coherence contract: the cache only sees stores issued through the
  * owning simulator's store path. Writing into the text span directly
  * via Memory (e.g. `sim.memory().storeWord(...)`) requires a fresh
@@ -74,10 +89,31 @@ class DecodedProgram
     uint32_t base() const { return textBase; }
     uint32_t size() const { return textSize; }
 
+    /** Handler token for text word @p idx: `(uint8_t)Op`, with
+     *  `(uint8_t)Op::Invalid` (== kNumOps) as the trap token. */
+    static constexpr uint8_t kTrapToken =
+        static_cast<uint8_t>(Op::Invalid);
+
+    /** Decoded instructions by word index (textSize / 4 entries). */
+    const Instr *instrData() const { return instrs.data(); }
+
+    /** Handler tokens by word index, parallel to instrData(). */
+    const uint8_t *tokenData() const { return toks.data(); }
+
+    /** Superblock run lengths by word index (always >= 1), parallel
+     *  to instrData(); saturates at 0xFFFF. */
+    const uint16_t *runLenData() const { return runs.data(); }
+
   private:
+    /** Recompute runs[first, last) and ripple the change into the
+     *  straight-line words before @p first. */
+    void recomputeRuns(uint32_t first, uint32_t last);
+
     uint32_t textBase = 0;
     uint32_t textSize = 0;         ///< bytes; always a multiple of 4
     std::vector<Instr> instrs;     ///< one per text word
+    std::vector<uint8_t> toks;     ///< handler token per text word
+    std::vector<uint16_t> runs;    ///< superblock run length per word
 };
 
 } // namespace rissp

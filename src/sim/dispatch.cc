@@ -1,0 +1,81 @@
+#include "sim/dispatch.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+// The build default injected by CMake's RISSP_DISPATCH cache option:
+// 0 = auto, 1 = switch, 2 = threaded (see CMakeLists.txt).
+#ifndef RISSP_DISPATCH_DEFAULT
+#define RISSP_DISPATCH_DEFAULT 0
+#endif
+
+namespace rissp
+{
+
+std::string_view
+dispatchModeName(DispatchMode mode)
+{
+    switch (mode) {
+      case DispatchMode::Auto: return "auto";
+      case DispatchMode::Switch: return "switch";
+      case DispatchMode::Threaded: return "threaded";
+    }
+    return "auto";
+}
+
+std::optional<DispatchMode>
+dispatchModeFromName(std::string_view name)
+{
+    if (name == "auto")
+        return DispatchMode::Auto;
+    if (name == "switch")
+        return DispatchMode::Switch;
+    if (name == "threaded")
+        return DispatchMode::Threaded;
+    return std::nullopt;
+}
+
+namespace
+{
+
+/** Env var / build default, collapsed to a non-Auto preference or
+ *  Auto when neither expresses one. */
+DispatchMode
+configuredDefault()
+{
+    if (const char *env = std::getenv("RISSP_DISPATCH")) {
+        const std::optional<DispatchMode> mode =
+            dispatchModeFromName(env);
+        if (mode)
+            return *mode;
+        // Magic-static init: exactly one warning, thread-safe.
+        static const bool warned = [env] {
+            warn("RISSP_DISPATCH='%s' is not auto/switch/threaded; "
+                 "using auto",
+                 env);
+            return true;
+        }();
+        (void)warned;
+        return DispatchMode::Auto;
+    }
+    return static_cast<DispatchMode>(RISSP_DISPATCH_DEFAULT);
+}
+
+} // namespace
+
+DispatchMode
+resolveDispatchMode(DispatchMode requested)
+{
+    DispatchMode mode = requested;
+    if (mode == DispatchMode::Auto)
+        mode = configuredDefault();
+    if (mode == DispatchMode::Auto)
+        mode = threadedDispatchSupported() ? DispatchMode::Threaded
+                                           : DispatchMode::Switch;
+    if (mode == DispatchMode::Threaded && !threadedDispatchSupported())
+        mode = DispatchMode::Switch;
+    return mode;
+}
+
+} // namespace rissp

@@ -228,30 +228,47 @@ RefSim::step()
     return ev;
 }
 
+// Stamp out the interpreter cores (see the header in exec_core.inc):
+// one statement of the semantics, two dispatch mechanisms.
+#define RISSP_CORE_CLASS RefSim
+#define RISSP_CORE_NAME runCoreSwitch
+#define RISSP_CORE_THREADED 0
+#include "sim/exec_core.inc"
+#undef RISSP_CORE_NAME
+#undef RISSP_CORE_THREADED
+
+#if RISSP_HAS_COMPUTED_GOTO
+#define RISSP_CORE_NAME runCoreThreaded
+#define RISSP_CORE_THREADED 1
+#include "sim/exec_core.inc"
+#undef RISSP_CORE_NAME
+#undef RISSP_CORE_THREADED
+#endif
+#undef RISSP_CORE_CLASS
+
 RunResult
 RefSim::run(uint64_t maxSteps)
 {
-    RunResult result;
-    for (uint64_t i = 0; i < maxSteps; ++i) {
-        RetireEvent ev = step();
-        if (ev.halt) {
-            result.reason = StopReason::Halted;
-            result.exitCode = regs[reg::a0];
-            result.instret = retired;
-            result.stopPc = ev.pc;
-            return result;
-        }
-        if (ev.trap) {
-            result.reason = StopReason::Trapped;
-            result.instret = retired;
-            result.stopPc = ev.pc;
-            return result;
-        }
-    }
-    result.reason = StopReason::StepLimit;
-    result.instret = retired;
-    result.stopPc = pcReg;
-    return result;
+    SimRunOptions options;
+    options.maxSteps = maxSteps;
+    return run(options);
+}
+
+RunResult
+RefSim::run(const SimRunOptions &options)
+{
+    const DispatchMode mode = resolveDispatchMode(options.dispatch);
+#if RISSP_HAS_COMPUTED_GOTO
+    if (mode == DispatchMode::Threaded)
+        return options.trace
+            ? runCoreThreaded<true>(options.maxSteps, options.trace)
+            : runCoreThreaded<false>(options.maxSteps, nullptr);
+#else
+    (void)mode;
+#endif
+    return options.trace
+        ? runCoreSwitch<true>(options.maxSteps, options.trace)
+        : runCoreSwitch<false>(options.maxSteps, nullptr);
 }
 
 } // namespace rissp

@@ -18,6 +18,7 @@
 
 #include "isa/reg.hh"
 #include "sim/decoded_program.hh"
+#include "sim/dispatch.hh"
 #include "sim/memory.hh"
 #include "sim/program.hh"
 #include "sim/trace.hh"
@@ -62,6 +63,23 @@ struct RunResult
     uint32_t stopPc = 0;     ///< pc at stop
 };
 
+/** Options for the simulators' run() entry points. */
+struct SimRunOptions
+{
+    /** Stop after this many instructions (StopReason::StepLimit). */
+    uint64_t maxSteps = 100'000'000;
+
+    /** Which interpreter core to drive (sim/dispatch.hh); Auto
+     *  resolves via the RISSP_DISPATCH env var, then the build
+     *  default, then computed-goto detection. The cores are
+     *  bit-identical, so this is purely a performance knob. */
+    DispatchMode dispatch = DispatchMode::Auto;
+
+    /** When set, every RetireEvent is appended here (the same RVFI
+     *  stream the single-step API produces). */
+    std::vector<RetireEvent> *trace = nullptr;
+};
+
 /** Functional RV32E golden-model simulator. */
 class RefSim
 {
@@ -80,6 +98,11 @@ class RefSim
 
     /** Run until halt/trap or @p maxSteps instructions. */
     RunResult run(uint64_t maxSteps = 100'000'000);
+
+    /** Run with explicit dispatch/trace options. All dispatch modes
+     *  retire the identical RVFI stream; step() remains the
+     *  independent golden statement of the semantics. */
+    RunResult run(const SimRunOptions &options);
 
     uint32_t pc() const { return pcReg; }
     void setPc(uint32_t value) { pcReg = value; }
@@ -104,6 +127,25 @@ class RefSim
     const std::string &outputText() const { return outText; }
 
   private:
+    // Interpreter cores over the pre-decoded text span, stamped out
+    // from sim/exec_core.inc (one statement of the semantics, two
+    // dispatch mechanisms).
+    template <bool kTrace>
+    RunResult runCoreSwitch(uint64_t maxSteps,
+                            std::vector<RetireEvent> *traceOut);
+    template <bool kTrace>
+    RunResult runCoreThreaded(uint64_t maxSteps,
+                              std::vector<RetireEvent> *traceOut);
+
+    // exec_core.inc hooks: the reference executes every valid op,
+    // counts nothing, and falls back to step() off-span.
+    static bool coreTokenEnabled(uint8_t tok)
+    {
+        return tok < kNumOps;
+    }
+    static void coreNoteExec(uint8_t) {}
+    RetireEvent coreSlowStep() { return step(); }
+
     uint32_t pcReg = 0;
     std::array<uint32_t, kNumRegsE> regs{};
     Memory mem;

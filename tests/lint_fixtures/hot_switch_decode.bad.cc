@@ -1,0 +1,25 @@
+// Bad: a fresh per-instruction decode switch in a simulator hot
+// path. Dispatch belongs to the shared interpreter core
+// (sim/exec_core.inc); ad-hoc switches fork the semantics.
+
+enum class Op { Add, Sub, Invalid };
+
+struct Instr
+{
+    Op op = Op::Invalid;
+    unsigned rs1 = 0;
+    unsigned rs2 = 0;
+};
+
+unsigned
+execute(const Instr &in, const unsigned *regs)
+{
+    switch (in.op) {
+      case Op::Add:
+        return regs[in.rs1] + regs[in.rs2];
+      case Op::Sub:
+        return regs[in.rs1] - regs[in.rs2];
+      default:
+        return 0;
+    }
+}

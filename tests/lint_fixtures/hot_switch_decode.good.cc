@@ -1,0 +1,49 @@
+// Good: hot-path execution routed through a handler table instead
+// of an ad-hoc per-instruction decode switch. Switching on other
+// quantities (access width here) is fine.
+
+enum class Op { Add, Sub, Invalid };
+
+struct Instr
+{
+    Op op = Op::Invalid;
+    unsigned rs1 = 0;
+    unsigned rs2 = 0;
+};
+
+using Handler = unsigned (*)(const Instr &, const unsigned *);
+
+unsigned
+execAdd(const Instr &in, const unsigned *regs)
+{
+    return regs[in.rs1] + regs[in.rs2];
+}
+
+unsigned
+execSub(const Instr &in, const unsigned *regs)
+{
+    return regs[in.rs1] - regs[in.rs2];
+}
+
+unsigned
+execute(const Instr &in, const unsigned *regs)
+{
+    static const Handler handlers[] = {execAdd, execSub};
+    const unsigned tok = static_cast<unsigned>(in.op);
+    if (tok >= sizeof(handlers) / sizeof(handlers[0]))
+        return 0;
+    return handlers[tok](in, regs);
+}
+
+unsigned
+maskForWidth(unsigned bytes)
+{
+    switch (bytes) {
+      case 1:
+        return 0xFFu;
+      case 2:
+        return 0xFFFFu;
+      default:
+        return ~0u;
+    }
+}

@@ -316,6 +316,62 @@ checkRawFsPublish(const SourceFile &f, std::vector<Finding> &out)
 }
 
 void
+checkHotSwitchDecode(const SourceFile &f, std::vector<Finding> &out)
+{
+    // Simulator hot paths (plus top-level src/ files, the shape
+    // --as-library inputs and the fixtures take).
+    const bool hot =
+        f.path.rfind("src/sim/", 0) == 0 ||
+        f.path.rfind("src/core/", 0) == 0 ||
+        (isLibraryPath(f.path) &&
+         f.path.find('/', 4) == std::string::npos);
+    if (!hot)
+        return;
+    // RefSim::step() is the deliberately independent golden
+    // statement of the semantics; its switch stays by design, as
+    // does the shared dispatch core it cross-checks (exec_core.inc,
+    // which the tree walk does not scan).
+    if (f.path == "src/sim/refsim.cc")
+        return;
+    const std::vector<Token> tokens = tokenize(f.scrubbed);
+    for (const Token &t : tokens) {
+        if (t.text != "switch" || !isCall(f, t))
+            continue;
+        size_t open = t.pos + t.text.size();
+        while (open < f.scrubbed.size() && f.scrubbed[open] != '(')
+            ++open;
+        size_t close = std::string::npos;
+        int depth = 0;
+        for (size_t j = open; j < f.scrubbed.size(); ++j) {
+            if (f.scrubbed[j] == '(') {
+                ++depth;
+            } else if (f.scrubbed[j] == ')' && --depth == 0) {
+                close = j;
+                break;
+            }
+        }
+        if (close == std::string::npos)
+            continue;
+        const std::string cond =
+            f.scrubbed.substr(open + 1, close - open - 1);
+        for (const Token &ct : tokenize(cond)) {
+            if (ct.text == "op" || ct.text == "Op") {
+                addFinding(
+                    out, f, t, "hot-switch-decode",
+                    "per-instruction switch over '" +
+                        std::string(ct.text) +
+                        "' in a simulator hot path — instruction "
+                        "dispatch belongs to the shared interpreter "
+                        "core (sim/exec_core.inc, selected via "
+                        "sim/dispatch.hh), not ad-hoc decode "
+                        "switches");
+                break;
+            }
+        }
+    }
+}
+
+void
 checkIncludeGuard(const SourceFile &f, std::vector<Finding> &out)
 {
     if (!isHeaderPath(f.path))
@@ -531,6 +587,11 @@ checkRegistry()
          "persistent files go through the artifact store's atomic "
          "publish protocol",
          checkRawFsPublish},
+        {"hot-switch-decode",
+         "no per-instruction switch-on-op decode in src/sim/ or "
+         "src/core/ hot paths — dispatch lives in the shared "
+         "interpreter core (sim/exec_core.inc)",
+         checkHotSwitchDecode},
         {"include-guard",
          "every header carries #pragma once or a matched "
          "#ifndef/#define guard",

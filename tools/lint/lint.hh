@@ -17,6 +17,12 @@
  *                  examples/ may print)
  *   banned-call    no non-reentrant / UB-prone calls anywhere
  *                  (strcpy, sprintf, gmtime, rand, strtok, ...)
+ *   hot-switch-decode
+ *                  no per-instruction `switch (op)` decode in the
+ *                  simulator hot paths (src/sim/, src/core/) —
+ *                  instruction dispatch belongs to the shared
+ *                  interpreter core (sim/exec_core.inc); RefSim's
+ *                  golden-reference step() is the one exemption
  *   include-guard  every header carries #pragma once or a matched
  *                  #ifndef/#define guard
  *
