@@ -12,10 +12,13 @@
  * overhead trajectory the same way BENCH_simspeed.json tracks sim
  * throughput.
  *
- * The serving FlowService gets one scheduler thread per client: a
- * connection handler occupies its worker while the connection is
- * open (see docs/SERVE.md), so a keep-alive load of N connections
- * needs N workers to make progress on all of them.
+ * Connections are decoupled from compute since the reactor rework:
+ * every fd is owned by one nonblocking event loop and `--threads`
+ * (here: one worker per client) sizes the scheduler only. The
+ * idle_keepalive_512 scenario pins that contract — 512 parked
+ * keep-alive connections must not tax the active clients' req/s —
+ * and ci.sh compares it against serve_characterize_hot as a soft
+ * perf smoke.
  *
  *   bench_serve [--json <path>] [--clients <n>] [--min-time <s>]
  *               [--quick]
@@ -28,6 +31,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,7 +54,33 @@ struct Scenario
     std::string target;
     std::string body;
     bool keepAlive = true; ///< false: fresh connection per request
+    /** Keep-alive connections parked (after one warmup request)
+     *  for the scenario's whole window — load the reactor's fd
+     *  table without consuming a single scheduler thread. */
+    unsigned idlePool = 0;
 };
+
+/** Park @p count keep-alive connections, each proven live by one
+ *  /healthz round trip. Destroying the vector drops them all. */
+std::vector<std::unique_ptr<testutil::HttpClient>>
+parkIdleConnections(uint16_t port, unsigned count)
+{
+    std::vector<std::unique_ptr<testutil::HttpClient>> pool;
+    pool.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        auto client = std::make_unique<testutil::HttpClient>();
+        if (!client->connect(port) ||
+            !client->request("GET", "/healthz", "", true)) {
+            std::fprintf(stderr,
+                         "bench_serve: failed to park idle "
+                         "connection %u of %u\n",
+                         i + 1, count);
+            std::exit(1);
+        }
+        pool.push_back(std::move(client));
+    }
+    return pool;
+}
 
 struct LoadResult
 {
@@ -208,11 +238,14 @@ main(int argc, char **argv)
     if (clients == 0)
         clients = 1;
 
-    // One worker per client so every keep-alive connection makes
-    // progress; headroom in the admission queue on top.
+    // One scheduler worker per client; connection capacity sized
+    // for the parked idle_keepalive_512 pool on top of the active
+    // clients, with headroom in the admission queue.
+    constexpr unsigned kIdlePool = 512;
     const flow::FlowService service(nullptr, clients);
     net::ServeOptions options;
     options.maxQueue = clients * 4;
+    options.maxConnections = kIdlePool + clients * 2 + 16;
     net::HttpServer server(service, options);
     const Status status = server.start();
     if (!status.isOk()) {
@@ -233,6 +266,12 @@ main(int argc, char **argv)
         {"serve_connect_per_request", "POST",
          "/api/v1/characterize", R"({"workload": "crc32"})",
          false},
+        // The reactor's headline: cache-hot dispatch through a
+        // crowd of parked keep-alive connections. Compare its
+        // req/s against serve_characterize_hot — parked fds must
+        // be (close to) free.
+        {"idle_keepalive_512", "POST", "/api/v1/characterize",
+         R"({"workload": "crc32"})", true, kIdlePool},
     };
 
     // Warm the stage caches so "hot" scenarios measure serving, not
@@ -245,6 +284,10 @@ main(int argc, char **argv)
     std::vector<LoadResult> results;
     uint64_t total_errors = 0;
     for (const Scenario &scenario : scenarios) {
+        std::vector<std::unique_ptr<testutil::HttpClient>> parked;
+        if (scenario.idlePool > 0)
+            parked = parkIdleConnections(server.port(),
+                                         scenario.idlePool);
         results.push_back(runScenario(server.port(), scenario,
                                       clients, min_time));
         const LoadResult &r = results.back();

@@ -257,6 +257,7 @@ Scheduler::submit(TaskFn fn, const std::vector<Handle> &deps,
     if (stopping)
         panic("Scheduler::submit during shutdown");
     ensureWorkersLocked();
+    ++submittedTasks;
 
     std::exception_ptr depError;
     uint32_t pending = 0;
@@ -439,6 +440,13 @@ Scheduler::tasksRun() const
 {
     LockGuard lock(mu);
     return executed;
+}
+
+uint64_t
+Scheduler::submitted() const
+{
+    LockGuard lock(mu);
+    return submittedTasks;
 }
 
 size_t

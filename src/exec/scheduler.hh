@@ -143,6 +143,11 @@ class Scheduler
      *  failed tasks are not counted). */
     uint64_t tasksRun() const;
 
+    /** Tasks accepted by submit() over the scheduler's lifetime
+     *  (whether or not they ran) — with tasksRun(), the lag of the
+     *  dynamic request path a /metrics endpoint reports. */
+    uint64_t submitted() const;
+
     /** Ready tasks sitting in worker deques right now — the queue
      *  depth a /metrics endpoint reports. Snapshot only: the value
      *  is stale the moment the lock drops. */
@@ -187,6 +192,8 @@ class Scheduler
     unsigned nextQueue RISSP_GUARDED_BY(mu) = 0;
     uint64_t steals RISSP_GUARDED_BY(mu) = 0;
     uint64_t executed RISSP_GUARDED_BY(mu) = 0;
+    /** Dynamic tasks accepted by submit(). */
+    uint64_t submittedTasks RISSP_GUARDED_BY(mu) = 0;
     /** Task bodies currently executing. */
     size_t running RISSP_GUARDED_BY(mu) = 0;
 };

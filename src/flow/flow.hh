@@ -34,6 +34,7 @@
 #ifndef RISSP_FLOW_FLOW_HH
 #define RISSP_FLOW_FLOW_HH
 
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -374,6 +375,18 @@ class FlowService
      *  panic-equivalent exception). */
     std::future<Response> submitAsync(Request request) const;
 
+    /** The callback-based twin of submitAsync, for callers that hand
+     *  completions back to an event loop (the serve reactor) instead
+     *  of blocking a thread on a future: the same stage
+     *  decomposition on the same scheduler, with @p done invoked
+     *  exactly once, on the worker that ran the final stage. Errors
+     *  stay values inside the response; an internal stage
+     *  panic-equivalent exception is folded into a response with
+     *  `ErrorCode::Internal` status rather than thrown (there is no
+     *  future to carry it). */
+    void dispatchAsync(Request request,
+                       std::function<void(Response)> done) const;
+
     /** Serve a mixed batch concurrently; blocks until every request
      *  has settled and returns responses in request order. */
     std::vector<Response>
@@ -411,6 +424,14 @@ class FlowService
     void retargetCompileStage(RetargetJob &job) const;
     void retargetRewriteStage(RetargetJob &job) const;
     void retargetEquivalenceStage(RetargetJob &job) const;
+
+    /** The one async submission path: decompose @p request into its
+     *  stage graph on the shared scheduler; exactly one of the two
+     *  callbacks fires when the request settles. submitAsync and
+     *  dispatchAsync are both thin adapters over this. */
+    void submitStages(
+        Request request, std::function<void(Response)> on_done,
+        std::function<void(std::exception_ptr)> on_error) const;
 
     /** Resolve + compile a source, memoized in the shared cache. */
     Result<minic::CompileResult>

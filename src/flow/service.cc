@@ -509,21 +509,24 @@ namespace
 {
 
 /** Shared state of one in-flight async request: the job, the
- *  response promise, and a once-latch so that whichever stage
+ *  settlement callbacks, and a once-latch so that whichever stage
  *  settles the request first — the finish stage or a throwing
- *  stage — is the only writer of the promise. */
+ *  stage — is the only caller of a callback. The callbacks are how
+ *  both async front ends share this machinery: submitAsync plugs a
+ *  promise in, dispatchAsync a completion handler. */
 template <typename Job>
 struct AsyncState
 {
     Job job;
-    std::promise<Response> promise;
+    std::function<void(Response)> onDone;
+    std::function<void(std::exception_ptr)> onError;
     std::atomic<bool> settled{false};
 
     void
     finish()
     {
         if (!settled.exchange(true))
-            promise.set_value(Response(std::move(job.response)));
+            onDone(Response(std::move(job.response)));
     }
 
     /** Called from a stage's catch block; the exception also
@@ -533,7 +536,7 @@ struct AsyncState
     fail()
     {
         if (!settled.exchange(true))
-            promise.set_exception(std::current_exception());
+            onError(std::current_exception());
     }
 };
 
@@ -556,10 +559,61 @@ guarded(std::shared_ptr<AsyncState<Job>> state,
     };
 }
 
+/** A default-constructed response of the same alternative as the
+ *  request at @p request_index, carrying @p status — how an internal
+ *  stage panic is folded into the errors-as-values contract when
+ *  there is no future to carry the exception. */
+Response
+internalErrorResponse(size_t request_index, Status status)
+{
+    switch (request_index) {
+      case 0: {
+        CharacterizeResponse response;
+        response.status = std::move(status);
+        return response;
+      }
+      case 1: {
+        RunResponse response;
+        response.status = std::move(status);
+        return response;
+      }
+      case 2: {
+        SynthResponse response;
+        response.status = std::move(status);
+        return response;
+      }
+      case 3: {
+        RetargetResponse response;
+        response.status = std::move(status);
+        return response;
+      }
+      default: {
+        ExploreResponse response;
+        response.status = std::move(status);
+        return response;
+      }
+    }
+}
+
+Status
+statusFromException(const std::exception_ptr &error)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const std::exception &ex) {
+        return Status::errorf(ErrorCode::Internal,
+                              "internal error: %s", ex.what());
+    } catch (...) {
+        return Status::error(ErrorCode::Internal, "internal error");
+    }
+}
+
 } // namespace
 
-std::future<Response>
-FlowService::submitAsync(Request request) const
+void
+FlowService::submitStages(
+    Request request, std::function<void(Response)> on_done,
+    std::function<void(std::exception_ptr)> on_error) const
 {
     exec::Scheduler &sched = scheduler();
 
@@ -569,12 +623,14 @@ FlowService::submitAsync(Request request) const
     // interleave their stages with other requests' — and so two
     // requests hitting the same promise-backed cache entry share the
     // computation instead of queueing it twice.
-    return std::visit(
-        [this, &sched](auto &&req) -> std::future<Response> {
+    std::visit(
+        [this, &sched, &on_done, &on_error](auto &&req) {
             using R = std::decay_t<decltype(req)>;
             if constexpr (std::is_same_v<R, RunRequest>) {
                 auto state = std::make_shared<AsyncState<RunJob>>();
                 state->job.request = std::move(req);
+                state->onDone = std::move(on_done);
+                state->onError = std::move(on_error);
                 auto compile = sched.submit(
                     guarded(state, &FlowService::runCompileStage,
                             this),
@@ -593,11 +649,12 @@ FlowService::submitAsync(Request request) const
                         }
                     },
                     {exec}, "run:cosim");
-                return state->promise.get_future();
             } else if constexpr (std::is_same_v<R, SynthRequest>) {
                 auto state =
                     std::make_shared<AsyncState<SynthJob>>();
                 state->job.request = std::move(req);
+                state->onDone = std::move(on_done);
+                state->onError = std::move(on_error);
                 auto subset = sched.submit(
                     guarded(state, &FlowService::synthSubsetStage,
                             this),
@@ -621,12 +678,13 @@ FlowService::submitAsync(Request request) const
                         }
                     },
                     {app, baselines}, "synth:finish");
-                return state->promise.get_future();
             } else if constexpr (std::is_same_v<R,
                                                 RetargetRequest>) {
                 auto state =
                     std::make_shared<AsyncState<RetargetJob>>();
                 state->job.request = std::move(req);
+                state->onDone = std::move(on_done);
+                state->onError = std::move(on_error);
                 auto compile = sched.submit(
                     guarded(state, &FlowService::retargetCompileStage,
                             this),
@@ -646,28 +704,58 @@ FlowService::submitAsync(Request request) const
                         }
                     },
                     {rewrite}, "retarget:equivalence");
-                return state->promise.get_future();
             } else {
                 // Characterize / Explore: one task.
-                auto promise =
-                    std::make_shared<std::promise<Response>>();
-                std::future<Response> future =
-                    promise->get_future();
                 sched.submit(
-                    [this, promise, req = std::move(req)] {
+                    [this, req = std::move(req),
+                     done = std::move(on_done),
+                     fail = std::move(on_error)] {
                         try {
-                            promise->set_value(dispatch(req));
+                            done(dispatch(req));
                         } catch (...) {
-                            promise->set_exception(
-                                std::current_exception());
+                            fail(std::current_exception());
                             throw;
                         }
                     },
                     {}, "flow:request");
-                return future;
             }
         },
         std::move(request));
+}
+
+std::future<Response>
+FlowService::submitAsync(Request request) const
+{
+    auto promise = std::make_shared<std::promise<Response>>();
+    std::future<Response> future = promise->get_future();
+    submitStages(
+        std::move(request),
+        [promise](Response response) {
+            promise->set_value(std::move(response));
+        },
+        [promise](std::exception_ptr error) {
+            promise->set_exception(std::move(error));
+        });
+    return future;
+}
+
+void
+FlowService::dispatchAsync(Request request,
+                           std::function<void(Response)> done) const
+{
+    const size_t which = request.index();
+    auto shared =
+        std::make_shared<std::function<void(Response)>>(
+            std::move(done));
+    submitStages(
+        std::move(request),
+        [shared](Response response) {
+            (*shared)(std::move(response));
+        },
+        [shared, which](std::exception_ptr error) {
+            (*shared)(internalErrorResponse(
+                which, statusFromException(error)));
+        });
 }
 
 std::vector<Response>

@@ -1,0 +1,944 @@
+/**
+ * @file
+ * Reactor implementation. The only file in src/net/ allowed to make
+ * raw socket IO calls (`recv`/`send`/`accept` — enforced by the
+ * `blocking-socket-io` lint check): every such call here is on a
+ * nonblocking fd inside the readiness loop, so "blocking call" and
+ * "reactor-owned call" are the same boundary.
+ */
+
+#include "net/reactor.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/strings.hh"
+
+namespace rissp::net
+{
+
+namespace
+{
+
+/** Lingering-close grace: how long a shed/errored connection may
+ *  take to read its rejection before the fd is reclaimed. */
+constexpr int64_t kLingerTimeoutMs = 1'000;
+
+/** Lingering connections are a courtesy, not a commitment: over this
+ *  many, further sheds close immediately. */
+constexpr size_t kMaxLingering = 128;
+
+/** Drain bound for stalled non-dispatched connections when the idle
+ *  timeout is disabled — a drain must always terminate. */
+constexpr int64_t kDrainGraceMs = 10'000;
+
+/** Per-readiness-event read budget: level-triggered polling re-fires
+ *  for the remainder, so capping keeps one firehose connection from
+ *  starving the rest of the loop. */
+constexpr int kMaxReadsPerEvent = 16;
+
+bool
+setNonblocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+#ifdef __linux__
+
+class EpollPoller final : public Poller
+{
+  public:
+    explicit EpollPoller(int epfd) : epfd(epfd) {}
+    ~EpollPoller() override { ::close(epfd); }
+
+    static std::unique_ptr<Poller>
+    open()
+    {
+        const int fd = ::epoll_create1(EPOLL_CLOEXEC);
+        if (fd < 0)
+            return nullptr;
+        return std::make_unique<EpollPoller>(fd);
+    }
+
+    Status
+    add(int fd, bool want_read, bool want_write) override
+    {
+        return control(EPOLL_CTL_ADD, fd, want_read, want_write);
+    }
+
+    Status
+    modify(int fd, bool want_read, bool want_write) override
+    {
+        return control(EPOLL_CTL_MOD, fd, want_read, want_write);
+    }
+
+    void
+    remove(int fd) override
+    {
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, fd, nullptr);
+    }
+
+    Status
+    wait(int timeout_ms, std::vector<Event> &events) override
+    {
+        events.clear();
+        epoll_event ready[256];
+        const int n = ::epoll_wait(epfd, ready, 256, timeout_ms);
+        if (n < 0) {
+            if (errno == EINTR)
+                return Status::ok();
+            return Status::errorf(ErrorCode::Internal,
+                                  "epoll_wait: %s",
+                                  errnoString(errno).c_str());
+        }
+        events.reserve(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            Event event;
+            event.fd = ready[i].data.fd;
+            // HUP/ERR surface as readable so the next recv observes
+            // the EOF or the pending socket error.
+            event.readable = (ready[i].events &
+                              (EPOLLIN | EPOLLRDHUP | EPOLLHUP |
+                               EPOLLERR)) != 0;
+            event.writable = (ready[i].events & EPOLLOUT) != 0;
+            events.push_back(event);
+        }
+        return Status::ok();
+    }
+
+    const char *name() const override { return "epoll"; }
+
+  private:
+    Status
+    control(int op, int fd, bool want_read, bool want_write)
+    {
+        epoll_event event{};
+        event.data.fd = fd;
+        if (want_read)
+            event.events |= EPOLLIN | EPOLLRDHUP;
+        if (want_write)
+            event.events |= EPOLLOUT;
+        if (::epoll_ctl(epfd, op, fd, &event) != 0)
+            return Status::errorf(ErrorCode::Internal,
+                                  "epoll_ctl(fd=%d): %s", fd,
+                                  errnoString(errno).c_str());
+        return Status::ok();
+    }
+
+    int epfd;
+};
+
+#endif // __linux__
+
+/** Portable fallback: one pollfd array, fd → slot index map,
+ *  swap-pop removal. O(n) per wait — fine for the connection counts
+ *  a non-epoll host sees, and it keeps the reactor semantics
+ *  testable everywhere. */
+class PollPoller final : public Poller
+{
+  public:
+    Status
+    add(int fd, bool want_read, bool want_write) override
+    {
+        if (slots.count(fd))
+            return Status::errorf(ErrorCode::Internal,
+                                  "poll: fd %d already registered",
+                                  fd);
+        slots[fd] = fds.size();
+        fds.push_back({fd, events(want_read, want_write), 0});
+        return Status::ok();
+    }
+
+    Status
+    modify(int fd, bool want_read, bool want_write) override
+    {
+        const auto it = slots.find(fd);
+        if (it == slots.end())
+            return Status::errorf(ErrorCode::Internal,
+                                  "poll: fd %d not registered", fd);
+        fds[it->second].events = events(want_read, want_write);
+        return Status::ok();
+    }
+
+    void
+    remove(int fd) override
+    {
+        const auto it = slots.find(fd);
+        if (it == slots.end())
+            return;
+        const size_t slot = it->second;
+        slots.erase(it);
+        if (slot + 1 != fds.size()) {
+            fds[slot] = fds.back();
+            slots[fds[slot].fd] = slot;
+        }
+        fds.pop_back();
+    }
+
+    Status
+    wait(int timeout_ms, std::vector<Event> &events) override
+    {
+        events.clear();
+        const int n =
+            ::poll(fds.data(), fds.size(), timeout_ms);
+        if (n < 0) {
+            if (errno == EINTR)
+                return Status::ok();
+            return Status::errorf(ErrorCode::Internal, "poll: %s",
+                                  errnoString(errno).c_str());
+        }
+        for (const pollfd &p : fds) {
+            if (p.revents == 0)
+                continue;
+            Event event;
+            event.fd = p.fd;
+            event.readable = (p.revents &
+                              (POLLIN | POLLHUP | POLLERR |
+                               POLLNVAL)) != 0;
+            event.writable = (p.revents & POLLOUT) != 0;
+            events.push_back(event);
+            if (events.size() == static_cast<size_t>(n))
+                break;
+        }
+        return Status::ok();
+    }
+
+    const char *name() const override { return "poll"; }
+
+  private:
+    static short
+    events(bool want_read, bool want_write)
+    {
+        short mask = 0;
+        if (want_read)
+            mask |= POLLIN;
+        if (want_write)
+            mask |= POLLOUT;
+        return mask;
+    }
+
+    std::vector<pollfd> fds;
+    std::unordered_map<int, size_t> slots;
+};
+
+} // namespace
+
+std::unique_ptr<Poller>
+Poller::create(bool use_poll)
+{
+#ifdef __linux__
+    if (!use_poll) {
+        std::unique_ptr<Poller> poller = EpollPoller::open();
+        if (poller)
+            return poller;
+        // epoll_create1 failing (fd exhaustion, odd sandbox) falls
+        // back to poll rather than refusing to serve.
+    }
+#else
+    (void)use_poll;
+#endif
+    return std::make_unique<PollPoller>();
+}
+
+Reactor::Reactor(int listen_fd, RequestHandler handler,
+                 ErrorResponder error_responder,
+                 ReactorOptions options)
+    : options(std::move(options)), handler(std::move(handler)),
+      errorResponder(std::move(error_responder)),
+      listenFd(listen_fd)
+{
+}
+
+Reactor::~Reactor()
+{
+    for (auto &[token, conn] : connections)
+        closeFd(conn->fd);
+    connections.clear();
+    byFd.clear();
+    closeFd(listenFd);
+    closeFd(wakeReadFd);
+    closeFd(wakeWriteFd);
+}
+
+Status
+Reactor::init()
+{
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0)
+        return Status::errorf(ErrorCode::Internal, "pipe: %s",
+                              errnoString(errno).c_str());
+    wakeReadFd = pipeFds[0];
+    wakeWriteFd = pipeFds[1];
+    if (!setNonblocking(wakeReadFd) ||
+        !setNonblocking(wakeWriteFd) ||
+        !setNonblocking(listenFd)) {
+        return Status::errorf(ErrorCode::Internal, "fcntl: %s",
+                              errnoString(errno).c_str());
+    }
+
+    poller = Poller::create(options.usePollBackend);
+    Status status = poller->add(listenFd, true, false);
+    if (status.isOk())
+        status = poller->add(wakeReadFd, true, false);
+    return status;
+}
+
+const char *
+Reactor::backendName() const
+{
+    return poller ? poller->name() : "unstarted";
+}
+
+void
+Reactor::requestStop()
+{
+    // Async-signal-safe on purpose: one atomic store and one
+    // write(2) on a fd opened before the loop started. No locks, no
+    // allocation. A full pipe is fine — a wake byte is already
+    // pending, which is all the write was for.
+    stopRequested.store(true, std::memory_order_release);
+    if (wakeWriteFd >= 0) {
+        const char byte = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(wakeWriteFd, &byte, 1);
+    }
+}
+
+void
+Reactor::complete(ConnToken token, std::string response_bytes,
+                  bool keep_alive)
+{
+    // The wake write happens under the same lock as the queue push:
+    // the loop can only exit after processing this completion (the
+    // connection stays Dispatched until then), so the fd is
+    // guaranteed alive while any completer is inside this section.
+    LockGuard lock(completionMu);
+    completions.push_back(
+        {token, std::move(response_bytes), keep_alive});
+    if (wakeWriteFd >= 0) {
+        const char byte = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(wakeWriteFd, &byte, 1);
+    }
+}
+
+ReactorStats
+Reactor::stats() const
+{
+    const auto gauge = [this](Connection::State state) {
+        return stateGauge[static_cast<size_t>(state)].load(
+            std::memory_order_relaxed);
+    };
+    ReactorStats stats;
+    stats.accepted = statAccepted.load(std::memory_order_relaxed);
+    stats.shed = statShed.load(std::memory_order_relaxed);
+    stats.idleReaped =
+        statIdleReaped.load(std::memory_order_relaxed);
+    stats.timedOut = statTimedOut.load(std::memory_order_relaxed);
+    stats.partialWrites =
+        statPartialWrites.load(std::memory_order_relaxed);
+    stats.open = statOpen.load(std::memory_order_relaxed);
+    stats.reading = gauge(Connection::State::ReadingHead) +
+        gauge(Connection::State::ReadingBody);
+    stats.dispatched = gauge(Connection::State::Dispatched);
+    stats.writing = gauge(Connection::State::Writing);
+    stats.idle = gauge(Connection::State::Idle);
+    stats.lingering = gauge(Connection::State::Lingering);
+    return stats;
+}
+
+int64_t
+Reactor::nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+Reactor::Connection *
+Reactor::get(ConnToken token)
+{
+    const auto it = connections.find(token);
+    return it == connections.end() ? nullptr : it->second.get();
+}
+
+void
+Reactor::setState(Connection &conn, Connection::State next)
+{
+    stateGauge[static_cast<size_t>(conn.state)].fetch_sub(
+        1, std::memory_order_relaxed);
+    conn.state = next;
+    stateGauge[static_cast<size_t>(next)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+void
+Reactor::armTimer(Connection &conn, int64_t deadline)
+{
+    conn.deadline = deadline;
+    if (deadline != 0)
+        timers.push({deadline, conn.token});
+}
+
+void
+Reactor::refreshIdleTimer(Connection &conn)
+{
+    if (options.idleTimeoutMs > 0)
+        armTimer(conn, nowMs() + options.idleTimeoutMs);
+    else if (draining)
+        armTimer(conn, nowMs() + kDrainGraceMs);
+    else
+        conn.deadline = 0;
+}
+
+void
+Reactor::updateInterest(Connection &conn)
+{
+    bool read = true;
+    switch (conn.state) {
+      case Connection::State::Dispatched:
+        read = false;
+        break;
+      case Connection::State::Writing:
+        // No new bytes are consumed while a response flushes — the
+        // peer's pipelined follow-up waits in its socket buffer
+        // (and TCP backpressure does the rest), so a client cannot
+        // grow our input buffer unboundedly. Discard-mode (shed)
+        // connections keep reading: dropping the rejected request's
+        // bytes is the whole point.
+        read = conn.discardInput;
+        break;
+      default:
+        break;
+    }
+    // Write interest tracks an *unflushable* buffer, armed by
+    // flushOutput on EAGAIN, not by state: most responses flush in
+    // one call and never touch the poller.
+    const bool write =
+        conn.state == Connection::State::Writing && conn.wantWrite;
+    if (read != conn.wantRead || write != conn.wantWrite) {
+        conn.wantRead = read;
+        poller->modify(conn.fd, read, write);
+    }
+}
+
+void
+Reactor::closeConnection(Connection &conn)
+{
+    poller->remove(conn.fd);
+    ::close(conn.fd);
+    byFd.erase(conn.fd);
+    stateGauge[static_cast<size_t>(conn.state)].fetch_sub(
+        1, std::memory_order_relaxed);
+    statOpen.fetch_sub(1, std::memory_order_relaxed);
+    connections.erase(conn.token); // invalidates conn
+}
+
+void
+Reactor::run()
+{
+    std::vector<Poller::Event> events;
+    while (!(draining && connections.empty())) {
+        const Status polled = poller->wait(pollTimeoutMs(), events);
+        if (!polled)
+            break; // unusable poller; fall out and close everything
+
+        bool wake = false;
+        bool acceptable = false;
+        for (const Poller::Event &event : events) {
+            if (event.fd == wakeReadFd) {
+                wake = true;
+                continue;
+            }
+            if (event.fd == listenFd) {
+                acceptable = true;
+                continue;
+            }
+            const auto it = byFd.find(event.fd);
+            if (it == byFd.end())
+                continue; // closed earlier in this batch
+            const ConnToken token = it->second;
+            if (event.writable)
+                onWritable(token);
+            // onWritable may have closed it; re-check.
+            if (event.readable && get(token) != nullptr)
+                onReadable(token);
+        }
+
+        // Accepts and completions run after the event batch so no
+        // fd closed above can be reused inside the same batch (a
+        // stale event would alias the newcomer).
+        if (acceptable && !draining)
+            acceptReady();
+        if (wake) {
+            char buf[256];
+            while (::read(wakeReadFd, buf, sizeof buf) > 0) {
+            }
+            processCompletions();
+            if (stopRequested.load(std::memory_order_acquire) &&
+                !draining)
+                beginDrain();
+        }
+        expireTimers();
+    }
+
+    // Normal exit has an empty table; the fatal-poller path closes
+    // whatever is left so fds never leak.
+    while (!connections.empty())
+        closeConnection(*connections.begin()->second);
+    draining = true;
+    closeFd(listenFd);
+}
+
+int
+Reactor::pollTimeoutMs() const
+{
+    if (timers.empty())
+        return -1;
+    const int64_t delta = timers.top().deadline - nowMs();
+    if (delta <= 0)
+        return 0;
+    return static_cast<int>(std::min<int64_t>(delta, 60'000));
+}
+
+void
+Reactor::acceptReady()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break; // EAGAIN (drained) or a real error: next wait
+        }
+        if (!setNonblocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        if (options.sendBufferBytes > 0) {
+            const int bytes = options.sendBufferBytes;
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes,
+                         sizeof bytes);
+        }
+
+        const size_t lingering =
+            stateGauge[static_cast<size_t>(
+                           Connection::State::Lingering)]
+                .load(std::memory_order_relaxed);
+        if (connections.size() - lingering >=
+            options.maxConnections) {
+            shedConnection(fd);
+            continue;
+        }
+
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conn->token = nextToken++;
+        Connection &ref = *conn;
+        connections.emplace(ref.token, std::move(conn));
+        byFd[fd] = ref.token;
+        stateGauge[static_cast<size_t>(
+                       Connection::State::ReadingHead)]
+            .fetch_add(1, std::memory_order_relaxed);
+        statOpen.fetch_add(1, std::memory_order_relaxed);
+        statAccepted.fetch_add(1, std::memory_order_relaxed);
+        if (!poller->add(fd, true, false).isOk()) {
+            closeConnection(ref);
+            continue;
+        }
+        refreshIdleTimer(ref);
+    }
+}
+
+void
+Reactor::shedConnection(int fd)
+{
+    statShed.fetch_add(1, std::memory_order_relaxed);
+    const size_t lingering =
+        stateGauge[static_cast<size_t>(
+                       Connection::State::Lingering)]
+            .load(std::memory_order_relaxed);
+    if (options.shedResponse.empty() ||
+        lingering >= kMaxLingering) {
+        // Beyond the politeness budget the fd is simply reclaimed;
+        // an abusive burst cannot park unbounded lingering state.
+        ::close(fd);
+        return;
+    }
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->token = nextToken++;
+    conn->discardInput = true;
+    Connection &ref = *conn;
+    connections.emplace(ref.token, std::move(conn));
+    byFd[fd] = ref.token;
+    stateGauge[static_cast<size_t>(Connection::State::ReadingHead)]
+        .fetch_add(1, std::memory_order_relaxed);
+    statOpen.fetch_add(1, std::memory_order_relaxed);
+    if (!poller->add(fd, true, false).isOk()) {
+        closeConnection(ref);
+        return;
+    }
+
+    // The client may already have sent its request (the PR 6 RST
+    // gotcha): drain whatever has arrived before answering, then
+    // deliver the 429 through the lingering-close discipline.
+    char buf[16384];
+    for (;;) {
+        const ssize_t n = ::recv(ref.fd, buf, sizeof buf, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+    }
+    queueResponse(ref, options.shedResponse, false);
+}
+
+void
+Reactor::onReadable(ConnToken token)
+{
+    Connection *conn = get(token);
+    if (conn == nullptr)
+        return;
+    bool sawEof = false;
+    bool progressed = false;
+    char buf[16384];
+    for (int round = 0; round < kMaxReadsPerEvent; ++round) {
+        const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 &&
+            (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (n <= 0) {
+            sawEof = true; // orderly EOF or a dead socket
+            break;
+        }
+        progressed = true;
+        if (!conn->discardInput)
+            conn->in.append(buf, static_cast<size_t>(n));
+    }
+
+    if (sawEof) {
+        switch (conn->state) {
+          case Connection::State::Dispatched:
+          case Connection::State::Writing:
+            // A response is still owed (half-close: the peer may
+            // well be reading it); deliver first, close after.
+            conn->peerClosed = true;
+            return;
+          default:
+            // Idle/mid-request EOF: nobody left to answer.
+            closeConnection(*conn);
+            return;
+        }
+    }
+    if (!progressed)
+        return;
+    switch (conn->state) {
+      case Connection::State::ReadingHead:
+      case Connection::State::ReadingBody:
+      case Connection::State::Idle:
+        refreshIdleTimer(*conn);
+        advance(token);
+        break;
+      default:
+        break; // Writing/Lingering/Dispatched: bytes held or dropped
+    }
+}
+
+void
+Reactor::advance(ConnToken token)
+{
+    for (;;) {
+        Connection *conn = get(token);
+        if (conn == nullptr)
+            return;
+
+        if (conn->state == Connection::State::Idle) {
+            if (conn->in.empty())
+                return;
+            setState(*conn, Connection::State::ReadingHead);
+        }
+
+        if (conn->state == Connection::State::ReadingHead) {
+            const size_t end = http::findHeadEnd(conn->in);
+            if (end == std::string::npos) {
+                if (conn->in.size() > http::kMaxHeadBytes)
+                    failRequest(
+                        *conn, 400,
+                        Status::error(ErrorCode::InvalidArgument,
+                                      "request head too large"));
+                return;
+            }
+            Result<http::RequestHead> head =
+                http::parseRequestHead(conn->in.substr(0, end));
+            if (!head) {
+                failRequest(*conn, 400, head.status());
+                return;
+            }
+            conn->head = head.take();
+            Result<size_t> bodyLen = conn->head.contentLength();
+            if (!bodyLen) {
+                failRequest(*conn, 400, bodyLen.status());
+                return;
+            }
+            if (bodyLen.value() > options.maxBodyBytes) {
+                failRequest(
+                    *conn, 413,
+                    Status::errorf(
+                        ErrorCode::InvalidArgument,
+                        "request body of %zu bytes exceeds the "
+                        "%zu-byte limit",
+                        bodyLen.value(), options.maxBodyBytes));
+                return;
+            }
+            conn->headEnd = end;
+            conn->bodyLen = bodyLen.value();
+            setState(*conn, Connection::State::ReadingBody);
+        }
+
+        if (conn->state != Connection::State::ReadingBody)
+            return;
+        if (conn->in.size() < conn->headEnd + conn->bodyLen)
+            return; // need more bytes
+
+        std::string body =
+            conn->in.substr(conn->headEnd, conn->bodyLen);
+        conn->in.erase(0, conn->headEnd + conn->bodyLen);
+        conn->headEnd = 0;
+        conn->bodyLen = 0;
+
+        RequestAction action =
+            handler(conn->token, conn->head, std::move(body));
+        if (action.dispatch) {
+            setState(*conn, Connection::State::Dispatched);
+            conn->deadline = 0; // in-flight work is never reaped
+            updateInterest(*conn);
+            return;
+        }
+        conn->discardInput |= action.linger;
+        queueResponse(*conn, std::move(action.response),
+                      action.keepAlive);
+        // Fully flushed and kept alive → Idle: loop once more for
+        // any pipelined request already buffered. Anything else
+        // (mid-flush, lingering, closed) leaves via the poller.
+        conn = get(token);
+        if (conn == nullptr ||
+            conn->state != Connection::State::Idle)
+            return;
+    }
+}
+
+void
+Reactor::failRequest(Connection &conn, int http_status,
+                     Status reason)
+{
+    // Framing errors end the connection, but through the lingering
+    // discipline: the peer may still be pushing the bytes we just
+    // rejected (oversized body, garbled head), and a close with
+    // unread input would RST the error response out from under it.
+    conn.discardInput = true;
+    conn.in.clear();
+    queueResponse(
+        conn, errorResponder(http_status, std::move(reason), false),
+        false);
+}
+
+void
+Reactor::queueResponse(Connection &conn, std::string bytes,
+                       bool keep_alive)
+{
+    conn.out = std::move(bytes);
+    conn.outOff = 0;
+    conn.keepAliveAfterWrite = keep_alive;
+    setState(conn, Connection::State::Writing);
+    updateInterest(conn);
+    flushOutput(conn); // most responses complete right here
+}
+
+void
+Reactor::flushOutput(Connection &conn)
+{
+    while (conn.outOff < conn.out.size()) {
+        const ssize_t n =
+            ::send(conn.fd, conn.out.data() + conn.outOff,
+                   conn.out.size() - conn.outOff, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Backpressure: the peer reads slower than we produce.
+            // Arm write readiness and yield the loop to everyone
+            // else; EPOLLOUT resumes this flush where it stopped.
+            if (!conn.wantWrite) {
+                conn.wantWrite = true;
+                statPartialWrites.fetch_add(
+                    1, std::memory_order_relaxed);
+                poller->modify(conn.fd, conn.wantRead, true);
+            }
+            if (conn.deadline == 0)
+                refreshIdleTimer(conn); // bound a stalled reader
+            return;
+        }
+        if (n <= 0) {
+            closeConnection(conn); // peer gone; response abandoned
+            return;
+        }
+        conn.outOff += static_cast<size_t>(n);
+    }
+    finishResponse(conn);
+}
+
+void
+Reactor::finishResponse(Connection &conn)
+{
+    conn.out.clear();
+    conn.outOff = 0;
+    conn.wantWrite = false;
+
+    if (conn.discardInput && !conn.peerClosed) {
+        // Rejection delivered; now let the peer read it: half-close
+        // our side and keep draining theirs until EOF or the linger
+        // deadline. Closing outright would race an RST against the
+        // bytes they already sent.
+        ::shutdown(conn.fd, SHUT_WR);
+        conn.in.clear();
+        setState(conn, Connection::State::Lingering);
+        updateInterest(conn);
+        armTimer(conn, nowMs() + kLingerTimeoutMs);
+        return;
+    }
+    if (!conn.keepAliveAfterWrite || conn.peerClosed || draining) {
+        closeConnection(conn);
+        return;
+    }
+    setState(conn, Connection::State::Idle);
+    updateInterest(conn);
+    refreshIdleTimer(conn);
+}
+
+void
+Reactor::onWritable(ConnToken token)
+{
+    Connection *conn = get(token);
+    if (conn == nullptr ||
+        conn->state != Connection::State::Writing)
+        return;
+    flushOutput(*conn);
+    conn = get(token);
+    if (conn != nullptr && conn->state == Connection::State::Idle)
+        advance(token); // pipelined request buffered during Writing
+}
+
+void
+Reactor::processCompletions()
+{
+    std::vector<Completion> batch;
+    {
+        LockGuard lock(completionMu);
+        batch.swap(completions);
+    }
+    for (Completion &completion : batch) {
+        Connection *conn = get(completion.token);
+        if (conn == nullptr ||
+            conn->state != Connection::State::Dispatched)
+            continue; // can't happen: Dispatched conns are pinned
+        // A peer that half-closed after sending its request is
+        // still reading: deliver, then finishResponse's peerClosed
+        // check closes. A truly dead peer fails the send instead.
+        queueResponse(*conn, std::move(completion.bytes),
+                      completion.keepAlive && !draining);
+        conn = get(completion.token);
+        if (conn != nullptr &&
+            conn->state == Connection::State::Idle)
+            advance(completion.token);
+    }
+}
+
+void
+Reactor::beginDrain()
+{
+    draining = true;
+    poller->remove(listenFd);
+    closeFd(listenFd); // the kernel now refuses new connections
+
+    std::vector<ConnToken> closeNow;
+    for (const auto &[token, conn] : connections) {
+        switch (conn->state) {
+          case Connection::State::Idle:
+          case Connection::State::Lingering:
+            closeNow.push_back(token);
+            break;
+          case Connection::State::ReadingHead:
+            if (conn->in.empty())
+                closeNow.push_back(token);
+            break;
+          default:
+            // Mid-request, dispatched or flushing: the current
+            // request completes; finishResponse closes after (it
+            // checks `draining`).
+            break;
+        }
+    }
+    for (const ConnToken token : closeNow) {
+        Connection *conn = get(token);
+        if (conn != nullptr)
+            closeConnection(*conn);
+    }
+    // A connection stalled mid-request with timers disabled would
+    // hang the drain; give every survivor a terminal deadline.
+    for (const auto &[token, conn] : connections) {
+        if (conn->state != Connection::State::Dispatched &&
+            conn->deadline == 0)
+            armTimer(*conn, nowMs() + kDrainGraceMs);
+    }
+}
+
+void
+Reactor::expireTimers()
+{
+    const int64_t now = nowMs();
+    while (!timers.empty() && timers.top().deadline <= now) {
+        const TimerEntry entry = timers.top();
+        timers.pop();
+        Connection *conn = get(entry.token);
+        // Lazy deletion: fire only when this entry is the
+        // connection's *current* deadline (re-arming pushes a new
+        // entry; stale ones fall through here).
+        if (conn == nullptr || conn->deadline != entry.deadline ||
+            conn->deadline == 0)
+            continue;
+        if (conn->state == Connection::State::Dispatched)
+            continue; // in-flight work finishes at its own pace
+        if (conn->state == Connection::State::Idle)
+            statIdleReaped.fetch_add(1, std::memory_order_relaxed);
+        else if (conn->state != Connection::State::Lingering)
+            statTimedOut.fetch_add(1, std::memory_order_relaxed);
+        closeConnection(*conn);
+    }
+}
+
+} // namespace rissp::net

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * The connection reactor — a single-threaded, readiness-driven event
+ * loop that owns every client socket of the serve daemon.
+ *
+ * PR 6's server pinned one FlowService scheduler worker per
+ * keep-alive connection for the life of the session, so N mostly-idle
+ * clients consumed N compute threads (ROADMAP item 1's named
+ * follow-up). The reactor decouples them: all connection fds are
+ * nonblocking and multiplexed by one thread over a readiness poller
+ * (`epoll` on Linux, `poll(2)` elsewhere — same interface, selected
+ * at runtime), and the scheduler's workers only ever see *complete*
+ * requests. A thousand parked keep-alive connections cost a thousand
+ * fds and their buffers, not a thousand threads.
+ *
+ * Each connection is an explicit state machine:
+ *
+ *     ReadingHead → ReadingBody → Dispatched → Writing → Idle
+ *          ↑                                               │
+ *          └────────────── next request ────────────────────┘
+ *
+ *  - **ReadingHead / ReadingBody** accumulate bytes incrementally
+ *    through the pure `util/http.*` framing; a dribbled byte costs
+ *    one loop turn, never a blocked thread (slow-loris immunity).
+ *  - **Dispatched** marks a complete request handed to the handler,
+ *    which chose to answer later: the connection parks with poller
+ *    interest off until `complete()` posts the response bytes back
+ *    through the wake pipe. Dispatched connections are never reaped
+ *    or destroyed — `complete()` always finds its target.
+ *  - **Writing** flushes the response; a short write arms write
+ *    readiness and yields (`EPOLLOUT`-driven backpressure), so one
+ *    slow reader of a multi-MB explore table stalls only itself.
+ *  - **Idle** waits for the next request under the idle timer; the
+ *    timer heap reaps connections idle past the configured timeout.
+ *  - **Lingering** (shed/framing-error exits): the response is
+ *    flushed, the write side shut down, and input is drained and
+ *    discarded until EOF or a short deadline — so a rejected client
+ *    that already sent its request bytes reads the structured 429
+ *    instead of an RST clobbering its receive buffer (the PR 6
+ *    gotcha).
+ *
+ * Admission is bounded at accept: over `maxConnections`, the
+ * pre-built shed response is written through the lingering-close
+ * discipline. Graceful drain (`requestStop()`, async-signal-safe)
+ * closes the listener and every idle connection immediately, lets
+ * mid-request and dispatched connections finish their current
+ * request, and returns from `run()` once the table is empty.
+ *
+ * The reactor knows framing and readiness, nothing else: routing,
+ * response bodies and scheduling live in the handler callbacks
+ * (net/server.cc). Everything here except `complete()`, `stats()`
+ * and `requestStop()` runs on the single reactor thread.
+ */
+
+#ifndef RISSP_NET_REACTOR_HH
+#define RISSP_NET_REACTOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/http.hh"
+#include "util/mutex.hh"
+#include "util/status.hh"
+
+namespace rissp::net
+{
+
+/**
+ * Readiness multiplexer behind one interface: `epoll` on Linux,
+ * portable `poll(2)` elsewhere (and on demand, for test coverage of
+ * the fallback). Level-triggered semantics in both backends: an fd
+ * with unconsumed readiness reports again on the next wait.
+ */
+class Poller
+{
+  public:
+    struct Event
+    {
+        int fd = -1;
+        bool readable = false; ///< data, EOF or error to read out
+        bool writable = false;
+    };
+
+    virtual ~Poller() = default;
+
+    /** Register @p fd with the given interest set. */
+    virtual Status add(int fd, bool want_read, bool want_write) = 0;
+
+    /** Change the interest set of a registered fd. */
+    virtual Status modify(int fd, bool want_read,
+                          bool want_write) = 0;
+
+    /** Deregister; must precede close(fd). */
+    virtual void remove(int fd) = 0;
+
+    /** Block up to @p timeout_ms (-1 = forever) and append ready
+     *  events to @p events (cleared first). EINTR comes back as ok
+     *  with no events. */
+    virtual Status wait(int timeout_ms,
+                        std::vector<Event> &events) = 0;
+
+    /** The backend's name, for logs and tests. */
+    virtual const char *name() const = 0;
+
+    /** @p use_poll forces the portable backend; otherwise epoll is
+     *  picked where available. */
+    static std::unique_ptr<Poller> create(bool use_poll);
+};
+
+struct ReactorOptions
+{
+    size_t maxConnections = 1024; ///< open-connection cap (shed over)
+    size_t maxBodyBytes = 4u << 20; ///< request bodies over this: 413
+    int idleTimeoutMs = 60'000; ///< reap idle keep-alives; 0 = never
+    /** SO_SNDBUF for accepted sockets (0 = kernel default). Bounds
+     *  per-connection kernel memory when thousands are open; small
+     *  values exercise the partial-write path deterministically. */
+    int sendBufferBytes = 0;
+    bool usePollBackend = false; ///< force the poll(2) fallback
+    /** Pre-built HTTP bytes written (with lingering close) to
+     *  connections shed over maxConnections. */
+    std::string shedResponse;
+};
+
+/** One consistent snapshot of the reactor counters and gauges. */
+struct ReactorStats
+{
+    uint64_t accepted = 0;      ///< connections admitted
+    uint64_t shed = 0;          ///< refused over maxConnections
+    uint64_t idleReaped = 0;    ///< idle keep-alives timed out
+    uint64_t timedOut = 0;      ///< mid-request/write stalls reaped
+    uint64_t partialWrites = 0; ///< responses that armed EPOLLOUT
+    size_t open = 0;            ///< connections in the table
+    size_t reading = 0;         ///< ReadingHead + ReadingBody
+    size_t dispatched = 0;      ///< parked awaiting a completion
+    size_t writing = 0;
+    size_t idle = 0;
+    size_t lingering = 0;
+};
+
+/** The event loop. Constructed around a listening socket (ownership
+ *  transfers; the reactor closes it at drain) and two callbacks. */
+class Reactor
+{
+  public:
+    /** Stable identity of one connection across its whole life —
+     *  tokens are never reused, unlike fds, so a completion can
+     *  never alias a newer connection. */
+    using ConnToken = uint64_t;
+
+    /** What the request handler decided. */
+    struct RequestAction
+    {
+        /** True: the response arrives later via `complete()`; the
+         *  connection parks in Dispatched. */
+        bool dispatch = false;
+        /** Full HTTP response bytes, when not dispatching. */
+        std::string response;
+        bool keepAlive = false;
+        /** Deliver through lingering close (drain + discard input
+         *  first) — for rejections that race the client's own
+         *  pipelined bytes. Implies the connection closes. */
+        bool linger = false;
+
+        static RequestAction
+        dispatched()
+        {
+            RequestAction action;
+            action.dispatch = true;
+            return action;
+        }
+
+        static RequestAction
+        respond(std::string bytes, bool keep_alive,
+                bool linger_close = false)
+        {
+            RequestAction action;
+            action.response = std::move(bytes);
+            action.keepAlive = keep_alive && !linger_close;
+            action.linger = linger_close;
+            return action;
+        }
+    };
+
+    /** Route one *complete* request. Runs on the reactor thread, so
+     *  it must not block — heavy work is dispatched. @p body is the
+     *  exact Content-Length bytes. */
+    using RequestHandler = std::function<RequestAction(
+        ConnToken, const http::RequestHead &, std::string)>;
+
+    /** Build a full HTTP response for a framing-level error (bad
+     *  head, oversized body, ...) — keeps response bodies out of the
+     *  reactor. Runs on the reactor thread. */
+    using ErrorResponder =
+        std::function<std::string(int http_status, Status reason,
+                                  bool keep_alive)>;
+
+    Reactor(int listen_fd, RequestHandler handler,
+            ErrorResponder error_responder, ReactorOptions options);
+
+    /** run() must have returned (or never started). */
+    ~Reactor();
+
+    Reactor(const Reactor &) = delete;
+    Reactor &operator=(const Reactor &) = delete;
+
+    /** Create the poller and wake pipe and register the listener.
+     *  Must succeed before run(). */
+    Status init();
+
+    /** The event loop: blocks until a requested stop has fully
+     *  drained (every connection finished and closed). */
+    void run();
+
+    /** Begin graceful drain. Async-signal-safe — one atomic store
+     *  and one write(2) on the pre-opened wake pipe — and
+     *  idempotent. */
+    void requestStop();
+
+    /** Hand a response back to a Dispatched connection. Callable
+     *  from any thread; wakes the loop via the pipe. */
+    void complete(ConnToken token, std::string response_bytes,
+                  bool keep_alive);
+
+    /** Callable from any thread. */
+    ReactorStats stats() const;
+
+    /** The active backend's name ("epoll" / "poll"); valid after
+     *  init(). */
+    const char *backendName() const;
+
+  private:
+    struct Connection
+    {
+        enum class State
+        {
+            ReadingHead,
+            ReadingBody,
+            Dispatched,
+            Writing,
+            Idle,
+            Lingering,
+        };
+        static constexpr size_t kStateCount = 6;
+
+        int fd = -1;
+        ConnToken token = 0;
+        State state = State::ReadingHead;
+        std::string in;  ///< received, not yet consumed
+        std::string out; ///< response bytes not yet flushed
+        size_t outOff = 0;
+        size_t headEnd = 0; ///< set once the head parsed
+        http::RequestHead head;
+        size_t bodyLen = 0;
+        bool keepAliveAfterWrite = false;
+        /** Read-and-drop mode: shed / framing-error exits that
+         *  linger-close instead of racing an RST. */
+        bool discardInput = false;
+        /** EOF seen while a response is still owed (Dispatched /
+         *  Writing); close once it has been delivered or abandoned. */
+        bool peerClosed = false;
+        bool wantRead = true;    ///< current poller interest
+        bool wantWrite = false;
+        /** Monotonic-ms reap deadline; 0 = no timer (Dispatched). */
+        int64_t deadline = 0;
+    };
+
+    struct TimerEntry
+    {
+        int64_t deadline;
+        ConnToken token;
+    };
+    struct TimerLater
+    {
+        bool
+        operator()(const TimerEntry &a, const TimerEntry &b) const
+        {
+            return a.deadline > b.deadline;
+        }
+    };
+
+    struct Completion
+    {
+        ConnToken token;
+        std::string bytes;
+        bool keepAlive;
+    };
+
+    static int64_t nowMs();
+
+    Connection *get(ConnToken token);
+    void setState(Connection &conn, Connection::State next);
+    void armTimer(Connection &conn, int64_t deadline);
+    void refreshIdleTimer(Connection &conn);
+    void updateInterest(Connection &conn);
+    void closeConnection(Connection &conn);
+
+    void acceptReady();
+    void shedConnection(int fd);
+    void onReadable(ConnToken token);
+    void onWritable(ConnToken token);
+    void advance(ConnToken token);
+    void queueResponse(Connection &conn, std::string bytes,
+                       bool keep_alive);
+    void flushOutput(Connection &conn);
+    void finishResponse(Connection &conn);
+    void failRequest(Connection &conn, int http_status,
+                     Status reason);
+
+    void beginDrain();
+    void processCompletions();
+    void expireTimers();
+    int pollTimeoutMs() const;
+
+    const ReactorOptions options;
+    const RequestHandler handler;
+    const ErrorResponder errorResponder;
+
+    int listenFd;
+    int wakeReadFd = -1;
+    int wakeWriteFd = -1;
+    std::unique_ptr<Poller> poller;
+
+    std::unordered_map<ConnToken, std::unique_ptr<Connection>>
+        connections;
+    std::unordered_map<int, ConnToken> byFd;
+    ConnToken nextToken = 1;
+    std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                        TimerLater>
+        timers;
+    bool draining = false; ///< reactor thread only
+
+    std::atomic<bool> stopRequested{false};
+
+    Mutex completionMu;
+    std::vector<Completion> completions
+        RISSP_GUARDED_BY(completionMu);
+
+    // Gauges have a single writer (the reactor thread); atomics make
+    // the cross-thread stats() snapshot well-defined.
+    std::atomic<uint64_t> statAccepted{0};
+    std::atomic<uint64_t> statShed{0};
+    std::atomic<uint64_t> statIdleReaped{0};
+    std::atomic<uint64_t> statTimedOut{0};
+    std::atomic<uint64_t> statPartialWrites{0};
+    std::atomic<size_t> statOpen{0};
+    std::atomic<size_t> stateGauge[Connection::kStateCount] = {};
+};
+
+} // namespace rissp::net
+
+#endif // RISSP_NET_REACTOR_HH

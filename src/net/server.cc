@@ -1,16 +1,18 @@
 /**
  * @file
- * HttpServer implementation. Socket plumbing only — everything
- * schema-shaped lives in net/rest.cc, everything byte-framing-shaped
- * in util/http.cc.
+ * HttpServer implementation. Routing and metrics only — byte framing
+ * lives in util/http.cc, schema in net/rest.cc, and all socket IO in
+ * net/reactor.cc (this file opens and binds the listener, then hands
+ * it to the reactor; it never reads or writes a connection itself —
+ * enforced by the `blocking-socket-io` lint check).
  *
- * Thread model: the accept thread owns the listener and is the only
- * admitter; each admitted connection runs as one task on the
- * FlowService's scheduler and owns its fd until it closes it. The
- * admission count is the number of admitted-but-unfinished
- * connections, so a client that stalls mid-request occupies its slot
- * (bounded by the socket IO timeout) — that is the point: slots
- * bound server memory, and a stalled client is load.
+ * Thread model: one reactor thread owns every connection fd and runs
+ * the routing handler; API verbs are submitted to the FlowService's
+ * scheduler as a parse task followed by the verb's stage graph
+ * (flow::FlowService::dispatchAsync), and the completion callback
+ * hands the finished response bytes back to the reactor from
+ * whichever worker ran the final stage. Counters the handler and the
+ * workers both touch are atomics.
  */
 
 #include "net/server.hh"
@@ -19,15 +21,13 @@
 #include <cerrno>
 #include <cstring>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <sstream>
 
 #include "flow/json.hh"
-#include "util/http.hh"
 #include "util/json.hh"
 #include "util/strings.hh"
 
@@ -36,41 +36,6 @@ namespace rissp::net
 
 namespace
 {
-
-/** Append whatever is readable right now (bounded by the socket's
- *  SO_RCVTIMEO). >0 bytes appended, 0 orderly close, -1 error or
- *  timeout. */
-ssize_t
-recvSome(int fd, std::string &buffer)
-{
-    char chunk[16384];
-    for (;;) {
-        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n > 0)
-            buffer.append(chunk, static_cast<size_t>(n));
-        return n;
-    }
-}
-
-/** Send the whole buffer (bounded by SO_SNDTIMEO); false when the
- *  peer went away or stopped reading. */
-bool
-sendAll(int fd, const std::string &data)
-{
-    size_t sent = 0;
-    while (sent < data.size()) {
-        const ssize_t n = ::send(fd, data.data() + sent,
-                                 data.size() - sent, MSG_NOSIGNAL);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0)
-            return false;
-        sent += static_cast<size_t>(n);
-    }
-    return true;
-}
 
 void
 closeFd(int &fd)
@@ -89,9 +54,24 @@ toJson(const MetricsSnapshot &snapshot)
     std::ostringstream out;
     out << "{\"server\": {\"accepted\": " << snapshot.accepted
         << ", \"active\": " << snapshot.activeConnections
+        << ", \"connections\": {\"open\": "
+        << snapshot.activeConnections
+        << ", \"reading\": " << snapshot.readingConnections
+        << ", \"dispatched\": " << snapshot.dispatchDepth
+        << ", \"writing\": " << snapshot.writingConnections
+        << ", \"idle\": " << snapshot.idleConnections
+        << ", \"lingering\": " << snapshot.lingeringConnections
+        << "}, \"dispatch_depth\": " << snapshot.dispatchDepth
         << ", \"queue_capacity\": " << snapshot.queueCapacity
+        << ", \"max_connections\": " << snapshot.connectionCapacity
         << ", \"rejected_shed_load\": " << snapshot.rejectedShedLoad
+        << ", \"rejected_queue_full\": "
+        << snapshot.rejectedQueueFull
+        << ", \"idle_reaped\": " << snapshot.idleReaped
+        << ", \"timed_out\": " << snapshot.timedOut
+        << ", \"partial_writes\": " << snapshot.partialWrites
         << ", \"http_errors\": " << snapshot.httpErrors
+        << ", \"poller\": \"" << snapshot.pollerBackend << '"'
         << ", \"draining\": " << jsonBool(snapshot.draining)
         << "}, \"requests\": {";
     for (size_t i = 0; i < kVerbCount; ++i)
@@ -102,7 +82,8 @@ toJson(const MetricsSnapshot &snapshot)
     out << "}, \"scheduler\": {\"threads\": "
         << snapshot.schedulerThreads << ", \"queue_depth\": "
         << snapshot.schedulerQueueDepth << ", \"in_flight\": "
-        << snapshot.schedulerInFlight << ", \"executed\": "
+        << snapshot.schedulerInFlight << ", \"submitted\": "
+        << snapshot.schedulerSubmitted << ", \"executed\": "
         << snapshot.schedulerExecuted << ", \"steals\": "
         << snapshot.schedulerSteals << "}, \"caches\": {"
         << "\"compile\": {\"hits\": " << snapshot.compileHits
@@ -139,9 +120,6 @@ HttpServer::~HttpServer()
         requestShutdown();
         waitUntilStopped();
     }
-    closeFd(wakeReadFd);
-    closeFd(wakeWriteFd);
-    closeFd(listenFd);
 }
 
 Status
@@ -151,20 +129,10 @@ HttpServer::start()
         return Status::error(ErrorCode::Internal,
                              "server already started");
 
-    int pipeFds[2];
-    if (::pipe(pipeFds) != 0)
-        return Status::errorf(ErrorCode::Internal, "pipe: %s",
-                              errnoString(errno).c_str());
-    wakeReadFd = pipeFds[0];
-    wakeWriteFd = pipeFds[1];
-
-    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listenFd < 0) {
-        closeFd(wakeReadFd);
-        closeFd(wakeWriteFd);
+    int listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
         return Status::errorf(ErrorCode::Internal, "socket: %s",
                               errnoString(errno).c_str());
-    }
     const int one = 1;
     ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
                  sizeof one);
@@ -175,8 +143,6 @@ HttpServer::start()
     if (::inet_pton(AF_INET, options.bindAddress.c_str(),
                     &addr.sin_addr) != 1) {
         closeFd(listenFd);
-        closeFd(wakeReadFd);
-        closeFd(wakeWriteFd);
         return Status::errorf(ErrorCode::InvalidArgument,
                               "bad bind address '%s'",
                               options.bindAddress.c_str());
@@ -189,8 +155,6 @@ HttpServer::start()
             options.bindAddress.c_str(), options.port,
             errnoString(errno).c_str());
         closeFd(listenFd);
-        closeFd(wakeReadFd);
-        closeFd(wakeWriteFd);
         return status;
     }
     socklen_t len = sizeof addr;
@@ -198,104 +162,71 @@ HttpServer::start()
                   &len);
     boundPort = ntohs(addr.sin_port);
 
+    ReactorOptions ropts;
+    ropts.maxConnections = options.maxConnections;
+    ropts.maxBodyBytes = options.maxBodyBytes;
+    ropts.idleTimeoutMs = options.idleTimeoutMs;
+    ropts.sendBufferBytes = options.sendBufferBytes;
+    ropts.usePollBackend = options.usePollBackend;
+    ropts.shedResponse = http::buildResponse(
+        429,
+        flow::toJson(Status::errorf(
+            ErrorCode::Unavailable,
+            "server at capacity (%zu connections open); "
+            "retry later",
+            options.maxConnections)));
+
+    // The reactor owns the listener from here on (it closes it at
+    // drain); routing and error bodies stay in this class.
+    reactor = std::make_unique<Reactor>(
+        listenFd,
+        [this](Reactor::ConnToken token,
+               const http::RequestHead &head, std::string body) {
+            return onRequest(token, head, std::move(body));
+        },
+        [this](int http_status, Status reason, bool keep_alive) {
+            return errorResponse(http_status, std::move(reason),
+                                 keep_alive);
+        },
+        ropts);
+    const Status ready = reactor->init();
+    if (!ready) {
+        reactor.reset(); // closes the listener
+        return ready;
+    }
+
     // Start the scheduler's workers before the first connection so
-    // admission never races lazy worker creation.
+    // dispatch never races lazy worker creation.
     service.scheduler();
 
     started = true;
-    acceptThread = std::thread(&HttpServer::acceptLoop, this);
+    reactorThread = std::thread([this] { reactor->run(); });
     return Status::ok();
 }
 
 void
 HttpServer::requestShutdown()
 {
-    // Async-signal-safe on purpose: one write(2) on a fd that was
-    // opened before the accept thread existed and is never
-    // reassigned while it runs. No locks, no allocation.
-    if (wakeWriteFd >= 0) {
-        const char byte = 1;
-        [[maybe_unused]] ssize_t n =
-            ::write(wakeWriteFd, &byte, 1);
-    }
+    // Async-signal-safe on purpose: an atomic store plus the
+    // reactor's own wake-pipe write. `reactor` is set before any
+    // signal handler can be wired to this method and never
+    // reassigned while running.
+    drainFlag.store(true, std::memory_order_release);
+    if (reactor)
+        reactor->requestStop();
 }
 
 void
 HttpServer::waitUntilStopped()
 {
-    if (acceptThread.joinable())
-        acceptThread.join();
-}
-
-void
-HttpServer::acceptLoop()
-{
-    for (;;) {
-        pollfd fds[2] = {{listenFd, POLLIN, 0},
-                         {wakeReadFd, POLLIN, 0}};
-        const int rc = ::poll(fds, 2, -1);
-        if (rc < 0) {
-            if (errno == EINTR)
-                continue;
-            break;
-        }
-        if (fds[1].revents != 0)
-            break; // shutdown requested
-        if ((fds[0].revents & POLLIN) == 0)
-            continue;
-
-        sockaddr_in peer{};
-        socklen_t len = sizeof peer;
-        const int fd = ::accept(
-            listenFd, reinterpret_cast<sockaddr *>(&peer), &len);
-        if (fd < 0) {
-            if (errno == EINTR || errno == ECONNABORTED)
-                continue;
-            break;
-        }
-        timeval tv{};
-        tv.tv_sec = options.ioTimeoutMs / 1000;
-        tv.tv_usec = (options.ioTimeoutMs % 1000) * 1000;
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
-
-        bool admit = false;
-        {
-            LockGuard lock(stateMu);
-            if (activeCount < options.maxQueue) {
-                ++activeCount;
-                admit = true;
-            }
-        }
-        if (!admit) {
-            // Shed load at the door: a bounded structured refusal
-            // instead of an unbounded queue. The client can retry.
-            rejected.fetch_add(1, std::memory_order_relaxed);
-            const std::string body = flow::toJson(Status::errorf(
-                ErrorCode::Unavailable,
-                "server at capacity (%zu connections in flight); "
-                "retry later",
-                options.maxQueue));
-            sendAll(fd, http::buildResponse(429, body));
-            ::close(fd);
-            continue;
-        }
-        accepted.fetch_add(1, std::memory_order_relaxed);
-        service.scheduler().submit(
-            [this, fd] { handleConnection(fd); }, {}, "http:conn");
-    }
-
-    // Drain: stop accepting (closing the listener makes the kernel
-    // refuse new connections), then wait for every admitted
-    // connection to finish and flush.
-    drainFlag.store(true, std::memory_order_release);
-    closeFd(listenFd);
-    // Explicit predicate loop: the analysis checks the guarded read
-    // of activeCount in this locked scope (a wait-lambda would be
-    // analyzed as a separate, lock-free function).
-    UniqueLock lock(stateMu);
-    while (activeCount != 0)
-        idleCv.wait(lock);
+    if (reactorThread.joinable())
+        reactorThread.join();
+    // The loop only exits after handing back every dispatched
+    // response, but a completion callback may still be returning on
+    // its worker; don't let the destructor free the reactor under
+    // it.
+    while (inflightDispatches.load(std::memory_order_acquire) != 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
 }
 
 std::string
@@ -315,232 +246,208 @@ HttpServer::noteResponse(int http_status)
         httpErrors.fetch_add(1, std::memory_order_relaxed);
 }
 
-void
-HttpServer::handleConnection(int fd)
-{
-    std::string buffer;
-    for (;;) {
-        // ---- read one request head
-        size_t headEnd;
-        bool peerGone = false;
-        while ((headEnd = http::findHeadEnd(buffer)) ==
-               std::string::npos) {
-            if (buffer.size() > http::kMaxHeadBytes) {
-                sendAll(fd, errorResponse(
-                                400,
-                                Status::error(
-                                    ErrorCode::InvalidArgument,
-                                    "request head too large"),
-                                false));
-                peerGone = true;
-                break;
-            }
-            if (recvSome(fd, buffer) <= 0) {
-                // Orderly close between requests is a clean end;
-                // anything else (timeout, reset, bytes then EOF)
-                // just drops the connection — there is nobody to
-                // answer.
-                peerGone = true;
-                break;
-            }
-        }
-        if (peerGone)
-            break;
-
-        Result<http::RequestHead> head =
-            http::parseRequestHead(buffer.substr(0, headEnd));
-        if (!head) {
-            sendAll(fd, errorResponse(400, head.status(), false));
-            break;
-        }
-
-        // ---- read the body
-        Result<size_t> bodyLen = head.value().contentLength();
-        if (!bodyLen) {
-            sendAll(fd,
-                    errorResponse(400, bodyLen.status(), false));
-            break;
-        }
-        if (bodyLen.value() > options.maxBodyBytes) {
-            sendAll(fd, errorResponse(
-                            413,
-                            Status::errorf(
-                                ErrorCode::InvalidArgument,
-                                "request body of %zu bytes exceeds "
-                                "the %zu-byte limit",
-                                bodyLen.value(),
-                                options.maxBodyBytes),
-                            false));
-            break;
-        }
-        bool truncated = false;
-        while (buffer.size() < headEnd + bodyLen.value()) {
-            if (recvSome(fd, buffer) <= 0) {
-                truncated = true;
-                break;
-            }
-        }
-        if (truncated)
-            break; // peer vanished mid-body; nothing to answer
-        const std::string body =
-            buffer.substr(headEnd, bodyLen.value());
-        buffer.erase(0, headEnd + bodyLen.value());
-
-        // ---- route and respond
-        bool keepAlive = false;
-        const std::string response =
-            routeRequest(head.value(), body, keepAlive);
-        if (!sendAll(fd, response) || !keepAlive)
-            break;
-    }
-    ::close(fd);
-    {
-        LockGuard lock(stateMu);
-        finishConnectionLocked();
-    }
-}
-
-void
-HttpServer::finishConnectionLocked()
-{
-    // Notify under the lock: the drain waiter may destroy this
-    // condvar the moment it observes activeCount == 0, so the
-    // notify must complete before the mutex is released. The
-    // RISSP_REQUIRES(stateMu) on the declaration makes calling this
-    // without the lock a compile error on Clang.
-    --activeCount;
-    idleCv.notify_all();
-}
-
-std::string
-HttpServer::routeRequest(const http::RequestHead &head,
-                         const std::string &body, bool &keep_alive)
+Reactor::RequestAction
+HttpServer::onRequest(Reactor::ConnToken token,
+                      const http::RequestHead &head,
+                      std::string body)
 {
     // Keep-alive survives routed errors (framing stayed intact) but
     // not a drain: once draining, every response closes so the
-    // accept thread's wait can settle.
-    keep_alive = head.keepAlive() && !draining();
+    // reactor's table can settle.
+    const bool keepAlive = head.keepAlive() && !draining();
     std::string target = head.target;
     const size_t query = target.find('?');
     if (query != std::string::npos)
         target.erase(query);
 
     if (target == "/healthz") {
-        if (head.method != "GET") {
-            keep_alive = false;
-            return errorResponse(
-                405,
-                Status::error(ErrorCode::InvalidArgument,
-                              "use GET on /healthz"),
+        if (head.method != "GET")
+            return Reactor::RequestAction::respond(
+                errorResponse(
+                    405,
+                    Status::error(ErrorCode::InvalidArgument,
+                                  "use GET on /healthz"),
+                    false),
                 false);
-        }
         noteResponse(200);
-        return http::buildResponse(200, flow::toJson(Status::ok()),
-                                   "application/json", keep_alive);
+        return Reactor::RequestAction::respond(
+            http::buildResponse(200, flow::toJson(Status::ok()),
+                                "application/json", keepAlive),
+            keepAlive);
     }
 
     if (target == "/metrics") {
-        if (head.method != "GET") {
-            keep_alive = false;
-            return errorResponse(
-                405,
-                Status::error(ErrorCode::InvalidArgument,
-                              "use GET on /metrics"),
+        if (head.method != "GET")
+            return Reactor::RequestAction::respond(
+                errorResponse(
+                    405,
+                    Status::error(ErrorCode::InvalidArgument,
+                                  "use GET on /metrics"),
+                    false),
                 false);
-        }
         noteResponse(200);
-        return http::buildResponse(200, toJson(metrics()),
-                                   "application/json", keep_alive);
+        return Reactor::RequestAction::respond(
+            http::buildResponse(200, toJson(metrics()),
+                                "application/json", keepAlive),
+            keepAlive);
     }
 
     if (target == "/shutdown") {
-        if (head.method != "POST") {
-            keep_alive = false;
-            return errorResponse(
-                405,
-                Status::error(ErrorCode::InvalidArgument,
-                              "use POST on /shutdown"),
+        if (head.method != "POST")
+            return Reactor::RequestAction::respond(
+                errorResponse(
+                    405,
+                    Status::error(ErrorCode::InvalidArgument,
+                                  "use POST on /shutdown"),
+                    false),
                 false);
-        }
         // Flush the acknowledgement on a closing connection, then
-        // trip the drain: the accept thread stops listening and
-        // waits for the in-flight requests (including this one).
+        // trip the drain: the reactor stops listening and every
+        // in-flight request (including this response) completes.
         requestShutdown();
-        keep_alive = false;
         noteResponse(200);
-        return http::buildResponse(
-            200,
-            flow::toJson(Status::error(ErrorCode::Ok, "draining")),
-            "application/json", false);
+        return Reactor::RequestAction::respond(
+            http::buildResponse(
+                200,
+                flow::toJson(
+                    Status::error(ErrorCode::Ok, "draining")),
+                "application/json", false),
+            false);
     }
 
     const std::string apiPrefix = "/api/v1/";
     if (target.rfind(apiPrefix, 0) != 0)
-        return errorResponse(
-            404,
-            Status::errorf(ErrorCode::NotFound,
-                           "no endpoint '%s' (POST /api/v1/<verb>, "
-                           "GET /metrics, GET /healthz, "
-                           "POST /shutdown)",
-                           target.c_str()),
-            keep_alive);
+        return Reactor::RequestAction::respond(
+            errorResponse(
+                404,
+                Status::errorf(
+                    ErrorCode::NotFound,
+                    "no endpoint '%s' (POST /api/v1/<verb>, "
+                    "GET /metrics, GET /healthz, "
+                    "POST /shutdown)",
+                    target.c_str()),
+                keepAlive),
+            keepAlive);
 
     Result<Verb> verb =
         verbFromName(target.substr(apiPrefix.size()));
     if (!verb)
-        return errorResponse(
-            404,
-            Status::error(ErrorCode::NotFound,
-                          verb.status().message()),
-            keep_alive);
-    if (head.method != "POST") {
-        keep_alive = false;
-        return errorResponse(
-            405,
-            Status::errorf(ErrorCode::InvalidArgument,
-                           "use POST on /api/v1/%s",
-                           verbName(verb.value())),
+        return Reactor::RequestAction::respond(
+            errorResponse(404,
+                          Status::error(ErrorCode::NotFound,
+                                        verb.status().message()),
+                          keepAlive),
+            keepAlive);
+    if (head.method != "POST")
+        return Reactor::RequestAction::respond(
+            errorResponse(
+                405,
+                Status::errorf(ErrorCode::InvalidArgument,
+                               "use POST on /api/v1/%s",
+                               verbName(verb.value())),
+                false),
             false);
+
+    // Bounded dispatch admission: the reactor's Dispatched gauge
+    // only moves on this thread, so the check cannot race itself.
+    // Shed requests close through the lingering discipline — the
+    // client may be mid-pipeline and must still read its 429.
+    if (options.maxQueue > 0 &&
+        reactor->stats().dispatched >= options.maxQueue) {
+        rejectedQueueFull.fetch_add(1, std::memory_order_relaxed);
+        return Reactor::RequestAction::respond(
+            errorResponse(
+                429,
+                Status::errorf(ErrorCode::Unavailable,
+                               "server at capacity (%zu requests "
+                               "in flight); retry later",
+                               options.maxQueue),
+                false),
+            false, /*linger_close=*/true);
     }
 
-    Result<flow::Request> request =
-        requestFromBody(verb.value(), body);
-    if (!request)
-        return errorResponse(httpStatusFor(request.status()),
-                             request.status(), keep_alive);
+    dispatchRequest(token, verb.value(), std::move(body),
+                    keepAlive);
+    return Reactor::RequestAction::dispatched();
+}
 
-    verbTotals[static_cast<size_t>(verb.value())].fetch_add(
-        1, std::memory_order_relaxed);
-    const flow::Response response =
-        service.dispatch(request.value());
-    const Status &status = flow::responseStatus(response);
-    if (!status.isOk())
-        verbErrors[static_cast<size_t>(verb.value())].fetch_add(
-            1, std::memory_order_relaxed);
-    const int httpStatus = httpStatusFor(status);
-    noteResponse(httpStatus);
-    // The body is flow::toJson(...) verbatim: byte-identical to
-    // `risspgen <verb> --json` for the same request. The server
-    // adds framing, never schema.
-    return http::buildResponse(httpStatus, flow::toJson(response),
-                               "application/json", keep_alive);
+void
+HttpServer::dispatchRequest(Reactor::ConnToken token, Verb verb,
+                            std::string body, bool keep_alive)
+{
+    inflightDispatches.fetch_add(1, std::memory_order_acq_rel);
+    service.scheduler().submit(
+        [this, token, verb, body = std::move(body), keep_alive] {
+            // Parse off the reactor thread: a 4 MB explore plan
+            // must not stall a thousand other connections.
+            Result<flow::Request> request =
+                requestFromBody(verb, body);
+            if (!request) {
+                reactor->complete(
+                    token,
+                    errorResponse(httpStatusFor(request.status()),
+                                  request.status(), keep_alive),
+                    keep_alive);
+                inflightDispatches.fetch_sub(
+                    1, std::memory_order_acq_rel);
+                return;
+            }
+            verbTotals[static_cast<size_t>(verb)].fetch_add(
+                1, std::memory_order_relaxed);
+            service.dispatchAsync(
+                request.take(),
+                [this, token, verb,
+                 keep_alive](flow::Response response) {
+                    const Status &status =
+                        flow::responseStatus(response);
+                    if (!status.isOk())
+                        verbErrors[static_cast<size_t>(verb)]
+                            .fetch_add(1,
+                                       std::memory_order_relaxed);
+                    const int httpStatus = httpStatusFor(status);
+                    noteResponse(httpStatus);
+                    // The body is flow::toJson(...) verbatim:
+                    // byte-identical to `risspgen <verb> --json`
+                    // for the same request. The server adds
+                    // framing, never schema.
+                    reactor->complete(
+                        token,
+                        http::buildResponse(httpStatus,
+                                            flow::toJson(response),
+                                            "application/json",
+                                            keep_alive),
+                        keep_alive);
+                    inflightDispatches.fetch_sub(
+                        1, std::memory_order_acq_rel);
+                });
+        },
+        {}, "http:request");
 }
 
 MetricsSnapshot
 HttpServer::metrics() const
 {
     MetricsSnapshot snapshot;
-    snapshot.accepted = accepted.load(std::memory_order_relaxed);
-    snapshot.rejectedShedLoad =
-        rejected.load(std::memory_order_relaxed);
+    const ReactorStats reactorStats = reactor->stats();
+    snapshot.accepted = reactorStats.accepted;
+    snapshot.rejectedShedLoad = reactorStats.shed;
+    snapshot.rejectedQueueFull =
+        rejectedQueueFull.load(std::memory_order_relaxed);
     snapshot.httpErrors =
         httpErrors.load(std::memory_order_relaxed);
-    {
-        LockGuard lock(stateMu);
-        snapshot.activeConnections = activeCount;
-    }
+    snapshot.idleReaped = reactorStats.idleReaped;
+    snapshot.timedOut = reactorStats.timedOut;
+    snapshot.partialWrites = reactorStats.partialWrites;
+    snapshot.activeConnections = reactorStats.open;
+    snapshot.readingConnections = reactorStats.reading;
+    snapshot.dispatchDepth = reactorStats.dispatched;
+    snapshot.writingConnections = reactorStats.writing;
+    snapshot.idleConnections = reactorStats.idle;
+    snapshot.lingeringConnections = reactorStats.lingering;
     snapshot.queueCapacity = options.maxQueue;
+    snapshot.connectionCapacity = options.maxConnections;
     snapshot.draining = draining();
+    snapshot.pollerBackend = reactor->backendName();
     for (size_t i = 0; i < kVerbCount; ++i) {
         snapshot.verbTotals[i] =
             verbTotals[i].load(std::memory_order_relaxed);
@@ -552,6 +459,7 @@ HttpServer::metrics() const
     snapshot.schedulerThreads = scheduler.threadCount();
     snapshot.schedulerQueueDepth = scheduler.queueDepth();
     snapshot.schedulerInFlight = scheduler.inFlight();
+    snapshot.schedulerSubmitted = scheduler.submitted();
     snapshot.schedulerExecuted = scheduler.tasksRun();
     snapshot.schedulerSteals = scheduler.stealCount();
 

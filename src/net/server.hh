@@ -4,31 +4,40 @@
  *
  * The PR 5 engine made the pipeline a reentrant request/response
  * service; this layer puts a socket in front of it. Self-contained
- * HTTP/1.1 over plain POSIX sockets (no external dependencies): an
- * accept thread owns the listener, and every accepted connection
- * becomes a task on the FlowService's work-stealing scheduler — the
- * same scheduler that runs batch and async requests, so server
- * traffic shares the promise-backed in-flight dedup of the stage
- * caches (a thousand clients asking for the same synth sweep compile
- * and sweep it once).
+ * HTTP/1.1 over plain POSIX sockets (no external dependencies),
+ * served by a single-threaded connection reactor (net/reactor.hh):
+ * every connection fd is nonblocking and readiness-driven, so parked
+ * keep-alive sessions cost file descriptors, not threads. Only a
+ * *complete* request is handed to the FlowService's work-stealing
+ * scheduler — the same scheduler that runs batch and async requests,
+ * so server traffic shares the promise-backed in-flight dedup of the
+ * stage caches (a thousand clients asking for the same synth sweep
+ * compile and sweep it once) — and the response is queued back to
+ * the reactor through its wake pipe. `--threads` sizes *compute*,
+ * decoupled from the connection count.
  *
  * Operational semantics, in order of importance:
  *
- *  - **Admission control.** The number of connections admitted but
- *    not yet finished is bounded by `ServeOptions::maxQueue`. Over
- *    capacity, the accept thread answers immediately with a
- *    structured 429 JSON status (`unavailable`) and closes — load is
- *    shed at the door instead of growing an unbounded queue.
+ *  - **Admission control.** Two independent bounds. Open connections
+ *    are capped by `ServeOptions::maxConnections`: over it, the
+ *    reactor sheds at accept with a structured 429 (`unavailable`)
+ *    delivered through a lingering close, so a client that already
+ *    sent its request reads the refusal instead of an RST.
+ *    Dispatched-but-unfinished requests are capped by
+ *    `ServeOptions::maxQueue`: over it, API requests get the same
+ *    429 — while /metrics and /healthz keep answering inline, so a
+ *    saturated server is still observable.
  *  - **Graceful drain.** `requestShutdown()` (wired to SIGTERM by
- *    the CLI, and to the POST /shutdown endpoint) is one
- *    async-signal-safe write to a wake pipe: the accept thread stops
- *    listening (new connections are refused by the kernel), every
- *    in-flight request runs to completion and flushes its response,
- *    keep-alive connections are closed after their current request,
+ *    the CLI, and to the POST /shutdown endpoint) is
+ *    async-signal-safe: the listener closes (new connections are
+ *    refused by the kernel), idle keep-alive connections close
+ *    immediately, every in-flight request — including one whose
+ *    body is still dribbling in — runs to completion and flushes,
  *    and `waitUntilStopped()` returns.
- *  - **Observability.** GET /metrics reports the StageCaches
- *    hit/miss counters, scheduler queue depth and in-flight count,
- *    per-verb request totals and the admission counters.
+ *  - **Observability.** GET /metrics reports the reactor's
+ *    connection-state gauges (open/reading/dispatched/writing/idle),
+ *    dispatch depth, admission and timeout counters, the StageCaches
+ *    hit/miss counters, scheduler depth and per-verb totals.
  *
  * Endpoints (see docs/SERVE.md):
  *
@@ -46,13 +55,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "flow/flow.hh"
+#include "net/reactor.hh"
 #include "net/rest.hh"
 #include "util/http.hh"
-#include "util/mutex.hh"
 #include "util/status.hh"
 
 namespace rissp::net
@@ -63,11 +73,25 @@ struct ServeOptions
     /** Loopback by default: exposing the daemon beyond the host is
      *  a deployment decision, not a default. */
     std::string bindAddress = "127.0.0.1";
-    uint16_t port = 0;      ///< 0 picks an ephemeral port
-    size_t maxQueue = 64;   ///< admitted-but-unfinished connection cap
+    uint16_t port = 0;    ///< 0 picks an ephemeral port
+    /** Dispatched-but-unfinished request cap: over it, API requests
+     *  shed with a structured 429 (inline endpoints still serve). */
+    size_t maxQueue = 64;
+    /** Open-connection cap: over it, accepts shed with a structured
+     *  429 through a lingering close. */
+    size_t maxConnections = 1024;
     size_t maxBodyBytes = 4u << 20; ///< request bodies over this: 413
-    int ioTimeoutMs = 10'000; ///< per-recv/send socket timeout
+    /** Idle keep-alive connections are reaped after this long
+     *  (0 = never). Also bounds mid-request and mid-write stalls. */
+    int idleTimeoutMs = 60'000;
     int backlog = 128;      ///< listen(2) backlog
+    /** SO_SNDBUF for accepted sockets (0 = kernel default); bounds
+     *  kernel memory under thousands of connections and makes the
+     *  partial-write backpressure path deterministic in tests. */
+    int sendBufferBytes = 0;
+    /** Force the portable poll(2) readiness backend instead of
+     *  epoll (the fallback non-Linux builds always use). */
+    bool usePollBackend = false;
 };
 
 /** One consistent read of every server counter (plus the cache and
@@ -75,11 +99,22 @@ struct ServeOptions
 struct MetricsSnapshot
 {
     uint64_t accepted = 0;         ///< connections admitted
-    uint64_t rejectedShedLoad = 0; ///< connections answered 429
+    uint64_t rejectedShedLoad = 0; ///< shed over maxConnections
+    uint64_t rejectedQueueFull = 0; ///< API 429s over maxQueue
     uint64_t httpErrors = 0;       ///< non-2xx responses sent
-    size_t activeConnections = 0;  ///< admitted, not yet finished
-    size_t queueCapacity = 0;
+    uint64_t idleReaped = 0;       ///< idle keep-alives timed out
+    uint64_t timedOut = 0;         ///< mid-request stalls reaped
+    uint64_t partialWrites = 0;    ///< responses that needed EPOLLOUT
+    size_t activeConnections = 0;  ///< open connections (all states)
+    size_t readingConnections = 0; ///< receiving head or body
+    size_t dispatchDepth = 0;      ///< requests in flight on workers
+    size_t writingConnections = 0;
+    size_t idleConnections = 0;
+    size_t lingeringConnections = 0;
+    size_t queueCapacity = 0;      ///< maxQueue
+    size_t connectionCapacity = 0; ///< maxConnections
     bool draining = false;
+    std::string pollerBackend;     ///< "epoll" or "poll"
 
     uint64_t verbTotals[kVerbCount] = {}; ///< requests dispatched
     uint64_t verbErrors[kVerbCount] = {}; ///< ...with error status
@@ -87,6 +122,7 @@ struct MetricsSnapshot
     unsigned schedulerThreads = 0;
     size_t schedulerQueueDepth = 0;
     size_t schedulerInFlight = 0;
+    uint64_t schedulerSubmitted = 0;
     uint64_t schedulerExecuted = 0;
     uint64_t schedulerSteals = 0;
 
@@ -112,8 +148,9 @@ class HttpServer
 {
   public:
     /** @p service must outlive the server. The service's scheduler
-     *  runs the connection handlers, so its thread count is the
-     *  request-handling parallelism. */
+     *  runs the request pipelines, so its thread count is the
+     *  *compute* parallelism — connection count is bounded only by
+     *  `maxConnections`. */
     explicit HttpServer(const flow::FlowService &service,
                         ServeOptions options = {});
 
@@ -123,7 +160,7 @@ class HttpServer
     HttpServer(const HttpServer &) = delete;
     HttpServer &operator=(const HttpServer &) = delete;
 
-    /** Bind, listen, start the accept thread. Fails as a value on
+    /** Bind, listen, start the reactor thread. Fails as a value on
      *  an unusable address or an occupied port. */
     Status start();
 
@@ -131,13 +168,14 @@ class HttpServer
      *  Valid after start(). */
     uint16_t port() const { return boundPort; }
 
-    /** Begin graceful drain. Async-signal-safe (one write(2) on a
-     *  pre-opened pipe) so the CLI can call it from a SIGTERM
-     *  handler; also idempotent. */
+    /** Begin graceful drain. Async-signal-safe (one atomic store and
+     *  one write(2) on the reactor's pre-opened wake pipe) so the
+     *  CLI can call it from a SIGTERM handler; also idempotent. */
     void requestShutdown();
 
     /** Block until the drain completes: listener closed, every
-     *  admitted connection finished and flushed. */
+     *  connection finished and flushed, every in-flight dispatch
+     *  handed back. */
     void waitUntilStopped();
 
     bool draining() const
@@ -148,44 +186,34 @@ class HttpServer
     MetricsSnapshot metrics() const;
 
   private:
-    void acceptLoop();
-    void handleConnection(int fd);
-    /** Route one parsed request; returns the full response bytes
-     *  and whether the connection may stay open. */
-    std::string routeRequest(const http::RequestHead &head,
-                             const std::string &body,
-                             bool &keep_alive);
+    /** Route one complete request (reactor thread; must not
+     *  block — API verbs are dispatched to the scheduler). */
+    Reactor::RequestAction onRequest(Reactor::ConnToken token,
+                                     const http::RequestHead &head,
+                                     std::string body);
+    /** Submit the verb pipeline; the completion hands the response
+     *  bytes back to the reactor from a scheduler worker. */
+    void dispatchRequest(Reactor::ConnToken token, Verb verb,
+                         std::string body, bool keep_alive);
     std::string errorResponse(int http_status, Status status,
                               bool keep_alive);
     void noteResponse(int http_status);
-    /** Release one admission slot and wake the drain waiter. The
-     *  notify MUST happen under `stateMu`: the waiter may destroy
-     *  the condvar the moment it observes `activeCount == 0`
-     *  (TSan-caught in PR 6) — the annotation makes that prose
-     *  invariant a compile-time contract. */
-    void finishConnectionLocked() RISSP_REQUIRES(stateMu);
 
     const flow::FlowService &service;
     ServeOptions options;
 
-    int listenFd = -1;
-    int wakeReadFd = -1;
-    int wakeWriteFd = -1;
+    std::unique_ptr<Reactor> reactor;
+    std::thread reactorThread;
     uint16_t boundPort = 0;
-    std::thread acceptThread;
     bool started = false;
 
     std::atomic<bool> drainFlag{false};
+    /** Dispatches whose completion callback has not yet returned;
+     *  waitUntilStopped() waits for zero so the reactor is never
+     *  destroyed under a worker still handing a response back. */
+    std::atomic<size_t> inflightDispatches{0};
 
-    mutable Mutex stateMu;
-    /** Signalled when activeCount drops to 0. Notified only from
-     *  finishConnectionLocked (i.e. under stateMu — see there). */
-    CondVar idleCv;
-    /** Admitted-but-unfinished connections. */
-    size_t activeCount RISSP_GUARDED_BY(stateMu) = 0;
-
-    std::atomic<uint64_t> accepted{0};
-    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> rejectedQueueFull{0};
     std::atomic<uint64_t> httpErrors{0};
     std::atomic<uint64_t> verbTotals[kVerbCount] = {};
     std::atomic<uint64_t> verbErrors[kVerbCount] = {};

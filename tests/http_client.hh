@@ -84,6 +84,15 @@ class HttpClient
     static constexpr int kDefaultTimeoutMs = 10'000;
 #endif
 
+    /** Shrink SO_RCVBUF before the next connect (0 = kernel
+     *  default). The backpressure tests use a tiny client receive
+     *  window plus a tiny server send buffer to force the server
+     *  down its partial-write (EPOLLOUT) path deterministically. */
+    void setReceiveBufferBytes(int bytes)
+    {
+        receiveBufferBytes = bytes;
+    }
+
     bool connect(uint16_t port, int timeout_ms = kDefaultTimeoutMs)
     {
         disconnect();
@@ -95,6 +104,10 @@ class HttpClient
         tv.tv_usec = (timeout_ms % 1000) * 1000;
         ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        if (receiveBufferBytes > 0)
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF,
+                         &receiveBufferBytes,
+                         sizeof receiveBufferBytes);
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_port = htons(port);
@@ -243,6 +256,7 @@ class HttpClient
     }
 
     int fd = -1;
+    int receiveBufferBytes = 0;
     std::string buffer;
 };
 

@@ -1,0 +1,52 @@
+// Bad: serving-layer code calling recv/send/accept directly. Each
+// call either blocks the reactor's single event loop (one stalled
+// peer freezes every other connection) or races the reactor for a
+// fd it believes it owns exclusively. Connection bytes must flow
+// through the reactor's readiness loop and Reactor::complete().
+
+#include <string>
+#include <sys/socket.h>
+
+namespace rissp
+{
+
+int
+takeNextClient(int listen_fd)
+{
+    // Blocks the calling thread until a client shows up.
+    return ::accept(listen_fd, nullptr, nullptr);
+}
+
+std::string
+readRequest(int fd)
+{
+    char chunk[4096];
+    std::string bytes;
+    // Blocking read loop: a slow-loris peer parks this thread
+    // indefinitely.
+    for (;;) {
+        const long n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            break;
+        bytes.append(chunk, static_cast<unsigned long>(n));
+        if (bytes.find("\r\n\r\n") != std::string::npos)
+            break;
+    }
+    return bytes;
+}
+
+bool
+writeResponse(int fd, const std::string &bytes)
+{
+    unsigned long sent = 0;
+    while (sent < bytes.size()) {
+        const long n = ::send(fd, bytes.data() + sent,
+                              bytes.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<unsigned long>(n);
+    }
+    return true;
+}
+
+} // namespace rissp

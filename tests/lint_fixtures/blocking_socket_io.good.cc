@@ -1,0 +1,45 @@
+// Good: serving-layer code that never touches a socket. The handler
+// runs on the reactor thread over a fully framed request, work is
+// dispatched to the scheduler, and the finished bytes are handed
+// back through the completion callback — the reactor performs every
+// recv/send/accept on the application's behalf.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace rissp
+{
+
+using ConnToken = uint64_t;
+using Completion =
+    std::function<void(ConnToken, std::string, bool)>;
+
+struct RoutedRequest
+{
+    std::string target;
+    std::string body;
+    bool keepAlive = false;
+};
+
+/** Decide a response without ever seeing the fd: framing and
+ *  delivery stay inside the reactor. */
+std::string
+routeInline(const RoutedRequest &request)
+{
+    if (request.target == "/healthz")
+        return "{\"status\": \"ok\"}\n";
+    return "{\"status\": \"not_found\"}\n";
+}
+
+/** Hand a finished response back through the completion hook; the
+ *  reactor queues the bytes and drives the socket when writable. */
+void
+finishRequest(const Completion &complete, ConnToken token,
+              const RoutedRequest &request)
+{
+    complete(token, routeInline(request), request.keepAlive);
+}
+
+} // namespace rissp

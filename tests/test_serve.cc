@@ -11,18 +11,27 @@
  * <verb> --json` prints through — so the daemon and the CLI can never
  * drift apart schema-wise. Around that: the framing/parsing error
  * paths (malformed HTTP, truncated JSON, oversized bodies — always a
- * structured 4xx, never a dropped process), admission control
- * (queue-full → 429), in-flight dedup observed through /metrics, and
- * graceful drain (in-flight requests complete, new connections are
- * refused).
+ * structured 4xx, never a dropped process), both admission bounds
+ * (connection shed and dispatch-queue 429, each delivered through the
+ * lingering close so a client that already wrote its request reads
+ * the refusal instead of an RST), the reactor's idle-timeout reaping,
+ * slow-loris isolation, partial-write backpressure, the thousand-
+ * parked-connections scalability contract, in-flight dedup observed
+ * through /metrics, and graceful drain (in-flight requests complete,
+ * idle connections close, new connections are refused).
  *
  * The whole file also runs under TSan in CI: every test that spawns
- * client threads doubles as a race detector for the accept loop,
- * the admission counters and the metrics snapshot.
+ * client threads doubles as a race detector for the reactor loop,
+ * the completion handoff, the admission counters and the metrics
+ * snapshot. Connection counts scale down under RISSP_TSAN — the
+ * instrumented pipeline is roughly an order of magnitude slower.
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -210,6 +219,7 @@ TEST(ServeEndpoints, MetricsShape)
 {
     ServeOptions options;
     options.maxQueue = 17;
+    options.maxConnections = 9;
     Harness harness(options);
     ASSERT_TRUE(
         httpRequest(harness.port(), "GET", "/healthz").has_value());
@@ -224,8 +234,26 @@ TEST(ServeEndpoints, MetricsShape)
     const JsonValue *server = metrics.value().find("server");
     ASSERT_NE(server, nullptr);
     EXPECT_EQ(server->find("queue_capacity")->asNumber(), 17.0);
+    EXPECT_EQ(server->find("max_connections")->asNumber(), 9.0);
     EXPECT_GE(server->find("accepted")->asNumber(), 2.0);
     EXPECT_FALSE(server->find("draining")->asBool());
+    for (const char *counter :
+         {"rejected_shed_load", "rejected_queue_full",
+          "idle_reaped", "timed_out", "partial_writes",
+          "http_errors", "dispatch_depth"})
+        EXPECT_NE(server->find(counter), nullptr) << counter;
+    // The /metrics request itself is open while the snapshot is
+    // taken, so the gauge tree is live, not all-zero.
+    const JsonValue *connections = server->find("connections");
+    ASSERT_NE(connections, nullptr);
+    EXPECT_GE(connections->find("open")->asNumber(), 1.0);
+    for (const char *gauge :
+         {"reading", "dispatched", "writing", "idle", "lingering"})
+        EXPECT_NE(connections->find(gauge), nullptr) << gauge;
+    const JsonValue *poller = server->find("poller");
+    ASSERT_NE(poller, nullptr);
+    EXPECT_TRUE(poller->asString() == "epoll" ||
+                poller->asString() == "poll");
 
     const JsonValue *requests = metrics.value().find("requests");
     ASSERT_NE(requests, nullptr);
@@ -237,6 +265,9 @@ TEST(ServeEndpoints, MetricsShape)
     const JsonValue *scheduler = metrics.value().find("scheduler");
     ASSERT_NE(scheduler, nullptr);
     EXPECT_GE(scheduler->find("threads")->asNumber(), 1.0);
+    ASSERT_NE(scheduler->find("submitted"), nullptr);
+    EXPECT_GE(scheduler->find("submitted")->asNumber(),
+              scheduler->find("executed")->asNumber());
 
     const JsonValue *caches = metrics.value().find("caches");
     ASSERT_NE(caches, nullptr);
@@ -384,20 +415,19 @@ TEST(ServeErrors, ChunkedTransferEncodingIsRejected)
 TEST(ServeAdmission, QueueFullIsAStructured429)
 {
     ServeOptions options;
-    options.maxQueue = 2;
-    options.ioTimeoutMs = 3'000;
+    options.maxConnections = 2;
     Harness harness(options, /*threads=*/2);
 
     // Two clients connect and stall mid-head: they are admitted (the
-    // count is connections, not parsed requests — a stalled client
-    // is load) and their handlers block on the socket timeout.
+    // connection cap counts connections, not parsed requests — a
+    // stalled client is load) and they hold their slots.
     HttpClient stalledA, stalledB;
     ASSERT_TRUE(stalledA.connect(harness.port()));
     ASSERT_TRUE(stalledA.sendRaw("POST /api/v1/run HTTP/1.1\r\n"));
     ASSERT_TRUE(stalledB.connect(harness.port()));
     ASSERT_TRUE(stalledB.sendRaw("POST /api/v1/run HTTP/1.1\r\n"));
 
-    // The third connection finds the queue full. The accept thread
+    // The third connection finds the server at capacity. The reactor
     // admits strictly in arrival order, so by the time it reaches
     // this one both stalled connections hold their slots. The 429
     // is pushed before any request bytes are read, so reading
@@ -427,6 +457,202 @@ TEST(ServeAdmission, QueueFullIsAStructured429)
 
     const MetricsSnapshot metrics = harness.server.metrics();
     EXPECT_GE(metrics.rejectedShedLoad, 1u);
+}
+
+TEST(ServeAdmission, ShedDeliversThe429AfterTheBodyWasSent)
+{
+    // Regression pin for the shed/RST gotcha: a rejected client that
+    // already wrote its whole request must still read the 429. If
+    // the server responds and closes while request bytes sit unread
+    // in its receive queue, the kernel answers with RST and the
+    // client's pending receive buffer — the 429 — is destroyed. The
+    // reactor drains the received bytes first and retires the
+    // connection through a lingering close (shutdown(SHUT_WR), read
+    // to EOF), so the refusal survives.
+    ServeOptions options;
+    options.maxConnections = 1;
+    Harness harness(options, /*threads=*/2);
+
+    // Park one keep-alive connection: it owns the only slot.
+    HttpClient parked;
+    ASSERT_TRUE(parked.connect(harness.port()));
+    const auto first = parked.request("GET", "/healthz", "", true);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->status, 200);
+
+    // The rejected client sends its entire request *first* — head
+    // and body land in the server's receive queue before the
+    // reactor ever looks at the connection.
+    HttpClient rejected;
+    ASSERT_TRUE(rejected.connect(harness.port()));
+    ASSERT_TRUE(rejected.sendRequest("POST", "/api/v1/run",
+                                     R"({"workload": "crc32"})"));
+    const auto response = rejected.readResponse();
+    ASSERT_TRUE(response.has_value())
+        << "429 lost to an RST: the shed path must drain request "
+           "bytes before responding";
+    EXPECT_EQ(response->status, 429);
+    EXPECT_NE(response->body.find("unavailable"),
+              std::string::npos);
+
+    // The shed was invisible to the parked connection.
+    const auto again = parked.request("GET", "/healthz", "", true);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->status, 200);
+
+    const MetricsSnapshot metrics = harness.server.metrics();
+    EXPECT_GE(metrics.rejectedShedLoad, 1u);
+    EXPECT_EQ(metrics.accepted, 1u);
+}
+
+TEST(ServeAdmission, DispatchQueueFullIsAnImmediate429)
+{
+    // The second bound: dispatched-but-unfinished requests. One slow
+    // explore occupies the only queue slot; the next API request is
+    // refused on the reactor thread without waiting for a worker —
+    // and /metrics stays answerable throughout (a saturated server
+    // is still observable).
+    ServeOptions options;
+    options.maxQueue = 1;
+    Harness harness(options, /*threads=*/1);
+
+    // A plan wide enough to keep the single worker busy while the
+    // test probes the full queue.
+    std::string plan = "workload crc32\n"
+                       "subset fit = @crc32\n"
+                       "threads 1\n";
+    for (int corner = 0; corner < 192; ++corner) {
+        char line[64];
+        std::snprintf(line, sizeof line,
+                      "tech flexic-0.6um:voltage=2.5%03d\n", corner);
+        plan += line;
+    }
+    std::string body = R"({"plan": ")";
+    for (const char c : plan)
+        body += c == '\n' ? std::string("\\n") : std::string(1, c);
+    body += R"("})";
+
+    HttpClient slow;
+    ASSERT_TRUE(slow.connect(harness.port(), /*timeout_ms=*/
+                             HttpClient::kDefaultTimeoutMs * 4));
+    ASSERT_TRUE(slow.sendRequest("POST", "/api/v1/explore", body));
+
+    // Wait until the reactor has handed the request to the
+    // scheduler: the Dispatched gauge is the admission predicate.
+    MetricsSnapshot metrics = harness.server.metrics();
+    for (int attempt = 0;
+         attempt < 500 && metrics.dispatchDepth == 0; ++attempt) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        metrics = harness.server.metrics();
+    }
+    ASSERT_EQ(metrics.dispatchDepth, 1u);
+
+    const auto refused =
+        httpRequest(harness.port(), "POST", "/api/v1/characterize",
+                    R"({"workload": "crc32"})");
+    ASSERT_TRUE(refused.has_value());
+    EXPECT_EQ(refused->status, 429);
+    EXPECT_NE(refused->body.find("requests in flight"),
+              std::string::npos);
+
+    // Inline endpoints bypass the dispatch queue.
+    const auto observable =
+        httpRequest(harness.port(), "GET", "/metrics");
+    ASSERT_TRUE(observable.has_value());
+    EXPECT_EQ(observable->status, 200);
+
+    // The slow request is unharmed by the shed around it.
+    const auto completed = slow.readResponse();
+    ASSERT_TRUE(completed.has_value());
+    EXPECT_EQ(completed->status, 200);
+    EXPECT_GE(harness.server.metrics().rejectedQueueFull, 1u);
+}
+
+// ------------------------------------------------- idle timeouts
+
+TEST(ServeTimeouts, IdleConnectionsAreReapedActiveOnesAreNot)
+{
+#ifdef RISSP_TSAN
+    constexpr int kIdleTimeoutMs = 2'000;
+#else
+    constexpr int kIdleTimeoutMs = 400;
+#endif
+    ServeOptions options;
+    options.idleTimeoutMs = kIdleTimeoutMs;
+    Harness harness(options, /*threads=*/2);
+
+    // The idle one: a completed keep-alive request, then silence.
+    HttpClient idle;
+    ASSERT_TRUE(idle.connect(harness.port()));
+    ASSERT_TRUE(
+        idle.request("GET", "/healthz", "", true).has_value());
+
+    // The active one keeps talking at a cadence well inside the
+    // timeout; every exchange re-arms its timer.
+    HttpClient active;
+    ASSERT_TRUE(active.connect(harness.port()));
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline =
+        start + std::chrono::milliseconds(3 * kIdleTimeoutMs);
+    while (std::chrono::steady_clock::now() < deadline) {
+        const auto response =
+            active.request("GET", "/healthz", "", true);
+        ASSERT_TRUE(response.has_value())
+            << "active keep-alive connection was reaped";
+        EXPECT_EQ(response->status, 200);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kIdleTimeoutMs / 4));
+    }
+
+    // By now the idle connection is long past its deadline: the
+    // server closed it (EOF on read, no response bytes).
+    EXPECT_FALSE(idle.readResponse().has_value());
+    const MetricsSnapshot metrics = harness.server.metrics();
+    EXPECT_GE(metrics.idleReaped, 1u);
+}
+
+// --------------------------------------------------- slow clients
+
+TEST(ServeConcurrency, SlowLorisDribblersDoNotStarveDispatch)
+{
+    // Classic slow-loris: a pack of connections dribbling a byte of
+    // head at a time. On the old thread-per-request design each
+    // dribbler pinned a handler thread; on the reactor they are just
+    // parked fds, and real requests flow past them.
+#ifdef RISSP_TSAN
+    constexpr int kDribblers = 16;
+#else
+    constexpr int kDribblers = 48;
+#endif
+    Harness harness({}, /*threads=*/2);
+
+    std::vector<std::unique_ptr<HttpClient>> dribblers;
+    const std::string partialHead = "POST /api/v1/run HTTP/1.1\r\n";
+    for (int i = 0; i < kDribblers; ++i) {
+        auto client = std::make_unique<HttpClient>();
+        ASSERT_TRUE(client->connect(harness.port())) << i;
+        // A prefix of a valid head, cut mid-header — never enough
+        // to parse, never an error either.
+        ASSERT_TRUE(client->sendRaw(
+            partialHead.substr(0, 8 + (i % 12))));
+        dribblers.push_back(std::move(client));
+    }
+
+    // Every dribbler keeps dribbling while real requests complete.
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < kDribblers; ++i)
+            ASSERT_TRUE(dribblers[i]->sendRaw("X"));
+        const auto response =
+            httpRequest(harness.port(), "POST",
+                        "/api/v1/characterize",
+                        R"({"workload": "crc32"})");
+        ASSERT_TRUE(response.has_value()) << "round " << round;
+        EXPECT_EQ(response->status, 200);
+    }
+
+    const MetricsSnapshot metrics = harness.server.metrics();
+    EXPECT_GE(metrics.readingConnections, size_t(kDribblers));
+    EXPECT_EQ(metrics.accepted, uint64_t(kDribblers + 3));
 }
 
 // ------------------------------------------------- in-flight dedup
@@ -544,6 +770,202 @@ TEST(ServeConcurrency, MixedHammerKeepsEveryCounterConsistent)
     EXPECT_EQ(metrics.accepted, uint64_t(4 * kClients));
 }
 
+// --------------------------------------------- parked-fd scalability
+
+TEST(ServeConcurrency, ThousandIdleConnectionsPlusActiveHammer)
+{
+    // The headline scalability contract: a big pool of parked
+    // keep-alive connections costs file descriptors, not threads —
+    // active clients are served at full speed through them, and
+    // every counter stays exact. (TSan shrinks the pool: the point
+    // is the interleavings, not the fd count.)
+#ifdef RISSP_TSAN
+    constexpr int kIdle = 128;
+    constexpr int kActive = 8;
+    constexpr int kRequestsPerClient = 2;
+#else
+    constexpr int kIdle = 1000;
+    constexpr int kActive = 16;
+    constexpr int kRequestsPerClient = 4;
+#endif
+    ServeOptions options;
+    options.maxConnections = kIdle + kActive + 8;
+    Harness harness(options, /*threads=*/4);
+
+    // Park the pool: each connection proves liveness once, then
+    // sits idle for the rest of the test.
+    std::vector<std::unique_ptr<HttpClient>> parked;
+    parked.reserve(kIdle);
+    for (int i = 0; i < kIdle; ++i) {
+        auto client = std::make_unique<HttpClient>();
+        ASSERT_TRUE(client->connect(harness.port())) << i;
+        const auto response =
+            client->request("GET", "/healthz", "", true);
+        ASSERT_TRUE(response.has_value()) << i;
+        EXPECT_EQ(response->status, 200);
+        parked.push_back(std::move(client));
+    }
+    // A client can read its response a beat before the reactor
+    // books the connection back into Idle; poll for the settled
+    // gauge instead of snapshotting mid-transition.
+    MetricsSnapshot parkedGauge = harness.server.metrics();
+    for (int attempt = 0;
+         attempt < 200 && parkedGauge.idleConnections != size_t(kIdle);
+         ++attempt) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        parkedGauge = harness.server.metrics();
+    }
+    ASSERT_EQ(parkedGauge.idleConnections, size_t(kIdle));
+
+    // Saturating active load through the parked crowd: one
+    // keep-alive connection per client, several requests each.
+    std::vector<int> failures(kActive, 0);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kActive; ++i)
+        clients.emplace_back([&, i] {
+            HttpClient client;
+            if (!client.connect(harness.port())) {
+                failures[i] = kRequestsPerClient;
+                return;
+            }
+            for (int r = 0; r < kRequestsPerClient; ++r) {
+                const auto response = client.request(
+                    "POST", "/api/v1/characterize",
+                    R"({"workload": "crc32"})", true);
+                if (!response || response->status != 200)
+                    ++failures[i];
+            }
+        });
+    for (std::thread &client : clients)
+        client.join();
+    for (int i = 0; i < kActive; ++i)
+        EXPECT_EQ(failures[i], 0) << "client " << i;
+
+    // Exact accounting: every connection accepted, none shed, the
+    // idle pool untouched, every request dispatched and answered.
+    // The reactor notices the active clients' disconnects a beat
+    // after they read their last byte; wait for quiescence first.
+    MetricsSnapshot metrics = harness.server.metrics();
+    for (int attempt = 0;
+         attempt < 500 && metrics.activeConnections != size_t(kIdle);
+         ++attempt) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        metrics = harness.server.metrics();
+    }
+    EXPECT_EQ(metrics.activeConnections, size_t(kIdle));
+    EXPECT_EQ(metrics.accepted, uint64_t(kIdle + kActive));
+    EXPECT_EQ(metrics.rejectedShedLoad, 0u);
+    EXPECT_EQ(metrics.rejectedQueueFull, 0u);
+    EXPECT_EQ(metrics.idleConnections, size_t(kIdle));
+    EXPECT_EQ(metrics.verbTotals[size_t(Verb::Characterize)],
+              uint64_t(kActive * kRequestsPerClient));
+    EXPECT_EQ(metrics.verbErrors[size_t(Verb::Characterize)], 0u);
+    EXPECT_EQ(metrics.httpErrors, 0u);
+
+    // The parked pool is still alive end to end.
+    for (int i = 0; i < kIdle; i += kIdle / 10) {
+        const auto response =
+            parked[i]->request("GET", "/healthz", "", true);
+        ASSERT_TRUE(response.has_value()) << i;
+        EXPECT_EQ(response->status, 200);
+    }
+}
+
+// ----------------------------------------------- write backpressure
+
+TEST(ServeBackpressure, PartialWritesDeliverALargeResponseIntact)
+{
+    // A response far bigger than the socket's send buffer must go
+    // out in EPOLLOUT-driven slices without blocking the reactor,
+    // and arrive byte-identical. Tiny buffers on both ends plus a
+    // client that dawdles before reading force the partial-write
+    // path deterministically.
+#ifdef RISSP_TSAN
+    constexpr int kCorners = 96;
+#else
+    constexpr int kCorners = 768;
+#endif
+    ServeOptions options;
+    options.sendBufferBytes = 4096;
+    Harness harness(options, /*threads=*/2);
+
+    std::string plan = "workload crc32\n"
+                       "subset fit = @crc32\n"
+                       "threads 2\n";
+    for (int corner = 0; corner < kCorners; ++corner) {
+        char line[64];
+        std::snprintf(line, sizeof line,
+                      "tech flexic-0.6um:voltage=2.5%03d\n", corner);
+        plan += line;
+    }
+
+    flow::ExploreRequest request;
+    request.planText = plan;
+    flow::FlowService fresh;
+    const flow::Response expected =
+        fresh.dispatch(flow::Request(request));
+    const std::string expectedBody = flow::toJson(expected);
+    ASSERT_GT(expectedBody.size(), size_t(kCorners) * 80)
+        << "plan too small to exercise backpressure";
+
+    std::string body = R"({"plan": ")";
+    for (const char c : plan)
+        body += c == '\n' ? std::string("\\n") : std::string(1, c);
+    body += R"("})";
+
+    HttpClient client;
+    client.setReceiveBufferBytes(4096);
+    ASSERT_TRUE(client.connect(harness.port(), /*timeout_ms=*/
+                               HttpClient::kDefaultTimeoutMs * 4));
+    ASSERT_TRUE(client.sendRequest("POST", "/api/v1/explore", body));
+    // Dawdle until the response has filled the tiny buffers on both
+    // ends and wedged the connection in Writing with EPOLLOUT armed
+    // — the response dwarfs the combined buffer capacity, so it
+    // cannot complete before this client starts reading.
+    MetricsSnapshot wedged = harness.server.metrics();
+    for (int attempt = 0;
+         attempt < 4000 && wedged.writingConnections == 0;
+         ++attempt) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        wedged = harness.server.metrics();
+    }
+    EXPECT_EQ(wedged.writingConnections, 1u);
+    const auto response = client.readResponse();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, expectedBody);
+
+    const MetricsSnapshot metrics = harness.server.metrics();
+    EXPECT_GE(metrics.partialWrites, 1u);
+}
+
+// ------------------------------------------------- poller backends
+
+TEST(ServeBackend, PollFallbackServesTheSameProtocol)
+{
+    // The portable poll(2) backend sits behind the same Poller
+    // interface; run a keep-alive conversation and an API request
+    // through it to keep the fallback honest.
+    ServeOptions options;
+    options.usePollBackend = true;
+    Harness harness(options, /*threads=*/2);
+    EXPECT_EQ(harness.server.metrics().pollerBackend, "poll");
+
+    HttpClient client;
+    ASSERT_TRUE(client.connect(harness.port()));
+    for (int i = 0; i < 3; ++i) {
+        const auto response =
+            client.request("GET", "/healthz", "", true);
+        ASSERT_TRUE(response.has_value()) << i;
+        EXPECT_EQ(response->status, 200);
+    }
+    const auto api =
+        httpRequest(harness.port(), "POST", "/api/v1/characterize",
+                    R"({"workload": "crc32"})");
+    ASSERT_TRUE(api.has_value());
+    EXPECT_EQ(api->status, 200);
+}
+
 // --------------------------------------------------- graceful drain
 
 TEST(ServeDrain, InFlightRequestsCompleteNewConnectionsRefused)
@@ -595,14 +1017,56 @@ TEST(ServeDrain, InFlightRequestsCompleteNewConnectionsRefused)
     EXPECT_EQ(harness.server.metrics().activeConnections, 0u);
 }
 
+TEST(ServeDrain, DrainClosesIdleConnectionsAndCompletesInFlight)
+{
+    Harness harness;
+
+    // A parked keep-alive connection and a mid-body request.
+    HttpClient idle;
+    ASSERT_TRUE(idle.connect(harness.port()));
+    ASSERT_TRUE(
+        idle.request("GET", "/healthz", "", true).has_value());
+
+    const std::string body = R"({"workload": "crc32"})";
+    HttpClient slow;
+    ASSERT_TRUE(slow.connect(harness.port()));
+    ASSERT_TRUE(slow.sendRaw(
+        "POST /api/v1/run HTTP/1.1\r\n"
+        "Host: t\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n"
+        "Connection: close\r\n"
+        "\r\n" + body.substr(0, 7)));
+
+    // Let the partial request reach the reactor before the drain:
+    // a connection that never spoke is closed at drain time, one
+    // that is mid-request is not, and the distinction is what this
+    // test pins. (sendRaw returning only proves the bytes left the
+    // client's kernel, not that the reactor read them.)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    harness.server.requestShutdown();
+
+    // The idle connection closes promptly (EOF, no bytes): drains
+    // must not wait out the idle-timeout clock.
+    EXPECT_FALSE(idle.readResponse().has_value());
+
+    // The mid-body request runs to completion.
+    ASSERT_TRUE(slow.sendRaw(body.substr(7)));
+    const auto response = slow.readResponse();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 200);
+
+    harness.server.waitUntilStopped();
+    EXPECT_EQ(harness.server.metrics().activeConnections, 0u);
+}
+
 TEST(ServeDrain, DrainRaceDestroyOnWakeRegression)
 {
-    // Regression pin for the PR 6 TSan finding: the drain waiter may
-    // destroy the server (and its condvar) the moment it observes
-    // `activeCount == 0`, so the handler's wake notify must happen
-    // under `stateMu` — now a compile-checked contract via
-    // finishConnectionLocked() RISSP_REQUIRES(stateMu). Hammer the
-    // destroy-on-wake window: each iteration races one in-flight
+    // Regression pin from the PR 6 TSan finding (then: a condvar
+    // notified after the drain waiter destroyed the server; now: the
+    // completion handoff must never touch the reactor after
+    // waitUntilStopped() returns). Hammer the destroy-on-wake
+    // window: each iteration races one in-flight
     // request against shutdown + waitUntilStopped + destruction.
 #ifdef RISSP_TSAN
     constexpr int kRounds = 6;

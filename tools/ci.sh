@@ -105,6 +105,29 @@ fi
 # daemon, p50/p95/p99 latency + throughput (docs/SERVE.md).
 ./bench_serve --quick --json BENCH_serve.json
 
+# Perf smoke on the reactor rework: 512 parked keep-alive
+# connections must not tax active throughput — idle fds are event
+# sources, not threads. Soft gate like the dispatch smoke above:
+# warns loudly, never fails (loaded CI runners jitter req/s).
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF' || true
+import json
+rows = {b["name"]: b["requests_per_second"]
+        for b in json.load(open("BENCH_serve.json"))["benchmarks"]}
+hot, idle = rows.get("serve_characterize_hot"), \
+    rows.get("idle_keepalive_512")
+if hot and idle:
+    print("ci.sh: idle-load/hot serve ratio: %.2fx"
+          " (hot %.0f, 512-idle %.0f req/s)" % (idle / hot, hot, idle))
+    if idle < 0.8 * hot:
+        print("ci.sh: WARNING: 512 parked keep-alive connections"
+              " cost >20%% of active req/s -- reactor scalability"
+              " regression?")
+EOF
+else
+    echo "ci.sh: python3 not found; skipping serve perf smoke" >&2
+fi
+
 # Artifact-store trajectory: warm-boot speedup and raw store
 # throughput (docs/CACHE.md).
 ./bench_cache --quick --json BENCH_cache.json

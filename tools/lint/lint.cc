@@ -372,6 +372,45 @@ checkHotSwitchDecode(const SourceFile &f, std::vector<Finding> &out)
 }
 
 void
+checkBlockingSocketIo(const SourceFile &f, std::vector<Finding> &out)
+{
+    // The serving layer's single-reactor contract: every connection
+    // fd is nonblocking and owned by the reactor's event loop, so
+    // raw socket IO anywhere else in src/net/ is either a blocking
+    // call about to stall the loop or a second owner racing it.
+    // (Top-level src/ files are in scope too — the shape
+    // --as-library inputs and the fixtures take.)
+    const bool scoped =
+        f.path.rfind("src/net/", 0) == 0 ||
+        (isLibraryPath(f.path) &&
+         f.path.find('/', 4) == std::string::npos);
+    if (!scoped)
+        return;
+    // The reactor is the sanctioned owner of socket readiness and
+    // the only file that may recv/send/accept.
+    if (f.path == "src/net/reactor.cc")
+        return;
+    static const std::string_view banned[] = {
+        "recv",    "send",    "accept",  "accept4",
+        "recvfrom", "sendto", "recvmsg", "sendmsg",
+    };
+    const std::vector<Token> tokens = tokenize(f.scrubbed);
+    for (const Token &t : tokens) {
+        for (std::string_view name : banned) {
+            if (t.text == name && isCall(f, t))
+                addFinding(
+                    out, f, t, "blocking-socket-io",
+                    "raw socket call '" + std::string(t.text) +
+                        "()' in src/net/ outside the reactor — "
+                        "connection IO belongs to the nonblocking "
+                        "event loop (net/reactor.cc); route bytes "
+                        "through Reactor::complete() and the "
+                        "request handler instead");
+        }
+    }
+}
+
+void
 checkIncludeGuard(const SourceFile &f, std::vector<Finding> &out)
 {
     if (!isHeaderPath(f.path))
@@ -592,6 +631,11 @@ checkRegistry()
          "src/core/ hot paths — dispatch lives in the shared "
          "interpreter core (sim/exec_core.inc)",
          checkHotSwitchDecode},
+        {"blocking-socket-io",
+         "no raw recv/send/accept in src/net/ outside the reactor — "
+         "connection IO belongs to the nonblocking event loop "
+         "(net/reactor.cc)",
+         checkBlockingSocketIo},
         {"include-guard",
          "every header carries #pragma once or a matched "
          "#ifndef/#define guard",

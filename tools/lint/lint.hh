@@ -23,6 +23,12 @@
  *                  instruction dispatch belongs to the shared
  *                  interpreter core (sim/exec_core.inc); RefSim's
  *                  golden-reference step() is the one exemption
+ *   blocking-socket-io
+ *                  no raw recv/send/accept (and friends) in
+ *                  src/net/ outside net/reactor.cc — every
+ *                  connection fd is owned by the reactor's
+ *                  nonblocking event loop; a raw socket call
+ *                  elsewhere either blocks the loop or races it
  *   include-guard  every header carries #pragma once or a matched
  *                  #ifndef/#define guard
  *

@@ -19,7 +19,8 @@
  *                                           below)
  *   risspgen serve [--port N] [--threads N] long-lived HTTP/JSON
  *            [--max-queue N] [--bind ADDR]  daemon over the Flow API
- *                                           (see docs/SERVE.md)
+ *            [--max-connections N]          (see docs/SERVE.md)
+ *            [--idle-timeout SECONDS]
  *
  * Every verb accepts --json: the machine-readable response from the
  * Flow API, verbatim (see flow/json.hh), instead of the human table.
@@ -977,6 +978,15 @@ cmdServe(int argc, char **argv, const CliOptions &cli)
                    parseCount(argv[i + 1], 1'000'000, n) && n > 0) {
             options.maxQueue = static_cast<size_t>(n);
             ++i;
+        } else if (arg == "--max-connections" && hasValue &&
+                   parseCount(argv[i + 1], 1'000'000, n) && n > 0) {
+            options.maxConnections = static_cast<size_t>(n);
+            ++i;
+        } else if (arg == "--idle-timeout" && hasValue &&
+                   parseCount(argv[i + 1], 86'400, n)) {
+            // Seconds on the CLI; 0 disables idle reaping.
+            options.idleTimeoutMs = static_cast<int>(n) * 1000;
+            ++i;
         } else if (arg == "--bind" && hasValue) {
             options.bindAddress = argv[++i];
         } else if (arg == "--cache-dir" && hasValue) {
@@ -1013,10 +1023,10 @@ cmdServe(int argc, char **argv, const CliOptions &cli)
     std::signal(SIGINT, onTerminate);
 
     std::printf("risspgen: serving on %s:%u (scheduler threads=%u, "
-                "queue=%zu)\n",
+                "queue=%zu, connections=%zu)\n",
                 options.bindAddress.c_str(), server.port(),
                 service.scheduler().threadCount(),
-                options.maxQueue);
+                options.maxQueue, options.maxConnections);
     std::fflush(stdout);
 
     server.waitUntilStopped();
@@ -1043,7 +1053,8 @@ usage()
         "         use the verb syntax above, plus 'run ... --verify'\n"
         "         and 'explore <plan-file>'\n"
         "  serve [--port N] [--bind ADDR] [--threads N]\n"
-        "        [--max-queue N]\n"
+        "        [--max-queue N] [--max-connections N]\n"
+        "        [--idle-timeout SECONDS]\n"
         "         long-lived HTTP/JSON daemon over the Flow API:\n"
         "         POST /api/v1/<verb>, GET /metrics, GET /healthz,\n"
         "         POST /shutdown; drains gracefully on SIGTERM\n"
